@@ -1,0 +1,72 @@
+// Extension experiment — Palette colors vs Wukong-style function fusion
+// (§8 Related Work).
+//
+// Wukong fuses chains of tasks into single invocations, so intermediate
+// data never leaves the process — no serialization, no cache needed. The
+// paper claims locality hints plus a serverless cache achieve similar
+// performance while keeping tasks separate (preserving the platform's
+// scheduling freedom and the simple one-task-per-invocation model). This
+// bench compares, on Task Bench graphs:
+//   * Oblivious RR, unfused        — the baseline both improve on;
+//   * Oblivious RR over fused DAG  — the Wukong approach;
+//   * Palette LA + chain coloring  — the paper's approach.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/table_printer.h"
+#include "src/dag/fusion.h"
+#include "src/taskbench/taskbench.h"
+
+namespace palette {
+namespace {
+
+void Run() {
+  std::printf("== Extension: Palette vs function fusion (Wukong-style) ==\n\n");
+  constexpr int kWorkers = 8;
+  TaskBenchConfig tb;
+  tb.width = 16;
+  tb.timesteps = 10;
+  tb.cpu_ops_per_task = 60e6;
+  tb.output_bytes = 256 * kMiB;
+  const PlatformConfig platform = DaskPlatformConfig();
+
+  TablePrinter table;
+  table.AddRow({"benchmark", "oblivious_s", "fusion_s", "palette_la_s",
+                "fused_tasks"});
+  for (TaskBenchPattern pattern :
+       {TaskBenchPattern::kNoComm, TaskBenchPattern::kDomTree,
+        TaskBenchPattern::kStencil1d, TaskBenchPattern::kFft,
+        TaskBenchPattern::kNearest}) {
+    const Dag dag = MakeTaskBenchDag(pattern, tb);
+    const FusedDag fused = FuseLinearRuns(dag);
+
+    const auto oblivious = RunDagOnFaas(
+        dag, MakeDagRun(PolicyKind::kObliviousRoundRobin, ColoringKind::kNone,
+                        kWorkers, platform));
+    const auto fusion = RunDagOnFaas(
+        fused.dag, MakeDagRun(PolicyKind::kObliviousRoundRobin,
+                              ColoringKind::kNone, kWorkers, platform));
+    const auto palette = RunDagOnFaas(
+        dag, MakeDagRun(PolicyKind::kLeastAssigned, ColoringKind::kChain,
+                        kWorkers, platform));
+    table.AddRow({std::string(TaskBenchPatternName(pattern)),
+                  StrFormat("%.1f", oblivious.makespan.seconds()),
+                  StrFormat("%.1f", fusion.makespan.seconds()),
+                  StrFormat("%.1f", palette.makespan.seconds()),
+                  StrFormat("%d/%d", fused.fused_tasks, dag.size())});
+  }
+  table.Print();
+  std::printf(
+      "\nFusion wins exactly where linear runs exist (no_comm fuses whole\n"
+      "chains); on fan-in/fan-out-rich graphs (stencil, fft, nearest)\n"
+      "nothing is fusible and only locality hints help — the generality\n"
+      "argument of §8.\n");
+}
+
+}  // namespace
+}  // namespace palette
+
+int main() {
+  palette::Run();
+  return 0;
+}

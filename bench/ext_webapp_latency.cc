@@ -1,0 +1,140 @@
+// Extension experiment — end-to-end request latency for the web API use
+// case (§3 use case 1).
+//
+// Fig. 6a measures hit ratio; this bench closes the loop to what users
+// feel: per-request latency when a cache hit serves from instance memory
+// and a miss fetches from the remote backend over the simulated network.
+// It runs the social-network trace through the full FaaS platform (dispatch
+// latency, per-worker queueing, network contention on the backend's NIC)
+// and reports mean / p50 / p99 latency per routing policy.
+#include <cstdio>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/table_printer.h"
+#include "src/core/policy_factory.h"
+#include "src/faas/platform.h"
+#include "src/sim/simulator.h"
+#include "src/socialnet/content.h"
+#include "src/socialnet/social_graph.h"
+#include "src/socialnet/workload.h"
+
+namespace palette {
+namespace {
+
+struct LatencyResult {
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double hit_ratio = 0;
+};
+
+LatencyResult Replay(const std::vector<CacheAccess>& trace, PolicyKind policy,
+                     bool use_colors) {
+  constexpr int kWorkers = 24;
+  Simulator sim;
+  PlatformConfig config;
+  config.cpu_ops_per_second = 1e9;
+  config.dispatch_latency = SimTime::FromMillis(1);
+  config.serialization_bytes_per_second = 0;
+  // Backend (MongoDB-style) query round trip: misses pay this on top of
+  // the wire time; peer-cache hits would too, but the web app caches
+  // in-instance so hits skip the network entirely.
+  config.network.latency = SimTime::FromMillis(5);
+  // Per-instance in-memory cache, as in Fig. 6a.
+  config.cache.per_instance_capacity = 128 * kMiB;
+  config.cache_miss_fills = true;  // function caches what it fetched
+  FaasPlatform platform(&sim, policy, /*seed=*/5, config);
+  platform.AddWorkers(kWorkers);
+
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(trace.size());
+  std::uint64_t hits = 0;
+
+  // Open-loop arrivals at ~400 req/s: misses then draw ~70 MB/s from the
+  // backend, inside its 125 MB/s NIC — loaded but unsaturated, so the tail
+  // reflects contention rather than unbounded queueing.
+  SimTime arrival;
+  const SimTime gap = SimTime::FromMicros(2500);
+  std::size_t issued = 0;
+  for (const CacheAccess& access : trace) {
+    if (++issued > 200000) {
+      break;  // Cap the run; the distribution is stable well before this.
+    }
+    InvocationSpec spec;
+    spec.function = "get_object";
+    if (use_colors) {
+      spec.color = access.key;
+    }
+    spec.cpu_ops = 2e5;  // render/serialize the response
+    spec.inputs.push_back(ObjectRef{access.key, access.size});
+    sim.At(arrival, [&platform, &sim, &latencies_ms, &hits, spec]() mutable {
+      const SimTime submitted = sim.Now();
+      platform.Invoke(std::move(spec),
+                      [&latencies_ms, &hits, submitted](
+                          const InvocationResult& result) {
+                        latencies_ms.push_back(
+                            (result.completed - submitted).millis());
+                        if (result.misses == 0) {
+                          ++hits;
+                        }
+                      });
+    });
+    arrival += gap;
+  }
+  sim.Run();
+
+  LatencyResult out;
+  RunningStats stats;
+  for (double v : latencies_ms) {
+    stats.Add(v);
+  }
+  out.mean_ms = stats.mean();
+  out.p50_ms = Percentile(latencies_ms, 50);
+  out.p99_ms = Percentile(latencies_ms, 99);
+  out.hit_ratio = latencies_ms.empty()
+                      ? 0
+                      : static_cast<double>(hits) / latencies_ms.size();
+  return out;
+}
+
+void Run() {
+  std::printf("== Extension: web API request latency (24 workers) ==\n\n");
+  const SocialGraph graph{};
+  const SocialContent content(graph);
+  SocialWorkloadConfig workload;
+  workload.request_count = 24000;
+  const auto trace = GenerateSocialTrace(content, workload);
+
+  TablePrinter table;
+  table.AddRow({"policy", "hit%", "mean_ms", "p50_ms", "p99_ms"});
+  struct Scenario {
+    const char* label;
+    PolicyKind policy;
+    bool colors;
+  };
+  for (const Scenario& s :
+       {Scenario{"Oblivious Random", PolicyKind::kObliviousRandom, false},
+        Scenario{"Palette Bucket Hashing", PolicyKind::kBucketHashing, true},
+        Scenario{"Palette Least Assigned", PolicyKind::kLeastAssigned,
+                 true}}) {
+    const auto result = Replay(trace, s.policy, s.colors);
+    table.AddRow({s.label, StrFormat("%.1f", 100 * result.hit_ratio),
+                  StrFormat("%.2f", result.mean_ms),
+                  StrFormat("%.2f", result.p50_ms),
+                  StrFormat("%.2f", result.p99_ms)});
+  }
+  table.Print();
+  std::printf(
+      "\nHits serve from instance memory; misses pay the backend round\n"
+      "trip and contend on its NIC — partitioned caches translate directly\n"
+      "into lower mean and tail latency.\n");
+}
+
+}  // namespace
+}  // namespace palette
+
+int main() {
+  palette::Run();
+  return 0;
+}

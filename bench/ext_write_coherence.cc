@@ -1,0 +1,65 @@
+// Extension experiment — cache coherence under a read-write workload.
+//
+// The paper's prototype keeps "a single active instance per color at any
+// time" and notes this design is "easy to implement and to reason about
+// for the client" (§5 Scaling). This bench quantifies a concrete payoff of
+// that choice the paper doesn't measure: coherence. With colored routing
+// an object is cached on exactly one instance, so a write (which routes by
+// the same color) always lands on the only copy — stale reads are
+// structurally impossible. Oblivious routing scatters copies across
+// instances and serves stale data from them after a write.
+#include <cstdio>
+
+#include "src/common/table_printer.h"
+#include "src/socialnet/content.h"
+#include "src/socialnet/social_graph.h"
+#include "src/socialnet/webapp_sim.h"
+#include "src/socialnet/workload.h"
+
+namespace palette {
+namespace {
+
+void Run() {
+  std::printf("== Extension: write coherence (24 workers) ==\n\n");
+  const SocialGraph graph{};
+  const SocialContent content(graph);
+  SocialWorkloadConfig workload;
+  workload.request_count = 36000;
+  const auto trace = GenerateSocialTrace(content, workload);
+
+  TablePrinter table;
+  table.AddRow({"policy", "writes%", "hit%", "stale_reads",
+                "stale/read-hit%"});
+  for (double write_fraction : {0.01, 0.05, 0.20}) {
+    for (const bool palette : {false, true}) {
+      WebAppConfig config;
+      config.policy = palette ? PolicyKind::kBucketHashing
+                              : PolicyKind::kObliviousRandom;
+      config.use_colors = palette;
+      config.workers = 24;
+      config.write_fraction = write_fraction;
+      const auto result = RunWebAppExperiment(trace, config);
+      table.AddRow(
+          {palette ? "Palette BH" : "Oblivious",
+           StrFormat("%.0f", 100 * write_fraction),
+           StrFormat("%.1f", 100 * result.hit_ratio),
+           StrFormat("%llu",
+                     static_cast<unsigned long long>(result.stale_reads)),
+           StrFormat("%.2f", 100 * result.stale_read_ratio)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nColored routing sends reads and writes of an object through the\n"
+      "same single instance, so its cache can never serve a version older\n"
+      "than the last write — coherence falls out of the single-instance-\n"
+      "per-color design for free.\n");
+}
+
+}  // namespace
+}  // namespace palette
+
+int main() {
+  palette::Run();
+  return 0;
+}

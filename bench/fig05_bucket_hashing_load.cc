@@ -1,0 +1,84 @@
+// Figure 5 — Relative maximum load (maximum / average colors per instance)
+// for Bucket Hashing, for different numbers of instances, colors, and
+// buckets; averaged over repeated simulations. The "simple" column is the
+// dashed reference line: hashing colors straight onto instances.
+//
+// Paper result to match: for >= 1,000 colors and ~10,000 buckets the
+// relative load stays <= 2 (often near 1), which is why the implementation
+// picks 16,384 buckets and a rebalance threshold of 2.
+#include <cstdio>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/table_printer.h"
+#include "src/core/load_model.h"
+
+namespace palette {
+namespace {
+
+int RunsFor(std::uint64_t colors) {
+  // The paper averages 20 runs; for the 1M-color cells we use fewer runs to
+  // keep the bench fast (variance there is tiny anyway).
+  if (colors >= 1000000) {
+    return 3;
+  }
+  if (colors >= 100000) {
+    return 10;
+  }
+  return 20;
+}
+
+void Run() {
+  std::printf("== Figure 5: Bucket Hashing relative maximum load ==\n");
+  std::printf(
+      "rel_max_load = max/avg colors per instance; simple = direct hashing "
+      "(dashed line in the paper)\n\n");
+
+  const std::vector<std::uint64_t> instance_counts = {20, 100, 1000};
+  const std::vector<std::uint64_t> color_counts = {100, 1000, 10000, 1000000};
+  const std::vector<std::uint64_t> bucket_counts = {100, 300, 1000, 3000,
+                                                    10000};
+  Rng rng(20230509);
+
+  for (std::uint64_t instances : instance_counts) {
+    std::printf("-- Instances: %llu --\n",
+                static_cast<unsigned long long>(instances));
+    TablePrinter table;
+    std::vector<std::string> header = {"colors", "simple"};
+    for (std::uint64_t buckets : bucket_counts) {
+      header.push_back(StrFormat("B=%llu",
+                                 static_cast<unsigned long long>(buckets)));
+    }
+    table.AddRow(header);
+    for (std::uint64_t colors : color_counts) {
+      if (colors < instances) {
+        continue;  // Footnote 2: no fewer colors than instances.
+      }
+      const int runs = RunsFor(colors);
+      std::vector<std::string> row = {
+          StrFormat("%llu", static_cast<unsigned long long>(colors)),
+          StrFormat("%.2f", MeanSimpleHashingLoad(colors, instances, runs,
+                                                  rng))};
+      for (std::uint64_t buckets : bucket_counts) {
+        if (buckets < instances) {
+          row.push_back("-");
+          continue;
+        }
+        row.push_back(StrFormat(
+            "%.2f",
+            MeanBucketHashingLoad(colors, instances, buckets, runs, rng)));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace palette
+
+int main() {
+  palette::Run();
+  return 0;
+}

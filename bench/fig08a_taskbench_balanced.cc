@@ -1,0 +1,86 @@
+// Figure 8a — Task Bench with balanced compute and transfer costs (60M
+// ops/node, 256 MB outputs): four serverless variants (two oblivious, two
+// Palette) normalized to serverful Dask, using chain coloring.
+//
+// Paper results to match: both Palette variants beat both Oblivious variants
+// on every pattern (average runtime reduction ~46%); on the transfer-heavy
+// right half Palette lands within ~25% of serverful Dask; locality matters
+// more than load balancing at this operating point.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/table_printer.h"
+#include "src/taskbench/taskbench.h"
+
+namespace palette {
+namespace {
+
+struct Variant {
+  const char* label;
+  PolicyKind policy;
+};
+
+void RunTaskBenchFigure(const char* title, double cpu_ops_per_task) {
+  constexpr int kWorkers = 8;
+  TaskBenchConfig tb;
+  tb.width = 16;
+  tb.timesteps = 10;
+  tb.cpu_ops_per_task = cpu_ops_per_task;
+  tb.output_bytes = 256 * kMiB;
+
+  const PlatformConfig platform = DaskPlatformConfig();
+  const std::vector<Variant> variants = {
+      {"obl_random", PolicyKind::kObliviousRandom},
+      {"obl_rr", PolicyKind::kObliviousRoundRobin},
+      {"palette_ch", PolicyKind::kConsistentHashing},
+      {"palette_la", PolicyKind::kLeastAssigned},
+  };
+
+  std::printf("%s\n\n", title);
+  TablePrinter table;
+  table.AddRow({"benchmark", "serverful_s", "obl_random", "obl_rr",
+                "palette_ch", "palette_la", "(normalized to serverful)"});
+
+  std::vector<double> sums(variants.size(), 0);
+  int rows = 0;
+  for (TaskBenchPattern pattern : AllTaskBenchPatterns()) {
+    const Dag dag = MakeTaskBenchDag(pattern, tb);
+    const auto serverful =
+        RunServerful(dag, ServerfulConfigFor(platform, kWorkers));
+    std::vector<std::string> row = {
+        std::string(TaskBenchPatternName(pattern)),
+        StrFormat("%.1f", serverful.makespan.seconds())};
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      const ColoringKind coloring = IsLocalityAware(variants[v].policy)
+                                        ? ColoringKind::kChain
+                                        : ColoringKind::kNone;
+      const auto result = RunDagOnFaas(
+          dag, MakeDagRun(variants[v].policy, coloring, kWorkers, platform));
+      const double normalized =
+          result.makespan.seconds() / serverful.makespan.seconds();
+      sums[v] += normalized;
+      row.push_back(StrFormat("%.2f", normalized));
+    }
+    row.push_back("");
+    table.AddRow(std::move(row));
+    ++rows;
+  }
+  table.Print();
+
+  std::printf("\nAverage runtime difference vs Oblivious Random:\n");
+  for (std::size_t v = 1; v < variants.size(); ++v) {
+    std::printf("  %-12s %+.1f%%\n", variants[v].label,
+                100.0 * (sums[v] - sums[0]) / sums[0]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace palette
+
+int main() {
+  palette::RunTaskBenchFigure(
+      "== Figure 8a: Task Bench, 60M ops/node (balanced) ==", 60e6);
+  return 0;
+}

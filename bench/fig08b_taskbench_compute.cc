@@ -1,0 +1,80 @@
+// Figure 8b — Task Bench with compute-heavy tasks (600M ops/node, 10x
+// Fig. 8a): distributing work across workers matters more, so load balancing
+// differences (Random vs RR, CH vs LA) widen, while locality still
+// dominates. Paper result to match: Palette LA within ~15% of serverful
+// Dask on all patterns; >20% gap between the badly- and well-balanced
+// variants of each locality class.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/table_printer.h"
+#include "src/taskbench/taskbench.h"
+
+namespace palette {
+namespace {
+
+struct Variant {
+  const char* label;
+  PolicyKind policy;
+};
+
+void Run() {
+  constexpr int kWorkers = 8;
+  TaskBenchConfig tb;
+  tb.width = 16;
+  tb.timesteps = 10;
+  tb.cpu_ops_per_task = 600e6;
+  tb.output_bytes = 256 * kMiB;
+
+  const PlatformConfig platform = DaskPlatformConfig();
+  const std::vector<Variant> variants = {
+      {"obl_random", PolicyKind::kObliviousRandom},
+      {"obl_rr", PolicyKind::kObliviousRoundRobin},
+      {"palette_ch", PolicyKind::kConsistentHashing},
+      {"palette_la", PolicyKind::kLeastAssigned},
+  };
+
+  std::printf("== Figure 8b: Task Bench, 600M ops/node (compute heavy) ==\n\n");
+  TablePrinter table;
+  table.AddRow({"benchmark", "serverful_s", "obl_random", "obl_rr",
+                "palette_ch", "palette_la", "(normalized to serverful)"});
+  std::vector<double> sums(variants.size(), 0);
+  for (TaskBenchPattern pattern : AllTaskBenchPatterns()) {
+    const Dag dag = MakeTaskBenchDag(pattern, tb);
+    const auto serverful =
+        RunServerful(dag, ServerfulConfigFor(platform, kWorkers));
+    std::vector<std::string> row = {
+        std::string(TaskBenchPatternName(pattern)),
+        StrFormat("%.1f", serverful.makespan.seconds())};
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      const ColoringKind coloring = IsLocalityAware(variants[v].policy)
+                                        ? ColoringKind::kChain
+                                        : ColoringKind::kNone;
+      const auto result = RunDagOnFaas(
+          dag, MakeDagRun(variants[v].policy, coloring, kWorkers, platform));
+      const double normalized =
+          result.makespan.seconds() / serverful.makespan.seconds();
+      sums[v] += normalized;
+      row.push_back(StrFormat("%.2f", normalized));
+    }
+    row.push_back("");
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  std::printf("\nAverage runtime difference vs Oblivious Random:\n");
+  for (std::size_t v = 1; v < variants.size(); ++v) {
+    std::printf("  %-12s %+.1f%%\n", variants[v].label,
+                100.0 * (sums[v] - sums[0]) / sums[0]);
+  }
+  return;
+}
+
+}  // namespace
+}  // namespace palette
+
+int main() {
+  palette::Run();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 10b — LRHiggs per-phase breakdown: Oblivious Random vs Palette LA
+// vs the Ray-like serverful baseline, 16 workers.
+//
+// Paper result to match: Ray wins the data-movement phases (1: read, 2:
+// split) while Palette wins the compute-heavy phases (3: fit, 4: predict)
+// by scheduling tasks where their blocks already live.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/table_printer.h"
+#include "src/nums/nums.h"
+
+namespace palette {
+namespace {
+
+void Run() {
+  constexpr int kWorkers = 16;
+  const PlatformConfig platform = NumsPlatformConfig();
+  const LrHiggsDag lr = MakeLrHiggsDag();
+
+  const auto random = RunDagOnFaas(
+      lr.dag, MakeDagRun(PolicyKind::kObliviousRandom, ColoringKind::kNone,
+                         kWorkers, platform));
+  const auto la = RunDagOnFaas(
+      lr.dag, MakeDagRun(PolicyKind::kLeastAssigned,
+                         ColoringKind::kVirtualWorker, kWorkers, platform));
+  const auto ray = RunServerful(lr.dag, RayConfigFor(platform, kWorkers));
+
+  const auto random_phases = PhaseDurations(lr, random.task_completion);
+  const auto la_phases = PhaseDurations(lr, la.task_completion);
+  const auto ray_phases = PhaseDurations(lr, ray.task_completion);
+
+  std::printf("== Figure 10b: LRHiggs phase breakdown (16 workers) ==\n\n");
+  static const char* kPhaseNames[] = {"Phase1 (read)", "Phase2 (split)",
+                                      "Phase3 (fit)", "Phase4 (predict)"};
+  TablePrinter table;
+  table.AddRow({"phase", "obl_random_s", "palette_la_s", "ray_s"});
+  for (int p = 0; p < kLrHiggsPhaseCount; ++p) {
+    table.AddRow({kPhaseNames[p],
+                  StrFormat("%.1f", random_phases[p].seconds()),
+                  StrFormat("%.1f", la_phases[p].seconds()),
+                  StrFormat("%.1f", ray_phases[p].seconds())});
+  }
+  table.AddRow({"total", StrFormat("%.1f", random.makespan.seconds()),
+                StrFormat("%.1f", la.makespan.seconds()),
+                StrFormat("%.1f", ray.makespan.seconds())});
+  table.Print();
+}
+
+}  // namespace
+}  // namespace palette
+
+int main() {
+  palette::Run();
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Microbenchmarks (google-benchmark) for the core data structures on the
+// load balancer's hot path: hashing, ring lookups, policy routing, and the
+// HyperLogLog sketch. These bound the per-invocation overhead Palette adds
+// to a FaaS frontend.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/table_printer.h"
+#include "src/core/bucket_hashing_policy.h"
+#include "src/core/least_assigned_policy.h"
+#include "src/core/palette_load_balancer.h"
+#include "src/core/policy_factory.h"
+#include "src/hash/consistent_hash_ring.h"
+#include "src/hash/hash.h"
+#include "src/sketch/hyperloglog.h"
+
+namespace palette {
+namespace {
+
+std::vector<std::string> MakeColors(int n) {
+  std::vector<std::string> colors;
+  colors.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    colors.push_back(StrFormat("color-%d", i));
+  }
+  return colors;
+}
+
+void BM_Murmur3(benchmark::State& state) {
+  const std::string key(static_cast<std::size_t>(state.range(0)), 'k');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Murmur3_64(key));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Murmur3)->Arg(8)->Arg(32)->Arg(256);
+
+void BM_Fnv1a(benchmark::State& state) {
+  const std::string key(static_cast<std::size_t>(state.range(0)), 'k');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Fnv1a64(key));
+  }
+}
+BENCHMARK(BM_Fnv1a)->Arg(8)->Arg(32);
+
+void BM_JumpConsistentHash(benchmark::State& state) {
+  std::uint64_t key = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        JumpConsistentHash(key++, static_cast<std::uint32_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_JumpConsistentHash)->Arg(16)->Arg(1024)->Arg(16384);
+
+void BM_RingLookup(benchmark::State& state) {
+  ConsistentHashRing ring;
+  for (int i = 0; i < state.range(0); ++i) {
+    ring.AddMember(StrFormat("w%d", i));
+  }
+  const auto colors = MakeColors(1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.Lookup(colors[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_RingLookup)->Arg(8)->Arg(48)->Arg(256);
+
+void BM_PolicyRoute(benchmark::State& state, PolicyKind kind) {
+  auto policy = MakePolicy(kind, 1);
+  for (int i = 0; i < 48; ++i) {
+    policy->OnInstanceAdded(StrFormat("w%d", i));
+  }
+  const auto colors = MakeColors(8192);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->RouteColored(colors[i++ & 8191]));
+  }
+}
+BENCHMARK_CAPTURE(BM_PolicyRoute, random, PolicyKind::kObliviousRandom);
+BENCHMARK_CAPTURE(BM_PolicyRoute, rr, PolicyKind::kObliviousRoundRobin);
+BENCHMARK_CAPTURE(BM_PolicyRoute, ch, PolicyKind::kConsistentHashing);
+BENCHMARK_CAPTURE(BM_PolicyRoute, bh, PolicyKind::kBucketHashing);
+BENCHMARK_CAPTURE(BM_PolicyRoute, la, PolicyKind::kLeastAssigned);
+BENCHMARK_CAPTURE(BM_PolicyRoute, chbl, PolicyKind::kBoundedLoads);
+BENCHMARK_CAPTURE(BM_PolicyRoute, repl, PolicyKind::kReplicatedColors);
+
+void BM_BucketHashingRebalance(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    BucketHashingConfig config;
+    config.bucket_count = static_cast<std::size_t>(state.range(0));
+    BucketHashingPolicy policy(1, config);
+    policy.OnInstanceAdded("w0");
+    const auto colors = MakeColors(4096);
+    for (const auto& color : colors) {
+      policy.RouteColored(color);
+    }
+    for (int i = 1; i < 8; ++i) {
+      policy.OnInstanceAdded(StrFormat("w%d", i));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(policy.Rebalance());
+  }
+}
+BENCHMARK(BM_BucketHashingRebalance)->Arg(1024)->Arg(16384);
+
+void BM_HllAdd(benchmark::State& state) {
+  HyperLogLog hll(static_cast<int>(state.range(0)));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    hll.AddHash(MixU64(i++));
+  }
+}
+BENCHMARK(BM_HllAdd)->Arg(8)->Arg(12);
+
+void BM_HllEstimate(benchmark::State& state) {
+  HyperLogLog hll(static_cast<int>(state.range(0)));
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    hll.AddHash(MixU64(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hll.Estimate());
+  }
+}
+BENCHMARK(BM_HllEstimate)->Arg(8)->Arg(12);
+
+void BM_LoadBalancerEndToEnd(benchmark::State& state) {
+  PaletteLoadBalancer lb(MakePolicy(PolicyKind::kLeastAssigned, 1));
+  for (int i = 0; i < 48; ++i) {
+    lb.AddInstance(StrFormat("w%d", i));
+  }
+  const auto colors = MakeColors(8192);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lb.Route(colors[i++ & 8191]));
+  }
+}
+BENCHMARK(BM_LoadBalancerEndToEnd);
+
+}  // namespace
+}  // namespace palette
+
+BENCHMARK_MAIN();

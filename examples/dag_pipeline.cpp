@@ -1,0 +1,100 @@
+// Example: running a data-processing DAG on the serverless platform with
+// different coloring policies (the §6.2 use case).
+//
+// Builds a 3-stage ETL-style pipeline (partitioned extract -> transform ->
+// shuffle-aggregate), colors it three ways, and executes it on the
+// simulated FaaS cluster, reporting makespan and where the intermediate
+// data was read from.
+//
+// Build & run:  ./build/examples/dag_pipeline
+#include <cstdio>
+
+#include "src/common/table_printer.h"
+#include "src/dag/dag_executor.h"
+#include "src/dag/serverful_scheduler.h"
+
+using namespace palette;
+
+namespace {
+
+// extract[p] -> clean[p] -> join[p] (all partitions) -> report
+Dag MakeEtlPipeline(int partitions) {
+  Dag dag;
+  std::vector<int> extracts;
+  for (int p = 0; p < partitions; ++p) {
+    extracts.push_back(dag.AddTask(StrFormat("extract_p%d", p), 40e6,
+                                   64 * kMiB));
+  }
+  std::vector<int> cleans;
+  for (int p = 0; p < partitions; ++p) {
+    cleans.push_back(dag.AddTask(StrFormat("clean_p%d", p), 60e6, 48 * kMiB,
+                                 {extracts[p]}));
+  }
+  std::vector<int> joins;
+  for (int p = 0; p < partitions; ++p) {
+    joins.push_back(
+        dag.AddTask(StrFormat("join_p%d", p), 80e6, 16 * kMiB, cleans));
+  }
+  dag.AddTask("report", 20e6, kMiB, joins);
+  return dag;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("DAG pipeline on serverless with Palette coloring\n");
+  std::printf("================================================\n\n");
+
+  const Dag dag = MakeEtlPipeline(/*partitions=*/8);
+  std::printf("pipeline: %d tasks, %d edges, %s of intermediate data\n\n",
+              dag.size(), dag.edge_count(),
+              FormatBytes(dag.TotalEdgeBytes()).c_str());
+
+  PlatformConfig platform;
+  platform.cpu_ops_per_second = 30e6;  // Python-level task runtime
+
+  TablePrinter table;
+  table.AddRow({"configuration", "makespan", "local", "remote", "net bytes",
+                "colors"});
+  struct Scenario {
+    const char* label;
+    PolicyKind policy;
+    ColoringKind coloring;
+  };
+  for (const Scenario& s :
+       {Scenario{"Oblivious Round Robin", PolicyKind::kObliviousRoundRobin,
+                 ColoringKind::kNone},
+        Scenario{"Palette LA + chain coloring", PolicyKind::kLeastAssigned,
+                 ColoringKind::kChain},
+        Scenario{"Palette LA + virtual workers", PolicyKind::kLeastAssigned,
+                 ColoringKind::kVirtualWorker},
+        Scenario{"Palette LA + same color", PolicyKind::kLeastAssigned,
+                 ColoringKind::kSameColor}}) {
+    DagRunConfig config;
+    config.policy = s.policy;
+    config.coloring = s.coloring;
+    config.workers = 4;
+    config.platform = platform;
+    const auto result = RunDagOnFaas(dag, config);
+    table.AddRow({s.label, result.makespan.ToString(),
+                  StrFormat("%llu", static_cast<unsigned long long>(
+                                        result.local_hits)),
+                  StrFormat("%llu", static_cast<unsigned long long>(
+                                        result.remote_hits)),
+                  FormatBytes(result.network_bytes),
+                  StrFormat("%d", result.distinct_colors)});
+  }
+  table.Print();
+
+  ServerfulConfig serverful;
+  serverful.workers = 4;
+  serverful.cpu_ops_per_second = platform.cpu_ops_per_second;
+  const auto dask = RunServerful(dag, serverful);
+  std::printf("\nserverful baseline (Dask-style scheduler): %s\n",
+              dask.makespan.ToString().c_str());
+  std::printf(
+      "\nChain/virtual-worker coloring keeps pipeline stages on the worker\n"
+      "that produced their inputs; same-color shows the other extreme —\n"
+      "perfect locality, no parallelism.\n");
+  return 0;
+}

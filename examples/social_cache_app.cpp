@@ -1,0 +1,72 @@
+// Example: a serverless social-network API frontend with per-instance
+// caches (the §6.1 use case).
+//
+// Generates a small synthetic social graph and timeline request trace, then
+// serves it through per-instance LRU caches under three routing policies,
+// showing how locality hints turn N small caches into one large partitioned
+// cache.
+//
+// Build & run:  ./build/examples/social_cache_app
+#include <cstdio>
+
+#include "src/common/table_printer.h"
+#include "src/socialnet/content.h"
+#include "src/socialnet/social_graph.h"
+#include "src/socialnet/webapp_sim.h"
+#include "src/socialnet/workload.h"
+
+using namespace palette;
+
+int main() {
+  std::printf("Serverless social network with local caches\n");
+  std::printf("===========================================\n\n");
+
+  // A small community: 300 users, preferential-attachment friendships.
+  SocialGraphConfig graph_config;
+  graph_config.users = 300;
+  graph_config.edges_per_node = 10;
+  const SocialGraph graph(graph_config);
+  const SocialContent content(graph);
+  std::printf("graph: %d users, %zu friendships (avg degree %.1f)\n",
+              graph.user_count(), graph.edge_count(), graph.AverageDegree());
+  std::printf("content: %d posts, %llu objects, %s\n\n", content.post_count(),
+              static_cast<unsigned long long>(content.unique_object_count()),
+              FormatBytes(content.total_bytes()).c_str());
+
+  SocialWorkloadConfig workload;
+  workload.request_count = 20000;
+  const auto trace = GenerateSocialTrace(content, workload);
+  const auto stats = ComputeTraceStats(trace);
+  std::printf("trace: %llu timeline requests -> %llu object accesses\n\n",
+              static_cast<unsigned long long>(workload.request_count),
+              static_cast<unsigned long long>(stats.accesses));
+
+  TablePrinter table;
+  table.AddRow({"routing policy", "colors?", "hit ratio", "imbalance"});
+  struct Scenario {
+    const char* label;
+    PolicyKind policy;
+    bool use_colors;
+  };
+  for (const Scenario& s :
+       {Scenario{"Oblivious: Random", PolicyKind::kObliviousRandom, false},
+        Scenario{"Palette: Bucket Hashing", PolicyKind::kBucketHashing, true},
+        Scenario{"Palette: Least Assigned", PolicyKind::kLeastAssigned,
+                 true}}) {
+    WebAppConfig config;
+    config.policy = s.policy;
+    config.use_colors = s.use_colors;
+    config.workers = 8;
+    config.per_instance_cache_bytes = 32 * kMiB;
+    const auto result = RunWebAppExperiment(trace, config);
+    table.AddRow({s.label, s.use_colors ? "yes" : "no",
+                  StrFormat("%.1f%%", 100 * result.hit_ratio),
+                  StrFormat("%.2f", result.routing_imbalance)});
+  }
+  table.Print();
+  std::printf(
+      "\nWith colors (object ids) the 8 x 32 MiB caches behave like one\n"
+      "256 MiB partitioned cache; oblivious routing wastes the space on\n"
+      "redundant copies of the hottest objects.\n");
+  return 0;
+}

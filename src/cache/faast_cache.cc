@@ -1,0 +1,95 @@
+#include "src/cache/faast_cache.h"
+
+#include <cassert>
+
+namespace palette {
+
+FaastCache::FaastCache(FaastCacheConfig config) : config_(config) {}
+
+void FaastCache::AddInstance(const std::string& instance) {
+  if (shards_.count(instance) > 0) {
+    return;
+  }
+  ring_.AddMember(instance);
+  shards_.emplace(instance,
+                  std::make_unique<LruCache>(config_.per_instance_capacity));
+}
+
+void FaastCache::RemoveInstance(const std::string& instance) {
+  ring_.RemoveMember(instance);
+  shards_.erase(instance);
+}
+
+bool FaastCache::HasInstance(const std::string& instance) const {
+  return shards_.count(instance) > 0;
+}
+
+std::string_view FaastCache::HashKeyOf(std::string_view object_name) {
+  const std::size_t pos = object_name.find(kHashKeyToken);
+  if (pos == std::string_view::npos) {
+    return object_name;
+  }
+  return object_name.substr(0, pos);
+}
+
+std::optional<std::string> FaastCache::HomeInstance(
+    std::string_view object_name) const {
+  return ring_.Lookup(HashKeyOf(object_name));
+}
+
+std::string FaastCache::Put(const std::string& producer,
+                            const std::string& object_name, Bytes size) {
+  assert(shards_.count(producer) > 0 && "unknown producer instance");
+  const auto home = HomeInstance(object_name);
+  assert(home.has_value());
+  shards_.at(*home)->Put(object_name, size);
+  return *home;
+}
+
+void FaastCache::PutLocal(const std::string& instance,
+                          const std::string& object_name, Bytes size) {
+  auto it = shards_.find(instance);
+  assert(it != shards_.end() && "unknown instance");
+  it->second->Put(object_name, size);
+}
+
+CacheLookup FaastCache::Get(const std::string& reader,
+                            const std::string& object_name) {
+  auto reader_it = shards_.find(reader);
+  assert(reader_it != shards_.end() && "unknown reader instance");
+
+  if (reader_it->second->Get(object_name)) {
+    ++local_hits_;
+    return CacheLookup{CacheOutcome::kLocalHit, reader,
+                       reader_it->second->SizeOf(object_name)};
+  }
+
+  const auto home = HomeInstance(object_name);
+  if (home.has_value() && *home != reader) {
+    auto home_it = shards_.find(*home);
+    if (home_it != shards_.end() && home_it->second->Contains(object_name)) {
+      ++remote_hits_;
+      const Bytes size = home_it->second->SizeOf(object_name);
+      if (config_.replicate_on_remote_hit) {
+        reader_it->second->Put(object_name, size);
+      }
+      return CacheLookup{CacheOutcome::kRemoteHit, *home, size};
+    }
+  }
+
+  ++misses_;
+  return CacheLookup{};
+}
+
+void FaastCache::Invalidate(const std::string& object_name) {
+  for (auto& [_, shard] : shards_) {
+    shard->Erase(object_name);
+  }
+}
+
+Bytes FaastCache::shard_used_bytes(const std::string& instance) const {
+  auto it = shards_.find(instance);
+  return it == shards_.end() ? 0 : it->second->used_bytes();
+}
+
+}  // namespace palette

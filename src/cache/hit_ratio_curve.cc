@@ -1,0 +1,135 @@
+#include "src/cache/hit_ratio_curve.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace palette {
+namespace {
+
+constexpr std::uint64_t kColdMiss = UINT64_MAX;
+
+// Fenwick (binary indexed) tree over access timestamps, supporting point
+// update and suffix sum. Used to compute LRU stack distances in O(log N)
+// per access instead of walking the stack.
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0.0) {}
+
+  void Add(std::size_t i, double delta) {
+    for (++i; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  // Sum of [0, i].
+  double PrefixSum(std::size_t i) const {
+    double s = 0;
+    for (++i; i > 0; i -= i & (~i + 1)) {
+      s += tree_[i];
+    }
+    return s;
+  }
+
+  // Sum of (lo, hi] with lo < hi.
+  double RangeSum(std::size_t lo, std::size_t hi) const {
+    return PrefixSum(hi) - PrefixSum(lo);
+  }
+
+ private:
+  std::vector<double> tree_;
+};
+
+// One-pass stack-distance computation (Mattson) with Fenwick trees:
+// the stack distance of an access equals the number of distinct keys whose
+// most recent access falls after this key's previous access. We keep a flag
+// (and the object's size) at each key's last-access timestamp.
+struct Distances {
+  std::vector<std::uint64_t> object_distance;  // kColdMiss on first access
+  std::vector<double> byte_distance;           // -1 on first access
+  std::uint64_t total_accesses = 0;
+};
+
+Distances ComputeStackDistances(const std::vector<CacheAccess>& trace) {
+  Distances out;
+  out.object_distance.reserve(trace.size());
+  out.byte_distance.reserve(trace.size());
+
+  Fenwick flags(trace.size());
+  Fenwick sizes(trace.size());
+  // key -> (last access index, size at that access)
+  std::unordered_map<std::string, std::pair<std::size_t, Bytes>> last;
+  last.reserve(trace.size() / 2);
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const CacheAccess& access = trace[i];
+    ++out.total_accesses;
+    auto it = last.find(access.key);
+    if (it == last.end()) {
+      out.object_distance.push_back(kColdMiss);
+      out.byte_distance.push_back(-1.0);
+      last.emplace(access.key, std::make_pair(i, access.size));
+    } else {
+      const std::size_t prev = it->second.first;
+      // Distinct keys touched since `prev`, including this one.
+      const double objects = flags.RangeSum(prev, i > 0 ? i - 1 : 0) + 1;
+      const double bytes =
+          sizes.RangeSum(prev, i > 0 ? i - 1 : 0) +
+          static_cast<double>(it->second.second);
+      out.object_distance.push_back(static_cast<std::uint64_t>(objects + 0.5));
+      out.byte_distance.push_back(bytes);
+      flags.Add(prev, -1.0);
+      sizes.Add(prev, -static_cast<double>(it->second.second));
+      it->second = {i, access.size};
+    }
+    flags.Add(i, 1.0);
+    sizes.Add(i, static_cast<double>(access.size));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<HitRatioPoint> HitRatioCurve::ForByteCapacities(
+    const std::vector<CacheAccess>& trace, const std::vector<Bytes>& capacities) {
+  const Distances d = ComputeStackDistances(trace);
+  std::vector<HitRatioPoint> out;
+  out.reserve(capacities.size());
+  for (Bytes capacity : capacities) {
+    std::uint64_t hits = 0;
+    for (double dist : d.byte_distance) {
+      if (dist >= 0 && dist <= static_cast<double>(capacity)) {
+        ++hits;
+      }
+    }
+    out.push_back(HitRatioPoint{
+        static_cast<double>(capacity),
+        d.total_accesses > 0
+            ? static_cast<double>(hits) / static_cast<double>(d.total_accesses)
+            : 0.0});
+  }
+  return out;
+}
+
+std::vector<HitRatioPoint> HitRatioCurve::ForObjectCapacities(
+    const std::vector<CacheAccess>& trace,
+    const std::vector<std::uint64_t>& capacities) {
+  const Distances d = ComputeStackDistances(trace);
+  std::vector<HitRatioPoint> out;
+  out.reserve(capacities.size());
+  for (std::uint64_t capacity : capacities) {
+    std::uint64_t hits = 0;
+    for (std::uint64_t dist : d.object_distance) {
+      if (dist != kColdMiss && dist <= capacity) {
+        ++hits;
+      }
+    }
+    out.push_back(HitRatioPoint{
+        static_cast<double>(capacity),
+        d.total_accesses > 0
+            ? static_cast<double>(hits) / static_cast<double>(d.total_accesses)
+            : 0.0});
+  }
+  return out;
+}
+
+}  // namespace palette

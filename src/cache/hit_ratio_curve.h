@@ -1,0 +1,51 @@
+// Hit-ratio-curve (miss-ratio-curve) computation for an ideal LRU cache.
+//
+// Reproduces Fig. 6b: "Simulated hit ratio vs all cache sizes for ideal LRU
+// cache with the Social Network workload", in both byte-capacity and
+// object-count-capacity variants (the object-count variant is what bounds a
+// Least-Assigned Color Table capped at 16K colors).
+//
+// Implementation: a single pass computes every access's LRU stack distance
+// (in objects, and in bytes above it on the stack); hit ratios for all
+// requested capacities then fall out of one cumulative pass. This is
+// Mattson's classic one-pass technique, O(N * stack) with list maintenance.
+#ifndef PALETTE_SRC_CACHE_HIT_RATIO_CURVE_H_
+#define PALETTE_SRC_CACHE_HIT_RATIO_CURVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace palette {
+
+struct CacheAccess {
+  std::string key;
+  Bytes size = 0;
+};
+
+struct HitRatioPoint {
+  double capacity = 0;  // bytes or objects, per variant
+  double hit_ratio = 0;
+};
+
+class HitRatioCurve {
+ public:
+  // Computes hit ratios of an ideal (unpartitioned) LRU at each capacity.
+  // Capacities in bytes. Complexity O(N * unique) worst case; fine for the
+  // few-million-access traces used here.
+  static std::vector<HitRatioPoint> ForByteCapacities(
+      const std::vector<CacheAccess>& trace,
+      const std::vector<Bytes>& capacities);
+
+  // Same but the cache is capped by object count, ignoring sizes — models
+  // the Color Table's 16,384-entry limit.
+  static std::vector<HitRatioPoint> ForObjectCapacities(
+      const std::vector<CacheAccess>& trace,
+      const std::vector<std::uint64_t>& capacities);
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_CACHE_HIT_RATIO_CURVE_H_

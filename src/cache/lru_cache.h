@@ -1,0 +1,81 @@
+// Byte-capacity LRU cache over named objects.
+//
+// This is the in-instance cache from the paper's use cases: the social
+// network functions keep an "in-memory read-only LRU cache" in a global
+// variable (§6.1), and each Faa$T cache instance holds objects produced on
+// that worker (§5.1). Only object sizes are tracked — the simulation never
+// materializes payloads.
+#ifndef PALETTE_SRC_CACHE_LRU_CACHE_H_
+#define PALETTE_SRC_CACHE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/types.h"
+
+namespace palette {
+
+class LruCache {
+ public:
+  // `capacity_bytes` == 0 means unbounded (used by the MRC simulator).
+  explicit LruCache(Bytes capacity_bytes);
+
+  // Looks up `key`, promoting it to most-recently-used on hit.
+  bool Get(const std::string& key);
+
+  // Peeks without updating recency. Used for peer lookups, which should not
+  // distort the owner's LRU order.
+  bool Contains(const std::string& key) const;
+
+  // Size of `key` if present, else 0.
+  Bytes SizeOf(const std::string& key) const;
+
+  // Inserts or refreshes `key`, evicting LRU entries as needed. An object
+  // larger than the whole capacity is not admitted (returns false).
+  bool Put(const std::string& key, Bytes size);
+
+  // Removes `key`; returns true if it was present.
+  bool Erase(const std::string& key);
+
+  void Clear();
+
+  Bytes used_bytes() const { return used_; }
+  Bytes capacity_bytes() const { return capacity_; }
+  std::size_t object_count() const { return map_.size(); }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  double HitRatio() const;
+  void ResetStats();
+
+  // Invoked for each evicted (key, size).
+  void set_eviction_hook(std::function<void(const std::string&, Bytes)> hook) {
+    eviction_hook_ = std::move(hook);
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    Bytes size;
+  };
+  using List = std::list<Entry>;
+
+  void EvictUntilFits(Bytes incoming);
+
+  Bytes capacity_;
+  Bytes used_ = 0;
+  List lru_;  // front = most recently used
+  std::unordered_map<std::string, List::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::function<void(const std::string&, Bytes)> eviction_hook_;
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_CACHE_LRU_CACHE_H_

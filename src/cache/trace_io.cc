@@ -1,0 +1,80 @@
+#include "src/cache/trace_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/table_printer.h"
+
+namespace palette {
+
+bool WriteTraceCsv(const std::vector<CacheAccess>& trace, std::ostream& out) {
+  out << "key,size\n";
+  for (const CacheAccess& access : trace) {
+    out << access.key << ',' << access.size << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool WriteTraceCsvFile(const std::vector<CacheAccess>& trace,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  return WriteTraceCsv(trace, out);
+}
+
+std::optional<std::vector<CacheAccess>> ReadTraceCsv(std::istream& in,
+                                                     std::string* error) {
+  std::vector<CacheAccess> trace;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    if (line_number == 1 && line == "key,size") {
+      continue;  // header
+    }
+    const std::size_t comma = line.rfind(',');
+    if (comma == std::string::npos || comma == 0 ||
+        comma + 1 >= line.size()) {
+      if (error != nullptr) {
+        *error = StrFormat("line %zu: expected 'key,size', got '%s'",
+                           line_number, line.c_str());
+      }
+      return std::nullopt;
+    }
+    CacheAccess access;
+    access.key = line.substr(0, comma);
+    const char* first = line.data() + comma + 1;
+    const char* last = line.data() + line.size();
+    const auto [ptr, ec] = std::from_chars(first, last, access.size);
+    if (ec != std::errc() || ptr != last) {
+      if (error != nullptr) {
+        *error = StrFormat("line %zu: bad size field '%s'", line_number,
+                           line.substr(comma + 1).c_str());
+      }
+      return std::nullopt;
+    }
+    trace.push_back(std::move(access));
+  }
+  return trace;
+}
+
+std::optional<std::vector<CacheAccess>> ReadTraceCsvFile(
+    const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) {
+      *error = StrFormat("cannot open '%s'", path.c_str());
+    }
+    return std::nullopt;
+  }
+  return ReadTraceCsv(in, error);
+}
+
+}  // namespace palette

@@ -1,0 +1,34 @@
+// CSV import/export for cache access traces.
+//
+// Lets users replay their own traces through the web-app simulation and
+// hit-ratio tooling (and export the synthetic social-network trace for
+// analysis elsewhere). Format: one access per line, `key,size_bytes`,
+// with an optional `key,size` header line. Keys containing commas are not
+// supported (the generators never produce them).
+#ifndef PALETTE_SRC_CACHE_TRACE_IO_H_
+#define PALETTE_SRC_CACHE_TRACE_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cache/hit_ratio_curve.h"
+
+namespace palette {
+
+// Writes `trace` as CSV (with header). Returns false on I/O failure.
+bool WriteTraceCsv(const std::vector<CacheAccess>& trace, std::ostream& out);
+bool WriteTraceCsvFile(const std::vector<CacheAccess>& trace,
+                       const std::string& path);
+
+// Parses a CSV trace. Skips a leading header line and blank lines; returns
+// nullopt on the first malformed record (reported via `error` if given).
+std::optional<std::vector<CacheAccess>> ReadTraceCsv(std::istream& in,
+                                                     std::string* error = nullptr);
+std::optional<std::vector<CacheAccess>> ReadTraceCsvFile(
+    const std::string& path, std::string* error = nullptr);
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_CACHE_TRACE_IO_H_

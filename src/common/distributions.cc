@@ -1,0 +1,87 @@
+#include "src/common/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace palette {
+
+ZipfDistribution::ZipfDistribution(std::uint64_t n, double theta)
+    : n_(n), theta_(theta), cdf_(n) {
+  assert(n >= 1);
+  double sum = 0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf_[k] = sum;
+  }
+  for (auto& v : cdf_) {
+    v /= sum;
+  }
+  cdf_.back() = 1.0;  // Guard against accumulated rounding error.
+}
+
+std::uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::ProbabilityOfRank(std::uint64_t rank) const {
+  assert(rank < n_);
+  const double prev = rank == 0 ? 0.0 : cdf_[rank - 1];
+  return cdf_[rank] - prev;
+}
+
+DiscreteDistribution::DiscreteDistribution(std::vector<Entry> entries)
+    : entries_(std::move(entries)) {
+  assert(!entries_.empty());
+  double sum = 0;
+  cdf_.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    assert(entry.weight >= 0);
+    sum += entry.weight;
+    cdf_.push_back(sum);
+  }
+  assert(sum > 0);
+  for (auto& v : cdf_) {
+    v /= sum;
+  }
+  cdf_.back() = 1.0;
+}
+
+double DiscreteDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return entries_[static_cast<std::size_t>(it - cdf_.begin())].value;
+}
+
+QuantileDistribution::QuantileDistribution(std::vector<Point> points)
+    : points_(std::move(points)) {
+  assert(points_.size() >= 2);
+  assert(points_.front().quantile == 0.0);
+  assert(points_.back().quantile == 1.0);
+  assert(std::is_sorted(points_.begin(), points_.end(),
+                        [](const Point& a, const Point& b) {
+                          return a.quantile < b.quantile;
+                        }));
+}
+
+double QuantileDistribution::ValueAtQuantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (q <= points_[i].quantile) {
+      const Point& lo = points_[i - 1];
+      const Point& hi = points_[i];
+      const double span = hi.quantile - lo.quantile;
+      const double frac = span > 0 ? (q - lo.quantile) / span : 0.0;
+      return lo.value + frac * (hi.value - lo.value);
+    }
+  }
+  return points_.back().value;
+}
+
+double QuantileDistribution::Sample(Rng& rng) const {
+  return ValueAtQuantile(rng.NextDouble());
+}
+
+}  // namespace palette

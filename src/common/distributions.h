@@ -1,0 +1,81 @@
+// Samplers for the workload distributions used throughout the evaluation:
+// Zipf-distributed popularity (social network users, Fig. 6) and empirical
+// discrete distributions (the Instagram-derived media size quantiles, §7.1).
+#ifndef PALETTE_SRC_COMMON_DISTRIBUTIONS_H_
+#define PALETTE_SRC_COMMON_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace palette {
+
+// Samples ranks 0..n-1 with P(rank k) proportional to 1 / (k+1)^theta.
+// Uses a precomputed CDF with binary search: O(n) memory, O(log n) sampling.
+// Suitable for the population sizes in this repository (<= a few million).
+class ZipfDistribution {
+ public:
+  // `n` must be >= 1; `theta` is the skew parameter (0 = uniform-ish,
+  // the paper uses 0.9 for social network user selection).
+  ZipfDistribution(std::uint64_t n, double theta);
+
+  std::uint64_t Sample(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  // Probability mass of a given rank; exposed for tests.
+  double ProbabilityOfRank(std::uint64_t rank) const;
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+// Samples from an arbitrary finite set of (value, weight) pairs.
+// Weights need not be normalized.
+class DiscreteDistribution {
+ public:
+  struct Entry {
+    double value = 0;
+    double weight = 0;
+  };
+
+  explicit DiscreteDistribution(std::vector<Entry> entries);
+
+  double Sample(Rng& rng) const;
+
+ private:
+  std::vector<Entry> entries_;
+  std::vector<double> cdf_;
+};
+
+// Piecewise-linear inverse-CDF sampler defined by quantile points.
+// Given sorted (quantile, value) control points, samples a value by drawing
+// u ~ U[0,1) and interpolating. This is how we reproduce the paper's media
+// size distribution from its reported percentiles.
+class QuantileDistribution {
+ public:
+  struct Point {
+    double quantile = 0;  // in [0, 1]
+    double value = 0;
+  };
+
+  // Points must be sorted by quantile, with the first at quantile 0 and the
+  // last at quantile 1.
+  explicit QuantileDistribution(std::vector<Point> points);
+
+  double Sample(Rng& rng) const;
+
+  // Deterministic inverse CDF; exposed for tests.
+  double ValueAtQuantile(double q) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_COMMON_DISTRIBUTIONS_H_

@@ -1,0 +1,48 @@
+// Lightweight statistics helpers used by the benchmark harnesses to report
+// means, standard errors (the paper's bar plots show standard error) and
+// percentiles across repeated runs.
+#ifndef PALETTE_SRC_COMMON_STATS_H_
+#define PALETTE_SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace palette {
+
+// Accumulates samples online (Welford's algorithm) and answers summary
+// queries. Percentile queries require the retained-sample mode.
+class RunningStats {
+ public:
+  void Add(double value);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  // Unbiased sample variance; 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  // Standard error of the mean.
+  double stderr_mean() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Percentile of a sample set using linear interpolation between closest
+// ranks. `p` in [0, 100]. The input is copied and sorted.
+double Percentile(std::vector<double> samples, double p);
+
+// Relative maximum load: max(samples) / mean(samples). This is the load
+// imbalance metric from Fig. 5 (maximum / average colors per instance).
+// Returns 0 for empty input or zero mean.
+double RelativeMaxLoad(const std::vector<double>& samples);
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_COMMON_STATS_H_

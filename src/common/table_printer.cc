@@ -1,0 +1,60 @@
+#include "src/common/table_printer.h"
+
+#include <cstdarg>
+
+namespace palette {
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  if (rows_.empty()) {
+    return;
+  }
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (row.size() > widths.size()) {
+      widths.resize(row.size(), 0);
+    }
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::fprintf(out, "%-*s", static_cast<int>(widths[i] + 2),
+                   row[i].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(rows_[0]);
+  std::size_t total = 0;
+  for (std::size_t w : widths) {
+    total += w + 2;
+  }
+  for (std::size_t i = 0; i < total; ++i) {
+    std::fputc('-', out);
+  }
+  std::fputc('\n', out);
+  for (std::size_t i = 1; i < rows_.size(); ++i) {
+    print_row(rows_[i]);
+  }
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string result(needed > 0 ? static_cast<std::size_t>(needed) : 0, '\0');
+  if (needed > 0) {
+    std::vsnprintf(result.data(), result.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return result;
+}
+
+}  // namespace palette

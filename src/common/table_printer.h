@@ -1,0 +1,33 @@
+// Fixed-width text table rendering for the benchmark harnesses, so that every
+// bench binary prints its figure/table in a uniform, diff-friendly format.
+#ifndef PALETTE_SRC_COMMON_TABLE_PRINTER_H_
+#define PALETTE_SRC_COMMON_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace palette {
+
+// Collects rows of string cells and renders them with columns padded to the
+// widest cell. The first AddRow call defines the header.
+class TablePrinter {
+ public:
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders to the given stream (default stdout). A separator line is drawn
+  // under the header row.
+  void Print(std::FILE* out = stdout) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// printf-style convenience for building cells.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,57 @@
+#include "src/common/types.h"
+
+#include <array>
+#include <cstdio>
+
+namespace palette {
+
+std::string SimTime::ToString() const {
+  char buf[32];
+  if (ns_ >= 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", seconds());
+  } else if (ns_ >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", millis());
+  } else if (ns_ >= 1'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", micros());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(ns_));
+  }
+  return buf;
+}
+
+SimTime TransferDuration(Bytes size, double bandwidth_bytes_per_sec) {
+  if (bandwidth_bytes_per_sec <= 0.0) {
+    return SimTime::Max();
+  }
+  const double seconds = static_cast<double>(size) / bandwidth_bytes_per_sec;
+  return SimTime::FromNanos(static_cast<std::int64_t>(seconds * 1e9 + 0.5));
+}
+
+SimTime ComputeDuration(double ops, double ops_per_second) {
+  if (ops_per_second <= 0.0) {
+    return SimTime::Max();
+  }
+  const double seconds = ops / ops_per_second;
+  return SimTime::FromNanos(static_cast<std::int64_t>(seconds * 1e9 + 0.5));
+}
+
+std::string FormatBytes(Bytes bytes) {
+  static constexpr std::array<const char*, 5> kSuffixes = {"B", "KiB", "MiB",
+                                                           "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t idx = 0;
+  while (value >= 1024.0 && idx + 1 < kSuffixes.size()) {
+    value /= 1024.0;
+    ++idx;
+  }
+  char buf[32];
+  if (idx == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu%s",
+                  static_cast<unsigned long long>(bytes), kSuffixes[idx]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", value, kSuffixes[idx]);
+  }
+  return buf;
+}
+
+}  // namespace palette

@@ -1,0 +1,86 @@
+// Fundamental value types shared across the Palette libraries.
+//
+// SimTime is an integer nanosecond count rather than a floating-point second
+// count so that event ordering in the discrete-event simulator is exact and
+// runs are bit-reproducible across platforms.
+#ifndef PALETTE_SRC_COMMON_TYPES_H_
+#define PALETTE_SRC_COMMON_TYPES_H_
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace palette {
+
+// Number of bytes of payload data (object sizes, transfer sizes).
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+// A point in simulated time, counted in nanoseconds from simulation start.
+//
+// SimTime supports the arithmetic needed by the simulator (ordering,
+// addition of durations, scaling) while preventing accidental mixing with
+// raw integers.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime FromNanos(std::int64_t ns) { return SimTime(ns); }
+  static constexpr SimTime FromMicros(double us) {
+    return SimTime(static_cast<std::int64_t>(us * 1e3));
+  }
+  static constexpr SimTime FromMillis(double ms) {
+    return SimTime(static_cast<std::int64_t>(ms * 1e6));
+  }
+  static constexpr SimTime FromSeconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e9));
+  }
+  static constexpr SimTime Max() {
+    return SimTime(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t nanos() const { return ns_; }
+  constexpr double micros() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double millis() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  friend constexpr auto operator<=>(SimTime a, SimTime b) = default;
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime(a.ns_ + b.ns_);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime(a.ns_ - b.ns_);
+  }
+  SimTime& operator+=(SimTime other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr SimTime(std::int64_t ns) : ns_(ns) {}
+
+  std::int64_t ns_ = 0;
+};
+
+// Duration of a network transfer of `size` bytes over a link with
+// `bandwidth_bytes_per_sec` sustained bandwidth, excluding propagation delay.
+SimTime TransferDuration(Bytes size, double bandwidth_bytes_per_sec);
+
+// Duration of `ops` CPU operations on a core executing
+// `ops_per_second` operations per second.
+SimTime ComputeDuration(double ops, double ops_per_second);
+
+// Renders a byte count with a binary-unit suffix, e.g. "256.0MiB".
+std::string FormatBytes(Bytes bytes);
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_COMMON_TYPES_H_

@@ -1,0 +1,149 @@
+#include "src/core/bounded_load_policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace palette {
+
+BoundedLoadPolicy::BoundedLoadPolicy(std::uint64_t seed,
+                                     BoundedLoadConfig config)
+    : PolicyBase(seed),
+      config_(config),
+      ring_(config.virtual_nodes, /*seed=*/seed ^ 0xB07D10ADULL) {
+  assert(config_.c_factor >= 1.0);
+  assert(config_.table_capacity > 0);
+}
+
+std::size_t BoundedLoadPolicy::CapacityPerInstance() const {
+  if (instances().empty()) {
+    return 0;
+  }
+  const double average = static_cast<double>(table_.size() + 1) /
+                         static_cast<double>(instances().size());
+  return static_cast<std::size_t>(std::ceil(config_.c_factor * average));
+}
+
+std::optional<std::string> BoundedLoadPolicy::PlaceColor(
+    std::string_view truncated) {
+  const std::size_t capacity = CapacityPerInstance();
+  const auto walk = ring_.LookupN(truncated, instances().size());
+  for (const std::string& candidate : walk) {
+    const auto it = assigned_counts_.find(candidate);
+    const std::size_t count = it == assigned_counts_.end() ? 0 : it->second;
+    if (count < capacity) {
+      return candidate;
+    }
+  }
+  // Every instance at the cap (possible when the table is full of stale
+  // mappings): fall back to the globally least-assigned instance.
+  std::optional<std::string> least;
+  std::size_t least_count = 0;
+  for (const auto& instance : instances()) {
+    const auto it = assigned_counts_.find(instance);
+    const std::size_t count = it == assigned_counts_.end() ? 0 : it->second;
+    if (!least.has_value() || count < least_count) {
+      least = instance;
+      least_count = count;
+    }
+  }
+  return least;
+}
+
+std::optional<std::string> BoundedLoadPolicy::RouteColored(
+    std::string_view color) {
+  if (instances().empty()) {
+    return std::nullopt;
+  }
+  const std::string key(color.substr(0, config_.max_color_bytes));
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    if (it->second->instance.empty()) {
+      const auto revived = PlaceColor(key);
+      assert(revived.has_value());
+      it->second->instance = *revived;
+      ++assigned_counts_[*revived];
+    }
+    return it->second->instance;
+  }
+  const auto target = PlaceColor(key);
+  assert(target.has_value());
+  if (table_.size() >= config_.table_capacity) {
+    EvictLru();
+  }
+  lru_.push_front(Entry{key, *target});
+  table_[key] = lru_.begin();
+  ++assigned_counts_[*target];
+  return target;
+}
+
+void BoundedLoadPolicy::OnInstanceAdded(const std::string& instance) {
+  PolicyBase::OnInstanceAdded(instance);
+  ring_.AddMember(instance);
+  assigned_counts_.try_emplace(instance, 0);
+  // Existing mappings stay put (moving them would trade locality for
+  // balance); the newcomer's spare capacity attracts new colors via the
+  // capacity test.
+}
+
+void BoundedLoadPolicy::OnInstanceRemoved(const std::string& instance) {
+  PolicyBase::OnInstanceRemoved(instance);
+  ring_.RemoveMember(instance);
+  assigned_counts_.erase(instance);
+  // Only colors on the removed instance move: they re-walk their ring
+  // order, preserving the bounded-load invariant.
+  for (auto& entry : lru_) {
+    if (entry.instance != instance) {
+      continue;
+    }
+    const auto target = PlaceColor(entry.color);
+    if (!target.has_value()) {
+      entry.instance.clear();
+      continue;
+    }
+    entry.instance = *target;
+    ++assigned_counts_[*target];
+  }
+}
+
+void BoundedLoadPolicy::EvictLru() {
+  assert(!lru_.empty());
+  const Entry& victim = lru_.back();
+  auto it = assigned_counts_.find(victim.instance);
+  if (it != assigned_counts_.end() && it->second > 0) {
+    --it->second;
+  }
+  table_.erase(victim.color);
+  lru_.pop_back();
+}
+
+std::size_t BoundedLoadPolicy::AssignedCount(
+    const std::string& instance) const {
+  const auto it = assigned_counts_.find(instance);
+  return it == assigned_counts_.end() ? 0 : it->second;
+}
+
+double BoundedLoadPolicy::RelativeMaxAssigned() const {
+  if (instances().empty() || table_.empty()) {
+    return 0;
+  }
+  std::size_t max = 0;
+  std::size_t total = 0;
+  for (const auto& instance : instances()) {
+    const std::size_t count = AssignedCount(instance);
+    max = std::max(max, count);
+    total += count;
+  }
+  const double avg =
+      static_cast<double>(total) / static_cast<double>(instances().size());
+  return avg > 0 ? static_cast<double>(max) / avg : 0;
+}
+
+std::size_t BoundedLoadPolicy::StateBytes() const {
+  return table_.size() * (config_.max_color_bytes + 16) +
+         ring_.member_count() * static_cast<std::size_t>(config_.virtual_nodes) *
+             (sizeof(std::uint64_t) + 16);
+}
+
+}  // namespace palette

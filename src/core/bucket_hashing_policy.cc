@@ -1,0 +1,203 @@
+#include "src/core/bucket_hashing_policy.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/hash/hash.h"
+
+namespace palette {
+
+BucketHashingPolicy::BucketHashingPolicy(std::uint64_t seed,
+                                         BucketHashingConfig config)
+    : PolicyBase(seed), config_(config), bucket_hash_seed_(seed ^ 0xB0C4E7ULL) {
+  assert(config_.bucket_count > 0);
+  buckets_.reserve(config_.bucket_count);
+  for (std::size_t i = 0; i < config_.bucket_count; ++i) {
+    buckets_.emplace_back(config_.hll_precision);
+  }
+}
+
+std::size_t BucketHashingPolicy::BucketIndexOf(std::string_view color) const {
+  return Murmur3_64(color, bucket_hash_seed_) % buckets_.size();
+}
+
+std::optional<std::string> BucketHashingPolicy::RouteColored(
+    std::string_view color) {
+  if (instances().empty()) {
+    return std::nullopt;
+  }
+  Bucket& bucket = buckets_[BucketIndexOf(color)];
+  bucket.colors.Add(color);
+  assert(!bucket.owner.empty());
+  return bucket.owner;
+}
+
+void BucketHashingPolicy::MoveBucket(std::size_t index,
+                                     const std::string& to) {
+  Bucket& bucket = buckets_[index];
+  if (!bucket.owner.empty()) {
+    auto& from_list = owner_lists_[bucket.owner];
+    from_list.erase(std::find(from_list.begin(), from_list.end(), index));
+  }
+  bucket.owner = to;
+  owner_lists_[to].push_back(index);
+}
+
+void BucketHashingPolicy::OnInstanceAdded(const std::string& instance) {
+  const bool first = instances().empty();
+  PolicyBase::OnInstanceAdded(instance);
+  owner_lists_.try_emplace(instance);
+  if (first) {
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      MoveBucket(i, instance);
+    }
+    return;
+  }
+  // Pull buckets from the most-loaded owners until the newcomer holds its
+  // fair share (by bucket count: colors hash uniformly into buckets, so
+  // count is an unbiased load proxy when the sketches are cold; a later
+  // Rebalance() refines the split with the measured color counts).
+  const std::size_t target = buckets_.size() / instances().size();
+  while (owner_lists_.at(instance).size() < target) {
+    std::string donor;
+    std::size_t donor_size = 0;
+    for (const auto& name : instances()) {
+      const std::size_t size = owner_lists_.at(name).size();
+      if (name != instance && size > donor_size) {
+        donor = name;
+        donor_size = size;
+      }
+    }
+    if (donor.empty() || donor_size <= target) {
+      break;
+    }
+    MoveBucket(owner_lists_.at(donor).back(), instance);
+  }
+}
+
+void BucketHashingPolicy::OnInstanceRemoved(const std::string& instance) {
+  PolicyBase::OnInstanceRemoved(instance);
+  auto it = owner_lists_.find(instance);
+  if (it == owner_lists_.end()) {
+    return;
+  }
+  const std::vector<std::size_t> orphans = std::move(it->second);
+  owner_lists_.erase(it);
+  for (std::size_t index : orphans) {
+    buckets_[index].owner.clear();
+  }
+  if (instances().empty()) {
+    return;
+  }
+  // Greedy: each orphan goes to the owner with the fewest buckets.
+  for (std::size_t index : orphans) {
+    std::string least;
+    std::size_t least_size = SIZE_MAX;
+    for (const auto& name : instances()) {
+      const std::size_t size = owner_lists_.at(name).size();
+      if (size < least_size) {
+        least = name;
+        least_size = size;
+      }
+    }
+    MoveBucket(index, least);
+  }
+}
+
+void BucketHashingPolicy::RotateWindows() {
+  for (auto& bucket : buckets_) {
+    bucket.colors.Rotate();
+  }
+}
+
+std::unordered_map<std::string, double> BucketHashingPolicy::InstanceLoads()
+    const {
+  std::unordered_map<std::string, double> loads;
+  for (const auto& instance : instances()) {
+    loads[instance] = 0;
+  }
+  for (const auto& bucket : buckets_) {
+    if (!bucket.owner.empty()) {
+      loads[bucket.owner] += bucket.colors.Estimate();
+    }
+  }
+  return loads;
+}
+
+int BucketHashingPolicy::Rebalance() {
+  if (instances().size() < 2) {
+    return 0;
+  }
+  auto loads = InstanceLoads();
+  int moves = 0;
+  while (moves < config_.max_moves_per_rebalance) {
+    double total = 0;
+    auto max_it = loads.begin();
+    auto min_it = loads.begin();
+    for (auto it = loads.begin(); it != loads.end(); ++it) {
+      total += it->second;
+      if (it->second > max_it->second ||
+          (it->second == max_it->second && it->first < max_it->first)) {
+        max_it = it;
+      }
+      if (it->second < min_it->second ||
+          (it->second == min_it->second && it->first < min_it->first)) {
+        min_it = it;
+      }
+    }
+    const double avg = total / static_cast<double>(loads.size());
+    if (avg <= 0 || max_it->second / avg <= config_.rebalance_threshold) {
+      break;
+    }
+    // Move the largest bucket on the max-loaded instance that does not
+    // overshoot the load gap.
+    const double gap = max_it->second - min_it->second;
+    const auto& donor_list = owner_lists_.at(max_it->first);
+    std::size_t best = buckets_.size();
+    double best_estimate = -1;
+    for (std::size_t index : donor_list) {
+      const double est = buckets_[index].colors.Estimate();
+      if (est <= gap && est > best_estimate) {
+        best_estimate = est;
+        best = index;
+      }
+    }
+    if (best == buckets_.size() || best_estimate <= 0) {
+      break;  // No movable bucket improves the balance.
+    }
+    const std::string to = min_it->first;
+    max_it->second -= best_estimate;
+    min_it->second += best_estimate;
+    MoveBucket(best, to);
+    ++moves;
+  }
+  return moves;
+}
+
+double BucketHashingPolicy::CurrentRelativeMaxLoad() const {
+  const auto loads = InstanceLoads();
+  if (loads.empty()) {
+    return 0;
+  }
+  double total = 0;
+  double max = 0;
+  for (const auto& [_, load] : loads) {
+    total += load;
+    max = std::max(max, load);
+  }
+  const double avg = total / static_cast<double>(loads.size());
+  return avg > 0 ? max / avg : 0;
+}
+
+const std::string& BucketHashingPolicy::BucketOwner(std::size_t b) const {
+  return buckets_.at(b).owner;
+}
+
+std::size_t BucketHashingPolicy::StateBytes() const {
+  // Bucket table entries plus one HLL sketch pair per bucket.
+  std::size_t per_bucket = sizeof(void*) + 16;  // owner reference
+  per_bucket += 2 * (std::size_t{1} << config_.hll_precision);
+  return buckets_.size() * per_bucket;
+}
+
+}  // namespace palette

@@ -1,0 +1,35 @@
+// The Palette color abstraction (§4).
+//
+// A color is an opaque, optional locality hint attached to a function
+// invocation: "the platform will route invocations with the same color (in a
+// best-effort way) to the same instance". Colors are plain strings; their
+// namespace is scoped to one application, and the platform never interprets
+// their contents.
+#ifndef PALETTE_SRC_CORE_COLOR_H_
+#define PALETTE_SRC_CORE_COLOR_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace palette {
+
+using Color = std::string;
+
+// §5: "the real choice lies between Bucket Hashing and Least Assigned" with
+// both sized to the same memory budget. The paper uses 16,384 buckets (same
+// as Redis) and caps the Least-Assigned table at 16,384 colors, truncating
+// color names at 32 bytes (max ~512 KB per application).
+inline constexpr std::size_t kDefaultBucketCount = 16384;
+inline constexpr std::size_t kDefaultColorTableCapacity = 16384;
+inline constexpr std::size_t kMaxColorBytes = 32;
+
+// Truncates a color to the Least-Assigned table's 32-byte key limit.
+inline std::string_view TruncateColor(std::string_view color) {
+  return color.substr(0, kMaxColorBytes);
+}
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_CORE_COLOR_H_

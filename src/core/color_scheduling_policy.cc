@@ -1,0 +1,37 @@
+#include "src/core/color_scheduling_policy.h"
+
+#include <algorithm>
+
+namespace palette {
+
+void PolicyBase::OnInstanceAdded(const std::string& instance) {
+  auto it = std::lower_bound(instances_.begin(), instances_.end(), instance);
+  if (it != instances_.end() && *it == instance) {
+    return;
+  }
+  instances_.insert(it, instance);
+}
+
+void PolicyBase::OnInstanceRemoved(const std::string& instance) {
+  auto it = std::lower_bound(instances_.begin(), instances_.end(), instance);
+  if (it != instances_.end() && *it == instance) {
+    instances_.erase(it);
+  }
+}
+
+std::optional<std::string> PolicyBase::RouteUncolored() {
+  return RandomInstance();
+}
+
+std::optional<std::string> PolicyBase::RandomInstance() {
+  if (instances_.empty()) {
+    return std::nullopt;
+  }
+  return instances_[rng_.NextBelow(instances_.size())];
+}
+
+bool PolicyBase::HasInstance(const std::string& instance) const {
+  return std::binary_search(instances_.begin(), instances_.end(), instance);
+}
+
+}  // namespace palette

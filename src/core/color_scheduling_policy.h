@@ -1,0 +1,71 @@
+// Color scheduling policy interface (§5, Table 1).
+//
+// A policy maps a color (from a user invocation) onto an application
+// instance. The Palette load balancer keeps one policy per application and
+// forwards instance membership changes from the scale controller. Policies
+// assume "a single active instance per color at any time" (one instance may
+// hold many colors), matching the paper's prototype.
+#ifndef PALETTE_SRC_CORE_COLOR_SCHEDULING_POLICY_H_
+#define PALETTE_SRC_CORE_COLOR_SCHEDULING_POLICY_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/color.h"
+
+namespace palette {
+
+class ColorSchedulingPolicy {
+ public:
+  virtual ~ColorSchedulingPolicy() = default;
+
+  // Chooses the instance for an invocation carrying `color`. Returns nullopt
+  // only when no instances are registered.
+  virtual std::optional<std::string> RouteColored(std::string_view color) = 0;
+
+  // Chooses the instance for an invocation without a color. Colors are
+  // optional — uncolored traffic must still be served.
+  virtual std::optional<std::string> RouteUncolored() = 0;
+
+  // Membership notifications from the scale controller.
+  virtual void OnInstanceAdded(const std::string& instance) = 0;
+  virtual void OnInstanceRemoved(const std::string& instance) = 0;
+
+  // Approximate bytes of policy-private state (the "State" row of Table 1).
+  virtual std::size_t StateBytes() const = 0;
+
+  // Human-readable policy name for reports ("Oblivious: Random", ...).
+  virtual std::string_view name() const = 0;
+};
+
+// Shared instance bookkeeping for concrete policies: a sorted instance list
+// (sorted so that tie-breaking is deterministic) plus random selection for
+// uncolored traffic.
+class PolicyBase : public ColorSchedulingPolicy {
+ public:
+  explicit PolicyBase(std::uint64_t seed) : rng_(seed) {}
+
+  void OnInstanceAdded(const std::string& instance) override;
+  void OnInstanceRemoved(const std::string& instance) override;
+
+  std::optional<std::string> RouteUncolored() override;
+
+  const std::vector<std::string>& instances() const { return instances_; }
+
+ protected:
+  std::optional<std::string> RandomInstance();
+  bool HasInstance(const std::string& instance) const;
+
+  Rng rng_;
+
+ private:
+  std::vector<std::string> instances_;  // kept sorted
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_CORE_COLOR_SCHEDULING_POLICY_H_

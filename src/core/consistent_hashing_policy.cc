@@ -1,0 +1,32 @@
+#include "src/core/consistent_hashing_policy.h"
+
+namespace palette {
+
+ConsistentHashingPolicy::ConsistentHashingPolicy(std::uint64_t seed,
+                                                 int virtual_nodes)
+    : PolicyBase(seed),
+      virtual_nodes_(virtual_nodes),
+      ring_(virtual_nodes, /*seed=*/seed ^ 0xC0115EEDULL) {}
+
+std::optional<std::string> ConsistentHashingPolicy::RouteColored(
+    std::string_view color) {
+  return ring_.Lookup(color);
+}
+
+void ConsistentHashingPolicy::OnInstanceAdded(const std::string& instance) {
+  PolicyBase::OnInstanceAdded(instance);
+  ring_.AddMember(instance);
+}
+
+void ConsistentHashingPolicy::OnInstanceRemoved(const std::string& instance) {
+  PolicyBase::OnInstanceRemoved(instance);
+  ring_.RemoveMember(instance);
+}
+
+std::size_t ConsistentHashingPolicy::StateBytes() const {
+  // The ring stores virtual-node positions per member; no per-color state.
+  return ring_.member_count() * static_cast<std::size_t>(virtual_nodes_) *
+         (sizeof(std::uint64_t) + 16);
+}
+
+}  // namespace palette

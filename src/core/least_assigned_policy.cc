@@ -1,0 +1,116 @@
+#include "src/core/least_assigned_policy.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace palette {
+
+LeastAssignedPolicy::LeastAssignedPolicy(std::uint64_t seed,
+                                         LeastAssignedConfig config)
+    : PolicyBase(seed), config_(config) {
+  assert(config_.table_capacity > 0);
+}
+
+std::optional<std::string> LeastAssignedPolicy::RouteColored(
+    std::string_view color) {
+  if (instances().empty()) {
+    return std::nullopt;
+  }
+  const std::string key(color.substr(0, config_.max_color_bytes));
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    if (it->second->instance.empty()) {
+      // Mapping went dormant while no instances existed; reassign now.
+      const auto revived = LeastLoadedInstance();
+      assert(revived.has_value());
+      it->second->instance = *revived;
+      ++assigned_counts_[*revived];
+    }
+    return it->second->instance;
+  }
+  const auto target = LeastLoadedInstance();
+  assert(target.has_value());
+  if (table_.size() >= config_.table_capacity) {
+    EvictLru();
+  }
+  lru_.push_front(Entry{key, *target});
+  table_[key] = lru_.begin();
+  ++assigned_counts_[*target];
+  return target;
+}
+
+void LeastAssignedPolicy::OnInstanceAdded(const std::string& instance) {
+  PolicyBase::OnInstanceAdded(instance);
+  assigned_counts_.try_emplace(instance, 0);
+}
+
+void LeastAssignedPolicy::OnInstanceRemoved(const std::string& instance) {
+  PolicyBase::OnInstanceRemoved(instance);
+  assigned_counts_.erase(instance);
+  // Redistribute the removed instance's colors with the same policy,
+  // walking from most- to least-recently used so hot colors get first pick
+  // of the least-loaded instances.
+  for (auto& entry : lru_) {
+    if (entry.instance != instance) {
+      continue;
+    }
+    const auto target = LeastLoadedInstance();
+    if (!target.has_value()) {
+      entry.instance.clear();  // No instances left; mapping is dormant.
+      continue;
+    }
+    entry.instance = *target;
+    ++assigned_counts_[*target];
+  }
+}
+
+std::optional<std::string> LeastAssignedPolicy::LeastLoadedInstance() const {
+  std::optional<std::string> best;
+  std::size_t best_count = 0;
+  for (const auto& instance : instances()) {
+    const auto it = assigned_counts_.find(instance);
+    const std::size_t count = it == assigned_counts_.end() ? 0 : it->second;
+    if (!best.has_value() || count < best_count) {
+      best = instance;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+void LeastAssignedPolicy::EvictLru() {
+  assert(!lru_.empty());
+  const Entry& victim = lru_.back();
+  auto count_it = assigned_counts_.find(victim.instance);
+  if (count_it != assigned_counts_.end() && count_it->second > 0) {
+    --count_it->second;
+  }
+  table_.erase(victim.color);
+  lru_.pop_back();
+  ++evictions_;
+}
+
+std::size_t LeastAssignedPolicy::AssignedCount(
+    const std::string& instance) const {
+  const auto it = assigned_counts_.find(instance);
+  return it == assigned_counts_.end() ? 0 : it->second;
+}
+
+std::optional<std::string> LeastAssignedPolicy::LookupColor(
+    std::string_view color) const {
+  const std::string key(color.substr(0, config_.max_color_bytes));
+  const auto it = table_.find(key);
+  if (it == table_.end() || it->second->instance.empty()) {
+    return std::nullopt;
+  }
+  return it->second->instance;
+}
+
+std::size_t LeastAssignedPolicy::StateBytes() const {
+  // Paper-accounting model (§5): truncated color key plus instance id per
+  // entry — 16,384 entries at 32-byte colors stays near the 512 KB budget.
+  return table_.size() * (config_.max_color_bytes + 16);
+}
+
+}  // namespace palette

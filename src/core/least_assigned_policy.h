@@ -1,0 +1,69 @@
+// Least-Assigned (LA) Color Table policy (§5, Table 1).
+//
+// I(c) = LA[c]: an explicit color → instance table. A new color goes to the
+// instance with the fewest assigned colors (deterministic tie-break); the
+// mapping is remembered until evicted. The table is capped (default 16,384
+// entries) with LRU eviction and color names are truncated at 32 bytes, so
+// memory stays within ~512 KB per application. Because colors are hints,
+// eviction affects only locality, never correctness (Fig. 6b quantifies the
+// hit-ratio cost of re-assigning an evicted color).
+//
+// Membership changes: new instances naturally attract new colors (they have
+// the least assigned); when an instance is removed its colors are
+// immediately redistributed with the same least-assigned rule.
+#ifndef PALETTE_SRC_CORE_LEAST_ASSIGNED_POLICY_H_
+#define PALETTE_SRC_CORE_LEAST_ASSIGNED_POLICY_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "src/core/color_scheduling_policy.h"
+
+namespace palette {
+
+struct LeastAssignedConfig {
+  std::size_t table_capacity = kDefaultColorTableCapacity;
+  std::size_t max_color_bytes = kMaxColorBytes;
+};
+
+class LeastAssignedPolicy : public PolicyBase {
+ public:
+  explicit LeastAssignedPolicy(std::uint64_t seed,
+                               LeastAssignedConfig config = {});
+
+  std::optional<std::string> RouteColored(std::string_view color) override;
+  void OnInstanceAdded(const std::string& instance) override;
+  void OnInstanceRemoved(const std::string& instance) override;
+  std::size_t StateBytes() const override;
+  std::string_view name() const override { return "Palette: Least Assigned"; }
+
+  std::size_t table_size() const { return table_.size(); }
+  std::uint64_t evictions() const { return evictions_; }
+  // Number of colors currently assigned to `instance`.
+  std::size_t AssignedCount(const std::string& instance) const;
+  // Current mapping for a (truncated) color, if still in the table.
+  std::optional<std::string> LookupColor(std::string_view color) const;
+
+ private:
+  struct Entry {
+    std::string color;     // truncated key
+    std::string instance;  // current assignment
+  };
+  using List = std::list<Entry>;
+
+  // The instance with the fewest assigned colors (deterministic tie-break).
+  std::optional<std::string> LeastLoadedInstance() const;
+  void EvictLru();
+
+  LeastAssignedConfig config_;
+  List lru_;  // front = most recently used
+  std::unordered_map<std::string, List::iterator> table_;
+  std::unordered_map<std::string, std::size_t> assigned_counts_;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_CORE_LEAST_ASSIGNED_POLICY_H_

@@ -1,0 +1,62 @@
+#include "src/core/load_model.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace palette {
+
+double SimpleHashingRelativeMaxLoad(std::uint64_t colors,
+                                    std::uint64_t instances, Rng& rng) {
+  std::vector<std::uint64_t> counts(instances, 0);
+  for (std::uint64_t c = 0; c < colors; ++c) {
+    ++counts[rng.NextBelow(instances)];
+  }
+  const std::uint64_t max = *std::max_element(counts.begin(), counts.end());
+  const double avg =
+      static_cast<double>(colors) / static_cast<double>(instances);
+  return avg > 0 ? static_cast<double>(max) / avg : 0.0;
+}
+
+double BucketHashingRelativeMaxLoad(std::uint64_t colors,
+                                    std::uint64_t instances,
+                                    std::uint64_t buckets, Rng& rng) {
+  std::vector<std::uint64_t> bucket_counts(buckets, 0);
+  for (std::uint64_t c = 0; c < colors; ++c) {
+    ++bucket_counts[rng.NextBelow(buckets)];
+  }
+  // LPT: sort buckets by descending color count, assign each to the
+  // currently least-loaded instance.
+  std::sort(bucket_counts.begin(), bucket_counts.end(),
+            std::greater<std::uint64_t>());
+  std::vector<std::uint64_t> instance_loads(instances, 0);
+  for (std::uint64_t count : bucket_counts) {
+    auto least =
+        std::min_element(instance_loads.begin(), instance_loads.end());
+    *least += count;
+  }
+  const std::uint64_t max =
+      *std::max_element(instance_loads.begin(), instance_loads.end());
+  const double avg =
+      static_cast<double>(colors) / static_cast<double>(instances);
+  return avg > 0 ? static_cast<double>(max) / avg : 0.0;
+}
+
+double MeanSimpleHashingLoad(std::uint64_t colors, std::uint64_t instances,
+                             int runs, Rng& rng) {
+  double sum = 0;
+  for (int r = 0; r < runs; ++r) {
+    sum += SimpleHashingRelativeMaxLoad(colors, instances, rng);
+  }
+  return sum / runs;
+}
+
+double MeanBucketHashingLoad(std::uint64_t colors, std::uint64_t instances,
+                             std::uint64_t buckets, int runs, Rng& rng) {
+  double sum = 0;
+  for (int r = 0; r < runs; ++r) {
+    sum += BucketHashingRelativeMaxLoad(colors, instances, buckets, rng);
+  }
+  return sum / runs;
+}
+
+}  // namespace palette

@@ -1,0 +1,37 @@
+// Balls-into-bins load models behind Fig. 5: how unbalanced does the
+// per-instance color count get under (a) simple hashing of colors straight
+// onto instances and (b) bucket hashing with greedy (LPT) bucket-to-instance
+// assignment? These are pure combinatorial simulations of the policies,
+// independent of the simulator or any workload.
+#ifndef PALETTE_SRC_CORE_LOAD_MODEL_H_
+#define PALETTE_SRC_CORE_LOAD_MODEL_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace palette {
+
+// Relative maximum load (max / average colors per instance) when `colors`
+// colors hash uniformly onto `instances` instances.
+double SimpleHashingRelativeMaxLoad(std::uint64_t colors,
+                                    std::uint64_t instances, Rng& rng);
+
+// Relative maximum load under Bucket Hashing: colors hash uniformly into
+// `buckets` buckets, and buckets are assigned to instances with the greedy
+// LPT rule (largest bucket first, to the least-loaded instance) — the same
+// 2-approximation the BucketHashingPolicy uses.
+double BucketHashingRelativeMaxLoad(std::uint64_t colors,
+                                    std::uint64_t instances,
+                                    std::uint64_t buckets, Rng& rng);
+
+// Convenience: mean over `runs` independent simulations (Fig. 5 averages 20
+// runs per setting).
+double MeanSimpleHashingLoad(std::uint64_t colors, std::uint64_t instances,
+                             int runs, Rng& rng);
+double MeanBucketHashingLoad(std::uint64_t colors, std::uint64_t instances,
+                             std::uint64_t buckets, int runs, Rng& rng);
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_CORE_LOAD_MODEL_H_

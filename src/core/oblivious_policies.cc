@@ -1,0 +1,32 @@
+#include "src/core/oblivious_policies.h"
+
+namespace palette {
+
+std::optional<std::string> ObliviousRandomPolicy::RouteColored(
+    std::string_view color) {
+  (void)color;  // Oblivious: the hint is ignored.
+  return RandomInstance();
+}
+
+std::optional<std::string> ObliviousRoundRobinPolicy::RouteColored(
+    std::string_view color) {
+  (void)color;
+  return NextInstance();
+}
+
+std::optional<std::string> ObliviousRoundRobinPolicy::RouteUncolored() {
+  return NextInstance();
+}
+
+std::optional<std::string> ObliviousRoundRobinPolicy::NextInstance() {
+  const auto& list = instances();
+  if (list.empty()) {
+    return std::nullopt;
+  }
+  if (next_ >= list.size()) {
+    next_ = 0;
+  }
+  return list[next_++ % list.size()];
+}
+
+}  // namespace palette

@@ -1,0 +1,39 @@
+// The two locality-oblivious baselines the paper compares against (§5):
+//   * Oblivious Random — "always selects a random instance for each
+//     invocation"; emulates standard FaaS load balancing.
+//   * Oblivious Round-Robin — "ignores locality, but sends requests to
+//     instances in a round-robin fashion, to improve load balancing".
+#ifndef PALETTE_SRC_CORE_OBLIVIOUS_POLICIES_H_
+#define PALETTE_SRC_CORE_OBLIVIOUS_POLICIES_H_
+
+#include "src/core/color_scheduling_policy.h"
+
+namespace palette {
+
+class ObliviousRandomPolicy : public PolicyBase {
+ public:
+  explicit ObliviousRandomPolicy(std::uint64_t seed) : PolicyBase(seed) {}
+
+  std::optional<std::string> RouteColored(std::string_view color) override;
+  std::size_t StateBytes() const override { return 0; }
+  std::string_view name() const override { return "Oblivious: Random"; }
+};
+
+class ObliviousRoundRobinPolicy : public PolicyBase {
+ public:
+  explicit ObliviousRoundRobinPolicy(std::uint64_t seed) : PolicyBase(seed) {}
+
+  std::optional<std::string> RouteColored(std::string_view color) override;
+  std::optional<std::string> RouteUncolored() override;
+  std::size_t StateBytes() const override { return sizeof(next_); }
+  std::string_view name() const override { return "Oblivious: Round Robin"; }
+
+ private:
+  std::optional<std::string> NextInstance();
+
+  std::size_t next_ = 0;
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_CORE_OBLIVIOUS_POLICIES_H_

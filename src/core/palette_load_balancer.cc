@@ -1,0 +1,84 @@
+#include "src/core/palette_load_balancer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/cache/faast_cache.h"
+
+namespace palette {
+
+PaletteLoadBalancer::PaletteLoadBalancer(
+    std::unique_ptr<ColorSchedulingPolicy> policy)
+    : policy_(std::move(policy)) {
+  assert(policy_ != nullptr);
+}
+
+std::optional<std::string> PaletteLoadBalancer::Route(
+    const std::optional<Color>& color) {
+  std::optional<std::string> instance =
+      color.has_value() ? policy_->RouteColored(*color)
+                        : policy_->RouteUncolored();
+  if (instance.has_value()) {
+    ++total_routed_;
+    ++routed_counts_[*instance];
+  }
+  return instance;
+}
+
+void PaletteLoadBalancer::AddInstance(const std::string& instance) {
+  if (std::find(instances_.begin(), instances_.end(), instance) !=
+      instances_.end()) {
+    return;
+  }
+  instances_.push_back(instance);
+  std::sort(instances_.begin(), instances_.end());
+  policy_->OnInstanceAdded(instance);
+}
+
+void PaletteLoadBalancer::RemoveInstance(const std::string& instance) {
+  auto it = std::find(instances_.begin(), instances_.end(), instance);
+  if (it == instances_.end()) {
+    return;
+  }
+  instances_.erase(it);
+  policy_->OnInstanceRemoved(instance);
+}
+
+std::optional<std::string> PaletteLoadBalancer::ResolveColor(
+    const Color& color) {
+  return policy_->RouteColored(color);
+}
+
+std::string PaletteLoadBalancer::TranslateObjectName(
+    const std::string& object_name) {
+  const std::size_t pos = object_name.find(kHashKeyToken);
+  if (pos == std::string::npos) {
+    return object_name;
+  }
+  const Color color = object_name.substr(0, pos);
+  const auto instance = ResolveColor(color);
+  if (!instance.has_value()) {
+    return object_name;
+  }
+  return *instance + object_name.substr(pos);
+}
+
+std::uint64_t PaletteLoadBalancer::RoutedTo(const std::string& instance) const {
+  const auto it = routed_counts_.find(instance);
+  return it == routed_counts_.end() ? 0 : it->second;
+}
+
+double PaletteLoadBalancer::RoutingImbalance() const {
+  if (instances_.empty() || total_routed_ == 0) {
+    return 0;
+  }
+  std::uint64_t max = 0;
+  for (const auto& instance : instances_) {
+    max = std::max(max, RoutedTo(instance));
+  }
+  const double avg = static_cast<double>(total_routed_) /
+                     static_cast<double>(instances_.size());
+  return static_cast<double>(max) / avg;
+}
+
+}  // namespace palette

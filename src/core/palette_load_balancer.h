@@ -1,0 +1,63 @@
+// The Palette load balancer (Fig. 3).
+//
+// Sits between colored invocations and the application's instances: applies
+// the application's chosen color scheduling policy, tracks per-instance
+// routing counts, and receives membership updates from the scale controller.
+// One PaletteLoadBalancer exists per application — the color namespace is
+// application-scoped, so no state is shared across applications.
+#ifndef PALETTE_SRC_CORE_PALETTE_LOAD_BALANCER_H_
+#define PALETTE_SRC_CORE_PALETTE_LOAD_BALANCER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/color.h"
+#include "src/core/color_scheduling_policy.h"
+
+namespace palette {
+
+class PaletteLoadBalancer {
+ public:
+  explicit PaletteLoadBalancer(std::unique_ptr<ColorSchedulingPolicy> policy);
+
+  // Routes one invocation. `color` is the optional locality hint; nullopt
+  // routes obliviously. Returns the chosen instance, or nullopt when the
+  // application currently has no instances.
+  std::optional<std::string> Route(const std::optional<Color>& color);
+
+  // Scale controller integration.
+  void AddInstance(const std::string& instance);
+  void RemoveInstance(const std::string& instance);
+  const std::vector<std::string>& instances() const { return instances_; }
+
+  // Translates a color to the instance it maps to *without* recording an
+  // invocation. Used for Faa$T object-name translation (§5.1): the LB
+  // rewrites input/output color prefixes to instance names.
+  std::optional<std::string> ResolveColor(const Color& color);
+
+  // Rewrites "<color>___rest" to "<instance>___rest" per §5.1. Names without
+  // a hash-key prefix are returned unchanged.
+  std::string TranslateObjectName(const std::string& object_name);
+
+  ColorSchedulingPolicy& policy() { return *policy_; }
+  const ColorSchedulingPolicy& policy() const { return *policy_; }
+
+  std::uint64_t total_routed() const { return total_routed_; }
+  std::uint64_t RoutedTo(const std::string& instance) const;
+  // max/avg invocations routed per instance; load-balance quality metric.
+  double RoutingImbalance() const;
+
+ private:
+  std::unique_ptr<ColorSchedulingPolicy> policy_;
+  std::vector<std::string> instances_;
+  std::unordered_map<std::string, std::uint64_t> routed_counts_;
+  std::uint64_t total_routed_ = 0;
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_CORE_PALETTE_LOAD_BALANCER_H_

@@ -1,0 +1,91 @@
+#include "src/core/policy_factory.h"
+
+#include "src/core/bounded_load_policy.h"
+#include "src/core/bucket_hashing_policy.h"
+#include "src/core/consistent_hashing_policy.h"
+#include "src/core/least_assigned_policy.h"
+#include "src/core/oblivious_policies.h"
+#include "src/core/replicated_policy.h"
+
+namespace palette {
+
+std::vector<PolicyKind> AllPolicyKinds() {
+  return {PolicyKind::kObliviousRandom,   PolicyKind::kObliviousRoundRobin,
+          PolicyKind::kConsistentHashing, PolicyKind::kBucketHashing,
+          PolicyKind::kLeastAssigned,     PolicyKind::kBoundedLoads,
+          PolicyKind::kReplicatedColors};
+}
+
+std::vector<PolicyKind> PaperPolicyKinds() {
+  return {PolicyKind::kObliviousRandom, PolicyKind::kObliviousRoundRobin,
+          PolicyKind::kConsistentHashing, PolicyKind::kBucketHashing,
+          PolicyKind::kLeastAssigned};
+}
+
+std::string_view PolicyKindId(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kObliviousRandom:
+      return "random";
+    case PolicyKind::kObliviousRoundRobin:
+      return "rr";
+    case PolicyKind::kConsistentHashing:
+      return "ch";
+    case PolicyKind::kBucketHashing:
+      return "bh";
+    case PolicyKind::kLeastAssigned:
+      return "la";
+    case PolicyKind::kBoundedLoads:
+      return "chbl";
+    case PolicyKind::kReplicatedColors:
+      return "repl";
+  }
+  return "unknown";
+}
+
+bool ParsePolicyKind(std::string_view id, PolicyKind* out) {
+  for (PolicyKind kind : AllPolicyKinds()) {
+    if (PolicyKindId(kind) == id) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<ColorSchedulingPolicy> MakePolicy(PolicyKind kind,
+                                                  std::uint64_t seed) {
+  switch (kind) {
+    case PolicyKind::kObliviousRandom:
+      return std::make_unique<ObliviousRandomPolicy>(seed);
+    case PolicyKind::kObliviousRoundRobin:
+      return std::make_unique<ObliviousRoundRobinPolicy>(seed);
+    case PolicyKind::kConsistentHashing:
+      return std::make_unique<ConsistentHashingPolicy>(seed);
+    case PolicyKind::kBucketHashing:
+      return std::make_unique<BucketHashingPolicy>(seed);
+    case PolicyKind::kLeastAssigned:
+      return std::make_unique<LeastAssignedPolicy>(seed);
+    case PolicyKind::kBoundedLoads:
+      return std::make_unique<BoundedLoadPolicy>(seed);
+    case PolicyKind::kReplicatedColors:
+      return std::make_unique<ReplicatedColorPolicy>(seed);
+  }
+  return nullptr;
+}
+
+bool IsLocalityAware(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kObliviousRandom:
+    case PolicyKind::kObliviousRoundRobin:
+      return false;
+    case PolicyKind::kConsistentHashing:
+    case PolicyKind::kBucketHashing:
+    case PolicyKind::kLeastAssigned:
+    case PolicyKind::kBoundedLoads:
+    case PolicyKind::kReplicatedColors:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace palette

@@ -1,0 +1,53 @@
+// Construction of color scheduling policies by name. The user picks one
+// policy when registering an application (§5); the benchmarks sweep over all
+// of them.
+#ifndef PALETTE_SRC_CORE_POLICY_FACTORY_H_
+#define PALETTE_SRC_CORE_POLICY_FACTORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/core/color_scheduling_policy.h"
+
+namespace palette {
+
+enum class PolicyKind {
+  kObliviousRandom,
+  kObliviousRoundRobin,
+  kConsistentHashing,
+  kBucketHashing,
+  kLeastAssigned,
+  // Research extensions beyond the paper's three policies (§5 names both
+  // directions but does not evaluate them; see the class headers).
+  kBoundedLoads,       // CH with bounded loads (Mirrokni et al.)
+  kReplicatedColors,   // k instances per color (hot-spot mitigation)
+};
+
+// All kinds, in the order the paper's figures list them, followed by the
+// extension policies.
+std::vector<PolicyKind> AllPolicyKinds();
+
+// Only the paper's policies (Table 1 plus the two oblivious baselines).
+std::vector<PolicyKind> PaperPolicyKinds();
+
+// Short identifier for CLI flags and reports ("random", "rr", "ch", "bh",
+// "la").
+std::string_view PolicyKindId(PolicyKind kind);
+
+// Parses an id back to a kind; returns false for an unknown id.
+bool ParsePolicyKind(std::string_view id, PolicyKind* out);
+
+// Builds a policy with default configuration. `seed` feeds the policy's
+// internal randomness (random instance selection, hash seeds).
+std::unique_ptr<ColorSchedulingPolicy> MakePolicy(PolicyKind kind,
+                                                  std::uint64_t seed);
+
+// True for the locality-aware (Palette) policies, false for the oblivious
+// baselines.
+bool IsLocalityAware(PolicyKind kind);
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_CORE_POLICY_FACTORY_H_

@@ -1,0 +1,103 @@
+#include "src/core/replicated_policy.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace palette {
+
+ReplicatedColorPolicy::ReplicatedColorPolicy(std::uint64_t seed,
+                                             ReplicatedColorConfig config)
+    : PolicyBase(seed),
+      config_(config),
+      ring_(config.virtual_nodes, /*seed=*/seed ^ 0x5E7A11CAULL) {
+  assert(config_.replicas >= 1);
+  assert(config_.table_capacity > 0);
+}
+
+std::vector<std::string> ReplicatedColorPolicy::ReplicaSetOf(
+    std::string_view color) const {
+  return ring_.LookupN(color.substr(0, config_.max_color_bytes),
+                       static_cast<std::size_t>(config_.replicas));
+}
+
+bool ReplicatedColorPolicy::IsHot(std::string_view color) const {
+  if (!config_.adaptive) {
+    return true;
+  }
+  if (window_total_ == 0) {
+    return false;
+  }
+  const std::string key(color.substr(0, config_.max_color_bytes));
+  const auto it = table_.find(key);
+  if (it == table_.end()) {
+    return false;
+  }
+  const double share = static_cast<double>(it->second->count) /
+                       static_cast<double>(window_total_);
+  return share > config_.hot_share_threshold;
+}
+
+void ReplicatedColorPolicy::MaybeDecay() {
+  if (!config_.adaptive ||
+      ++routes_since_decay_ < config_.decay_interval) {
+    return;
+  }
+  routes_since_decay_ = 0;
+  window_total_ = 0;
+  for (auto& entry : lru_) {
+    entry.count /= 2;
+    window_total_ += entry.count;
+  }
+}
+
+std::optional<std::string> ReplicatedColorPolicy::RouteColored(
+    std::string_view color) {
+  if (instances().empty()) {
+    return std::nullopt;
+  }
+  const std::string key(color.substr(0, config_.max_color_bytes));
+
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    if (table_.size() >= config_.table_capacity) {
+      const Entry& victim = lru_.back();
+      window_total_ -= std::min(window_total_, victim.count);
+      table_.erase(victim.color);
+      lru_.pop_back();
+    }
+    lru_.push_front(Entry{key, 0, 0});
+    it = table_.emplace(key, lru_.begin()).first;
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second);
+  }
+  ++it->second->count;
+  ++window_total_;
+  MaybeDecay();
+
+  // Hot colors spread over the full replica set; cold ones keep one
+  // instance (full locality). Non-adaptive mode treats everything as hot.
+  const std::size_t set_size =
+      IsHot(key) ? static_cast<std::size_t>(config_.replicas) : 1;
+  const auto replicas = ring_.LookupN(key, set_size);
+  assert(!replicas.empty());
+  const std::uint32_t cursor = it->second->cursor++;
+  return replicas[cursor % replicas.size()];
+}
+
+void ReplicatedColorPolicy::OnInstanceAdded(const std::string& instance) {
+  PolicyBase::OnInstanceAdded(instance);
+  ring_.AddMember(instance);
+}
+
+void ReplicatedColorPolicy::OnInstanceRemoved(const std::string& instance) {
+  PolicyBase::OnInstanceRemoved(instance);
+  ring_.RemoveMember(instance);
+}
+
+std::size_t ReplicatedColorPolicy::StateBytes() const {
+  return table_.size() * (config_.max_color_bytes + sizeof(std::uint32_t)) +
+         ring_.member_count() * static_cast<std::size_t>(config_.virtual_nodes) *
+             (sizeof(std::uint64_t) + 16);
+}
+
+}  // namespace palette

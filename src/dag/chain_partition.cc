@@ -1,0 +1,93 @@
+#include "src/dag/chain_partition.h"
+
+#include <algorithm>
+
+namespace palette {
+
+ChainPartition PartitionIntoChains(const Dag& dag) {
+  ChainPartition out;
+  out.chain_of.assign(dag.size(), -1);
+  if (dag.empty()) {
+    return out;
+  }
+
+  std::vector<bool> assigned(dag.size(), false);
+  int remaining = dag.size();
+
+  // DP arrays reused across extractions.
+  std::vector<double> longest(dag.size());
+  std::vector<int> next_on_path(dag.size());
+
+  while (remaining > 0) {
+    // Longest path (by task count; cpu_ops could be used as weights) over
+    // unassigned tasks, computed backward over the topological order.
+    std::fill(longest.begin(), longest.end(), 0);
+    std::fill(next_on_path.begin(), next_on_path.end(), -1);
+    double best_len = -1;
+    int best_start = -1;
+    for (int i = dag.size() - 1; i >= 0; --i) {
+      if (assigned[i]) {
+        continue;
+      }
+      longest[i] = 1;
+      for (int succ : dag.successors(i)) {
+        if (assigned[succ]) {
+          continue;
+        }
+        if (longest[succ] + 1 > longest[i]) {
+          longest[i] = longest[succ] + 1;
+          next_on_path[i] = succ;
+        }
+      }
+      // Only paths starting at a task with no unassigned predecessor are
+      // candidates; checked below by preferring maximal length anywhere —
+      // a longest path in a DAG necessarily starts at such a task.
+      if (longest[i] > best_len) {
+        best_len = longest[i];
+        best_start = i;
+      }
+    }
+
+    const int chain = out.chain_count++;
+    for (int node = best_start; node != -1; node = next_on_path[node]) {
+      out.chain_of[node] = chain;
+      assigned[node] = true;
+      --remaining;
+    }
+  }
+  return out;
+}
+
+bool IsValidChainPartition(const Dag& dag, const ChainPartition& partition) {
+  if (static_cast<int>(partition.chain_of.size()) != dag.size()) {
+    return false;
+  }
+  for (int id = 0; id < dag.size(); ++id) {
+    if (partition.chain_of[id] < 0 ||
+        partition.chain_of[id] >= partition.chain_count) {
+      return false;
+    }
+  }
+  // Each chain must be a simple path: within a chain, every task has at most
+  // one same-chain successor and at most one same-chain predecessor, and
+  // same-chain successors must be DAG successors (which holds by
+  // construction since chains follow DAG edges).
+  std::vector<int> chain_succ(dag.size(), 0);
+  std::vector<int> chain_pred(dag.size(), 0);
+  for (int id = 0; id < dag.size(); ++id) {
+    for (int succ : dag.successors(id)) {
+      if (partition.chain_of[succ] == partition.chain_of[id]) {
+        ++chain_succ[id];
+        ++chain_pred[succ];
+      }
+    }
+  }
+  for (int id = 0; id < dag.size(); ++id) {
+    if (chain_succ[id] > 1 || chain_pred[id] > 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace palette

@@ -1,0 +1,35 @@
+// Greedy chain partitioning for Chain Coloring (§6.2.1).
+//
+// Partitions a DAG into simple paths ("chains") by repeatedly extracting a
+// longest path from the subgraph of still-unassigned tasks, in the spirit of
+// Simon's algorithm B. Runs in O(chains * (v + e)), linear per extraction,
+// and "tends to get close to the minimum number of chains".
+//
+// Chain coloring then gives each chain its own color, which yields the three
+// properties §6.2.1 lists: (i) simple chains share a color (no transfers
+// along them), (ii) parallel-runnable tasks never share a color, and
+// (iii) at fan-ins/fan-outs exactly one chain continues.
+#ifndef PALETTE_SRC_DAG_CHAIN_PARTITION_H_
+#define PALETTE_SRC_DAG_CHAIN_PARTITION_H_
+
+#include <vector>
+
+#include "src/dag/dag.h"
+
+namespace palette {
+
+struct ChainPartition {
+  // chain id per task id.
+  std::vector<int> chain_of;
+  int chain_count = 0;
+};
+
+ChainPartition PartitionIntoChains(const Dag& dag);
+
+// Validates the chain-coloring properties on a partition; returns false and
+// is used by property tests if any chain is not a simple path in the DAG.
+bool IsValidChainPartition(const Dag& dag, const ChainPartition& partition);
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_DAG_CHAIN_PARTITION_H_

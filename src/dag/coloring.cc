@@ -1,0 +1,68 @@
+#include "src/dag/coloring.h"
+
+#include <cassert>
+
+#include "src/common/table_printer.h"
+#include "src/dag/chain_partition.h"
+
+namespace palette {
+
+std::string_view ColoringKindName(ColoringKind kind) {
+  switch (kind) {
+    case ColoringKind::kNone:
+      return "none";
+    case ColoringKind::kSameColor:
+      return "same-color";
+    case ColoringKind::kChain:
+      return "chain";
+    case ColoringKind::kVirtualWorker:
+      return "virtual-worker";
+  }
+  return "unknown";
+}
+
+DagColoring ColorDag(const Dag& dag, ColoringKind kind, int virtual_workers,
+                     const ServerfulConfig& vw_model) {
+  DagColoring out;
+  out.color_of.assign(dag.size(), std::nullopt);
+  switch (kind) {
+    case ColoringKind::kNone:
+      out.distinct_colors = 0;
+      break;
+    case ColoringKind::kSameColor:
+      for (auto& c : out.color_of) {
+        c = "c0";
+      }
+      out.distinct_colors = dag.empty() ? 0 : 1;
+      break;
+    case ColoringKind::kChain: {
+      const ChainPartition chains = PartitionIntoChains(dag);
+      for (int id = 0; id < dag.size(); ++id) {
+        out.color_of[id] = StrFormat("chain%d", chains.chain_of[id]);
+      }
+      out.distinct_colors = chains.chain_count;
+      break;
+    }
+    case ColoringKind::kVirtualWorker: {
+      assert(virtual_workers > 0 &&
+             "virtual-worker coloring needs a device count");
+      ServerfulConfig model = vw_model;
+      model.workers = virtual_workers;
+      const ServerfulRunResult plan = RunServerful(dag, model);
+      std::vector<bool> used(static_cast<std::size_t>(virtual_workers), false);
+      for (int id = 0; id < dag.size(); ++id) {
+        out.color_of[id] = StrFormat("vw%d", plan.assignment[id]);
+        used[static_cast<std::size_t>(plan.assignment[id])] = true;
+      }
+      for (bool u : used) {
+        if (u) {
+          ++out.distinct_colors;
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace palette

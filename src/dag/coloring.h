@@ -1,0 +1,50 @@
+// DAG coloring policies (§6.2): how an application assigns Palette colors to
+// the nodes of a task graph before submitting them as invocations.
+//
+//   * kNone          — no colors; the oblivious baselines.
+//   * kSameColor     — every task gets one color: maximum locality, no
+//                      parallelism (the Fig. 7 extreme).
+//   * kChain         — chain coloring from first principles: one color per
+//                      greedy longest-path chain.
+//   * kVirtualWorker — "bring your own scheduler": the framework's own
+//                      dynamic scheduler runs against V virtual workers and
+//                      each virtual worker becomes a color.
+#ifndef PALETTE_SRC_DAG_COLORING_H_
+#define PALETTE_SRC_DAG_COLORING_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/color.h"
+#include "src/dag/dag.h"
+#include "src/dag/serverful_scheduler.h"
+
+namespace palette {
+
+enum class ColoringKind {
+  kNone,
+  kSameColor,
+  kChain,
+  kVirtualWorker,
+};
+
+std::string_view ColoringKindName(ColoringKind kind);
+
+struct DagColoring {
+  // Color per task id; empty optional when uncolored (kNone).
+  std::vector<std::optional<Color>> color_of;
+  int distinct_colors = 0;
+};
+
+// Computes a coloring. For kVirtualWorker, `virtual_workers` virtual devices
+// are exposed to the framework scheduler (ServerfulConfig-modelled) and its
+// placement becomes the coloring.
+DagColoring ColorDag(const Dag& dag, ColoringKind kind,
+                     int virtual_workers = 0,
+                     const ServerfulConfig& vw_model = {});
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_DAG_COLORING_H_

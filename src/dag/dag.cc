@@ -1,0 +1,82 @@
+#include "src/dag/dag.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace palette {
+
+int Dag::AddTask(std::string name, double cpu_ops, Bytes output_bytes,
+                 std::vector<int> deps) {
+  const int id = static_cast<int>(tasks_.size());
+  for (int dep : deps) {
+    assert(dep >= 0 && dep < id && "deps must reference existing tasks");
+    successors_[dep].push_back(id);
+    ++edge_count_;
+  }
+  tasks_.push_back(DagTask{id, std::move(name), cpu_ops, output_bytes,
+                           std::move(deps)});
+  successors_.emplace_back();
+  return id;
+}
+
+std::vector<int> Dag::TopologicalOrder() const {
+  std::vector<int> order(tasks_.size());
+  for (int i = 0; i < size(); ++i) {
+    order[i] = i;  // AddTask enforces topological insertion order.
+  }
+  return order;
+}
+
+std::vector<int> Dag::Sources() const {
+  std::vector<int> out;
+  for (const auto& t : tasks_) {
+    if (t.deps.empty()) {
+      out.push_back(t.id);
+    }
+  }
+  return out;
+}
+
+std::vector<int> Dag::Sinks() const {
+  std::vector<int> out;
+  for (const auto& t : tasks_) {
+    if (successors_[t.id].empty()) {
+      out.push_back(t.id);
+    }
+  }
+  return out;
+}
+
+double Dag::CriticalPathOps() const {
+  std::vector<double> longest(tasks_.size(), 0);
+  double best = 0;
+  for (const auto& t : tasks_) {
+    double from_deps = 0;
+    for (int dep : t.deps) {
+      from_deps = std::max(from_deps, longest[dep]);
+    }
+    longest[t.id] = from_deps + t.cpu_ops;
+    best = std::max(best, longest[t.id]);
+  }
+  return best;
+}
+
+double Dag::TotalOps() const {
+  double total = 0;
+  for (const auto& t : tasks_) {
+    total += t.cpu_ops;
+  }
+  return total;
+}
+
+Bytes Dag::TotalEdgeBytes() const {
+  Bytes total = 0;
+  for (const auto& t : tasks_) {
+    for (int dep : t.deps) {
+      total += tasks_[dep].output_bytes;
+    }
+  }
+  return total;
+}
+
+}  // namespace palette

@@ -1,0 +1,65 @@
+// Directed acyclic task graph: the unit of work for the DAG-processing use
+// case (§3, §6.2). Each node is one function invocation with a CPU demand
+// and a single output object consumed by its successors.
+#ifndef PALETTE_SRC_DAG_DAG_H_
+#define PALETTE_SRC_DAG_DAG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace palette {
+
+struct DagTask {
+  int id = -1;
+  std::string name;
+  double cpu_ops = 0;
+  Bytes output_bytes = 0;
+  std::vector<int> deps;  // producer task ids
+};
+
+class Dag {
+ public:
+  // Adds a task whose inputs are the outputs of `deps` (which must already
+  // exist — tasks are added in a valid topological order by construction).
+  // Returns the new task id.
+  int AddTask(std::string name, double cpu_ops, Bytes output_bytes,
+              std::vector<int> deps = {});
+
+  int size() const { return static_cast<int>(tasks_.size()); }
+  bool empty() const { return tasks_.empty(); }
+  const DagTask& task(int id) const { return tasks_.at(id); }
+  const std::vector<DagTask>& tasks() const { return tasks_; }
+  const std::vector<int>& successors(int id) const {
+    return successors_.at(id);
+  }
+
+  // Task ids in a valid topological order (insertion order is one, since
+  // AddTask requires existing deps; returned explicitly for clarity).
+  std::vector<int> TopologicalOrder() const;
+
+  std::vector<int> Sources() const;  // tasks with no deps
+  std::vector<int> Sinks() const;    // tasks with no successors
+
+  int edge_count() const { return edge_count_; }
+
+  // Sum of cpu_ops along the heaviest dependency path — an ideal-parallelism
+  // lower bound on makespan (ignoring transfers).
+  double CriticalPathOps() const;
+
+  // Total cpu_ops over all tasks.
+  double TotalOps() const;
+  // Total bytes crossing DAG edges (each edge counts the producer's output).
+  Bytes TotalEdgeBytes() const;
+
+ private:
+  std::vector<DagTask> tasks_;
+  std::vector<std::vector<int>> successors_;
+  int edge_count_ = 0;
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_DAG_DAG_H_

@@ -1,0 +1,112 @@
+#include "src/dag/dynamic_coloring.h"
+
+#include <cassert>
+#include <set>
+
+#include "src/common/table_printer.h"
+
+namespace palette {
+namespace {
+
+int CountDistinctColors(const DagColoring& coloring) {
+  std::set<Color> distinct;
+  for (const auto& color : coloring.color_of) {
+    if (color.has_value()) {
+      distinct.insert(*color);
+    }
+  }
+  return static_cast<int>(distinct.size());
+}
+
+}  // namespace
+
+DagColoring ApplyLargestInputFanInColoring(const Dag& dag,
+                                           const DagColoring& base) {
+  assert(static_cast<int>(base.color_of.size()) == dag.size());
+  DagColoring out = base;
+  // Insertion order is topological, so by the time we re-color a node its
+  // producers' (possibly re-colored) colors are final.
+  for (const auto& task : dag.tasks()) {
+    if (task.deps.size() < 2 || !out.color_of[task.id].has_value()) {
+      continue;
+    }
+    int largest = -1;
+    Bytes largest_bytes = 0;
+    Bytes total_bytes = 0;
+    for (int dep : task.deps) {
+      const Bytes bytes = dag.task(dep).output_bytes;
+      total_bytes += bytes;
+      if (largest < 0 || bytes > largest_bytes) {
+        largest = dep;
+        largest_bytes = bytes;
+      }
+    }
+    // Dominance guard: re-color only when following the largest input saves
+    // more transfer than it risks (it outweighs all other inputs combined);
+    // equal-sized shuffle inputs never trigger it.
+    if (largest >= 0 && out.color_of[largest].has_value() &&
+        largest_bytes > total_bytes - largest_bytes) {
+      out.color_of[task.id] = out.color_of[largest];
+    }
+  }
+  out.distinct_colors = CountDistinctColors(out);
+  return out;
+}
+
+PrefetchPlan BuildPrefetchPlan(const Dag& dag, const DagColoring& coloring) {
+  assert(static_cast<int>(coloring.color_of.size()) == dag.size());
+  PrefetchPlan plan;
+  plan.original_tasks = dag.size();
+
+  // Rebuild the original DAG (ids preserved).
+  for (const auto& task : dag.tasks()) {
+    plan.dag.AddTask(task.name, task.cpu_ops, task.output_bytes, task.deps);
+  }
+  plan.coloring.color_of = coloring.color_of;
+
+  // One dummy per distinct cross-color (producer, consumer-color) pair:
+  // prefetching the same output to the same color twice is wasted work.
+  std::set<std::pair<int, Color>> planned;
+  for (const auto& task : dag.tasks()) {
+    const auto& consumer_color = coloring.color_of[task.id];
+    if (!consumer_color.has_value()) {
+      continue;
+    }
+    for (int dep : task.deps) {
+      const auto& producer_color = coloring.color_of[dep];
+      if (producer_color.has_value() && *producer_color == *consumer_color) {
+        continue;  // Same color: already local.
+      }
+      if (!planned.emplace(dep, *consumer_color).second) {
+        continue;
+      }
+      const int dummy = plan.dag.AddTask(
+          StrFormat("prefetch_t%d_to_%s", dep, consumer_color->c_str()),
+          /*cpu_ops=*/0, /*output_bytes=*/1, {dep});
+      plan.coloring.color_of.push_back(*consumer_color);
+      assert(dummy == static_cast<int>(plan.coloring.color_of.size()) - 1);
+      (void)dummy;
+      ++plan.dummy_count;
+    }
+  }
+  plan.coloring.distinct_colors = CountDistinctColors(plan.coloring);
+  return plan;
+}
+
+Bytes CrossColorEdgeBytes(const Dag& dag, const DagColoring& coloring) {
+  assert(static_cast<int>(coloring.color_of.size()) == dag.size());
+  Bytes total = 0;
+  for (const auto& task : dag.tasks()) {
+    for (int dep : task.deps) {
+      const auto& a = coloring.color_of[dep];
+      const auto& b = coloring.color_of[task.id];
+      const bool same = a.has_value() && b.has_value() && *a == *b;
+      if (!same) {
+        total += dag.task(dep).output_bytes;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace palette

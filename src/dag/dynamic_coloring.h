@@ -1,0 +1,64 @@
+// Dynamic coloring policies (§6.3 Discussion).
+//
+// The paper sketches two client-side techniques beyond static chain or
+// virtual-worker coloring; this module implements both so they can be
+// evaluated (the paper describes but does not evaluate them):
+//
+//  * Largest-input fan-in coloring — "in the case of a fan-in, we can defer
+//    coloring the downstream node until we know the sizes of all inputs,
+//    and choose the color of the largest input". Starting from a base
+//    coloring, every task with 2+ dependencies is re-colored to the color
+//    of its biggest input, so the heaviest edge always becomes node-local.
+//
+//  * Prefetch dummy tasks — "suppose a blue task b2 depends on a blue task
+//    b1 and on a red task r1, and that r1 finishes first. The scheduler can
+//    create a dummy blue task b' that only depends on r1 ... causing the
+//    output of r1 to be fetched by the instance running blue tasks". We
+//    materialize the dummies statically: for each cross-color edge
+//    (producer p -> consumer c), a zero-CPU task colored like c that
+//    depends only on p. The dummy runs as soon as p finishes — typically
+//    while c's other inputs are still being computed — pulling p's output
+//    into c's instance cache ahead of time. Requires read-side caching
+//    (FaastCacheConfig::replicate_on_remote_hit) to have any effect.
+#ifndef PALETTE_SRC_DAG_DYNAMIC_COLORING_H_
+#define PALETTE_SRC_DAG_DYNAMIC_COLORING_H_
+
+#include "src/dag/coloring.h"
+#include "src/dag/dag.h"
+
+namespace palette {
+
+// Re-colors a fan-in node (2+ deps) of `base` with the color of its largest
+// input when that input *dominates* — it is bigger than all other inputs
+// combined. The dominance guard keeps the technique from collapsing shuffle
+// stages (where every consumer reads the same equal-sized producers and
+// would pile onto one color, forfeiting parallelism). Uncolored tasks are
+// left unchanged; distinct_colors is recomputed.
+DagColoring ApplyLargestInputFanInColoring(const Dag& dag,
+                                           const DagColoring& base);
+
+struct PrefetchPlan {
+  // The original DAG plus one zero-CPU dummy task per cross-color edge.
+  Dag dag;
+  DagColoring coloring;
+  // dummy task id -> the producer task whose output it prefetches.
+  // (Original task ids are preserved: dummies are appended.)
+  int dummy_count = 0;
+  int original_tasks = 0;
+};
+
+// Builds the prefetch-augmented DAG: for every edge (p -> c) where p and c
+// have different colors, appends a task with cpu_ops = 0 and a negligible
+// output, colored like c, depending only on p. Consumers' own dependencies
+// are unchanged (dummies only warm the cache; correctness never depends on
+// them — they are hints materialized as tasks).
+PrefetchPlan BuildPrefetchPlan(const Dag& dag, const DagColoring& coloring);
+
+// Counts the bytes that flow across cross-color edges under a coloring —
+// the quantity both techniques try to shrink or hide. Exposed for tests
+// and the ablation bench.
+Bytes CrossColorEdgeBytes(const Dag& dag, const DagColoring& coloring);
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_DAG_DYNAMIC_COLORING_H_

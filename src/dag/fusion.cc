@@ -1,0 +1,69 @@
+#include "src/dag/fusion.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/table_printer.h"
+
+namespace palette {
+
+FusedDag FuseLinearRuns(const Dag& dag) {
+  FusedDag out;
+  out.original_tasks = dag.size();
+  out.fused_of.assign(dag.size(), -1);
+  if (dag.empty()) {
+    return out;
+  }
+
+  // An edge (p -> c) is fusible when it is p's only out-edge and c's only
+  // in-edge. Walk tasks in topological (insertion) order; a task starts a
+  // new run unless it is fusibly attached to its predecessor's run.
+  std::vector<std::vector<int>> runs;
+  for (const auto& task : dag.tasks()) {
+    bool attached = false;
+    if (task.deps.size() == 1) {
+      const int producer = task.deps[0];
+      if (dag.successors(producer).size() == 1) {
+        const int run = out.fused_of[producer];
+        runs[run].push_back(task.id);
+        out.fused_of[task.id] = run;
+        attached = true;
+      }
+    }
+    if (!attached) {
+      out.fused_of[task.id] = static_cast<int>(runs.size());
+      runs.push_back({task.id});
+    }
+  }
+  out.fused_tasks = static_cast<int>(runs.size());
+
+  // Emit the fused DAG. Runs were created in topological order of their
+  // first member, so dependencies (which always point to earlier runs)
+  // already exist when a run is added.
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    double ops = 0;
+    std::vector<int> external_deps;
+    for (int member : runs[r]) {
+      ops += dag.task(member).cpu_ops;
+      for (int dep : dag.task(member).deps) {
+        const int dep_run = out.fused_of[dep];
+        if (dep_run != static_cast<int>(r)) {
+          external_deps.push_back(dep_run);
+        }
+      }
+    }
+    std::sort(external_deps.begin(), external_deps.end());
+    external_deps.erase(
+        std::unique(external_deps.begin(), external_deps.end()),
+        external_deps.end());
+    const int last_member = runs[r].back();
+    const int id = out.dag.AddTask(StrFormat("fused_run%zu", r), ops,
+                                   dag.task(last_member).output_bytes,
+                                   std::move(external_deps));
+    assert(id == static_cast<int>(r));
+    (void)id;
+  }
+  return out;
+}
+
+}  // namespace palette

@@ -1,0 +1,39 @@
+// Function fusion (the Wukong approach, §8 Related Work).
+//
+// Wukong achieves locality for serverless DAGs by *fusing* runs of tasks
+// into single function invocations, avoiding intermediate serialization
+// entirely — at the cost of generality and scheduler flexibility. The
+// paper argues colors + a serverless cache reach similar performance
+// without fusing. This module implements fusion so the two approaches can
+// be compared head-to-head (bench/ext_fusion.cc).
+//
+// Only *linear runs* are fused: maximal paths where each interior edge is
+// the producer's sole out-edge and the consumer's sole in-edge. Fusing
+// anything else can create cycles in the fused graph; linear-run fusion is
+// always safe and is what function-fusion systems do in practice.
+#ifndef PALETTE_SRC_DAG_FUSION_H_
+#define PALETTE_SRC_DAG_FUSION_H_
+
+#include <vector>
+
+#include "src/dag/dag.h"
+
+namespace palette {
+
+struct FusedDag {
+  Dag dag;
+  // For each original task, the fused task that contains it.
+  std::vector<int> fused_of;
+  int fused_tasks = 0;
+  int original_tasks = 0;
+};
+
+// Fuses maximal linear runs of `dag`. A fused task's cpu_ops is the sum
+// over its members; its output is the last member's output (interior
+// outputs never materialize — fusion's whole advantage); its deps are the
+// de-duplicated external deps of all members.
+FusedDag FuseLinearRuns(const Dag& dag);
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_DAG_FUSION_H_

@@ -1,0 +1,84 @@
+#include "src/dag/oracle_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace palette {
+
+OracleResult RunOracle(const Dag& dag, const OracleConfig& config) {
+  assert(config.workers >= 1);
+  OracleResult result;
+  result.assignment.assign(dag.size(), -1);
+  if (dag.empty()) {
+    result.makespan = SimTime();
+    return result;
+  }
+
+  const auto compute_secs = [&](int id) {
+    return dag.task(id).cpu_ops / config.cpu_ops_per_second;
+  };
+  const auto transfer_secs = [&](int producer) {
+    return static_cast<double>(dag.task(producer).output_bytes) * 8.0 /
+               config.bandwidth_bits_per_sec +
+           config.transfer_latency.seconds();
+  };
+
+  // Upward rank: longest remaining path including average communication.
+  std::vector<double> rank(dag.size(), 0);
+  for (int id = dag.size() - 1; id >= 0; --id) {
+    double best_succ = 0;
+    for (int succ : dag.successors(id)) {
+      best_succ = std::max(best_succ, transfer_secs(id) + rank[succ]);
+    }
+    rank[id] = compute_secs(id) + best_succ;
+  }
+
+  std::vector<int> order(dag.size());
+  for (int i = 0; i < dag.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (rank[a] != rank[b]) {
+      return rank[a] > rank[b];
+    }
+    return a < b;  // deterministic
+  });
+
+  std::vector<double> worker_free(config.workers, 0);
+  std::vector<double> finish(dag.size(), 0);
+
+  for (int id : order) {
+    double best_eft = 0;
+    int best_worker = -1;
+    for (int w = 0; w < config.workers; ++w) {
+      // Earliest start: all inputs present on w (transfers from producers on
+      // other workers), and w free.
+      double est = worker_free[w];
+      for (int dep : dag.task(id).deps) {
+        // Deps are always scheduled first: they have strictly greater upward
+        // rank along this path.
+        const double arrival = result.assignment[dep] == w
+                                   ? finish[dep]
+                                   : finish[dep] + transfer_secs(dep);
+        est = std::max(est, arrival);
+      }
+      const double eft = est + compute_secs(id);
+      if (best_worker < 0 || eft < best_eft) {
+        best_eft = eft;
+        best_worker = w;
+      }
+    }
+    result.assignment[id] = best_worker;
+    finish[id] = best_eft;
+    worker_free[best_worker] = best_eft;
+  }
+
+  double makespan = 0;
+  for (double f : finish) {
+    makespan = std::max(makespan, f);
+  }
+  result.makespan = SimTime::FromSeconds(makespan);
+  return result;
+}
+
+}  // namespace palette

@@ -1,0 +1,40 @@
+// Offline "Optimal" reference scheduler for Fig. 2.
+//
+// The paper computes an optimal schedule with a mixed-integer linear program
+// over recorded task runtimes and transfer sizes. Solving a MILP is outside
+// this repository's scope, so we substitute HEFT (Heterogeneous Earliest
+// Finish Time): an offline list scheduler with full knowledge of compute and
+// transfer costs, ranking tasks by upward rank and placing each on the
+// worker that minimizes its earliest finish time. HEFT is a standard
+// near-optimal heuristic for this problem family; like the paper's MILP it
+// serves as the reference point showing how much headroom a
+// locality-oblivious schedule leaves (documented as a substitution in
+// DESIGN.md).
+#ifndef PALETTE_SRC_DAG_ORACLE_SCHEDULER_H_
+#define PALETTE_SRC_DAG_ORACLE_SCHEDULER_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/dag/dag.h"
+
+namespace palette {
+
+struct OracleConfig {
+  int workers = 4;
+  double cpu_ops_per_second = 1e9;
+  double bandwidth_bits_per_sec = 1e9;
+  SimTime transfer_latency = SimTime::FromMicros(200);
+};
+
+struct OracleResult {
+  SimTime makespan;
+  std::vector<int> assignment;  // worker index per task id
+};
+
+// Plans `dag` with HEFT and returns the planned makespan and placement.
+OracleResult RunOracle(const Dag& dag, const OracleConfig& config);
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_DAG_ORACLE_SCHEDULER_H_

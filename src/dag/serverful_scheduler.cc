@@ -1,0 +1,140 @@
+#include "src/dag/serverful_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <string>
+
+#include "src/common/table_printer.h"
+#include "src/sim/simulator.h"
+
+namespace palette {
+
+// Dynamic earliest-finish-time dispatch: a task is placed the moment it
+// becomes ready, on the worker minimizing estimated finish time given (a)
+// which of its input bytes are already local and (b) the worker's CPU queue.
+// Input transfers start at dispatch and overlap with the worker's current
+// compute, as in Dask's communication/compute overlap.
+ServerfulRunResult RunServerful(const Dag& dag, const ServerfulConfig& config) {
+  assert(config.workers >= 1);
+  ServerfulRunResult result;
+  result.assignment.assign(dag.size(), -1);
+  result.task_completion.assign(static_cast<std::size_t>(dag.size()),
+                                SimTime());
+  if (dag.empty()) {
+    return result;
+  }
+
+  Simulator sim;
+  Network network(&sim, config.network);
+  std::vector<std::string> worker_names;
+  std::vector<FifoResource> cpus;
+  cpus.reserve(static_cast<std::size_t>(config.workers));
+  for (int w = 0; w < config.workers; ++w) {
+    worker_names.push_back(StrFormat("sfw%d", w));
+    network.AddNode(worker_names.back());
+    cpus.emplace_back(&sim);
+  }
+
+  std::vector<int> pending_deps(dag.size(), 0);
+  for (const auto& task : dag.tasks()) {
+    pending_deps[task.id] = static_cast<int>(task.deps.size());
+  }
+
+  // Dask workers cache fetched dependencies: once task `d`'s output has
+  // been pulled to worker `w`, later tasks on `w` read it locally.
+  // resident[d] is a bitmask over workers (worker counts here are small).
+  std::vector<std::uint64_t> resident(static_cast<std::size_t>(dag.size()), 0);
+  const auto is_resident = [&](int task_id, int w) {
+    return (resident[static_cast<std::size_t>(task_id)] >>
+            static_cast<unsigned>(w % 64)) & 1ULL;
+  };
+  const auto mark_resident = [&](int task_id, int w) {
+    resident[static_cast<std::size_t>(task_id)] |=
+        1ULL << static_cast<unsigned>(w % 64);
+  };
+
+  const double bytes_per_sec = config.network.bandwidth_bits_per_sec / 8.0;
+  SimTime makespan;
+  int completed = 0;
+
+  std::function<void(int)> dispatch = [&](int task_id) {
+    const DagTask& task = dag.task(task_id);
+
+    // Estimated finish time per worker: CPU queue + serialized transfer
+    // time of the inputs that are NOT already on that worker.
+    int best_worker = -1;
+    double best_eft = 0;
+    for (int w = 0; w < config.workers; ++w) {
+      double remote_bytes = 0;
+      if (config.locality_aware) {
+        for (int dep : task.deps) {
+          if (result.assignment[dep] != w && !is_resident(dep, w)) {
+            remote_bytes += static_cast<double>(dag.task(dep).output_bytes);
+          }
+        }
+      }
+      const double queue_free =
+          std::max(cpus[static_cast<std::size_t>(w)].available_at(), sim.Now())
+              .seconds();
+      const double fetch = remote_bytes / bytes_per_sec;
+      const double eft = std::max(queue_free, sim.Now().seconds() + fetch) +
+                         task.cpu_ops / config.cpu_ops_per_second;
+      if (best_worker < 0 || eft < best_eft) {
+        best_eft = eft;
+        best_worker = w;
+      }
+    }
+    result.assignment[task_id] = best_worker;
+    const std::string& worker_name =
+        worker_names[static_cast<std::size_t>(best_worker)];
+
+    // Book the actual transfers now (overlapping any ongoing compute).
+    SimTime inputs_ready = sim.Now() + config.scheduling_overhead;
+    for (int dep : task.deps) {
+      const int producer = result.assignment[dep];
+      assert(producer >= 0);
+      const Bytes size = dag.task(dep).output_bytes;
+      if (producer == best_worker || is_resident(dep, best_worker)) {
+        ++result.local_inputs;
+        continue;
+      }
+      ++result.remote_inputs;
+      result.network_bytes += size;
+      const SimTime done = network.Transfer(
+          worker_names[static_cast<std::size_t>(producer)], worker_name, size);
+      mark_resident(dep, best_worker);
+      if (done > inputs_ready) {
+        inputs_ready = done;
+      }
+    }
+
+    const SimTime compute = ComputeDuration(task.cpu_ops,
+                                            config.cpu_ops_per_second);
+    const SimTime compute_done =
+        cpus[static_cast<std::size_t>(best_worker)].Acquire(compute,
+                                                            inputs_ready);
+    sim.At(compute_done, [&, task_id]() {
+      ++completed;
+      result.task_completion[static_cast<std::size_t>(task_id)] = sim.Now();
+      if (sim.Now() > makespan) {
+        makespan = sim.Now();
+      }
+      for (int succ : dag.successors(task_id)) {
+        if (--pending_deps[succ] == 0) {
+          dispatch(succ);
+        }
+      }
+    });
+  };
+
+  for (int id : dag.Sources()) {
+    dispatch(id);
+  }
+  sim.Run();
+  assert(completed == dag.size() && "serverful run did not drain the DAG");
+  result.makespan = makespan;
+  return result;
+}
+
+}  // namespace palette

@@ -1,0 +1,53 @@
+// Serverful dynamic DAG scheduler ("Serverful Dask" baseline).
+//
+// Models what Dask's distributed scheduler does with full worker visibility:
+// when a worker becomes free, it receives the ready task with the most input
+// bytes already resident on it (falling back to FIFO). Workers keep outputs
+// in local memory; only cross-worker inputs traverse the network, with no
+// per-object serialization tax for local data (the paper credits serverful
+// Dask's remaining edge to exactly this, §7.2.2 Finding 5).
+//
+// The same scheduler runs in "virtual worker" mode (§6.2): scheduled onto V
+// virtual workers, its task->worker assignment becomes a Palette coloring
+// ("each virtual worker colors all of its invocations with its own color").
+#ifndef PALETTE_SRC_DAG_SERVERFUL_SCHEDULER_H_
+#define PALETTE_SRC_DAG_SERVERFUL_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/dag/dag.h"
+#include "src/sim/network.h"
+
+namespace palette {
+
+struct ServerfulConfig {
+  int workers = 4;
+  double cpu_ops_per_second = 1e9;
+  NetworkConfig network;
+  // Scheduler decision + RPC overhead per task (small but not free).
+  SimTime scheduling_overhead = SimTime::FromMicros(200);
+  // true: placement weighs where input data lives (Dask's scheduler).
+  // false: placement only balances load, and inputs are pulled from
+  // wherever they are — the behavior of NumS's Ray backend (§7.2.4), whose
+  // device mapping does not give the cluster scheduler data affinity.
+  bool locality_aware = true;
+};
+
+struct ServerfulRunResult {
+  SimTime makespan;
+  std::vector<int> assignment;  // worker index per task id
+  std::vector<SimTime> task_completion;  // per task id
+  Bytes network_bytes = 0;
+  std::uint64_t remote_inputs = 0;
+  std::uint64_t local_inputs = 0;
+};
+
+// Simulates the serverful execution of `dag` and returns its makespan and
+// task placement. Deterministic for fixed inputs.
+ServerfulRunResult RunServerful(const Dag& dag, const ServerfulConfig& config);
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_DAG_SERVERFUL_SCHEDULER_H_

@@ -1,0 +1,72 @@
+#include "src/faas/color_scale_controller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/common/table_printer.h"
+
+namespace palette {
+
+ColorScaleController::ColorScaleController(FaasPlatform* platform,
+                                           ColorScaleConfig config)
+    : platform_(platform), config_(config) {
+  assert(config_.min_workers >= 1);
+  assert(config_.max_workers >= config_.min_workers);
+  assert(config_.colors_per_instance > 0);
+}
+
+void ColorScaleController::OnColoredInvocation(std::string_view color) {
+  active_colors_.Add(color);
+}
+
+double ColorScaleController::ActiveColorEstimate() const {
+  return active_colors_.Estimate();
+}
+
+int ColorScaleController::Evaluate() {
+  const double active = ActiveColorEstimate();
+  const int target = std::clamp(
+      static_cast<int>(std::ceil(active / config_.colors_per_instance)),
+      config_.min_workers, config_.max_workers);
+  const int current = static_cast<int>(platform_->worker_count());
+  if (target > current) {
+    platform_->AddWorkers(target - current);
+    return target - current;
+  }
+  if (target < current) {
+    // Conservative scale-in: one worker per evaluation, so color mappings
+    // re-home gradually rather than in a thundering herd.
+    const auto names = platform_->WorkerNames();
+    platform_->RemoveWorker(names.back());
+    return -1;
+  }
+  return 0;
+}
+
+void ColorScaleController::RotateWindow() { active_colors_.Rotate(); }
+
+void ColorScaleController::Start(SimTime until) {
+  Simulator& sim = platform_->simulator();
+  if (sim.Now() >= until) {
+    return;
+  }
+  sim.After(config_.evaluation_interval, [this, until]() {
+    Evaluate();
+    Start(until);
+  });
+  ScheduleRotation(until);
+}
+
+void ColorScaleController::ScheduleRotation(SimTime until) {
+  Simulator& sim = platform_->simulator();
+  if (sim.Now() >= until) {
+    return;
+  }
+  sim.After(config_.window, [this, until]() {
+    RotateWindow();
+    ScheduleRotation(until);
+  });
+}
+
+}  // namespace palette

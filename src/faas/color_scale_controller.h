@@ -1,0 +1,68 @@
+// Color-aware autoscaling (§5 Scaling, future work hook).
+//
+// The paper leaves "the use of colors as hints for rapid autoscaling" to
+// future work. This controller implements the natural version of that
+// idea: the number of *distinct active colors* is a direct signal for how
+// many instances the application can usefully occupy — more instances than
+// active colors sit idle (each color maps to one instance), while far
+// fewer instances than colors forfeits parallelism. The controller counts
+// recent distinct colors with a windowed HyperLogLog (the same sketch the
+// Bucket Hashing policy uses) and drives the fleet toward
+// ceil(active_colors / colors_per_instance).
+//
+// Compared to the reactive queue-depth controller (scale_controller.h),
+// this one reacts *before* queues build: a burst of new colors is visible
+// at routing time, one RTT earlier than its queueing effect.
+#ifndef PALETTE_SRC_FAAS_COLOR_SCALE_CONTROLLER_H_
+#define PALETTE_SRC_FAAS_COLOR_SCALE_CONTROLLER_H_
+
+#include <string_view>
+
+#include "src/faas/platform.h"
+#include "src/sketch/hyperloglog.h"
+
+namespace palette {
+
+struct ColorScaleConfig {
+  int min_workers = 1;
+  int max_workers = 48;
+  // Desired colors per instance. The paper's single-instance-per-color
+  // model means 1 gives maximum parallelism; larger values consolidate.
+  double colors_per_instance = 4.0;
+  // Rotate the HLL window every interval; the estimate spans two windows
+  // (the paper's Bucket Hashing uses 30-minute windows; autoscaling wants
+  // a much shorter horizon).
+  SimTime window = SimTime::FromSeconds(60);
+  SimTime evaluation_interval = SimTime::FromSeconds(10);
+};
+
+class ColorScaleController {
+ public:
+  ColorScaleController(FaasPlatform* platform, ColorScaleConfig config);
+
+  // Report each colored invocation as it is routed.
+  void OnColoredInvocation(std::string_view color);
+
+  // Current distinct-active-color estimate (both windows).
+  double ActiveColorEstimate() const;
+
+  // Runs one evaluation; returns the worker delta applied.
+  int Evaluate();
+
+  // Rotates the color window (call on the window boundary).
+  void RotateWindow();
+
+  // Schedules periodic Evaluate()/RotateWindow() until `until`.
+  void Start(SimTime until);
+
+ private:
+  void ScheduleRotation(SimTime until);
+
+  FaasPlatform* platform_;
+  ColorScaleConfig config_;
+  WindowedHyperLogLog active_colors_;
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_FAAS_COLOR_SCALE_CONTROLLER_H_

@@ -1,0 +1,56 @@
+#include "src/faas/frontend.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace palette {
+
+FaasFrontend::FaasFrontend(Simulator* sim, NetworkConfig network_config)
+    : sim_(sim), network_(sim, network_config) {}
+
+bool FaasFrontend::RegisterApp(const std::string& app, PolicyKind policy,
+                               int workers, PlatformConfig config,
+                               std::uint64_t seed) {
+  if (apps_.count(app) > 0) {
+    return false;
+  }
+  auto platform = std::make_unique<FaasPlatform>(sim_, policy, seed, config,
+                                                 &network_);
+  // Worker names carry the app name so the shared network stays unambiguous.
+  platform->set_worker_prefix(app + "/w");
+  platform->AddWorkers(workers);
+  apps_.emplace(app, std::move(platform));
+  return true;
+}
+
+bool FaasFrontend::HasApp(const std::string& app) const {
+  return apps_.count(app) > 0;
+}
+
+std::vector<std::string> FaasFrontend::AppNames() const {
+  std::vector<std::string> names;
+  names.reserve(apps_.size());
+  for (const auto& [name, _] : apps_) {
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+FaasPlatform& FaasFrontend::App(const std::string& app) {
+  auto it = apps_.find(app);
+  assert(it != apps_.end() && "unknown application");
+  return *it->second;
+}
+
+std::optional<std::uint64_t> FaasFrontend::Invoke(
+    const std::string& app, InvocationSpec spec,
+    FaasPlatform::CompletionCallback cb) {
+  auto it = apps_.find(app);
+  if (it == apps_.end()) {
+    return std::nullopt;
+  }
+  return it->second->Invoke(std::move(spec), std::move(cb));
+}
+
+}  // namespace palette

@@ -1,0 +1,58 @@
+// Multi-application FaaS frontend (Fig. 1 / Fig. 3).
+//
+// A production serverless frontend serves many applications at once. The
+// paper requires that Palette preserve per-application isolation: "the
+// namespace of colors is scoped to each application; Palette does not
+// introduce new data sharing or interference among different applications".
+// FaasFrontend enforces that structurally — each registered application
+// gets its own PaletteLoadBalancer (own policy, own color namespace) and
+// its own Faa$T cache, while all applications share the physical cluster
+// network (so network-level interference, which is real, is still modeled).
+#ifndef PALETTE_SRC_FAAS_FRONTEND_H_
+#define PALETTE_SRC_FAAS_FRONTEND_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/faas/platform.h"
+
+namespace palette {
+
+class FaasFrontend {
+ public:
+  // `sim` must outlive the frontend. The network config applies to the
+  // shared fabric.
+  FaasFrontend(Simulator* sim, NetworkConfig network_config = {});
+
+  // Registers an application with its chosen color scheduling policy (the
+  // user picks one at registration time, §5) and initial worker fleet.
+  // Returns false if the name is taken.
+  bool RegisterApp(const std::string& app, PolicyKind policy, int workers,
+                   PlatformConfig config = {}, std::uint64_t seed = 1);
+
+  bool HasApp(const std::string& app) const;
+  std::vector<std::string> AppNames() const;
+
+  // Per-application access. Callers must not assume anything about other
+  // applications' state — that is the point.
+  FaasPlatform& App(const std::string& app);
+
+  // Routes one invocation of `app`. Convenience over App(app).Invoke.
+  std::optional<std::uint64_t> Invoke(const std::string& app,
+                                      InvocationSpec spec,
+                                      FaasPlatform::CompletionCallback cb);
+
+  Network& network() { return network_; }
+  Simulator& simulator() { return *sim_; }
+
+ private:
+  Simulator* sim_;
+  Network network_;
+  std::unordered_map<std::string, std::unique_ptr<FaasPlatform>> apps_;
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_FAAS_FRONTEND_H_

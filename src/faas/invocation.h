@@ -1,0 +1,53 @@
+// Invocation descriptions for the simulated FaaS platform.
+//
+// An invocation names a function, optionally carries a Palette color (§4),
+// declares the objects it reads and writes through the Faa$T cache, and its
+// CPU demand. Object names may carry the "<key>___<rest>" hashing-key prefix
+// from §5.1; the platform translates color prefixes to instance names before
+// touching the cache.
+#ifndef PALETTE_SRC_FAAS_INVOCATION_H_
+#define PALETTE_SRC_FAAS_INVOCATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/core/color.h"
+
+namespace palette {
+
+struct ObjectRef {
+  std::string name;
+  // Expected size; used when the object must come from backing storage
+  // (cache hits report the cached size).
+  Bytes size = 0;
+};
+
+struct InvocationSpec {
+  std::string function;
+  std::optional<Color> color;
+  // CPU demand in abstract operations; divided by the platform's
+  // ops-per-second rating to get compute time.
+  double cpu_ops = 0;
+  std::vector<ObjectRef> inputs;
+  std::vector<ObjectRef> outputs;
+};
+
+struct InvocationResult {
+  std::uint64_t id = 0;
+  std::string instance;  // where it ran
+  SimTime dispatched;    // left the load balancer
+  SimTime inputs_ready;  // all inputs fetched
+  SimTime compute_done;
+  SimTime completed;     // outputs stored
+  int local_hits = 0;
+  int remote_hits = 0;
+  int misses = 0;
+  Bytes network_bytes = 0;  // bytes pulled over the network (remote + storage)
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_FAAS_INVOCATION_H_

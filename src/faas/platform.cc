@@ -1,0 +1,214 @@
+#include "src/faas/platform.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/table_printer.h"
+
+namespace palette {
+
+FaasPlatform::FaasPlatform(Simulator* sim, PolicyKind policy,
+                           std::uint64_t seed, PlatformConfig config,
+                           Network* shared_network)
+    : sim_(sim),
+      config_(config),
+      owned_network_(shared_network == nullptr
+                         ? std::make_unique<Network>(sim, config.network)
+                         : nullptr),
+      network_ptr_(shared_network != nullptr ? shared_network
+                                             : owned_network_.get()),
+      cache_(config.cache),
+      lb_(MakePolicy(policy, seed)) {
+  if (!network_ptr_->HasNode(kStorageNode)) {
+    network_ptr_->AddNode(kStorageNode);
+  }
+}
+
+void FaasPlatform::AddWorker(const std::string& name, double speed) {
+  if (workers_.count(name) > 0) {
+    return;
+  }
+  assert(speed > 0);
+  workers_.emplace(name, std::make_unique<Worker>(sim_, speed));
+  network_ptr_->AddNode(name);
+  cache_.AddInstance(name);
+  lb_.AddInstance(name);
+}
+
+void FaasPlatform::AddWorkers(int count) {
+  for (int i = 0; i < count; ++i) {
+    AddWorker(StrFormat("%s%d", worker_prefix_.c_str(), next_worker_index_++));
+  }
+}
+
+void FaasPlatform::RemoveWorker(const std::string& name) {
+  if (workers_.erase(name) == 0) {
+    return;
+  }
+  cache_.RemoveInstance(name);
+  lb_.RemoveInstance(name);
+}
+
+std::vector<std::string> FaasPlatform::WorkerNames() const {
+  std::vector<std::string> names;
+  names.reserve(workers_.size());
+  for (const auto& [name, _] : workers_) {
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void FaasPlatform::SeedStorageObject(const std::string& name, Bytes size) {
+  storage_objects_[name] = size;
+}
+
+std::optional<std::uint64_t> FaasPlatform::Invoke(
+    InvocationSpec spec, CompletionCallback on_complete) {
+  const auto instance = lb_.Route(spec.color);
+  if (!instance.has_value()) {
+    return std::nullopt;
+  }
+  const std::uint64_t id = next_id_++;
+  auto result = std::make_shared<InvocationResult>();
+  result->id = id;
+  result->instance = *instance;
+
+  Worker& worker = *workers_.at(*instance);
+  SimTime dispatch_done = sim_->Now() + config_.dispatch_latency;
+  if (!worker.warm) {
+    worker.warm = true;
+    dispatch_done += config_.cold_start;
+  }
+  result->dispatched = dispatch_done;
+
+  auto spec_ptr = std::make_shared<InvocationSpec>(std::move(spec));
+  const std::string target = *instance;
+  sim_->At(dispatch_done, [this, target, spec_ptr, result,
+                           cb = std::move(on_complete)]() mutable {
+    // The request arrives at the instance and joins its FIFO run queue.
+    auto it = workers_.find(target);
+    if (it == workers_.end()) {
+      return;  // Worker removed while the request was in flight: dropped.
+    }
+    it->second->queue.push_back(
+        PendingInvocation{spec_ptr, result, std::move(cb)});
+    if (!it->second->busy) {
+      StartNextOnWorker(target);
+    }
+  });
+  return id;
+}
+
+void FaasPlatform::StartNextOnWorker(const std::string& instance) {
+  auto worker_it = workers_.find(instance);
+  if (worker_it == workers_.end()) {
+    return;
+  }
+  Worker& worker = *worker_it->second;
+  if (worker.queue.empty()) {
+    worker.busy = false;
+    return;
+  }
+  worker.busy = true;
+  PendingInvocation pending = std::move(worker.queue.front());
+  worker.queue.pop_front();
+  const std::shared_ptr<InvocationSpec>& spec = pending.spec;
+  const std::shared_ptr<InvocationResult>& result = pending.result;
+
+  // Fetch inputs: the invocation blocks the worker for the duration.
+  SimTime inputs_ready = sim_->Now();
+  Bytes payload_bytes = 0;
+  for (const ObjectRef& input : spec->inputs) {
+    payload_bytes += input.size;
+    CacheLookup lookup = cache_.Get(instance, input.name);
+    SimTime done;
+    switch (lookup.outcome) {
+      case CacheOutcome::kLocalHit:
+        ++result->local_hits;
+        done = network_ptr_->Transfer(instance, instance, lookup.size);
+        break;
+      case CacheOutcome::kRemoteHit:
+        ++result->remote_hits;
+        result->network_bytes += lookup.size;
+        done = network_ptr_->Transfer(lookup.owner, instance, lookup.size);
+        break;
+      case CacheOutcome::kMiss: {
+        ++result->misses;
+        const auto it = storage_objects_.find(input.name);
+        const Bytes size = it != storage_objects_.end() ? it->second
+                                                        : input.size;
+        result->network_bytes += size;
+        done = network_ptr_->Transfer(kStorageNode, instance, size);
+        if (config_.cache_miss_fills) {
+          cache_.PutLocal(instance, input.name, size);
+        }
+        break;
+      }
+    }
+    if (done > inputs_ready) {
+      inputs_ready = done;
+    }
+  }
+  result->inputs_ready = inputs_ready;
+
+  for (const ObjectRef& output : spec->outputs) {
+    payload_bytes += output.size;
+  }
+  SimTime compute = ComputeDuration(
+      spec->cpu_ops, config_.cpu_ops_per_second * worker.speed);
+  if (config_.serialization_bytes_per_second > 0) {
+    compute += TransferDuration(
+        payload_bytes, config_.serialization_bytes_per_second * worker.speed);
+  }
+
+  // Occupy the worker from now (fetch start) through end of compute.
+  const SimTime compute_done =
+      worker.cpu.Acquire((inputs_ready - sim_->Now()) + compute);
+  result->compute_done = compute_done;
+
+  sim_->At(compute_done, [this, instance, spec, result,
+                          cb = std::move(pending.on_complete)]() mutable {
+    SimTime completed = sim_->Now();
+    // Output placement: the invocation is not finished until its outputs
+    // are stored at their home instances, and the single-threaded worker
+    // blocks on the put. Under Palette's color translation the home is the
+    // producing worker itself (a fast local store); under far-memory-style
+    // naming the put crosses the network — the write-side cost oblivious
+    // routing pays.
+    for (const ObjectRef& output : spec->outputs) {
+      const std::string home =
+          cache_.Put(result->instance, output.name, output.size);
+      const SimTime done =
+          network_ptr_->Transfer(result->instance, home, output.size);
+      if (done > completed) {
+        completed = done;
+      }
+    }
+    result->completed = completed;
+    if (completed > sim_->Now()) {
+      // Keep the worker occupied through the blocking put.
+      auto worker_it = workers_.find(instance);
+      if (worker_it != workers_.end()) {
+        worker_it->second->cpu.Acquire(completed - sim_->Now());
+      }
+    }
+    sim_->At(completed, [this, instance, result, cb2 = std::move(cb)]() {
+      ++completed_;
+      if (cb2) {
+        cb2(*result);
+      }
+      StartNextOnWorker(instance);
+    });
+  });
+}
+
+std::unordered_map<std::string, SimTime> FaasPlatform::WorkerBusyTime() const {
+  std::unordered_map<std::string, SimTime> out;
+  for (const auto& [name, worker] : workers_) {
+    out[name] = worker->cpu.busy_time();
+  }
+  return out;
+}
+
+}  // namespace palette

@@ -1,0 +1,149 @@
+// The simulated FaaS platform (Fig. 1 / Fig. 3).
+//
+// One FaasPlatform models one application: a set of single-vCPU workers
+// (one application instance per worker, as the paper assumes), the Palette
+// load balancer with its color scheduling policy, the Faa$T-style cache, and
+// the shared cluster network — all driven by the discrete-event simulator.
+//
+// Invocation life cycle:
+//   route (LB, color policy) -> dispatch latency [+ cold start]
+//   -> fetch inputs (local / peer cache / backing storage over the network)
+//   -> compute on the worker's CPU FIFO (plus serialization overhead)
+//   -> store outputs at their home instances
+//   -> completion callback.
+#ifndef PALETTE_SRC_FAAS_PLATFORM_H_
+#define PALETTE_SRC_FAAS_PLATFORM_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/faast_cache.h"
+#include "src/common/types.h"
+#include "src/core/palette_load_balancer.h"
+#include "src/core/policy_factory.h"
+#include "src/faas/invocation.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace palette {
+
+// Pseudo-node representing remote backing storage (blob store / MongoDB).
+inline constexpr const char* kStorageNode = "__storage";
+
+struct PlatformConfig {
+  // Worker compute rating. 1e9 abstract ops/s roughly matches the paper's
+  // single-vCPU D4s_v3 workers running Python-level work.
+  double cpu_ops_per_second = 1e9;
+  // Load balancer + HTTP dispatch overhead per invocation.
+  SimTime dispatch_latency = SimTime::FromMillis(1);
+  // First invocation on a worker pays a cold start.
+  SimTime cold_start = SimTime::FromMillis(100);
+  // The paper's Palette prototype serializes every object on the critical
+  // path (§7.2.2 Finding 5); serverful Dask only serializes cross-worker.
+  // 0 disables the overhead.
+  double serialization_bytes_per_second = 1.5e9;
+  // Whether objects fetched from backing storage are cached locally.
+  bool cache_miss_fills = true;
+  FaastCacheConfig cache;
+  NetworkConfig network;
+};
+
+class FaasPlatform {
+ public:
+  using CompletionCallback = std::function<void(const InvocationResult&)>;
+
+  // The platform owns the cache and load balancer; `sim` must outlive it.
+  // If `shared_network` is non-null the platform joins that network
+  // (multi-application deployments share the cluster fabric) instead of
+  // creating its own; the caller keeps ownership.
+  FaasPlatform(Simulator* sim, PolicyKind policy, std::uint64_t seed,
+               PlatformConfig config = {}, Network* shared_network = nullptr);
+
+  // Workers are named "<prefix>N" by AddWorkers (default prefix "w"), or
+  // explicitly. Multi-app deployments give each app a distinct prefix so
+  // worker names stay unique on the shared network. `speed` scales the
+  // worker's CPU rate (1.0 = the platform rating; 0.5 = a straggler VM) —
+  // real clusters are never perfectly homogeneous.
+  void AddWorker(const std::string& name, double speed = 1.0);
+  void AddWorkers(int count);
+  void set_worker_prefix(std::string prefix) {
+    worker_prefix_ = std::move(prefix);
+  }
+  void RemoveWorker(const std::string& name);
+  std::size_t worker_count() const { return workers_.size(); }
+  std::vector<std::string> WorkerNames() const;
+
+  // Submits an invocation; `on_complete` fires (via the simulator) when its
+  // outputs are stored. Returns the invocation id, or nullopt if no workers
+  // are available.
+  std::optional<std::uint64_t> Invoke(InvocationSpec spec,
+                                      CompletionCallback on_complete);
+
+  // §5.1 name translation: rewrites a color hash-key prefix to the instance
+  // that color maps to. DAG executors call this on input/output names
+  // before submitting.
+  std::string TranslateObjectName(const std::string& name) {
+    return lb_.TranslateObjectName(name);
+  }
+
+  // Seeds an object into backing storage only (size bookkeeping). Objects
+  // read but never produced in this run come from storage.
+  void SeedStorageObject(const std::string& name, Bytes size);
+
+  PaletteLoadBalancer& load_balancer() { return lb_; }
+  FaastCache& cache() { return cache_; }
+  Network& network() { return *network_ptr_; }
+  Simulator& simulator() { return *sim_; }
+  const PlatformConfig& config() const { return config_; }
+
+  std::uint64_t completed_invocations() const { return completed_; }
+  // Busy CPU time per worker (utilization and stragglers).
+  std::unordered_map<std::string, SimTime> WorkerBusyTime() const;
+
+ private:
+  struct PendingInvocation {
+    std::shared_ptr<InvocationSpec> spec;
+    std::shared_ptr<InvocationResult> result;
+    CompletionCallback on_complete;
+  };
+
+  // A worker is a single-vCPU application instance: it serves one
+  // invocation at a time from a FIFO queue and *blocks* while fetching that
+  // invocation's inputs (no async communication thread, unlike serverful
+  // Dask workers).
+  struct Worker {
+    Worker(Simulator* sim, double speed_factor)
+        : cpu(sim), speed(speed_factor) {}
+    FifoResource cpu;  // busy-time accounting
+    double speed;      // CPU rate multiplier
+    std::deque<PendingInvocation> queue;
+    bool busy = false;
+    bool warm = false;
+  };
+
+  // Pops and executes the next queued invocation on `instance`, if any.
+  void StartNextOnWorker(const std::string& instance);
+
+  Simulator* sim_;
+  PlatformConfig config_;
+  std::unique_ptr<Network> owned_network_;  // null when sharing
+  Network* network_ptr_;
+  FaastCache cache_;
+  PaletteLoadBalancer lb_;
+  std::unordered_map<std::string, std::unique_ptr<Worker>> workers_;
+  std::unordered_map<std::string, Bytes> storage_objects_;
+  std::string worker_prefix_ = "w";
+  std::uint64_t next_id_ = 1;
+  std::uint64_t completed_ = 0;
+  int next_worker_index_ = 0;
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_FAAS_PLATFORM_H_

@@ -1,0 +1,57 @@
+#include "src/faas/scale_controller.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/table_printer.h"
+
+namespace palette {
+
+ScaleController::ScaleController(FaasPlatform* platform,
+                                 ScaleControllerConfig config)
+    : platform_(platform), config_(config) {
+  assert(config_.min_workers >= 1);
+  assert(config_.max_workers >= config_.min_workers);
+}
+
+int ScaleController::Evaluate() {
+  const int workers = static_cast<int>(platform_->worker_count());
+  if (workers == 0) {
+    platform_->AddWorkers(config_.min_workers);
+    ++scale_outs_;
+    return config_.min_workers;
+  }
+  const double per_worker =
+      static_cast<double>(outstanding_) / static_cast<double>(workers);
+  if (per_worker > config_.scale_out_threshold &&
+      workers < config_.max_workers) {
+    // Double (bounded) — the aggressive scale-out FaaS platforms favor.
+    const int target = std::min(config_.max_workers, workers * 2);
+    platform_->AddWorkers(target - workers);
+    ++scale_outs_;
+    return target - workers;
+  }
+  if (per_worker < config_.scale_in_threshold &&
+      workers > config_.min_workers) {
+    // Remove one worker at a time; conservative scale-in limits locality
+    // churn for colors that have to move.
+    const auto names = platform_->WorkerNames();
+    platform_->RemoveWorker(names.back());
+    ++scale_ins_;
+    return -1;
+  }
+  return 0;
+}
+
+void ScaleController::Start(SimTime until) {
+  Simulator& sim = platform_->simulator();
+  if (sim.Now() >= until) {
+    return;
+  }
+  sim.After(config_.evaluation_interval, [this, until]() {
+    Evaluate();
+    Start(until);
+  });
+}
+
+}  // namespace palette

@@ -1,0 +1,65 @@
+// Scale controller (Fig. 1 / Fig. 3).
+//
+// Decides, per application and independently of the load balancer, whether
+// to add or remove workers based on observed load. The paper keeps scaling
+// orthogonal to Palette: colors are assigned to existing instances, and
+// membership changes flow into the color scheduling policy, which may lose
+// locality (but never correctness) for colors that move.
+//
+// The policy here is deliberately simple and reactive, in the spirit of
+// production FaaS autoscalers: scale out when per-worker concurrency exceeds
+// a high-water mark, scale in when it stays below a low-water mark.
+#ifndef PALETTE_SRC_FAAS_SCALE_CONTROLLER_H_
+#define PALETTE_SRC_FAAS_SCALE_CONTROLLER_H_
+
+#include <cstdint>
+
+#include "src/faas/platform.h"
+
+namespace palette {
+
+struct ScaleControllerConfig {
+  int min_workers = 1;
+  int max_workers = 48;
+  // Scale out when outstanding invocations per worker exceed this.
+  double scale_out_threshold = 4.0;
+  // Scale in when outstanding invocations per worker drop below this.
+  double scale_in_threshold = 0.5;
+  SimTime evaluation_interval = SimTime::FromSeconds(10);
+};
+
+class ScaleController {
+ public:
+  ScaleController(FaasPlatform* platform, ScaleControllerConfig config);
+
+  // Applications report arrivals/completions; the controller tracks
+  // outstanding load.
+  void OnInvocationSubmitted() { ++outstanding_; }
+  void OnInvocationCompleted() {
+    if (outstanding_ > 0) {
+      --outstanding_;
+    }
+  }
+
+  // Runs one scaling evaluation; returns the worker delta applied
+  // (positive = scaled out, negative = scaled in).
+  int Evaluate();
+
+  // Schedules periodic Evaluate() calls on the simulator until `until`.
+  void Start(SimTime until);
+
+  std::uint64_t outstanding() const { return outstanding_; }
+  int scale_out_events() const { return scale_outs_; }
+  int scale_in_events() const { return scale_ins_; }
+
+ private:
+  FaasPlatform* platform_;
+  ScaleControllerConfig config_;
+  std::uint64_t outstanding_ = 0;
+  int scale_outs_ = 0;
+  int scale_ins_ = 0;
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_FAAS_SCALE_CONTROLLER_H_

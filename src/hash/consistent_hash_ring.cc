@@ -1,0 +1,89 @@
+#include "src/hash/consistent_hash_ring.h"
+
+#include <algorithm>
+
+#include "src/hash/hash.h"
+
+namespace palette {
+
+ConsistentHashRing::ConsistentHashRing(int virtual_nodes, std::uint64_t seed)
+    : virtual_nodes_(virtual_nodes), seed_(seed) {}
+
+bool ConsistentHashRing::AddMember(const std::string& member) {
+  if (!members_.insert(member).second) {
+    return false;
+  }
+  for (int i = 0; i < virtual_nodes_; ++i) {
+    const std::uint64_t pos =
+        Murmur3_64(member, seed_ + static_cast<std::uint64_t>(i));
+    // On the (astronomically unlikely) collision of two virtual-node
+    // positions, the established entry wins; the member still has its
+    // remaining virtual nodes.
+    ring_.emplace(pos, member);
+  }
+  return true;
+}
+
+bool ConsistentHashRing::RemoveMember(const std::string& member) {
+  if (members_.erase(member) == 0) {
+    return false;
+  }
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == member) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return true;
+}
+
+bool ConsistentHashRing::Contains(const std::string& member) const {
+  return members_.count(member) > 0;
+}
+
+std::vector<std::string> ConsistentHashRing::Members() const {
+  std::vector<std::string> out(members_.begin(), members_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<std::string> ConsistentHashRing::Lookup(
+    std::string_view key) const {
+  if (ring_.empty()) {
+    return std::nullopt;
+  }
+  // Identity property (§5.1): a member name maps to itself.
+  if (auto it = members_.find(std::string(key)); it != members_.end()) {
+    return *it;
+  }
+  const std::uint64_t pos = Murmur3_64(key, seed_);
+  auto it = ring_.lower_bound(pos);
+  if (it == ring_.end()) {
+    it = ring_.begin();
+  }
+  return it->second;
+}
+
+std::vector<std::string> ConsistentHashRing::LookupN(std::string_view key,
+                                                     std::size_t count) const {
+  std::vector<std::string> out;
+  if (ring_.empty() || count == 0) {
+    return out;
+  }
+  count = std::min(count, members_.size());
+  const std::uint64_t pos = Murmur3_64(key, seed_);
+  auto it = ring_.lower_bound(pos);
+  while (out.size() < count) {
+    if (it == ring_.end()) {
+      it = ring_.begin();
+    }
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+    }
+    ++it;
+  }
+  return out;
+}
+
+}  // namespace palette

@@ -1,0 +1,59 @@
+// Consistent hashing ring with virtual nodes (Karger et al.), used by:
+//   * the Consistent Hashing color scheduling policy (§5, Table 1), and
+//   * the Faa$T-style cache to locate an object's home instance (§5.1).
+//
+// One property of the paper's design depends on: looking up a key that *is*
+// a member name returns that member ("the consistent hashing function is the
+// identity function when the argument is the name of one of the members of
+// the ring", §5.1). The ring guarantees this by registering an exact-match
+// table alongside the virtual-node ring.
+#ifndef PALETTE_SRC_HASH_CONSISTENT_HASH_RING_H_
+#define PALETTE_SRC_HASH_CONSISTENT_HASH_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace palette {
+
+class ConsistentHashRing {
+ public:
+  // `virtual_nodes` ring positions are created per member; more virtual
+  // nodes smooth the key distribution at the cost of memory.
+  explicit ConsistentHashRing(int virtual_nodes = 128,
+                              std::uint64_t seed = 0x9A1E5EEDULL);
+
+  // Adds a member. Returns false (no-op) if already present.
+  bool AddMember(const std::string& member);
+
+  // Removes a member. Returns false (no-op) if absent.
+  bool RemoveMember(const std::string& member);
+
+  bool Contains(const std::string& member) const;
+  std::size_t member_count() const { return members_.size(); }
+  std::vector<std::string> Members() const;
+
+  // Maps a key to a member. If `key` equals a member name the result is that
+  // member (identity property). Returns nullopt when the ring is empty.
+  std::optional<std::string> Lookup(std::string_view key) const;
+
+  // Like Lookup but walks the ring to return up to `count` distinct members
+  // (replica set order). Used by tests and by replication experiments.
+  std::vector<std::string> LookupN(std::string_view key, std::size_t count) const;
+
+ private:
+  int virtual_nodes_;
+  std::uint64_t seed_;
+  // Ring position -> member name. std::map keeps positions ordered for
+  // successor lookup.
+  std::map<std::uint64_t, std::string> ring_;
+  std::unordered_set<std::string> members_;
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_HASH_CONSISTENT_HASH_RING_H_

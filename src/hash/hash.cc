@@ -1,0 +1,112 @@
+#include "src/hash/hash.h"
+
+#include <cstring>
+
+namespace palette {
+
+std::uint64_t Fnv1a64(std::string_view data, std::uint64_t seed) {
+  std::uint64_t hash = 14695981039346656037ULL ^ seed;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t MixU64(std::uint64_t key) {
+  key ^= key >> 33;
+  key *= 0xFF51AFD7ED558CCDULL;
+  key ^= key >> 33;
+  key *= 0xC4CEB9FE1A85EC53ULL;
+  key ^= key >> 33;
+  return key;
+}
+
+std::uint64_t Murmur3_64(std::string_view data, std::uint64_t seed) {
+  // MurmurHash3 x64/128, returning the first 64 bits of the digest.
+  const std::uint64_t c1 = 0x87C37B91114253D5ULL;
+  const std::uint64_t c2 = 0x4CF5AD432745937FULL;
+  std::uint64_t h1 = seed;
+  std::uint64_t h2 = seed;
+
+  const std::size_t nblocks = data.size() / 16;
+  const char* base = data.data();
+
+  const auto rotl = [](std::uint64_t x, int r) {
+    return (x << r) | (x >> (64 - r));
+  };
+  const auto load64 = [](const char* p) {
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+  };
+
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    std::uint64_t k1 = load64(base + i * 16);
+    std::uint64_t k2 = load64(base + i * 16 + 8);
+    k1 *= c1;
+    k1 = rotl(k1, 31);
+    k1 *= c2;
+    h1 ^= k1;
+    h1 = rotl(h1, 27);
+    h1 += h2;
+    h1 = h1 * 5 + 0x52DCE729;
+    k2 *= c2;
+    k2 = rotl(k2, 33);
+    k2 *= c1;
+    h2 ^= k2;
+    h2 = rotl(h2, 31);
+    h2 += h1;
+    h2 = h2 * 5 + 0x38495AB5;
+  }
+
+  const char* tail = base + nblocks * 16;
+  const std::size_t rem = data.size() & 15;
+  std::uint64_t k1 = 0;
+  std::uint64_t k2 = 0;
+  for (std::size_t i = rem; i > 8; --i) {
+    k2 ^= static_cast<std::uint64_t>(static_cast<unsigned char>(tail[i - 1]))
+          << ((i - 9) * 8);
+  }
+  if (rem > 8) {
+    k2 *= c2;
+    k2 = rotl(k2, 33);
+    k2 *= c1;
+    h2 ^= k2;
+  }
+  for (std::size_t i = std::min<std::size_t>(rem, 8); i > 0; --i) {
+    k1 ^= static_cast<std::uint64_t>(static_cast<unsigned char>(tail[i - 1]))
+          << ((i - 1) * 8);
+  }
+  if (rem > 0) {
+    k1 *= c1;
+    k1 = rotl(k1, 31);
+    k1 *= c2;
+    h1 ^= k1;
+  }
+
+  h1 ^= static_cast<std::uint64_t>(data.size());
+  h2 ^= static_cast<std::uint64_t>(data.size());
+  h1 += h2;
+  h2 += h1;
+  h1 = MixU64(h1);
+  h2 = MixU64(h2);
+  h1 += h2;
+  return h1;
+}
+
+std::uint32_t JumpConsistentHash(std::uint64_t key, std::uint32_t num_buckets) {
+  std::int64_t b = -1;
+  std::int64_t j = 0;
+  while (j < static_cast<std::int64_t>(num_buckets)) {
+    b = j;
+    key = key * 2862933555777941757ULL + 1;
+    j = static_cast<std::int64_t>(
+        static_cast<double>(b + 1) *
+        (static_cast<double>(1LL << 31) /
+         static_cast<double>((key >> 33) + 1)));
+  }
+  return static_cast<std::uint32_t>(b);
+}
+
+}  // namespace palette

@@ -1,0 +1,30 @@
+// Non-cryptographic hash functions used by the color scheduling policies and
+// the Faa$T-style cache. All hashes are seedable so different subsystems can
+// draw independent hash families from one experiment seed.
+#ifndef PALETTE_SRC_HASH_HASH_H_
+#define PALETTE_SRC_HASH_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace palette {
+
+// 64-bit FNV-1a. Fast, adequate dispersion for short keys; used where speed
+// matters more than avalanche quality (bucket index computation).
+std::uint64_t Fnv1a64(std::string_view data, std::uint64_t seed = 0);
+
+// 64-bit finalized MurmurHash3 (x64 variant, first 64 bits of the 128-bit
+// digest). Better dispersion; used for ring positions and color-to-bucket
+// assignment where clustering would skew load.
+std::uint64_t Murmur3_64(std::string_view data, std::uint64_t seed = 0);
+
+// Mixes a 64-bit integer key (MurmurHash3 finalizer).
+std::uint64_t MixU64(std::uint64_t key);
+
+// Lamping & Veach jump consistent hash: maps `key` onto [0, num_buckets).
+// Minimal key movement when num_buckets grows/shrinks at the top.
+std::uint32_t JumpConsistentHash(std::uint64_t key, std::uint32_t num_buckets);
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_HASH_HASH_H_

@@ -1,0 +1,163 @@
+#include "src/nums/nums.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/table_printer.h"
+
+namespace palette {
+
+LrHiggsDag MakeLrHiggsDag(const LrHiggsConfig& config) {
+  assert(config.row_blocks >= 1);
+  assert(config.newton_iterations >= 1);
+  LrHiggsDag out;
+  Dag& dag = out.dag;
+  auto& phase = out.phase_of;
+  const auto add = [&](int p, std::string name, double ops, Bytes bytes,
+                       std::vector<int> deps) {
+    const int id = dag.AddTask(std::move(name), ops, bytes, std::move(deps));
+    phase.push_back(p);
+    return id;
+  };
+
+  // Phase 1: read_csv — one loader task per row block (reads from backing
+  // storage; CSV parsing dominates CPU).
+  std::vector<int> raw_blocks;
+  for (int b = 0; b < config.row_blocks; ++b) {
+    raw_blocks.push_back(add(0, StrFormat("load_b%d", b), config.load_ops,
+                             config.x_block_bytes + config.y_block_bytes,
+                             {}));
+  }
+
+  // Phase 2: split into y (labels) and X (features), blockwise 1:1.
+  std::vector<int> x_blocks;
+  std::vector<int> y_blocks;
+  for (int b = 0; b < config.row_blocks; ++b) {
+    x_blocks.push_back(add(1, StrFormat("split_x_b%d", b), config.split_ops,
+                           config.x_block_bytes, {raw_blocks[b]}));
+    y_blocks.push_back(add(1, StrFormat("split_y_b%d", b),
+                           config.split_ops / 4, config.y_block_bytes,
+                           {raw_blocks[b]}));
+  }
+
+  // Phase 3: Newton-CG fit. Each iteration computes per-block gradient and
+  // Hessian contributions against the current weights, then reduces them
+  // into the next weights vector. Blocks of X are re-read every iteration —
+  // the locality the Palette backend exploits.
+  int weights = add(2, "init_weights", config.reduce_ops,
+                    config.weights_bytes, {});
+  for (int it = 0; it < config.newton_iterations; ++it) {
+    std::vector<int> contributions;
+    for (int b = 0; b < config.row_blocks; ++b) {
+      contributions.push_back(
+          add(2, StrFormat("newton%d_grad_b%d", it, b), config.matvec_ops,
+              config.weights_bytes, {x_blocks[b], y_blocks[b], weights}));
+    }
+    // Fan-in 4 reduction tree down to the new weights.
+    std::vector<int> level = std::move(contributions);
+    int round = 0;
+    while (level.size() > 1) {
+      std::vector<int> next;
+      for (std::size_t base = 0; base < level.size(); base += 4) {
+        std::vector<int> group(
+            level.begin() + static_cast<std::ptrdiff_t>(base),
+            level.begin() + static_cast<std::ptrdiff_t>(
+                                std::min(base + 4, level.size())));
+        next.push_back(add(2,
+                           StrFormat("newton%d_red%d_g%zu", it, round,
+                                     base / 4),
+                           config.reduce_ops, config.weights_bytes,
+                           std::move(group)));
+      }
+      level = std::move(next);
+      ++round;
+    }
+    weights = level[0];
+  }
+
+  // Phase 4: predict + accuracy. Per-block prediction against the final
+  // weights, reduced to a scalar.
+  std::vector<int> predictions;
+  for (int b = 0; b < config.row_blocks; ++b) {
+    predictions.push_back(add(3, StrFormat("predict_b%d", b),
+                              config.matvec_ops, config.y_block_bytes,
+                              {x_blocks[b], y_blocks[b], weights}));
+  }
+  std::vector<int> level = std::move(predictions);
+  int round = 0;
+  while (level.size() > 1) {
+    std::vector<int> next;
+    for (std::size_t base = 0; base < level.size(); base += 4) {
+      std::vector<int> group(
+          level.begin() + static_cast<std::ptrdiff_t>(base),
+          level.begin() + static_cast<std::ptrdiff_t>(
+                              std::min(base + 4, level.size())));
+      next.push_back(add(3, StrFormat("acc_red%d_g%zu", round, base / 4),
+                         config.reduce_ops, kKiB, std::move(group)));
+    }
+    level = std::move(next);
+    ++round;
+  }
+  return out;
+}
+
+std::vector<SimTime> PhaseDurations(const LrHiggsDag& lr,
+                                    const std::vector<SimTime>& completion) {
+  assert(completion.size() == lr.phase_of.size());
+  std::vector<SimTime> phase_end(kLrHiggsPhaseCount, SimTime());
+  for (std::size_t id = 0; id < completion.size(); ++id) {
+    const int p = lr.phase_of[id];
+    if (completion[id] > phase_end[static_cast<std::size_t>(p)]) {
+      phase_end[static_cast<std::size_t>(p)] = completion[id];
+    }
+  }
+  std::vector<SimTime> durations(kLrHiggsPhaseCount);
+  SimTime previous;
+  for (int p = 0; p < kLrHiggsPhaseCount; ++p) {
+    // Phases overlap slightly in a dataflow execution; report the increment
+    // of the completion frontier, clamped at zero.
+    const SimTime end = phase_end[static_cast<std::size_t>(p)];
+    durations[static_cast<std::size_t>(p)] =
+        end > previous ? end - previous : SimTime();
+    if (end > previous) {
+      previous = end;
+    }
+  }
+  return durations;
+}
+
+Dag MakeMatMulDag(const MatMulConfig& config) {
+  assert(config.grid >= 1);
+  Dag dag;
+  const int g = config.grid;
+
+  std::vector<int> a_blocks(static_cast<std::size_t>(g) * g);
+  std::vector<int> b_blocks(static_cast<std::size_t>(g) * g);
+  for (int i = 0; i < g; ++i) {
+    for (int j = 0; j < g; ++j) {
+      a_blocks[static_cast<std::size_t>(i) * g + j] =
+          dag.AddTask(StrFormat("load_a_%d_%d", i, j), config.load_ops,
+                      config.block_bytes);
+      b_blocks[static_cast<std::size_t>(i) * g + j] =
+          dag.AddTask(StrFormat("load_b_%d_%d", i, j), config.load_ops,
+                      config.block_bytes);
+    }
+  }
+
+  // C[i][j] consumes row i of A and column j of B (k-loop fused into one
+  // task, as NumS does for moderate grids).
+  for (int i = 0; i < g; ++i) {
+    for (int j = 0; j < g; ++j) {
+      std::vector<int> deps;
+      for (int k = 0; k < g; ++k) {
+        deps.push_back(a_blocks[static_cast<std::size_t>(i) * g + k]);
+        deps.push_back(b_blocks[static_cast<std::size_t>(k) * g + j]);
+      }
+      dag.AddTask(StrFormat("mmm_c_%d_%d", i, j), config.ops_per_c_block,
+                  config.block_bytes, std::move(deps));
+    }
+  }
+  return dag;
+}
+
+}  // namespace palette

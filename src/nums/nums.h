@@ -1,0 +1,68 @@
+// NumS-style blocked linear algebra DAG builders (§6.2.3, Fig. 10).
+//
+// NumS translates NumPy-level operations on blocked ndarrays into a DAG of
+// block-granularity tasks. This module emits the same kind of task graphs
+// for the three workloads the paper evaluates:
+//   * LRHiggs  — Newton-method logistic regression over a HIGGS-shaped
+//                dense matrix (11M x 28 doubles, ~2.5 GB), in the four
+//                phases of Listing 1 (read, split, fit, predict);
+//   * MMM-2GB  — dense square matrix multiply over 2 GB of data;
+//   * MMM-16GB — the same over 16 GB.
+// The HIGGS dataset itself is synthetic here (see DESIGN.md): phase timings
+// depend on the matrix shape and block layout, not on the values.
+#ifndef PALETTE_SRC_NUMS_NUMS_H_
+#define PALETTE_SRC_NUMS_NUMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/dag/dag.h"
+
+namespace palette {
+
+inline constexpr int kLrHiggsPhaseCount = 4;
+
+struct LrHiggsConfig {
+  // Row blocking of the 11M x 28 feature matrix.
+  int row_blocks = 16;
+  Bytes x_block_bytes = 154 * kMiB;  // ~2.46 GB total / 16 blocks
+  Bytes y_block_bytes = 5 * kMiB;
+  Bytes weights_bytes = 4 * kKiB;  // 28 doubles + Newton state
+  int newton_iterations = 5;
+  // CPU demand per task kind (abstract ops; CSV parsing dominates load).
+  double load_ops = 3e9;
+  double split_ops = 5e8;
+  double matvec_ops = 1e9;
+  double reduce_ops = 2e8;
+};
+
+struct LrHiggsDag {
+  Dag dag;
+  // Phase index (0..3) per task id, for Fig. 10b's breakdown.
+  std::vector<int> phase_of;
+};
+
+LrHiggsDag MakeLrHiggsDag(const LrHiggsConfig& config = {});
+
+// Durations per phase given per-task completion times: phase k's time is
+// (last completion in phase k) - (last completion in phase k-1).
+std::vector<SimTime> PhaseDurations(const LrHiggsDag& lr,
+                                    const std::vector<SimTime>& completion);
+
+struct MatMulConfig {
+  // Square block grid: grid x grid blocks per operand; C has grid x grid
+  // output tasks, each consuming a full row of A and column of B.
+  int grid = 4;
+  Bytes block_bytes = 128 * kMiB;  // 2 GB per operand at grid=4
+  double ops_per_c_block = 2e9;
+  double load_ops = 2e8;
+};
+
+// MMM-2GB defaults: grid=4, 128 MiB blocks. For MMM-16GB use grid=8 and
+// 256 MiB blocks.
+Dag MakeMatMulDag(const MatMulConfig& config = {});
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_NUMS_NUMS_H_

@@ -1,0 +1,64 @@
+#include "src/sim/network.h"
+
+#include <cassert>
+
+namespace palette {
+
+Network::Network(Simulator* sim, NetworkConfig config)
+    : sim_(sim), config_(config) {}
+
+void Network::AddNode(const std::string& node) {
+  nics_.try_emplace(node, std::make_unique<Nic>(sim_));
+}
+
+bool Network::HasNode(const std::string& node) const {
+  return nics_.count(node) > 0;
+}
+
+SimTime Network::Transfer(const std::string& src, const std::string& dst,
+                          Bytes size, SimTime ready) {
+  auto src_it = nics_.find(src);
+  auto dst_it = nics_.find(dst);
+  assert(src_it != nics_.end() && "unknown source node");
+  assert(dst_it != nics_.end() && "unknown destination node");
+
+  if (src == dst) {
+    local_bytes_ += size;
+    const SimTime duration =
+        TransferDuration(size, config_.local_bandwidth_bits_per_sec / 8.0);
+    SimTime start = sim_->Now();
+    if (ready > start) {
+      start = ready;
+    }
+    return start + config_.local_latency + duration;
+  }
+
+  remote_bytes_ += size;
+  ++remote_transfers_;
+  const SimTime duration =
+      TransferDuration(size, config_.bandwidth_bits_per_sec / 8.0);
+
+  // The transfer needs the sender's egress and the receiver's ingress
+  // simultaneously: find the earliest instant both are free, then book the
+  // serialization time on each.
+  Nic& src_nic = *src_it->second;
+  Nic& dst_nic = *dst_it->second;
+  SimTime start = sim_->Now();
+  if (ready > start) {
+    start = ready;
+  }
+  if (src_nic.egress.available_at() > start) {
+    start = src_nic.egress.available_at();
+  }
+  if (dst_nic.ingress.available_at() > start) {
+    start = dst_nic.ingress.available_at();
+  }
+  const SimTime egress_done = src_nic.egress.Acquire(duration, start);
+  const SimTime ingress_done = dst_nic.ingress.Acquire(duration, start);
+  const SimTime done =
+      (egress_done > ingress_done ? egress_done : ingress_done) +
+      config_.latency;
+  return done;
+}
+
+}  // namespace palette

@@ -1,0 +1,52 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace palette {
+
+void Simulator::At(SimTime t, Callback cb) {
+  if (t < now_) {
+    t = now_;
+  }
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void Simulator::After(SimTime delay, Callback cb) {
+  At(now_ + delay, std::move(cb));
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // The queue only hands out const refs; move the callback out before pop.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.time;
+  ++executed_;
+  event.cb();
+  return true;
+}
+
+std::uint64_t Simulator::Run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && Step()) {
+    ++n;
+  }
+  return n;
+}
+
+SimTime FifoResource::Acquire(SimTime duration, SimTime not_before) {
+  SimTime start = sim_->Now();
+  if (not_before > start) {
+    start = not_before;
+  }
+  if (available_at_ > start) {
+    start = available_at_;
+  }
+  available_at_ = start + duration;
+  busy_ += duration;
+  return available_at_;
+}
+
+}  // namespace palette

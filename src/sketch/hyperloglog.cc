@@ -1,0 +1,98 @@
+#include "src/sketch/hyperloglog.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+#include "src/hash/hash.h"
+
+namespace palette {
+namespace {
+
+double AlphaM(std::size_t m) {
+  switch (m) {
+    case 16:
+      return 0.673;
+    case 32:
+      return 0.697;
+    case 64:
+      return 0.709;
+    default:
+      return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+  }
+}
+
+}  // namespace
+
+HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
+  assert(precision >= 4 && precision <= 18);
+  registers_.assign(std::size_t{1} << precision, 0);
+}
+
+void HyperLogLog::Add(std::string_view item) {
+  AddHash(Murmur3_64(item, /*seed=*/0x48C4F2ULL));
+}
+
+void HyperLogLog::AddHash(std::uint64_t hash) {
+  const std::size_t index = hash >> (64 - precision_);
+  const std::uint64_t rest = hash << precision_;
+  // Rank = position of the leftmost 1-bit in the remaining bits, counting
+  // from 1. An all-zero remainder gets the maximum rank.
+  const int rank =
+      rest == 0 ? (64 - precision_ + 1) : (std::countl_zero(rest) + 1);
+  if (registers_[index] < rank) {
+    registers_[index] = static_cast<std::uint8_t>(rank);
+  }
+}
+
+double HyperLogLog::Estimate() const {
+  const auto m = static_cast<double>(registers_.size());
+  double inverse_sum = 0;
+  std::size_t zeros = 0;
+  for (std::uint8_t reg : registers_) {
+    inverse_sum += std::ldexp(1.0, -static_cast<int>(reg));
+    if (reg == 0) {
+      ++zeros;
+    }
+  }
+  double estimate = AlphaM(registers_.size()) * m * m / inverse_sum;
+  // Small-range correction: fall back to linear counting.
+  if (estimate <= 2.5 * m && zeros > 0) {
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+bool HyperLogLog::Merge(const HyperLogLog& other) {
+  if (other.precision_ != precision_) {
+    return false;
+  }
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    if (other.registers_[i] > registers_[i]) {
+      registers_[i] = other.registers_[i];
+    }
+  }
+  return true;
+}
+
+void HyperLogLog::Clear() {
+  registers_.assign(registers_.size(), 0);
+}
+
+WindowedHyperLogLog::WindowedHyperLogLog(int precision)
+    : current_(precision), previous_(precision) {}
+
+void WindowedHyperLogLog::Add(std::string_view item) { current_.Add(item); }
+
+double WindowedHyperLogLog::Estimate() const {
+  HyperLogLog merged = current_;
+  merged.Merge(previous_);
+  return merged.Estimate();
+}
+
+void WindowedHyperLogLog::Rotate() {
+  previous_ = current_;
+  current_.Clear();
+}
+
+}  // namespace palette

@@ -1,0 +1,65 @@
+// HyperLogLog count-distinct sketch (Flajolet et al. 2007).
+//
+// The Bucket Hashing color scheduling policy (§5) keeps an approximate count
+// of distinct colors recently mapped to each bucket: it starts a new HLL
+// sketch every 30 minutes, retains the previous window's sketch, and merges
+// the two when deciding which buckets to move between instances. This module
+// provides the sketch plus the two-window wrapper.
+#ifndef PALETTE_SRC_SKETCH_HYPERLOGLOG_H_
+#define PALETTE_SRC_SKETCH_HYPERLOGLOG_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace palette {
+
+class HyperLogLog {
+ public:
+  // `precision` p selects m = 2^p registers; standard error ~= 1.04/sqrt(m).
+  // p must be in [4, 18]. The default (p=12, 4096 registers) gives ~1.6%
+  // error in ~4 KiB.
+  explicit HyperLogLog(int precision = 12);
+
+  void Add(std::string_view item);
+  void AddHash(std::uint64_t hash);
+
+  // Estimated number of distinct items added, with small-range (linear
+  // counting) correction.
+  double Estimate() const;
+
+  // Merges another sketch (register-wise max). Both must have the same
+  // precision; returns false and leaves this sketch unchanged otherwise.
+  bool Merge(const HyperLogLog& other);
+
+  void Clear();
+
+  int precision() const { return precision_; }
+  std::size_t register_count() const { return registers_.size(); }
+  // Sketch memory footprint in bytes (registers only).
+  std::size_t MemoryBytes() const { return registers_.size(); }
+
+ private:
+  int precision_;
+  std::vector<std::uint8_t> registers_;
+};
+
+// Pair of HLL windows as the Bucket Hashing rebalancer uses them: writes go
+// to the current window; Estimate() merges current + previous; Rotate()
+// retires the current window (called on the 30-minute boundary).
+class WindowedHyperLogLog {
+ public:
+  explicit WindowedHyperLogLog(int precision = 12);
+
+  void Add(std::string_view item);
+  double Estimate() const;
+  void Rotate();
+
+ private:
+  HyperLogLog current_;
+  HyperLogLog previous_;
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_SKETCH_HYPERLOGLOG_H_

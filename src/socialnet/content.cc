@@ -1,0 +1,104 @@
+#include "src/socialnet/content.h"
+
+#include <cassert>
+
+#include "src/common/distributions.h"
+#include "src/common/rng.h"
+#include "src/common/table_printer.h"
+
+namespace palette {
+namespace {
+
+// Piecewise-linear media size distribution from the paper's quantiles.
+QuantileDistribution MakeMediaDistribution() {
+  return QuantileDistribution({
+      {0.00, 1.0 * 1024},            // smallest observed thumbnails
+      {0.25, 62.0 * 1024},           // 25th pct: 62 KB
+      {0.50, 1024.0 * 1024},         // 50th pct: 1 MB
+      {0.75, 2.0 * 1024 * 1024},     // 75th pct: 2 MB
+      {1.00, 8.0 * 1024 * 1024},     // max: 8 MB
+  });
+}
+
+}  // namespace
+
+SocialContent::SocialContent(const SocialGraph& graph, ContentConfig config)
+    : graph_(graph), config_(config) {
+  assert(config_.posts_per_user >= 1);
+  Rng rng(config_.seed);
+  const QuantileDistribution media_sizes = MakeMediaDistribution();
+
+  by_user_.resize(static_cast<std::size_t>(graph_.user_count()));
+  posts_.reserve(static_cast<std::size_t>(graph_.user_count()) *
+                 static_cast<std::size_t>(config_.posts_per_user));
+
+  for (int user = 0; user < graph_.user_count(); ++user) {
+    for (int k = 0; k < config_.posts_per_user; ++k) {
+      Post post;
+      post.id = static_cast<int>(posts_.size());
+      post.author = user;
+      post.text_bytes = static_cast<Bytes>(rng.NextInRange(
+          static_cast<std::int64_t>(config_.min_text_bytes),
+          static_cast<std::int64_t>(config_.max_text_bytes)));
+      const int media_count = static_cast<int>(
+          rng.NextInRange(config_.min_media_per_post,
+                          config_.max_media_per_post));
+      for (int m = 0; m < media_count; ++m) {
+        post.media_bytes.push_back(
+            static_cast<Bytes>(media_sizes.Sample(rng)));
+      }
+      by_user_[user].push_back(post.id);
+      posts_.push_back(std::move(post));
+    }
+  }
+}
+
+std::string SocialContent::PostObjectName(int post_id) {
+  return StrFormat("post/%d", post_id);
+}
+
+std::string SocialContent::MediaObjectName(int post_id, int index) {
+  return StrFormat("media/%d/%d", post_id, index);
+}
+
+std::string SocialContent::MediaChunkObjectName(int post_id, int index,
+                                                int chunk) {
+  return StrFormat("media/%d/%d/c%d", post_id, index, chunk);
+}
+
+std::string SocialContent::ProfileObjectName(int user) {
+  return StrFormat("profile/%d", user);
+}
+
+std::string SocialContent::FriendListObjectName(int user) {
+  return StrFormat("friends/%d", user);
+}
+
+Bytes SocialContent::FriendListBytes(int user) const {
+  // 8 bytes per friend id plus a fixed header.
+  return 64 + 8 * static_cast<Bytes>(graph_.DegreeOf(user));
+}
+
+std::uint64_t SocialContent::unique_object_count() const {
+  std::uint64_t count = 2 * static_cast<std::uint64_t>(graph_.user_count());
+  for (const Post& post : posts_) {
+    count += 1 + post.media_bytes.size();
+  }
+  return count;
+}
+
+Bytes SocialContent::total_bytes() const {
+  Bytes total = 0;
+  for (int user = 0; user < graph_.user_count(); ++user) {
+    total += config_.profile_bytes + FriendListBytes(user);
+  }
+  for (const Post& post : posts_) {
+    total += post.text_bytes;
+    for (Bytes media : post.media_bytes) {
+      total += media;
+    }
+  }
+  return total;
+}
+
+}  // namespace palette

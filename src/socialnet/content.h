@@ -1,0 +1,77 @@
+// Social network content catalog (§7.1 methodology).
+//
+// Per the paper's setup: 20 posts per user; post text sizes uniform in
+// [64 B, 1 KB]; 1–5 media objects per post with sizes drawn from the
+// reported media-size quantiles (25th/50th/75th/100th percentiles of 62 KB /
+// 1 MB / 2 MB / 8 MB, ~1 MB average). Cacheable objects are post texts,
+// media blobs, user profiles, and friends lists. All sizes are generated
+// deterministically from the seed; payloads are never materialized.
+#ifndef PALETTE_SRC_SOCIALNET_CONTENT_H_
+#define PALETTE_SRC_SOCIALNET_CONTENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/socialnet/social_graph.h"
+
+namespace palette {
+
+struct ContentConfig {
+  int posts_per_user = 20;
+  Bytes min_text_bytes = 64;
+  Bytes max_text_bytes = 1024;
+  int min_media_per_post = 1;
+  int max_media_per_post = 5;
+  Bytes profile_bytes = 1024;
+  std::uint64_t seed = 99;
+};
+
+struct Post {
+  int id = 0;
+  int author = 0;
+  Bytes text_bytes = 0;
+  // Sizes of this post's media objects; media object j of post p is named
+  // MediaObjectName(p, j).
+  std::vector<Bytes> media_bytes;
+};
+
+class SocialContent {
+ public:
+  SocialContent(const SocialGraph& graph, ContentConfig config = {});
+
+  int post_count() const { return static_cast<int>(posts_.size()); }
+  const Post& post(int id) const { return posts_.at(id); }
+  // Post ids authored by `user`, newest first.
+  const std::vector<int>& PostsOf(int user) const { return by_user_.at(user); }
+
+  // Object naming. Names double as Palette colors in the §6.1 coloring
+  // policy (get_post colored by post id, get_media by media object id).
+  static std::string PostObjectName(int post_id);
+  static std::string MediaObjectName(int post_id, int index);
+  // Media blobs are stored and fetched as fixed-size chunks (as in Faa$T);
+  // each chunk is its own cache object and Palette color.
+  static std::string MediaChunkObjectName(int post_id, int index, int chunk);
+  static std::string ProfileObjectName(int user);
+  static std::string FriendListObjectName(int user);
+
+  Bytes FriendListBytes(int user) const;
+  Bytes profile_bytes() const { return config_.profile_bytes; }
+
+  // Catalog totals (the paper's trace covers ~115 GB of unique data).
+  std::uint64_t unique_object_count() const;
+  Bytes total_bytes() const;
+
+  const SocialGraph& graph() const { return graph_; }
+
+ private:
+  const SocialGraph& graph_;
+  ContentConfig config_;
+  std::vector<Post> posts_;
+  std::vector<std::vector<int>> by_user_;
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_SOCIALNET_CONTENT_H_

@@ -1,0 +1,65 @@
+#include "src/socialnet/social_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "src/common/rng.h"
+
+namespace palette {
+
+SocialGraph::SocialGraph(SocialGraphConfig config) {
+  assert(config.users >= 2);
+  assert(config.edges_per_node >= 1);
+  Rng rng(config.seed);
+  adjacency_.resize(static_cast<std::size_t>(config.users));
+
+  // Preferential attachment with a repeated-endpoints list: each edge
+  // endpoint appears once per incident edge, so sampling the list uniformly
+  // samples nodes proportionally to degree.
+  std::vector<int> endpoints;
+  const int m = config.edges_per_node;
+
+  // Seed clique over the first m+1 nodes keeps early attachment sensible.
+  const int seed_nodes = std::min(config.users, m + 1);
+  for (int u = 0; u < seed_nodes; ++u) {
+    for (int v = u + 1; v < seed_nodes; ++v) {
+      adjacency_[u].push_back(v);
+      adjacency_[v].push_back(u);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+      ++edge_count_;
+    }
+  }
+
+  for (int u = seed_nodes; u < config.users; ++u) {
+    std::unordered_set<int> targets;
+    while (static_cast<int>(targets.size()) < m) {
+      const int v = endpoints[rng.NextBelow(endpoints.size())];
+      if (v != u) {
+        targets.insert(v);
+      }
+    }
+    for (int v : targets) {
+      adjacency_[u].push_back(v);
+      adjacency_[v].push_back(u);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+      ++edge_count_;
+    }
+  }
+
+  for (auto& friends : adjacency_) {
+    std::sort(friends.begin(), friends.end());
+  }
+}
+
+double SocialGraph::AverageDegree() const {
+  if (adjacency_.empty()) {
+    return 0;
+  }
+  return 2.0 * static_cast<double>(edge_count_) /
+         static_cast<double>(adjacency_.size());
+}
+
+}  // namespace palette

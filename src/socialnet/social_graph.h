@@ -1,0 +1,44 @@
+// Synthetic social graph standing in for socfb-Reed98 (§7.1).
+//
+// The paper preloads the socfb-Reed98 Facebook graph (962 users, ~18.8K
+// friendship edges). That dataset is not redistributable here, so we
+// generate a preferential-attachment graph of the same order and density:
+// power-law degree distribution, same node count, target average degree ~39.
+#ifndef PALETTE_SRC_SOCIALNET_SOCIAL_GRAPH_H_
+#define PALETTE_SRC_SOCIALNET_SOCIAL_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace palette {
+
+struct SocialGraphConfig {
+  int users = 962;
+  // Edges added per arriving node (Barabási–Albert m); 20 gives ~18.8K
+  // edges over 962 nodes, matching Reed98 density.
+  int edges_per_node = 20;
+  std::uint64_t seed = 42;
+};
+
+class SocialGraph {
+ public:
+  explicit SocialGraph(SocialGraphConfig config = {});
+
+  int user_count() const { return static_cast<int>(adjacency_.size()); }
+  std::size_t edge_count() const { return edge_count_; }
+  const std::vector<int>& FriendsOf(int user) const {
+    return adjacency_.at(user);
+  }
+  int DegreeOf(int user) const {
+    return static_cast<int>(adjacency_.at(user).size());
+  }
+  double AverageDegree() const;
+
+ private:
+  std::vector<std::vector<int>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_SOCIALNET_SOCIAL_GRAPH_H_

@@ -1,0 +1,57 @@
+// Serverless web application cache experiment (§7.1, Fig. 6a).
+//
+// Every object access in the trace is one colored function invocation (the
+// §6.1 coloring policy: get_post / get_media / profile lookups are colored by
+// the object id). The load balancer routes it under the chosen color
+// scheduling policy to one of N single-instance workers, each holding an
+// in-memory LRU cache in instance-local ephemeral state. The experiment
+// measures the aggregate hit ratio across all instances.
+#ifndef PALETTE_SRC_SOCIALNET_WEBAPP_SIM_H_
+#define PALETTE_SRC_SOCIALNET_WEBAPP_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cache/hit_ratio_curve.h"
+#include "src/common/types.h"
+#include "src/core/policy_factory.h"
+
+namespace palette {
+
+struct WebAppConfig {
+  PolicyKind policy = PolicyKind::kBucketHashing;
+  int workers = 24;
+  // Per-instance cache capacity. The paper's Fig. 6 discussion implies an
+  // aggregate of ~3 GB at 24 instances, i.e. 128 MiB each.
+  Bytes per_instance_cache_bytes = 128 * kMiB;
+  bool use_colors = true;  // false = invoke without locality hints
+  // Fraction of accesses that are writes (updates to the object). The
+  // paper emulates a read-only workload; writes expose a coherence bonus
+  // of single-instance-per-color routing: the write lands on the only
+  // instance caching the object, so no stale replica can exist. Oblivious
+  // routing scatters copies and serves stale reads from them.
+  double write_fraction = 0.0;
+  std::uint64_t seed = 5;
+};
+
+struct WebAppResult {
+  std::uint64_t hits = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t writes = 0;
+  // Read hits that returned an out-of-date copy (possible only when the
+  // routing policy allows an object to be cached on several instances).
+  std::uint64_t stale_reads = 0;
+  double hit_ratio = 0;
+  double stale_read_ratio = 0;  // stale / read hits
+  // max/avg requests routed per instance (load balance quality).
+  double routing_imbalance = 0;
+  Bytes aggregate_cached_bytes = 0;
+};
+
+// Replays `trace` through the policy + per-instance caches.
+WebAppResult RunWebAppExperiment(const std::vector<CacheAccess>& trace,
+                                 const WebAppConfig& config);
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_SOCIALNET_WEBAPP_SIM_H_

@@ -1,0 +1,100 @@
+#include "src/socialnet/workload.h"
+
+#include <unordered_map>
+
+#include "src/common/distributions.h"
+#include "src/common/rng.h"
+
+namespace palette {
+namespace {
+
+void AppendPostAccesses(const SocialContent& content, int post_id,
+                        Bytes chunk_bytes, std::vector<CacheAccess>& trace) {
+  const Post& post = content.post(post_id);
+  trace.push_back(
+      {SocialContent::PostObjectName(post_id), post.text_bytes});
+  for (std::size_t m = 0; m < post.media_bytes.size(); ++m) {
+    const Bytes size = post.media_bytes[m];
+    if (chunk_bytes == 0 || size <= chunk_bytes) {
+      trace.push_back({SocialContent::MediaObjectName(post_id,
+                                                      static_cast<int>(m)),
+                       size});
+      continue;
+    }
+    // Chunked fetch: full chunks plus the remainder.
+    int chunk = 0;
+    for (Bytes offset = 0; offset < size; offset += chunk_bytes, ++chunk) {
+      const Bytes this_chunk = std::min(chunk_bytes, size - offset);
+      trace.push_back({SocialContent::MediaChunkObjectName(
+                           post_id, static_cast<int>(m), chunk),
+                       this_chunk});
+    }
+  }
+  trace.push_back({SocialContent::ProfileObjectName(post.author),
+                   content.profile_bytes()});
+}
+
+}  // namespace
+
+std::vector<CacheAccess> GenerateSocialTrace(
+    const SocialContent& content, const SocialWorkloadConfig& config) {
+  const SocialGraph& graph = content.graph();
+  Rng rng(config.seed);
+  ZipfDistribution user_popularity(
+      static_cast<std::uint64_t>(graph.user_count()), config.zipf_theta);
+
+  std::vector<CacheAccess> trace;
+  trace.reserve(config.request_count * 40);
+
+  for (std::uint64_t r = 0; r < config.request_count; ++r) {
+    const int user = static_cast<int>(user_popularity.Sample(rng));
+    const bool home_timeline = (r % 2) == 0;  // exact 50/50 split
+
+    if (home_timeline) {
+      // ReadHomeTimeline: the viewer's friends list, then recent posts by
+      // random friends (popular users' posts recur across many viewers,
+      // which is where locality pays off).
+      trace.push_back({SocialContent::FriendListObjectName(user),
+                       content.FriendListBytes(user)});
+      const auto& friends = graph.FriendsOf(user);
+      for (int k = 0; k < config.posts_per_timeline && !friends.empty(); ++k) {
+        const int author = friends[rng.NextBelow(friends.size())];
+        const auto& posts = content.PostsOf(author);
+        // Bias toward recent posts: newest half of the author's posts.
+        const std::size_t recent =
+            std::max<std::size_t>(1, posts.size() / 2);
+        const int post_id =
+            posts[posts.size() - 1 - rng.NextBelow(recent)];
+        AppendPostAccesses(content, post_id, config.media_chunk_bytes, trace);
+      }
+    } else {
+      // ReadUserTimeline: the user's own recent posts.
+      const auto& posts = content.PostsOf(user);
+      const int count =
+          std::min<int>(config.posts_per_timeline,
+                        static_cast<int>(posts.size()));
+      for (int k = 0; k < count; ++k) {
+        AppendPostAccesses(content, posts[posts.size() - 1 -
+                                          static_cast<std::size_t>(k)],
+                           config.media_chunk_bytes, trace);
+      }
+    }
+  }
+  return trace;
+}
+
+SocialTraceStats ComputeTraceStats(const std::vector<CacheAccess>& trace) {
+  SocialTraceStats stats;
+  std::unordered_map<std::string, Bytes> unique;
+  for (const CacheAccess& access : trace) {
+    ++stats.accesses;
+    unique.emplace(access.key, access.size);
+  }
+  stats.unique_objects = unique.size();
+  for (const auto& [_, size] : unique) {
+    stats.unique_bytes += size;
+  }
+  return stats;
+}
+
+}  // namespace palette

@@ -1,0 +1,51 @@
+// Social network request trace generator (§7.1 methodology).
+//
+// Clients select a user from a Zipf(0.9) distribution and issue 72,000
+// timeline requests, split 50/50 between ReadHomeTimeline (recent posts by
+// the user's friends) and ReadUserTimeline (the user's own recent posts).
+// Each rendered post expands into accesses to its text object, its media
+// objects, and the author's profile; home timelines also read the viewer's
+// friends list. The same generated trace is replayed by every policy, as in
+// the paper ("we replay this same trace in all the social network
+// experiments").
+#ifndef PALETTE_SRC_SOCIALNET_WORKLOAD_H_
+#define PALETTE_SRC_SOCIALNET_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cache/hit_ratio_curve.h"
+#include "src/socialnet/content.h"
+
+namespace palette {
+
+struct SocialWorkloadConfig {
+  std::uint64_t request_count = 72000;
+  double zipf_theta = 0.9;
+  // Posts fully rendered (media included) per timeline request. One post's
+  // media expands into ~30 chunk fetches, which reproduces the paper's
+  // trace arithmetic: 72K requests -> ~2.6M object accesses.
+  int posts_per_timeline = 1;
+  // Media blobs are fetched in chunks of this size; each chunk is a
+  // separate cache object, giving the ~100 KB average object size implied
+  // by the paper's "1.1 million unique objects, ... 115GB of data".
+  Bytes media_chunk_bytes = 128 * kKiB;
+  std::uint64_t seed = 2023;
+};
+
+struct SocialTraceStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t unique_objects = 0;
+  Bytes unique_bytes = 0;
+};
+
+// Generates the full access trace (object name + size per access), in
+// request order. Use SocialTraceStats to report footprint figures.
+std::vector<CacheAccess> GenerateSocialTrace(const SocialContent& content,
+                                             const SocialWorkloadConfig& config);
+
+SocialTraceStats ComputeTraceStats(const std::vector<CacheAccess>& trace);
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_SOCIALNET_WORKLOAD_H_

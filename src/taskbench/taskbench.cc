@@ -1,0 +1,163 @@
+#include "src/taskbench/taskbench.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/rng.h"
+#include "src/common/table_printer.h"
+
+namespace palette {
+
+std::vector<TaskBenchPattern> AllTaskBenchPatterns() {
+  return {TaskBenchPattern::kTrivial,
+          TaskBenchPattern::kNoComm,
+          TaskBenchPattern::kDomTree,
+          TaskBenchPattern::kRandomNearest,
+          TaskBenchPattern::kStencil1d,
+          TaskBenchPattern::kStencil1dPeriodic,
+          TaskBenchPattern::kAllToAll,
+          TaskBenchPattern::kFft,
+          TaskBenchPattern::kNearest};
+}
+
+std::string_view TaskBenchPatternName(TaskBenchPattern pattern) {
+  switch (pattern) {
+    case TaskBenchPattern::kTrivial:
+      return "trivial";
+    case TaskBenchPattern::kNoComm:
+      return "no_comm";
+    case TaskBenchPattern::kDomTree:
+      return "dom_tree";
+    case TaskBenchPattern::kRandomNearest:
+      return "random_nearest";
+    case TaskBenchPattern::kStencil1d:
+      return "stencil_1d";
+    case TaskBenchPattern::kStencil1dPeriodic:
+      return "stencil_1d_periodic";
+    case TaskBenchPattern::kAllToAll:
+      return "all_to_all";
+    case TaskBenchPattern::kFft:
+      return "fft";
+    case TaskBenchPattern::kNearest:
+      return "nearest";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Dependency points (at timestep t-1) of point `i` at timestep `t`.
+std::vector<int> DependencyPoints(TaskBenchPattern pattern, int i, int t,
+                                  int width, Rng& rng) {
+  std::vector<int> deps;
+  const auto add_clamped = [&](int p) {
+    if (p >= 0 && p < width) {
+      deps.push_back(p);
+    }
+  };
+  const auto add_wrapped = [&](int p) {
+    deps.push_back(((p % width) + width) % width);
+  };
+  switch (pattern) {
+    case TaskBenchPattern::kTrivial:
+      break;
+    case TaskBenchPattern::kNoComm:
+      deps.push_back(i);
+      break;
+    case TaskBenchPattern::kDomTree:
+      deps.push_back(i / 2);
+      break;
+    case TaskBenchPattern::kRandomNearest:
+      for (int p = i - 1; p <= i + 1; ++p) {
+        if (p >= 0 && p < width && rng.NextBernoulli(0.5)) {
+          deps.push_back(p);
+        }
+      }
+      if (deps.empty()) {
+        deps.push_back(i);  // Keep the grid connected across timesteps.
+      }
+      break;
+    case TaskBenchPattern::kStencil1d:
+      add_clamped(i - 1);
+      add_clamped(i);
+      add_clamped(i + 1);
+      break;
+    case TaskBenchPattern::kStencil1dPeriodic:
+      add_wrapped(i - 1);
+      add_wrapped(i);
+      add_wrapped(i + 1);
+      break;
+    case TaskBenchPattern::kAllToAll:
+      for (int p = 0; p < width; ++p) {
+        deps.push_back(p);
+      }
+      break;
+    case TaskBenchPattern::kFft: {
+      deps.push_back(i);
+      // Butterfly: the XOR partner's stride doubles each timestep, cycling
+      // through the log2(width) levels.
+      int levels = 0;
+      while ((1 << (levels + 1)) <= width) {
+        ++levels;
+      }
+      levels = std::max(levels, 1);
+      const int stride = 1 << ((t - 1) % levels);
+      const int partner = i ^ stride;
+      if (partner < width && partner != i) {
+        deps.push_back(partner);
+      }
+      break;
+    }
+    case TaskBenchPattern::kNearest:
+      for (int p = i - 2; p <= i + 2; ++p) {
+        add_clamped(p);
+      }
+      break;
+  }
+  // Deduplicate (wrapped stencils on tiny widths can repeat points).
+  std::sort(deps.begin(), deps.end());
+  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+  return deps;
+}
+
+}  // namespace
+
+Dag MakeTaskBenchDag(TaskBenchPattern pattern, const TaskBenchConfig& config) {
+  assert(config.width >= 1 && config.timesteps >= 1);
+  Dag dag;
+  Rng rng(config.seed);
+  // id_at[t][i] after timestep t is built.
+  std::vector<int> previous(config.width, -1);
+  std::vector<int> current(config.width, -1);
+
+  for (int t = 0; t < config.timesteps; ++t) {
+    for (int i = 0; i < config.width; ++i) {
+      std::vector<int> dep_ids;
+      if (t > 0 && pattern != TaskBenchPattern::kTrivial) {
+        for (int p : DependencyPoints(pattern, i, t, config.width, rng)) {
+          dep_ids.push_back(previous[p]);
+        }
+      }
+      current[i] = dag.AddTask(
+          StrFormat("%s_t%d_p%d",
+                    std::string(TaskBenchPatternName(pattern)).c_str(), t, i),
+          config.cpu_ops_per_task, config.output_bytes, std::move(dep_ids));
+    }
+    std::swap(previous, current);
+  }
+  return dag;
+}
+
+Dag MakeFanoutDag(int fanout, Bytes root_output_bytes, double cpu_ops,
+                  Bytes child_output_bytes) {
+  assert(fanout >= 1);
+  Dag dag;
+  const int root = dag.AddTask("fanout_root", cpu_ops, root_output_bytes);
+  for (int i = 0; i < fanout; ++i) {
+    dag.AddTask(StrFormat("fanout_child%d", i), cpu_ops, child_output_bytes,
+                {root});
+  }
+  return dag;
+}
+
+}  // namespace palette

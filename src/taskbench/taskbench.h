@@ -1,0 +1,55 @@
+// Task Bench-style parameterized DAG generator (§7.2, Figs. 2 and 8).
+//
+// Task Bench benchmarks are grids of width W points over T timesteps with a
+// per-pattern dependency rule between consecutive timesteps; each task has a
+// configurable CPU demand and output size. We regenerate the nine patterns
+// the paper evaluates, ordered (as in Fig. 8) by how frequently tasks need
+// inter-worker transfers — from "trivial"/"no_comm" (none) to
+// "fft"/"nearest" (almost every task).
+#ifndef PALETTE_SRC_TASKBENCH_TASKBENCH_H_
+#define PALETTE_SRC_TASKBENCH_TASKBENCH_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/dag/dag.h"
+
+namespace palette {
+
+enum class TaskBenchPattern {
+  kTrivial,            // no dependencies at all
+  kNoComm,             // W independent chains (same-point dependency)
+  kDomTree,            // each point depends on its tree parent (i / 2)
+  kRandomNearest,      // random subset of the 3-point neighborhood
+  kStencil1d,          // 3-point stencil, clamped at the edges
+  kStencil1dPeriodic,  // 3-point stencil with wraparound
+  kAllToAll,           // every point depends on all points
+  kFft,                // butterfly: same point + XOR partner
+  kNearest,            // 5-point neighborhood, clamped
+};
+
+struct TaskBenchConfig {
+  int width = 16;
+  int timesteps = 10;
+  // Fig. 8a uses 60M ops/node ("balanced"), Fig. 8b 600M ("compute heavy").
+  double cpu_ops_per_task = 60e6;
+  Bytes output_bytes = 256 * kMiB;
+  // Seed for kRandomNearest's dependency choices.
+  std::uint64_t seed = 7;
+};
+
+std::vector<TaskBenchPattern> AllTaskBenchPatterns();
+std::string_view TaskBenchPatternName(TaskBenchPattern pattern);
+
+Dag MakeTaskBenchDag(TaskBenchPattern pattern, const TaskBenchConfig& config);
+
+// The Fig. 7a microbenchmark: one root whose `root_output_bytes` output is
+// consumed by `fanout` parallel children; every task runs `cpu_ops`.
+Dag MakeFanoutDag(int fanout, Bytes root_output_bytes, double cpu_ops,
+                  Bytes child_output_bytes = kMiB);
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_TASKBENCH_TASKBENCH_H_

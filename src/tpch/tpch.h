@@ -1,0 +1,50 @@
+// Synthetic TPC-H-like query DAGs (Fig. 9).
+//
+// The paper runs all 22 TPC-H queries on serverless Dask with 2 GB objects
+// split into 256 MB blocks. Reproducing a SQL engine is out of scope and the
+// figure depends only on the *shape* of each query's task graph (how many
+// tables are scanned, how many shuffle exchanges and joins, the fan-in of
+// aggregations) and the data sizes flowing across its edges. This module
+// encodes per-query structural recipes — scan → map → shuffle/join stages →
+// reduction tree — with recipe parameters chosen to mirror the published
+// structural character of each query (e.g. Q1 is a scan-aggregate; Q3, Q4,
+// Q10, Q12, Q17 move the most data; Q5, Q7, Q8, Q10, Q12 have large
+// fan-outs). See DESIGN.md's substitution table.
+#ifndef PALETTE_SRC_TPCH_TPCH_H_
+#define PALETTE_SRC_TPCH_TPCH_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/dag/dag.h"
+
+namespace palette {
+
+inline constexpr int kTpchQueryCount = 22;
+
+struct TpchConfig {
+  Bytes table_bytes = 2 * kGiB;
+  Bytes block_bytes = 256 * kMiB;
+  // CPU demand per task for a recipe with cpu_scale 1.0; recipes scale it.
+  double base_cpu_ops = 60e6;
+};
+
+// Structural recipe for one query; exposed for tests and ablations.
+struct TpchQueryRecipe {
+  int tables = 1;       // scanned base tables
+  int map_stages = 1;   // per-partition 1:1 stages after scans
+  int shuffles = 0;     // all-to-all exchange stages
+  int joins = 0;        // pairwise partition-aligned merge stages
+  double cpu_scale = 1.0;
+  double selectivity = 0.5;  // per-stage output shrink factor
+};
+
+// Recipe for query `q` (1-based, 1..22).
+TpchQueryRecipe RecipeForQuery(int q);
+
+// Builds the task DAG for query `q` (1-based).
+Dag MakeTpchQueryDag(int q, const TpchConfig& config = {});
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_TPCH_TPCH_H_

@@ -1,0 +1,134 @@
+// Tests for the color-aware scale controller (future-work hook: colors as
+// autoscaling hints).
+#include <gtest/gtest.h>
+
+#include "src/common/table_printer.h"
+#include "src/faas/color_scale_controller.h"
+#include "src/sim/simulator.h"
+
+namespace palette {
+namespace {
+
+PlatformConfig QuickConfig() {
+  PlatformConfig config;
+  config.cpu_ops_per_second = 1e9;
+  config.serialization_bytes_per_second = 0;
+  return config;
+}
+
+TEST(ColorScaleControllerTest, EstimateTracksDistinctColors) {
+  Simulator sim;
+  FaasPlatform platform(&sim, PolicyKind::kLeastAssigned, 1, QuickConfig());
+  platform.AddWorkers(1);
+  ColorScaleController controller(&platform, ColorScaleConfig{});
+  for (int c = 0; c < 500; ++c) {
+    controller.OnColoredInvocation(StrFormat("c%d", c));
+  }
+  // Duplicates do not inflate.
+  for (int r = 0; r < 10; ++r) {
+    for (int c = 0; c < 500; ++c) {
+      controller.OnColoredInvocation(StrFormat("c%d", c));
+    }
+  }
+  EXPECT_NEAR(controller.ActiveColorEstimate(), 500.0, 40.0);
+}
+
+TEST(ColorScaleControllerTest, ScalesOutToMatchColors) {
+  Simulator sim;
+  FaasPlatform platform(&sim, PolicyKind::kLeastAssigned, 1, QuickConfig());
+  platform.AddWorkers(2);
+  ColorScaleConfig config;
+  config.colors_per_instance = 10;
+  config.max_workers = 32;
+  ColorScaleController controller(&platform, config);
+  for (int c = 0; c < 200; ++c) {
+    controller.OnColoredInvocation(StrFormat("c%d", c));
+  }
+  EXPECT_GT(controller.Evaluate(), 0);
+  // ~200 colors / 10 per instance = ~20 workers.
+  EXPECT_NEAR(static_cast<double>(platform.worker_count()), 20.0, 3.0);
+}
+
+TEST(ColorScaleControllerTest, ScalesInGraduallyWhenColorsExpire) {
+  Simulator sim;
+  FaasPlatform platform(&sim, PolicyKind::kLeastAssigned, 1, QuickConfig());
+  platform.AddWorkers(8);
+  ColorScaleConfig config;
+  config.min_workers = 1;
+  ColorScaleController controller(&platform, config);
+  // No active colors at all: rotate both windows empty.
+  controller.RotateWindow();
+  controller.RotateWindow();
+  EXPECT_EQ(controller.Evaluate(), -1);  // one at a time
+  EXPECT_EQ(platform.worker_count(), 7u);
+}
+
+TEST(ColorScaleControllerTest, RespectsBounds) {
+  Simulator sim;
+  FaasPlatform platform(&sim, PolicyKind::kLeastAssigned, 1, QuickConfig());
+  platform.AddWorkers(4);
+  ColorScaleConfig config;
+  config.min_workers = 4;
+  config.max_workers = 4;
+  ColorScaleController controller(&platform, config);
+  for (int c = 0; c < 1000; ++c) {
+    controller.OnColoredInvocation(StrFormat("c%d", c));
+  }
+  EXPECT_EQ(controller.Evaluate(), 0);
+  EXPECT_EQ(platform.worker_count(), 4u);
+}
+
+TEST(ColorScaleControllerTest, WindowRotationForgetsOldColors) {
+  Simulator sim;
+  FaasPlatform platform(&sim, PolicyKind::kLeastAssigned, 1, QuickConfig());
+  platform.AddWorkers(1);
+  ColorScaleController controller(&platform, ColorScaleConfig{});
+  for (int c = 0; c < 300; ++c) {
+    controller.OnColoredInvocation(StrFormat("old%d", c));
+  }
+  controller.RotateWindow();
+  // Still visible (previous window).
+  EXPECT_GT(controller.ActiveColorEstimate(), 250.0);
+  controller.RotateWindow();
+  // Gone after the second rotation.
+  EXPECT_LT(controller.ActiveColorEstimate(), 10.0);
+}
+
+TEST(ColorScaleControllerTest, PeriodicOperationEndToEnd) {
+  Simulator sim;
+  FaasPlatform platform(&sim, PolicyKind::kLeastAssigned, 1, QuickConfig());
+  platform.AddWorkers(1);
+  ColorScaleConfig config;
+  config.colors_per_instance = 4;
+  config.max_workers = 16;
+  config.window = SimTime::FromSeconds(30);
+  ColorScaleController controller(&platform, config);
+  controller.Start(SimTime::FromSeconds(120));
+
+  // A burst of 32 distinct colors arrives over the first minute.
+  for (int i = 0; i < 240; ++i) {
+    sim.At(SimTime::FromMillis(i * 250.0), [&, i]() {
+      const std::string color = StrFormat("c%d", i % 32);
+      controller.OnColoredInvocation(color);
+      InvocationSpec spec;
+      spec.function = "f";
+      spec.color = color;
+      spec.cpu_ops = 1e6;
+      platform.Invoke(std::move(spec), nullptr);
+    });
+  }
+  // Sample at the end of the burst (before idle scale-in takes over).
+  std::size_t workers_at_peak = 0;
+  sim.At(SimTime::FromSeconds(61), [&]() {
+    workers_at_peak = platform.worker_count();
+  });
+  sim.Run();
+  // 32 colors / 4 per instance -> fleet grew toward 8 during the burst...
+  EXPECT_GE(workers_at_peak, 6u);
+  EXPECT_LE(workers_at_peak, 16u);
+  // ...and shrank again once the colors aged out of both windows.
+  EXPECT_LT(platform.worker_count(), workers_at_peak);
+}
+
+}  // namespace
+}  // namespace palette

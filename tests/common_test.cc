@@ -1,0 +1,282 @@
+// Unit tests for src/common: types, RNG, distributions, stats, tables.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/common/distributions.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/table_printer.h"
+#include "src/common/types.h"
+
+namespace palette {
+namespace {
+
+TEST(SimTimeTest, ConversionsRoundTrip) {
+  const SimTime t = SimTime::FromSeconds(1.5);
+  EXPECT_EQ(t.nanos(), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(t.seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(t.millis(), 1500.0);
+  EXPECT_DOUBLE_EQ(SimTime::FromMillis(2.5).micros(), 2500.0);
+  EXPECT_EQ(SimTime::FromMicros(7).nanos(), 7000);
+}
+
+TEST(SimTimeTest, ArithmeticAndOrdering) {
+  const SimTime a = SimTime::FromSeconds(1);
+  const SimTime b = SimTime::FromSeconds(2);
+  EXPECT_LT(a, b);
+  EXPECT_EQ((a + b).seconds(), 3.0);
+  EXPECT_EQ((b - a).seconds(), 1.0);
+  SimTime c = a;
+  c += b;
+  EXPECT_EQ(c.seconds(), 3.0);
+  EXPECT_GT(SimTime::Max(), b);
+}
+
+TEST(SimTimeTest, DefaultIsZero) {
+  EXPECT_EQ(SimTime().nanos(), 0);
+}
+
+TEST(SimTimeTest, ToStringPicksUnit) {
+  EXPECT_EQ(SimTime::FromSeconds(2).ToString(), "2.000s");
+  EXPECT_EQ(SimTime::FromMillis(3).ToString(), "3.000ms");
+  EXPECT_EQ(SimTime::FromMicros(4).ToString(), "4.000us");
+  EXPECT_EQ(SimTime::FromNanos(5).ToString(), "5ns");
+}
+
+TEST(TransferDurationTest, MatchesBandwidthMath) {
+  // 1 GB at 1 GB/s = 1 s.
+  EXPECT_NEAR(TransferDuration(1'000'000'000, 1e9).seconds(), 1.0, 1e-9);
+  // 125 MB at 1 Gbps (125 MB/s) = 1 s.
+  EXPECT_NEAR(TransferDuration(125'000'000, 1e9 / 8).seconds(), 1.0, 1e-9);
+  EXPECT_EQ(TransferDuration(1, 0.0), SimTime::Max());
+}
+
+TEST(ComputeDurationTest, MatchesRateMath) {
+  EXPECT_NEAR(ComputeDuration(60e6, 30e6).seconds(), 2.0, 1e-9);
+  EXPECT_EQ(ComputeDuration(1, 0.0), SimTime::Max());
+}
+
+TEST(FormatBytesTest, Suffixes) {
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(2 * kKiB), "2.0KiB");
+  EXPECT_EQ(FormatBytes(256 * kMiB), "256.0MiB");
+  EXPECT_EQ(FormatBytes(8 * kGiB), "8.0GiB");
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBelowStaysInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.NextBelow(kBuckets)];
+  }
+  for (int count : counts) {
+    EXPECT_NEAR(count, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(9);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    heads += rng.NextBernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(17);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.Next(), child.Next());
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  const ZipfDistribution zipf(100, 0.9);
+  double sum = 0;
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    sum += zipf.ProbabilityOfRank(k);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, RankZeroIsMostPopular) {
+  const ZipfDistribution zipf(1000, 0.9);
+  EXPECT_GT(zipf.ProbabilityOfRank(0), zipf.ProbabilityOfRank(1));
+  EXPECT_GT(zipf.ProbabilityOfRank(1), zipf.ProbabilityOfRank(100));
+}
+
+TEST(ZipfTest, SamplingMatchesSkew) {
+  const ZipfDistribution zipf(100, 0.9);
+  Rng rng(21);
+  std::vector<int> counts(100, 0);
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(kSamples),
+              zipf.ProbabilityOfRank(0), 0.01);
+  EXPECT_GT(counts[0], counts[50]);
+}
+
+TEST(ZipfTest, SingleElementAlwaysSampled) {
+  const ZipfDistribution zipf(1, 0.9);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(zipf.Sample(rng), 0u);
+  }
+}
+
+TEST(DiscreteDistributionTest, RespectsWeights) {
+  const DiscreteDistribution dist({{1.0, 3.0}, {2.0, 1.0}});
+  Rng rng(13);
+  int ones = 0;
+  constexpr int kSamples = 40000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (dist.Sample(rng) == 1.0) {
+      ++ones;
+    }
+  }
+  EXPECT_NEAR(ones / static_cast<double>(kSamples), 0.75, 0.02);
+}
+
+TEST(QuantileDistributionTest, InterpolatesBetweenPoints) {
+  const QuantileDistribution dist({{0.0, 0.0}, {0.5, 10.0}, {1.0, 30.0}});
+  EXPECT_DOUBLE_EQ(dist.ValueAtQuantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.ValueAtQuantile(0.25), 5.0);
+  EXPECT_DOUBLE_EQ(dist.ValueAtQuantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(dist.ValueAtQuantile(0.75), 20.0);
+  EXPECT_DOUBLE_EQ(dist.ValueAtQuantile(1.0), 30.0);
+}
+
+TEST(QuantileDistributionTest, SamplesWithinRange) {
+  const QuantileDistribution dist({{0.0, 1.0}, {1.0, 9.0}});
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = dist.Sample(rng);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 9.0);
+  }
+}
+
+TEST(RunningStatsTest, MeanMinMax) {
+  RunningStats stats;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    stats.Add(v);
+  }
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+}
+
+TEST(RunningStatsTest, VarianceMatchesClosedForm) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(v);
+  }
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStatsTest, EmptyAndSingleSampleAreSafe) {
+  RunningStats stats;
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  stats.Add(5.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.stderr_mean(), 0.0);
+}
+
+TEST(PercentileTest, InterpolatesRanks) {
+  const std::vector<double> samples = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(samples, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 100), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 25), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 99), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(RelativeMaxLoadTest, UniformIsOne) {
+  EXPECT_DOUBLE_EQ(RelativeMaxLoad({3, 3, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(RelativeMaxLoad({0, 0, 6}), 3.0);
+  EXPECT_DOUBLE_EQ(RelativeMaxLoad({}), 0.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table;
+  table.AddRow({"name", "value"});
+  table.AddRow({"x", "10"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("w%d", 7), "w7");
+  EXPECT_EQ(StrFormat("%.2f%%", 12.345), "12.35%");
+  EXPECT_EQ(StrFormat("%s/%s", "a", "b"), "a/b");
+}
+
+}  // namespace
+}  // namespace palette

@@ -1,0 +1,294 @@
+// Tests for the DAG engine: graph container, chain partitioning, coloring,
+// serverful scheduler, and the HEFT oracle.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/table_printer.h"
+#include "src/dag/chain_partition.h"
+#include "src/dag/coloring.h"
+#include "src/dag/dag.h"
+#include "src/dag/oracle_scheduler.h"
+#include "src/dag/serverful_scheduler.h"
+
+namespace palette {
+namespace {
+
+Dag MakeDiamond() {
+  // 0 -> {1, 2} -> 3
+  Dag dag;
+  const int a = dag.AddTask("a", 100, 10);
+  const int b = dag.AddTask("b", 100, 10, {a});
+  const int c = dag.AddTask("c", 100, 10, {a});
+  dag.AddTask("d", 100, 10, {b, c});
+  return dag;
+}
+
+Dag MakeChain(int length) {
+  Dag dag;
+  int prev = -1;
+  for (int i = 0; i < length; ++i) {
+    prev = i == 0 ? dag.AddTask("t0", 100, 10)
+                  : dag.AddTask(StrFormat("t%d", i), 100, 10, {prev});
+  }
+  return dag;
+}
+
+TEST(DagTest, BasicConstruction) {
+  const Dag dag = MakeDiamond();
+  EXPECT_EQ(dag.size(), 4);
+  EXPECT_EQ(dag.edge_count(), 4);
+  EXPECT_EQ(dag.Sources(), (std::vector<int>{0}));
+  EXPECT_EQ(dag.Sinks(), (std::vector<int>{3}));
+  EXPECT_EQ(dag.successors(0), (std::vector<int>{1, 2}));
+  EXPECT_EQ(dag.task(3).deps, (std::vector<int>{1, 2}));
+}
+
+TEST(DagTest, TopologicalOrderRespectsDeps) {
+  const Dag dag = MakeDiamond();
+  const auto order = dag.TopologicalOrder();
+  std::vector<int> position(dag.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[order[i]] = static_cast<int>(i);
+  }
+  for (const auto& task : dag.tasks()) {
+    for (int dep : task.deps) {
+      EXPECT_LT(position[dep], position[task.id]);
+    }
+  }
+}
+
+TEST(DagTest, CriticalPathAndTotals) {
+  const Dag dag = MakeDiamond();
+  EXPECT_DOUBLE_EQ(dag.CriticalPathOps(), 300.0);  // a -> b -> d
+  EXPECT_DOUBLE_EQ(dag.TotalOps(), 400.0);
+  EXPECT_EQ(dag.TotalEdgeBytes(), 40u);
+}
+
+TEST(DagTest, EmptyDagIsSafe) {
+  Dag dag;
+  EXPECT_TRUE(dag.empty());
+  EXPECT_EQ(dag.CriticalPathOps(), 0.0);
+  EXPECT_TRUE(dag.Sources().empty());
+}
+
+TEST(ChainPartitionTest, SingleChainForLinearDag) {
+  const Dag dag = MakeChain(10);
+  const ChainPartition partition = PartitionIntoChains(dag);
+  EXPECT_EQ(partition.chain_count, 1);
+  EXPECT_TRUE(IsValidChainPartition(dag, partition));
+}
+
+TEST(ChainPartitionTest, DiamondNeedsTwoChains) {
+  const Dag dag = MakeDiamond();
+  const ChainPartition partition = PartitionIntoChains(dag);
+  EXPECT_EQ(partition.chain_count, 2);
+  EXPECT_TRUE(IsValidChainPartition(dag, partition));
+}
+
+TEST(ChainPartitionTest, IndependentTasksEachGetOwnChain) {
+  Dag dag;
+  for (int i = 0; i < 7; ++i) {
+    dag.AddTask(StrFormat("t%d", i), 1, 1);
+  }
+  const ChainPartition partition = PartitionIntoChains(dag);
+  EXPECT_EQ(partition.chain_count, 7);
+  EXPECT_TRUE(IsValidChainPartition(dag, partition));
+}
+
+TEST(ChainPartitionTest, EveryTaskAssigned) {
+  const Dag dag = MakeDiamond();
+  const ChainPartition partition = PartitionIntoChains(dag);
+  for (int id = 0; id < dag.size(); ++id) {
+    EXPECT_GE(partition.chain_of[id], 0);
+    EXPECT_LT(partition.chain_of[id], partition.chain_count);
+  }
+}
+
+// Property sweep: partitions of randomized layered DAGs are always valid and
+// never use more chains than tasks.
+class ChainPartitionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainPartitionProperty, ValidOnLayeredDags) {
+  const int seed = GetParam();
+  Dag dag;
+  // Deterministic pseudo-random layered DAG.
+  std::uint64_t state = static_cast<std::uint64_t>(seed) * 2654435761u + 1;
+  const auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  std::vector<int> previous;
+  for (int layer = 0; layer < 6; ++layer) {
+    std::vector<int> current;
+    const int width = 2 + static_cast<int>(next() % 5);
+    for (int i = 0; i < width; ++i) {
+      std::vector<int> deps;
+      for (int p : previous) {
+        if (next() % 3 == 0) {
+          deps.push_back(p);
+        }
+      }
+      current.push_back(dag.AddTask(StrFormat("l%d_%d", layer, i), 10, 5,
+                                    std::move(deps)));
+    }
+    previous = std::move(current);
+  }
+  const ChainPartition partition = PartitionIntoChains(dag);
+  EXPECT_TRUE(IsValidChainPartition(dag, partition));
+  EXPECT_LE(partition.chain_count, dag.size());
+  EXPECT_GE(partition.chain_count, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainPartitionProperty,
+                         ::testing::Range(1, 13));
+
+TEST(ColoringTest, NoneLeavesTasksUncolored) {
+  const Dag dag = MakeDiamond();
+  const DagColoring coloring = ColorDag(dag, ColoringKind::kNone);
+  for (const auto& c : coloring.color_of) {
+    EXPECT_FALSE(c.has_value());
+  }
+  EXPECT_EQ(coloring.distinct_colors, 0);
+}
+
+TEST(ColoringTest, SameColorUsesOneColor) {
+  const Dag dag = MakeDiamond();
+  const DagColoring coloring = ColorDag(dag, ColoringKind::kSameColor);
+  std::set<Color> colors;
+  for (const auto& c : coloring.color_of) {
+    ASSERT_TRUE(c.has_value());
+    colors.insert(*c);
+  }
+  EXPECT_EQ(colors.size(), 1u);
+}
+
+TEST(ColoringTest, ChainColoringMatchesPartition) {
+  const Dag dag = MakeDiamond();
+  const DagColoring coloring = ColorDag(dag, ColoringKind::kChain);
+  EXPECT_EQ(coloring.distinct_colors, 2);
+  // Parallel tasks b (1) and c (2) must differ (§6.2.1 property ii).
+  EXPECT_NE(coloring.color_of[1], coloring.color_of[2]);
+}
+
+TEST(ColoringTest, VirtualWorkerColorsComeFromPlan) {
+  const Dag dag = MakeChain(6);
+  const DagColoring coloring =
+      ColorDag(dag, ColoringKind::kVirtualWorker, /*virtual_workers=*/4);
+  // A linear chain stays on one virtual worker under a locality-aware
+  // scheduler: exactly one color.
+  EXPECT_EQ(coloring.distinct_colors, 1);
+}
+
+TEST(ServerfulSchedulerTest, DrainsAndAssignsEveryTask) {
+  const Dag dag = MakeDiamond();
+  ServerfulConfig config;
+  config.workers = 2;
+  const ServerfulRunResult result = RunServerful(dag, config);
+  for (int id = 0; id < dag.size(); ++id) {
+    EXPECT_GE(result.assignment[id], 0);
+    EXPECT_LT(result.assignment[id], config.workers);
+    EXPECT_GT(result.task_completion[id].nanos(), 0);
+  }
+  EXPECT_GT(result.makespan.nanos(), 0);
+}
+
+TEST(ServerfulSchedulerTest, MakespanAtLeastCriticalPath) {
+  const Dag dag = MakeDiamond();
+  ServerfulConfig config;
+  config.workers = 4;
+  config.cpu_ops_per_second = 1e6;
+  const ServerfulRunResult result = RunServerful(dag, config);
+  const double cp_seconds = dag.CriticalPathOps() / config.cpu_ops_per_second;
+  EXPECT_GE(result.makespan.seconds(), cp_seconds - 1e-9);
+}
+
+TEST(ServerfulSchedulerTest, SingleWorkerSerializesEverything) {
+  const Dag dag = MakeChain(5);
+  ServerfulConfig config;
+  config.workers = 1;
+  config.cpu_ops_per_second = 1e6;
+  const ServerfulRunResult result = RunServerful(dag, config);
+  // All local: a chain on one worker needs no transfers.
+  EXPECT_EQ(result.remote_inputs, 0u);
+  EXPECT_EQ(result.network_bytes, 0u);
+}
+
+TEST(ServerfulSchedulerTest, LocalityPreferenceKeepsChainsTogether) {
+  // Two independent chains on two workers: the data-affinity rule should
+  // keep each chain on the worker holding its data.
+  Dag dag;
+  const Bytes big = 100 * kMiB;
+  int a = dag.AddTask("a0", 1000, big);
+  int b = dag.AddTask("b0", 1000, big);
+  for (int i = 1; i < 5; ++i) {
+    a = dag.AddTask(StrFormat("a%d", i), 1000, big, {a});
+    b = dag.AddTask(StrFormat("b%d", i), 1000, big, {b});
+  }
+  ServerfulConfig config;
+  config.workers = 2;
+  const ServerfulRunResult result = RunServerful(dag, config);
+  EXPECT_EQ(result.remote_inputs, 0u);
+}
+
+TEST(ServerfulSchedulerTest, MoreWorkersNeverMuchWorse) {
+  Dag dag;
+  for (int i = 0; i < 16; ++i) {
+    dag.AddTask(StrFormat("t%d", i), 1e9, kMiB);
+  }
+  ServerfulConfig one;
+  one.workers = 1;
+  ServerfulConfig four;
+  four.workers = 4;
+  const auto r1 = RunServerful(dag, one);
+  const auto r4 = RunServerful(dag, four);
+  EXPECT_LT(r4.makespan.seconds(), r1.makespan.seconds());
+}
+
+TEST(OracleSchedulerTest, AssignsAllTasksInRange) {
+  const Dag dag = MakeDiamond();
+  OracleConfig config;
+  config.workers = 3;
+  const OracleResult result = RunOracle(dag, config);
+  for (int id = 0; id < dag.size(); ++id) {
+    EXPECT_GE(result.assignment[id], 0);
+    EXPECT_LT(result.assignment[id], 3);
+  }
+  EXPECT_GT(result.makespan.nanos(), 0);
+}
+
+TEST(OracleSchedulerTest, MakespanAtLeastCriticalPath) {
+  const Dag dag = MakeChain(8);
+  OracleConfig config;
+  config.workers = 4;
+  config.cpu_ops_per_second = 1e6;
+  const OracleResult result = RunOracle(dag, config);
+  const double cp = dag.CriticalPathOps() / config.cpu_ops_per_second;
+  EXPECT_GE(result.makespan.seconds(), cp - 1e-9);
+  // A pure chain can't use more than one worker; HEFT should keep it local
+  // and hit the critical path exactly.
+  EXPECT_NEAR(result.makespan.seconds(), cp, cp * 0.01);
+}
+
+TEST(OracleSchedulerTest, ParallelWorkSpreadsAcrossWorkers) {
+  Dag dag;
+  for (int i = 0; i < 8; ++i) {
+    dag.AddTask(StrFormat("t%d", i), 1e9, kMiB);
+  }
+  OracleConfig config;
+  config.workers = 8;
+  const OracleResult result = RunOracle(dag, config);
+  std::set<int> used(result.assignment.begin(), result.assignment.end());
+  EXPECT_EQ(used.size(), 8u);
+}
+
+TEST(OracleSchedulerTest, EmptyDag) {
+  Dag dag;
+  const OracleResult result = RunOracle(dag, OracleConfig{});
+  EXPECT_EQ(result.makespan.nanos(), 0);
+}
+
+}  // namespace
+}  // namespace palette

@@ -1,0 +1,175 @@
+// Tests for the §6.3 dynamic coloring policies: largest-input fan-in
+// coloring and prefetch dummy tasks.
+#include <gtest/gtest.h>
+
+#include "src/common/table_printer.h"
+#include "src/dag/dag_executor.h"
+#include "src/dag/dynamic_coloring.h"
+
+namespace palette {
+namespace {
+
+// b2 depends on b1 (big output) and r1 (small output); base coloring puts
+// b1/b2 on "blue" and r1 on "red".
+struct FanInFixture {
+  Dag dag;
+  DagColoring coloring;
+  int b1, r1, b2;
+};
+
+FanInFixture MakeFanIn(Bytes b1_bytes, Bytes r1_bytes) {
+  FanInFixture f;
+  f.b1 = f.dag.AddTask("b1", 1e6, b1_bytes);
+  f.r1 = f.dag.AddTask("r1", 1e6, r1_bytes);
+  f.b2 = f.dag.AddTask("b2", 1e6, kMiB, {f.b1, f.r1});
+  f.coloring.color_of = {Color("blue"), Color("red"), Color("blue")};
+  f.coloring.distinct_colors = 2;
+  return f;
+}
+
+TEST(LargestInputColoringTest, FanInTakesLargestInputsColor) {
+  // r1's output dominates: b2 should be re-colored red.
+  FanInFixture f = MakeFanIn(/*b1=*/kMiB, /*r1=*/100 * kMiB);
+  const DagColoring adjusted = ApplyLargestInputFanInColoring(f.dag, f.coloring);
+  EXPECT_EQ(adjusted.color_of[f.b2], Color("red"));
+  // b1's color unchanged.
+  EXPECT_EQ(adjusted.color_of[f.b1], Color("blue"));
+}
+
+TEST(LargestInputColoringTest, KeepsColorWhenAlreadyOnLargest) {
+  FanInFixture f = MakeFanIn(/*b1=*/100 * kMiB, /*r1=*/kMiB);
+  const DagColoring adjusted = ApplyLargestInputFanInColoring(f.dag, f.coloring);
+  EXPECT_EQ(adjusted.color_of[f.b2], Color("blue"));
+}
+
+TEST(LargestInputColoringTest, SingleDepNodesUntouched) {
+  Dag dag;
+  const int a = dag.AddTask("a", 1, 10);
+  const int b = dag.AddTask("b", 1, 10, {a});
+  DagColoring base;
+  base.color_of = {Color("x"), Color("y")};
+  base.distinct_colors = 2;
+  const DagColoring adjusted = ApplyLargestInputFanInColoring(dag, base);
+  EXPECT_EQ(adjusted.color_of[b], Color("y"));
+}
+
+TEST(LargestInputColoringTest, ReducesCrossColorBytes) {
+  FanInFixture f = MakeFanIn(kMiB, 100 * kMiB);
+  const Bytes before = CrossColorEdgeBytes(f.dag, f.coloring);
+  const DagColoring adjusted = ApplyLargestInputFanInColoring(f.dag, f.coloring);
+  const Bytes after = CrossColorEdgeBytes(f.dag, adjusted);
+  EXPECT_LT(after, before);
+  EXPECT_EQ(before, 100 * kMiB);  // r1 -> b2 was the cross edge
+  EXPECT_EQ(after, kMiB);         // now b1 -> b2 is
+}
+
+TEST(LargestInputColoringTest, CascadesInTopologicalOrder) {
+  // A chain of fan-ins: re-coloring one node influences its consumers.
+  Dag dag;
+  const int big = dag.AddTask("big", 1, 100 * kMiB);
+  const int small = dag.AddTask("small", 1, kMiB);
+  const int mid = dag.AddTask("mid", 1, 50 * kMiB, {big, small});
+  const int tiny = dag.AddTask("tiny", 1, kMiB);
+  const int sink = dag.AddTask("sink", 1, kMiB, {mid, tiny});
+  DagColoring base;
+  base.color_of = {Color("a"), Color("b"), Color("b"), Color("c"), Color("c")};
+  base.distinct_colors = 3;
+  const DagColoring adjusted = ApplyLargestInputFanInColoring(dag, base);
+  // mid re-colors to big's color "a"; sink then re-colors to mid's new "a".
+  EXPECT_EQ(adjusted.color_of[mid], Color("a"));
+  EXPECT_EQ(adjusted.color_of[sink], Color("a"));
+  (void)small;
+  (void)tiny;
+}
+
+TEST(PrefetchPlanTest, AddsOneDummyPerCrossColorEdge) {
+  FanInFixture f = MakeFanIn(kMiB, 100 * kMiB);
+  const PrefetchPlan plan = BuildPrefetchPlan(f.dag, f.coloring);
+  EXPECT_EQ(plan.original_tasks, 3);
+  EXPECT_EQ(plan.dummy_count, 1);  // only r1 -> b2 crosses colors
+  EXPECT_EQ(plan.dag.size(), 4);
+  // The dummy depends only on r1 and carries the consumer's color.
+  const DagTask& dummy = plan.dag.task(3);
+  EXPECT_EQ(dummy.deps, (std::vector<int>{f.r1}));
+  EXPECT_DOUBLE_EQ(dummy.cpu_ops, 0.0);
+  EXPECT_EQ(plan.coloring.color_of[3], Color("blue"));
+}
+
+TEST(PrefetchPlanTest, DedupesSameProducerSameColor) {
+  // Two blue consumers of the same red output: one prefetch suffices.
+  Dag dag;
+  const int r = dag.AddTask("r", 1, 10 * kMiB);
+  dag.AddTask("b_a", 1, kMiB, {r});
+  dag.AddTask("b_b", 1, kMiB, {r});
+  DagColoring base;
+  base.color_of = {Color("red"), Color("blue"), Color("blue")};
+  base.distinct_colors = 2;
+  const PrefetchPlan plan = BuildPrefetchPlan(dag, base);
+  EXPECT_EQ(plan.dummy_count, 1);
+}
+
+TEST(PrefetchPlanTest, NoDummiesWhenAllSameColor) {
+  Dag dag;
+  const int a = dag.AddTask("a", 1, 10);
+  dag.AddTask("b", 1, 10, {a});
+  DagColoring base;
+  base.color_of = {Color("c"), Color("c")};
+  base.distinct_colors = 1;
+  const PrefetchPlan plan = BuildPrefetchPlan(dag, base);
+  EXPECT_EQ(plan.dummy_count, 0);
+  EXPECT_EQ(plan.dag.size(), 2);
+}
+
+TEST(PrefetchPlanTest, OriginalDependenciesPreserved) {
+  FanInFixture f = MakeFanIn(kMiB, kMiB);
+  const PrefetchPlan plan = BuildPrefetchPlan(f.dag, f.coloring);
+  for (int id = 0; id < f.dag.size(); ++id) {
+    EXPECT_EQ(plan.dag.task(id).deps, f.dag.task(id).deps);
+    EXPECT_EQ(plan.dag.task(id).output_bytes, f.dag.task(id).output_bytes);
+  }
+}
+
+TEST(PrefetchPlanTest, EndToEndPrefetchHidesFetchInIdleTime) {
+  // The paper's §6.3 scenario: the consumer's instance goes idle before the
+  // last dependency is ready, so the prefetch dummy pulls an
+  // already-finished remote input during that idle window. Sink (blue)
+  // depends on a fast blue source, a medium red source, and a slow green
+  // source: without prefetch the sink pays the red fetch *after* green
+  // completes; with prefetch the red output is already local.
+  Dag dag;
+  const int blue_src = dag.AddTask("blue_src", 60e6, 64 * kMiB);    // ~2s
+  const int red_src = dag.AddTask("red_src", 300e6, 64 * kMiB);     // ~10s
+  const int green_src = dag.AddTask("green_src", 600e6, 64 * kMiB); // ~20s
+  dag.AddTask("blue_sink", 60e6, kMiB, {blue_src, red_src, green_src});
+  DagColoring base;
+  base.color_of = {Color("blue"), Color("red"), Color("green"),
+                   Color("blue")};
+  base.distinct_colors = 3;
+  const PrefetchPlan plan = BuildPrefetchPlan(dag, base);
+  EXPECT_EQ(plan.dummy_count, 2);  // red -> blue and green -> blue
+
+  DagRunConfig config;
+  config.policy = PolicyKind::kLeastAssigned;
+  config.workers = 3;
+  config.platform.cpu_ops_per_second = 30e6;
+  config.platform.cache.replicate_on_remote_hit = true;
+
+  const auto without = RunDagOnFaas(dag, config, &base);
+  const auto with = RunDagOnFaas(plan.dag, config, &plan.coloring);
+  // The sink reads red locally with prefetch (the dummy fetched it while
+  // the blue worker idled waiting for green).
+  EXPECT_GT(with.local_hits, without.local_hits);
+  EXPECT_LT(with.makespan.seconds(), without.makespan.seconds());
+}
+
+TEST(CrossColorBytesTest, UncoloredEdgesCountAsCross) {
+  Dag dag;
+  const int a = dag.AddTask("a", 1, 7);
+  dag.AddTask("b", 1, 3, {a});
+  DagColoring none;
+  none.color_of = {std::nullopt, std::nullopt};
+  EXPECT_EQ(CrossColorEdgeBytes(dag, none), 7u);
+}
+
+}  // namespace
+}  // namespace palette

@@ -1,0 +1,176 @@
+// Tests for the research-extension policies: Consistent Hashing with
+// Bounded Loads and Replicated Colors.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/common/table_printer.h"
+#include "src/core/bounded_load_policy.h"
+#include "src/core/replicated_policy.h"
+
+namespace palette {
+namespace {
+
+void AddInstances(ColorSchedulingPolicy& policy, int n) {
+  for (int i = 0; i < n; ++i) {
+    policy.OnInstanceAdded(StrFormat("w%d", i));
+  }
+}
+
+TEST(BoundedLoadPolicyTest, RespectsLoadCap) {
+  BoundedLoadConfig config;
+  config.c_factor = 1.25;
+  BoundedLoadPolicy policy(7, config);
+  AddInstances(policy, 10);
+  for (int c = 0; c < 2000; ++c) {
+    policy.RouteColored(StrFormat("color%d", c));
+  }
+  // The invariant Mirrokni et al. guarantee: max/avg <= c (rounding slack
+  // for the ceil on small averages).
+  EXPECT_LE(policy.RelativeMaxAssigned(), 1.30);
+}
+
+TEST(BoundedLoadPolicyTest, StickyWhileMembershipStable) {
+  BoundedLoadPolicy policy(7);
+  AddInstances(policy, 8);
+  std::map<std::string, std::string> first;
+  for (int round = 0; round < 3; ++round) {
+    for (int c = 0; c < 200; ++c) {
+      const std::string color = StrFormat("c%d", c);
+      const auto target = policy.RouteColored(color);
+      ASSERT_TRUE(target.has_value());
+      auto [it, inserted] = first.emplace(color, *target);
+      if (!inserted) {
+        EXPECT_EQ(it->second, *target) << color;
+      }
+    }
+  }
+}
+
+TEST(BoundedLoadPolicyTest, OnlyRemovedInstancesColorsMove) {
+  BoundedLoadPolicy policy(7);
+  AddInstances(policy, 8);
+  std::map<std::string, std::string> before;
+  for (int c = 0; c < 1000; ++c) {
+    const std::string color = StrFormat("c%d", c);
+    before[color] = *policy.RouteColored(color);
+  }
+  policy.OnInstanceRemoved("w3");
+  int moved_from_survivors = 0;
+  for (const auto& [color, owner] : before) {
+    const auto now = policy.RouteColored(color);
+    ASSERT_TRUE(now.has_value());
+    EXPECT_NE(*now, "w3");
+    if (owner != "w3" && *now != owner) {
+      ++moved_from_survivors;
+    }
+  }
+  // The ring-based placement keeps survivors' colors put — the property
+  // plain Least Assigned cannot give.
+  EXPECT_EQ(moved_from_survivors, 0);
+}
+
+TEST(BoundedLoadPolicyTest, BetterBalancedThanPlainHashWalk) {
+  // With the cap at 1.05 the distribution is near-perfect even for few
+  // colors, where plain CH would be far more skewed.
+  BoundedLoadConfig config;
+  config.c_factor = 1.05;
+  BoundedLoadPolicy policy(7, config);
+  AddInstances(policy, 10);
+  for (int c = 0; c < 100; ++c) {
+    policy.RouteColored(StrFormat("c%d", c));
+  }
+  EXPECT_LE(policy.RelativeMaxAssigned(), 1.2);
+}
+
+TEST(BoundedLoadPolicyTest, TableCapEviction) {
+  BoundedLoadConfig config;
+  config.table_capacity = 50;
+  BoundedLoadPolicy policy(7, config);
+  AddInstances(policy, 4);
+  for (int c = 0; c < 200; ++c) {
+    policy.RouteColored(StrFormat("c%d", c));
+  }
+  EXPECT_EQ(policy.table_size(), 50u);
+}
+
+TEST(BoundedLoadPolicyTest, EmptyMembership) {
+  BoundedLoadPolicy policy(7);
+  EXPECT_FALSE(policy.RouteColored("c").has_value());
+}
+
+TEST(ReplicatedColorPolicyTest, SpreadsHotColorAcrossExactlyKReplicas) {
+  ReplicatedColorConfig config;
+  config.replicas = 3;
+  ReplicatedColorPolicy policy(7, config);
+  AddInstances(policy, 10);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 3000; ++i) {
+    ++counts[*policy.RouteColored("viral-post")];
+  }
+  EXPECT_EQ(counts.size(), 3u);
+  for (const auto& [_, count] : counts) {
+    EXPECT_EQ(count, 1000);  // exact round-robin
+  }
+}
+
+TEST(ReplicatedColorPolicyTest, ReplicaSetMatchesRouting) {
+  ReplicatedColorConfig config;
+  config.replicas = 2;
+  ReplicatedColorPolicy policy(7, config);
+  AddInstances(policy, 6);
+  const auto replicas = policy.ReplicaSetOf("c1");
+  ASSERT_EQ(replicas.size(), 2u);
+  const std::set<std::string> expected(replicas.begin(), replicas.end());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(expected.count(*policy.RouteColored("c1")));
+  }
+}
+
+TEST(ReplicatedColorPolicyTest, SingleReplicaDegeneratesToCh) {
+  ReplicatedColorConfig config;
+  config.replicas = 1;
+  ReplicatedColorPolicy policy(7, config);
+  AddInstances(policy, 6);
+  const auto first = policy.RouteColored("c1");
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(policy.RouteColored("c1"), first);
+  }
+}
+
+TEST(ReplicatedColorPolicyTest, FewerInstancesThanReplicas) {
+  ReplicatedColorConfig config;
+  config.replicas = 4;
+  ReplicatedColorPolicy policy(7, config);
+  AddInstances(policy, 2);
+  std::set<std::string> seen;
+  for (int i = 0; i < 8; ++i) {
+    seen.insert(*policy.RouteColored("c"));
+  }
+  EXPECT_EQ(seen.size(), 2u);  // clamped to membership
+}
+
+TEST(ReplicatedColorPolicyTest, MembershipChangeShiftsReplicaSetMinimally) {
+  ReplicatedColorConfig config;
+  config.replicas = 2;
+  ReplicatedColorPolicy policy(7, config);
+  AddInstances(policy, 8);
+  const auto before = policy.ReplicaSetOf("c-stable");
+  policy.OnInstanceAdded("w_extra");
+  const auto after = policy.ReplicaSetOf("c-stable");
+  // Consistent hashing: at most one member of the pair changes when one
+  // instance joins.
+  int common = 0;
+  for (const auto& b : before) {
+    for (const auto& a : after) {
+      if (a == b) {
+        ++common;
+      }
+    }
+  }
+  EXPECT_GE(common, 1);
+}
+
+}  // namespace
+}  // namespace palette

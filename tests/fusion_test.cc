@@ -1,0 +1,131 @@
+// Tests for Wukong-style linear-run fusion.
+#include <gtest/gtest.h>
+
+#include "src/common/table_printer.h"
+#include "src/dag/dag_executor.h"
+#include "src/dag/fusion.h"
+
+namespace palette {
+namespace {
+
+TEST(FusionTest, LinearChainCollapsesToOneTask) {
+  Dag dag;
+  int prev = dag.AddTask("t0", 100, 10);
+  for (int i = 1; i < 6; ++i) {
+    prev = dag.AddTask(StrFormat("t%d", i), 100, 10, {prev});
+  }
+  const FusedDag fused = FuseLinearRuns(dag);
+  EXPECT_EQ(fused.fused_tasks, 1);
+  EXPECT_EQ(fused.dag.size(), 1);
+  EXPECT_DOUBLE_EQ(fused.dag.task(0).cpu_ops, 600.0);
+  // Output is the final member's output.
+  EXPECT_EQ(fused.dag.task(0).output_bytes, 10u);
+}
+
+TEST(FusionTest, DiamondIsNotFused) {
+  Dag dag;
+  const int a = dag.AddTask("a", 100, 10);
+  const int b = dag.AddTask("b", 100, 10, {a});
+  const int c = dag.AddTask("c", 100, 10, {a});
+  dag.AddTask("d", 100, 10, {b, c});
+  const FusedDag fused = FuseLinearRuns(dag);
+  // a has two successors, d has two deps: nothing is fusible.
+  EXPECT_EQ(fused.fused_tasks, 4);
+}
+
+TEST(FusionTest, MixedGraphFusesOnlyLinearRuns) {
+  // a -> b -> c (linear run), c -> {d, e} (fan-out blocks further fusion).
+  Dag dag;
+  const int a = dag.AddTask("a", 1, 1);
+  const int b = dag.AddTask("b", 1, 1, {a});
+  const int c = dag.AddTask("c", 1, 1, {b});
+  dag.AddTask("d", 1, 1, {c});
+  dag.AddTask("e", 1, 1, {c});
+  const FusedDag fused = FuseLinearRuns(dag);
+  // {a,b,c} fuse; d and e stand alone.
+  EXPECT_EQ(fused.fused_tasks, 3);
+  EXPECT_EQ(fused.fused_of[a], fused.fused_of[b]);
+  EXPECT_EQ(fused.fused_of[b], fused.fused_of[c]);
+}
+
+TEST(FusionTest, PreservesTotalWork) {
+  Dag dag;
+  const int a = dag.AddTask("a", 10, 1);
+  const int b = dag.AddTask("b", 20, 2, {a});
+  const int c = dag.AddTask("c", 30, 3, {b});
+  dag.AddTask("d", 40, 4, {c});
+  const FusedDag fused = FuseLinearRuns(dag);
+  EXPECT_DOUBLE_EQ(fused.dag.TotalOps(), dag.TotalOps());
+}
+
+TEST(FusionTest, FusedDagHasNoTrivialEdges) {
+  // After fusing, no remaining edge is a single-in/single-out link (the
+  // fusion is maximal).
+  Dag dag;
+  std::vector<int> layer;
+  for (int i = 0; i < 3; ++i) {
+    layer.push_back(dag.AddTask(StrFormat("s%d", i), 1, 1));
+  }
+  for (int i = 0; i < 3; ++i) {
+    const int mid = dag.AddTask(StrFormat("m%d", i), 1, 1, {layer[i]});
+    dag.AddTask(StrFormat("t%d", i), 1, 1, {mid});
+  }
+  const FusedDag fused = FuseLinearRuns(dag);
+  for (const auto& task : fused.dag.tasks()) {
+    if (task.deps.size() == 1) {
+      EXPECT_GT(fused.dag.successors(task.deps[0]).size(), 1u)
+          << "edge into " << task.name << " should have been fused";
+    }
+  }
+}
+
+TEST(FusionTest, ValidTopologicalStructure) {
+  // Fused deps must reference earlier fused tasks (acyclic by insertion
+  // contract — AddTask asserts it, so building the DAG is itself the test).
+  Dag dag;
+  const int a = dag.AddTask("a", 1, 1);
+  const int b = dag.AddTask("b", 1, 1, {a});
+  const int c = dag.AddTask("c", 1, 1, {a});
+  const int d = dag.AddTask("d", 1, 1, {b});
+  dag.AddTask("e", 1, 1, {c, d});
+  const FusedDag fused = FuseLinearRuns(dag);
+  for (const auto& task : fused.dag.tasks()) {
+    for (int dep : task.deps) {
+      EXPECT_LT(dep, task.id);
+    }
+  }
+}
+
+TEST(FusionTest, FusionBeatsUnfusedObliviousOnChains) {
+  // The Wukong argument: on chain-heavy graphs, fusion eliminates all
+  // intermediate transfers even under oblivious routing.
+  Dag dag;
+  for (int chain = 0; chain < 4; ++chain) {
+    int prev = dag.AddTask(StrFormat("c%d_t0", chain), 60e6, 32 * kMiB);
+    for (int i = 1; i < 6; ++i) {
+      prev = dag.AddTask(StrFormat("c%d_t%d", chain, i), 60e6, 32 * kMiB,
+                         {prev});
+    }
+  }
+  DagRunConfig config;
+  config.policy = PolicyKind::kObliviousRoundRobin;
+  config.coloring = ColoringKind::kNone;
+  config.workers = 4;
+  config.platform.cpu_ops_per_second = 3e7;
+
+  const FusedDag fused = FuseLinearRuns(dag);
+  EXPECT_EQ(fused.fused_tasks, 4);
+  const auto unfused_run = RunDagOnFaas(dag, config);
+  const auto fused_run = RunDagOnFaas(fused.dag, config);
+  EXPECT_LT(fused_run.makespan.seconds(), unfused_run.makespan.seconds());
+  EXPECT_EQ(fused_run.network_bytes, 0u);
+}
+
+TEST(FusionTest, EmptyDag) {
+  const FusedDag fused = FuseLinearRuns(Dag{});
+  EXPECT_EQ(fused.fused_tasks, 0);
+  EXPECT_TRUE(fused.dag.empty());
+}
+
+}  // namespace
+}  // namespace palette

@@ -1,0 +1,235 @@
+// End-to-end integration tests: full DAG runs over the FaaS platform,
+// checking the qualitative results the paper's evaluation rests on.
+#include <gtest/gtest.h>
+
+#include "src/common/table_printer.h"
+#include "src/dag/dag_executor.h"
+#include "src/dag/serverful_scheduler.h"
+#include "src/nums/nums.h"
+#include "src/taskbench/taskbench.h"
+#include "src/tpch/tpch.h"
+
+namespace palette {
+namespace {
+
+// Platform sized like the DAG benches: Python-rate CPU, 1 Gbps network.
+PlatformConfig DagPlatform() {
+  PlatformConfig config;
+  config.cpu_ops_per_second = 3e7;
+  config.network.bandwidth_bits_per_sec = 1e9;
+  return config;
+}
+
+DagRunConfig BaseRun(PolicyKind policy, ColoringKind coloring, int workers) {
+  DagRunConfig config;
+  config.policy = policy;
+  config.coloring = coloring;
+  config.workers = workers;
+  config.platform = DagPlatform();
+  return config;
+}
+
+TEST(DagExecutorTest, DrainsChainWithZeroRemoteHits) {
+  // A linear chain with chain coloring: every task shares a color, so all
+  // intermediate data must be local.
+  Dag dag;
+  int prev = dag.AddTask("t0", 1e6, 10 * kMiB);
+  for (int i = 1; i < 8; ++i) {
+    prev = dag.AddTask(StrFormat("t%d", i), 1e6, 10 * kMiB, {prev});
+  }
+  const auto result = RunDagOnFaas(
+      dag, BaseRun(PolicyKind::kLeastAssigned, ColoringKind::kChain, 4));
+  EXPECT_EQ(result.remote_hits, 0u);
+  EXPECT_EQ(result.misses, 0u);
+  EXPECT_EQ(result.local_hits, 7u);
+  EXPECT_EQ(result.distinct_colors, 1);
+  EXPECT_GT(result.makespan.nanos(), 0);
+}
+
+TEST(DagExecutorTest, ObliviousRunHasRemoteTraffic) {
+  const TaskBenchConfig tb{.width = 8,
+                           .timesteps = 4,
+                           .cpu_ops_per_task = 1e6,
+                           .output_bytes = 8 * kMiB,
+                           .seed = 7};
+  const Dag dag = MakeTaskBenchDag(TaskBenchPattern::kStencil1d, tb);
+  const auto result = RunDagOnFaas(
+      dag, BaseRun(PolicyKind::kObliviousRoundRobin, ColoringKind::kNone, 4));
+  EXPECT_GT(result.remote_hits, 0u);
+  EXPECT_GT(result.network_bytes, 0u);
+}
+
+TEST(DagExecutorTest, PaletteBeatsObliviousOnStencil) {
+  // The core claim (Findings 4 and 7): locality hints cut runtime and
+  // network bytes versus oblivious routing.
+  const TaskBenchConfig tb{.width = 8,
+                           .timesteps = 6,
+                           .cpu_ops_per_task = 60e6,
+                           .output_bytes = 64 * kMiB,
+                           .seed = 7};
+  const Dag dag = MakeTaskBenchDag(TaskBenchPattern::kStencil1d, tb);
+  const auto palette = RunDagOnFaas(
+      dag, BaseRun(PolicyKind::kLeastAssigned, ColoringKind::kChain, 4));
+  const auto oblivious = RunDagOnFaas(
+      dag, BaseRun(PolicyKind::kObliviousRoundRobin, ColoringKind::kNone, 4));
+  EXPECT_LT(palette.makespan.seconds(), oblivious.makespan.seconds());
+  EXPECT_LT(palette.network_bytes, oblivious.network_bytes);
+}
+
+TEST(DagExecutorTest, SameColorSerializesOntoOneWorker) {
+  Dag dag;
+  for (int i = 0; i < 6; ++i) {
+    dag.AddTask(StrFormat("t%d", i), 30e6, kMiB);
+  }
+  const auto same = RunDagOnFaas(
+      dag, BaseRun(PolicyKind::kLeastAssigned, ColoringKind::kSameColor, 6));
+  const auto chain = RunDagOnFaas(
+      dag, BaseRun(PolicyKind::kLeastAssigned, ColoringKind::kChain, 6));
+  // Independent tasks: same-color forfeits all parallelism.
+  EXPECT_GT(same.makespan.seconds(), 2.0 * chain.makespan.seconds());
+}
+
+TEST(DagExecutorTest, FanoutCrossoverExists) {
+  // Fig. 7: with cheap tasks Same Color wins (no 256 MB transfers); with
+  // expensive tasks chain coloring's parallelism wins.
+  const Dag dag = MakeFanoutDag(10, 256 * kMiB, /*cpu_ops=*/0);
+  Dag expensive = MakeFanoutDag(10, 256 * kMiB, /*cpu_ops=*/1e9);
+
+  const auto cheap_same = RunDagOnFaas(
+      dag, BaseRun(PolicyKind::kLeastAssigned, ColoringKind::kSameColor, 10));
+  const auto cheap_chain = RunDagOnFaas(
+      dag, BaseRun(PolicyKind::kLeastAssigned, ColoringKind::kChain, 10));
+  EXPECT_LT(cheap_same.makespan.seconds(), cheap_chain.makespan.seconds());
+
+  const auto costly_same = RunDagOnFaas(
+      expensive,
+      BaseRun(PolicyKind::kLeastAssigned, ColoringKind::kSameColor, 10));
+  const auto costly_chain = RunDagOnFaas(
+      expensive,
+      BaseRun(PolicyKind::kLeastAssigned, ColoringKind::kChain, 10));
+  EXPECT_LT(costly_chain.makespan.seconds(), costly_same.makespan.seconds());
+}
+
+TEST(DagExecutorTest, VirtualWorkerColoringRunsCompetitively) {
+  const TaskBenchConfig tb{.width = 8,
+                           .timesteps = 4,
+                           .cpu_ops_per_task = 60e6,
+                           .output_bytes = 32 * kMiB,
+                           .seed = 7};
+  const Dag dag = MakeTaskBenchDag(TaskBenchPattern::kStencil1d, tb);
+  const auto vw = RunDagOnFaas(
+      dag,
+      BaseRun(PolicyKind::kLeastAssigned, ColoringKind::kVirtualWorker, 4));
+  const auto oblivious = RunDagOnFaas(
+      dag, BaseRun(PolicyKind::kObliviousRoundRobin, ColoringKind::kNone, 4));
+  EXPECT_LT(vw.makespan.seconds(), oblivious.makespan.seconds());
+  EXPECT_GT(vw.distinct_colors, 0);
+}
+
+TEST(DagExecutorTest, TaskCompletionTimesPopulated) {
+  Dag dag;
+  const int a = dag.AddTask("a", 1e6, kMiB);
+  dag.AddTask("b", 1e6, kMiB, {a});
+  const auto result = RunDagOnFaas(
+      dag, BaseRun(PolicyKind::kLeastAssigned, ColoringKind::kChain, 2));
+  ASSERT_EQ(result.task_completion.size(), 2u);
+  EXPECT_GT(result.task_completion[0].nanos(), 0);
+  EXPECT_GT(result.task_completion[1], result.task_completion[0]);
+}
+
+TEST(TpchIntegrationTest, QueryRunsUnderAllPolicies) {
+  TpchConfig tpch;
+  tpch.table_bytes = 512 * kMiB;  // small for test speed
+  tpch.block_bytes = 128 * kMiB;
+  const Dag dag = MakeTpchQueryDag(3, tpch);
+  for (PolicyKind policy :
+       {PolicyKind::kObliviousRoundRobin, PolicyKind::kLeastAssigned}) {
+    const ColoringKind coloring = IsLocalityAware(policy)
+                                      ? ColoringKind::kVirtualWorker
+                                      : ColoringKind::kNone;
+    const auto result = RunDagOnFaas(dag, BaseRun(policy, coloring, 8));
+    EXPECT_GT(result.makespan.nanos(), 0) << PolicyKindId(policy);
+  }
+}
+
+TEST(TpchIntegrationTest, PaletteMovesFewerBytes) {
+  // Finding 7's mechanism: "the median RR query transfers over 5.9 times
+  // more data over the network than Palette".
+  TpchConfig tpch;
+  tpch.table_bytes = 512 * kMiB;
+  tpch.block_bytes = 128 * kMiB;
+  const Dag dag = MakeTpchQueryDag(10, tpch);
+  const auto rr = RunDagOnFaas(
+      dag, BaseRun(PolicyKind::kObliviousRoundRobin, ColoringKind::kNone, 8));
+  const auto la = RunDagOnFaas(
+      dag,
+      BaseRun(PolicyKind::kLeastAssigned, ColoringKind::kVirtualWorker, 8));
+  EXPECT_LT(la.network_bytes, rr.network_bytes);
+}
+
+TEST(NumsIntegrationTest, LrHiggsRunsAndPhasesSum) {
+  LrHiggsConfig config;
+  config.row_blocks = 4;
+  config.newton_iterations = 2;
+  const LrHiggsDag lr = MakeLrHiggsDag(config);
+  const auto result = RunDagOnFaas(
+      lr.dag,
+      BaseRun(PolicyKind::kLeastAssigned, ColoringKind::kVirtualWorker, 4));
+  const auto durations = PhaseDurations(lr, result.task_completion);
+  SimTime total;
+  for (SimTime d : durations) {
+    total += d;
+  }
+  EXPECT_EQ(total, result.makespan);
+}
+
+TEST(NumsIntegrationTest, PaletteBeatsObliviousOnMatMul) {
+  MatMulConfig mmm;
+  mmm.grid = 4;
+  mmm.block_bytes = 32 * kMiB;
+  mmm.ops_per_c_block = 120e6;
+  const Dag dag = MakeMatMulDag(mmm);
+  const auto la = RunDagOnFaas(
+      dag,
+      BaseRun(PolicyKind::kLeastAssigned, ColoringKind::kVirtualWorker, 8));
+  const auto random = RunDagOnFaas(
+      dag, BaseRun(PolicyKind::kObliviousRandom, ColoringKind::kNone, 8));
+  EXPECT_LT(la.makespan.seconds(), random.makespan.seconds());
+}
+
+TEST(ServerfulVsServerlessTest, ServerfulDaskStaysAhead) {
+  // Serverful Dask remains the lower envelope in Fig. 8a: no dispatch
+  // overhead and no serialization tax.
+  const TaskBenchConfig tb{.width = 8,
+                           .timesteps = 4,
+                           .cpu_ops_per_task = 60e6,
+                           .output_bytes = 64 * kMiB,
+                           .seed = 7};
+  const Dag dag = MakeTaskBenchDag(TaskBenchPattern::kStencil1d, tb);
+  ServerfulConfig serverful;
+  serverful.workers = 4;
+  serverful.cpu_ops_per_second = DagPlatform().cpu_ops_per_second;
+  const auto dask = RunServerful(dag, serverful);
+  const auto palette = RunDagOnFaas(
+      dag, BaseRun(PolicyKind::kLeastAssigned, ColoringKind::kChain, 4));
+  EXPECT_LE(dask.makespan.seconds(), palette.makespan.seconds());
+}
+
+TEST(DeterminismTest, IdenticalConfigsGiveIdenticalResults) {
+  const TaskBenchConfig tb{.width = 6,
+                           .timesteps = 4,
+                           .cpu_ops_per_task = 30e6,
+                           .output_bytes = 16 * kMiB,
+                           .seed = 7};
+  const Dag dag = MakeTaskBenchDag(TaskBenchPattern::kFft, tb);
+  const auto config =
+      BaseRun(PolicyKind::kLeastAssigned, ColoringKind::kChain, 4);
+  const auto a = RunDagOnFaas(dag, config);
+  const auto b = RunDagOnFaas(dag, config);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.network_bytes, b.network_bytes);
+  EXPECT_EQ(a.local_hits, b.local_hits);
+}
+
+}  // namespace
+}  // namespace palette

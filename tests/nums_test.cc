@@ -1,0 +1,142 @@
+// Tests for the NumS-style blocked linear algebra DAG builders.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/nums/nums.h"
+
+namespace palette {
+namespace {
+
+LrHiggsConfig SmallLrConfig() {
+  LrHiggsConfig config;
+  config.row_blocks = 4;
+  config.newton_iterations = 2;
+  return config;
+}
+
+TEST(LrHiggsTest, PhaseLabelsCoverAllTasks) {
+  const LrHiggsDag lr = MakeLrHiggsDag(SmallLrConfig());
+  ASSERT_EQ(lr.phase_of.size(), static_cast<std::size_t>(lr.dag.size()));
+  std::set<int> phases(lr.phase_of.begin(), lr.phase_of.end());
+  EXPECT_EQ(phases, (std::set<int>{0, 1, 2, 3}));
+}
+
+TEST(LrHiggsTest, PhaseOrderingFollowsDependencies) {
+  const LrHiggsDag lr = MakeLrHiggsDag(SmallLrConfig());
+  for (const auto& task : lr.dag.tasks()) {
+    for (int dep : task.deps) {
+      EXPECT_LE(lr.phase_of[static_cast<std::size_t>(dep)],
+                lr.phase_of[static_cast<std::size_t>(task.id)])
+          << task.name;
+    }
+  }
+}
+
+TEST(LrHiggsTest, LoadTasksMatchRowBlocks) {
+  const auto config = SmallLrConfig();
+  const LrHiggsDag lr = MakeLrHiggsDag(config);
+  int loads = 0;
+  for (const auto& task : lr.dag.tasks()) {
+    if (lr.phase_of[static_cast<std::size_t>(task.id)] == 0) {
+      ++loads;
+      EXPECT_TRUE(task.deps.empty());
+    }
+  }
+  EXPECT_EQ(loads, config.row_blocks);
+}
+
+TEST(LrHiggsTest, NewtonIterationsReuseXBlocks) {
+  // Each gradient task in every iteration must depend on a phase-1 X block:
+  // the re-read pattern that rewards locality.
+  const auto config = SmallLrConfig();
+  const LrHiggsDag lr = MakeLrHiggsDag(config);
+  int grad_tasks = 0;
+  for (const auto& task : lr.dag.tasks()) {
+    if (task.name.find("grad") == std::string::npos) {
+      continue;
+    }
+    ++grad_tasks;
+    bool depends_on_x = false;
+    for (int dep : task.deps) {
+      if (lr.dag.task(dep).name.find("split_x") != std::string::npos) {
+        depends_on_x = true;
+      }
+    }
+    EXPECT_TRUE(depends_on_x) << task.name;
+  }
+  EXPECT_EQ(grad_tasks, config.row_blocks * config.newton_iterations);
+}
+
+TEST(LrHiggsTest, SingleFinalAccuracyTask) {
+  const LrHiggsDag lr = MakeLrHiggsDag(SmallLrConfig());
+  const auto sinks = lr.dag.Sinks();
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(lr.phase_of[static_cast<std::size_t>(sinks[0])], 3);
+}
+
+TEST(PhaseDurationsTest, SumsToFinalCompletion) {
+  const LrHiggsDag lr = MakeLrHiggsDag(SmallLrConfig());
+  // Synthetic completion times: task id in seconds.
+  std::vector<SimTime> completion;
+  for (int id = 0; id < lr.dag.size(); ++id) {
+    completion.push_back(SimTime::FromSeconds(id + 1));
+  }
+  const auto durations = PhaseDurations(lr, completion);
+  ASSERT_EQ(durations.size(), 4u);
+  SimTime total;
+  for (SimTime d : durations) {
+    total += d;
+  }
+  EXPECT_EQ(total, SimTime::FromSeconds(lr.dag.size()));
+}
+
+TEST(PhaseDurationsTest, NonNegativeEvenWhenPhasesOverlap) {
+  const LrHiggsDag lr = MakeLrHiggsDag(SmallLrConfig());
+  // All tasks complete at the same instant (degenerate overlap).
+  std::vector<SimTime> completion(static_cast<std::size_t>(lr.dag.size()),
+                                  SimTime::FromSeconds(5));
+  const auto durations = PhaseDurations(lr, completion);
+  for (SimTime d : durations) {
+    EXPECT_GE(d.nanos(), 0);
+  }
+}
+
+TEST(MatMulTest, TaskCountMatchesGrid) {
+  MatMulConfig config;
+  config.grid = 3;
+  const Dag dag = MakeMatMulDag(config);
+  // 2 * g^2 loads + g^2 multiplies.
+  EXPECT_EQ(dag.size(), 3 * 3 * 3);
+}
+
+TEST(MatMulTest, CBlockReadsRowOfAAndColumnOfB) {
+  MatMulConfig config;
+  config.grid = 2;
+  const Dag dag = MakeMatMulDag(config);
+  for (const auto& task : dag.tasks()) {
+    if (task.name.rfind("mmm_c", 0) == 0) {
+      EXPECT_EQ(task.deps.size(), 4u);  // 2 A blocks + 2 B blocks
+    }
+  }
+}
+
+TEST(MatMulTest, LoadsAreSources) {
+  MatMulConfig config;
+  config.grid = 2;
+  const Dag dag = MakeMatMulDag(config);
+  EXPECT_EQ(dag.Sources().size(), 8u);  // 2 * g^2
+  EXPECT_EQ(dag.Sinks().size(), 4u);    // g^2 output blocks
+}
+
+TEST(MatMulTest, BytesScaleWithBlockSize) {
+  MatMulConfig small;
+  small.block_bytes = kMiB;
+  MatMulConfig large;
+  large.block_bytes = 16 * kMiB;
+  EXPECT_LT(MakeMatMulDag(small).TotalEdgeBytes(),
+            MakeMatMulDag(large).TotalEdgeBytes());
+}
+
+}  // namespace
+}  // namespace palette

@@ -1,0 +1,187 @@
+// Unit tests for the discrete-event simulator and network model.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace palette {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(SimTime::FromSeconds(3), [&] { order.push_back(3); });
+  sim.At(SimTime::FromSeconds(1), [&] { order.push_back(1); });
+  sim.At(SimTime::FromSeconds(2), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), SimTime::FromSeconds(3));
+}
+
+TEST(SimulatorTest, TiesBreakInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  const SimTime t = SimTime::FromSeconds(1);
+  for (int i = 0; i < 5; ++i) {
+    sim.At(t, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, SchedulingInPastClampsToNow) {
+  Simulator sim;
+  bool fired = false;
+  sim.At(SimTime::FromSeconds(5), [&] {
+    sim.At(SimTime::FromSeconds(1), [&] {
+      fired = true;
+      EXPECT_EQ(sim.Now(), SimTime::FromSeconds(5));
+    });
+  });
+  sim.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, AfterIsRelative) {
+  Simulator sim;
+  SimTime when;
+  sim.At(SimTime::FromSeconds(2), [&] {
+    sim.After(SimTime::FromSeconds(3), [&] { when = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(when, SimTime::FromSeconds(5));
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) {
+      sim.After(SimTime::FromMillis(1), chain);
+    }
+  };
+  sim.After(SimTime::FromMillis(1), chain);
+  sim.Run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(sim.executed_events(), 10u);
+}
+
+TEST(SimulatorTest, RunRespectsMaxEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> forever = [&] {
+    ++count;
+    sim.After(SimTime::FromMillis(1), forever);
+  };
+  sim.After(SimTime::FromMillis(1), forever);
+  EXPECT_EQ(sim.Run(100), 100u);
+  EXPECT_EQ(count, 100);
+}
+
+TEST(SimulatorTest, StepOnEmptyReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(FifoResourceTest, SequentialBookingsQueue) {
+  Simulator sim;
+  FifoResource cpu(&sim);
+  const SimTime first = cpu.Acquire(SimTime::FromSeconds(2));
+  const SimTime second = cpu.Acquire(SimTime::FromSeconds(3));
+  EXPECT_EQ(first, SimTime::FromSeconds(2));
+  EXPECT_EQ(second, SimTime::FromSeconds(5));
+  EXPECT_EQ(cpu.busy_time(), SimTime::FromSeconds(5));
+}
+
+TEST(FifoResourceTest, NotBeforeDelaysStart) {
+  Simulator sim;
+  FifoResource cpu(&sim);
+  const SimTime done = cpu.Acquire(SimTime::FromSeconds(1),
+                                   /*not_before=*/SimTime::FromSeconds(10));
+  EXPECT_EQ(done, SimTime::FromSeconds(11));
+}
+
+TEST(FifoResourceTest, IdleGapsDoNotCountAsBusy) {
+  Simulator sim;
+  FifoResource cpu(&sim);
+  cpu.Acquire(SimTime::FromSeconds(1));
+  cpu.Acquire(SimTime::FromSeconds(1), SimTime::FromSeconds(100));
+  EXPECT_EQ(cpu.busy_time(), SimTime::FromSeconds(2));
+  EXPECT_EQ(cpu.available_at(), SimTime::FromSeconds(101));
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : network_(&sim_, MakeConfig()) {
+    network_.AddNode("a");
+    network_.AddNode("b");
+    network_.AddNode("c");
+  }
+
+  static NetworkConfig MakeConfig() {
+    NetworkConfig config;
+    config.bandwidth_bits_per_sec = 1e9;  // 125 MB/s
+    config.latency = SimTime::FromMillis(1);
+    config.local_bandwidth_bits_per_sec = 80e9;
+    config.local_latency = SimTime::FromMicros(10);
+    return config;
+  }
+
+  Simulator sim_;
+  Network network_;
+};
+
+TEST_F(NetworkTest, RemoteTransferTimeMatchesBandwidthPlusLatency) {
+  const SimTime done = network_.Transfer("a", "b", 125'000'000);
+  EXPECT_NEAR(done.seconds(), 1.001, 1e-6);
+  EXPECT_EQ(network_.remote_bytes(), 125'000'000u);
+  EXPECT_EQ(network_.remote_transfers(), 1u);
+}
+
+TEST_F(NetworkTest, LocalTransferIsMuchFaster) {
+  const SimTime local = network_.Transfer("a", "a", 125'000'000);
+  EXPECT_LT(local.seconds(), 0.02);
+  EXPECT_EQ(network_.local_bytes(), 125'000'000u);
+  EXPECT_EQ(network_.remote_bytes(), 0u);
+}
+
+TEST_F(NetworkTest, EgressContentionSerializes) {
+  // Two transfers out of the same node share its egress NIC.
+  const SimTime first = network_.Transfer("a", "b", 125'000'000);
+  const SimTime second = network_.Transfer("a", "c", 125'000'000);
+  EXPECT_NEAR(first.seconds(), 1.001, 1e-6);
+  EXPECT_NEAR(second.seconds(), 2.001, 1e-6);
+}
+
+TEST_F(NetworkTest, IngressContentionSerializes) {
+  const SimTime first = network_.Transfer("a", "c", 125'000'000);
+  const SimTime second = network_.Transfer("b", "c", 125'000'000);
+  EXPECT_NEAR(first.seconds(), 1.001, 1e-6);
+  EXPECT_NEAR(second.seconds(), 2.001, 1e-6);
+}
+
+TEST_F(NetworkTest, DisjointPairsProceedInParallel) {
+  network_.AddNode("d");
+  const SimTime first = network_.Transfer("a", "b", 125'000'000);
+  const SimTime second = network_.Transfer("c", "d", 125'000'000);
+  EXPECT_NEAR(first.seconds(), 1.001, 1e-6);
+  EXPECT_NEAR(second.seconds(), 1.001, 1e-6);
+}
+
+TEST_F(NetworkTest, ReadyTimeDefersTransfer) {
+  const SimTime done =
+      network_.Transfer("a", "b", 125'000'000, SimTime::FromSeconds(10));
+  EXPECT_NEAR(done.seconds(), 11.001, 1e-6);
+}
+
+TEST_F(NetworkTest, HasNode) {
+  EXPECT_TRUE(network_.HasNode("a"));
+  EXPECT_FALSE(network_.HasNode("zz"));
+}
+
+}  // namespace
+}  // namespace palette

@@ -1,0 +1,112 @@
+// Unit tests for the HyperLogLog sketch.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/table_printer.h"
+#include "src/sketch/hyperloglog.h"
+
+namespace palette {
+namespace {
+
+TEST(HyperLogLogTest, EmptyEstimatesZero) {
+  HyperLogLog hll(12);
+  EXPECT_NEAR(hll.Estimate(), 0.0, 1.0);
+}
+
+TEST(HyperLogLogTest, SmallCardinalityViaLinearCounting) {
+  HyperLogLog hll(12);
+  for (int i = 0; i < 100; ++i) {
+    hll.Add(StrFormat("item%d", i));
+  }
+  EXPECT_NEAR(hll.Estimate(), 100.0, 5.0);
+}
+
+TEST(HyperLogLogTest, DuplicatesDoNotInflate) {
+  HyperLogLog hll(12);
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 200; ++i) {
+      hll.Add(StrFormat("item%d", i));
+    }
+  }
+  EXPECT_NEAR(hll.Estimate(), 200.0, 10.0);
+}
+
+// The standard error of HLL with 2^p registers is ~1.04/sqrt(2^p); check the
+// estimate stays within ~4 standard errors over a range of cardinalities.
+class HllAccuracyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HllAccuracyTest, EstimateWithinErrorBound) {
+  const int true_count = GetParam();
+  HyperLogLog hll(12);
+  for (int i = 0; i < true_count; ++i) {
+    hll.Add(StrFormat("elem-%d", i));
+  }
+  const double stderr_frac = 1.04 / std::sqrt(4096.0);
+  EXPECT_NEAR(hll.Estimate(), true_count, 4 * stderr_frac * true_count + 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, HllAccuracyTest,
+                         ::testing::Values(10, 100, 1000, 10000, 100000));
+
+TEST(HyperLogLogTest, MergeApproximatesUnion) {
+  HyperLogLog a(12);
+  HyperLogLog b(12);
+  for (int i = 0; i < 5000; ++i) {
+    a.Add(StrFormat("a%d", i));
+    b.Add(StrFormat("b%d", i));
+  }
+  // Shared items counted once.
+  for (int i = 0; i < 2000; ++i) {
+    a.Add(StrFormat("s%d", i));
+    b.Add(StrFormat("s%d", i));
+  }
+  ASSERT_TRUE(a.Merge(b));
+  EXPECT_NEAR(a.Estimate(), 12000.0, 12000.0 * 0.08);
+}
+
+TEST(HyperLogLogTest, MergeRejectsMismatchedPrecision) {
+  HyperLogLog a(10);
+  HyperLogLog b(12);
+  EXPECT_FALSE(a.Merge(b));
+}
+
+TEST(HyperLogLogTest, ClearResets) {
+  HyperLogLog hll(10);
+  for (int i = 0; i < 1000; ++i) {
+    hll.Add(StrFormat("x%d", i));
+  }
+  hll.Clear();
+  EXPECT_NEAR(hll.Estimate(), 0.0, 1.0);
+}
+
+TEST(HyperLogLogTest, MemoryMatchesPrecision) {
+  EXPECT_EQ(HyperLogLog(8).MemoryBytes(), 256u);
+  EXPECT_EQ(HyperLogLog(12).MemoryBytes(), 4096u);
+}
+
+TEST(WindowedHllTest, EstimateSpansBothWindows) {
+  WindowedHyperLogLog windowed(12);
+  for (int i = 0; i < 1000; ++i) {
+    windowed.Add(StrFormat("old%d", i));
+  }
+  windowed.Rotate();
+  for (int i = 0; i < 500; ++i) {
+    windowed.Add(StrFormat("new%d", i));
+  }
+  // Merged estimate covers both windows.
+  EXPECT_NEAR(windowed.Estimate(), 1500.0, 1500.0 * 0.08);
+}
+
+TEST(WindowedHllTest, SecondRotateDropsOldWindow) {
+  WindowedHyperLogLog windowed(12);
+  for (int i = 0; i < 1000; ++i) {
+    windowed.Add(StrFormat("old%d", i));
+  }
+  windowed.Rotate();
+  windowed.Rotate();  // "old" items now fall out entirely.
+  EXPECT_NEAR(windowed.Estimate(), 0.0, 5.0);
+}
+
+}  // namespace
+}  // namespace palette

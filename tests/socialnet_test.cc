@@ -1,0 +1,278 @@
+// Tests for the social network substrate: graph, content, trace, web app.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "src/socialnet/content.h"
+#include "src/socialnet/social_graph.h"
+#include "src/socialnet/webapp_sim.h"
+#include "src/socialnet/workload.h"
+
+namespace palette {
+namespace {
+
+SocialGraphConfig TinyGraphConfig() {
+  SocialGraphConfig config;
+  config.users = 100;
+  config.edges_per_node = 5;
+  return config;
+}
+
+TEST(SocialGraphTest, Reed98ScaleDefaults) {
+  const SocialGraph graph{};
+  EXPECT_EQ(graph.user_count(), 962);
+  // socfb-Reed98 has ~18.8K edges; BA with m=20 should land close.
+  EXPECT_NEAR(static_cast<double>(graph.edge_count()), 18800, 1500);
+  EXPECT_NEAR(graph.AverageDegree(), 39.0, 4.0);
+}
+
+TEST(SocialGraphTest, EdgesAreSymmetric) {
+  const SocialGraph graph(TinyGraphConfig());
+  for (int u = 0; u < graph.user_count(); ++u) {
+    for (int v : graph.FriendsOf(u)) {
+      const auto& back = graph.FriendsOf(v);
+      EXPECT_TRUE(std::binary_search(back.begin(), back.end(), u))
+          << u << "<->" << v;
+    }
+  }
+}
+
+TEST(SocialGraphTest, NoSelfLoops) {
+  const SocialGraph graph(TinyGraphConfig());
+  for (int u = 0; u < graph.user_count(); ++u) {
+    for (int v : graph.FriendsOf(u)) {
+      EXPECT_NE(u, v);
+    }
+  }
+}
+
+TEST(SocialGraphTest, PowerLawishSkew) {
+  const SocialGraph graph{};
+  int max_degree = 0;
+  for (int u = 0; u < graph.user_count(); ++u) {
+    max_degree = std::max(max_degree, graph.DegreeOf(u));
+  }
+  // Preferential attachment: hubs well above the average degree.
+  EXPECT_GT(max_degree, 2 * static_cast<int>(graph.AverageDegree()));
+}
+
+TEST(SocialGraphTest, DeterministicForSeed) {
+  const SocialGraph a(TinyGraphConfig());
+  const SocialGraph b(TinyGraphConfig());
+  for (int u = 0; u < a.user_count(); ++u) {
+    EXPECT_EQ(a.FriendsOf(u), b.FriendsOf(u));
+  }
+}
+
+TEST(SocialContentTest, TwentyPostsPerUser) {
+  const SocialGraph graph(TinyGraphConfig());
+  const SocialContent content(graph);
+  EXPECT_EQ(content.post_count(), graph.user_count() * 20);
+  for (int u = 0; u < graph.user_count(); ++u) {
+    EXPECT_EQ(content.PostsOf(u).size(), 20u);
+  }
+}
+
+TEST(SocialContentTest, SizesWithinPaperDistributions) {
+  const SocialGraph graph(TinyGraphConfig());
+  const SocialContent content(graph);
+  for (int p = 0; p < content.post_count(); ++p) {
+    const Post& post = content.post(p);
+    EXPECT_GE(post.text_bytes, 64u);
+    EXPECT_LE(post.text_bytes, 1024u);
+    EXPECT_GE(post.media_bytes.size(), 1u);
+    EXPECT_LE(post.media_bytes.size(), 5u);
+    for (Bytes media : post.media_bytes) {
+      EXPECT_GE(media, 1024u);
+      EXPECT_LE(media, 8 * kMiB);
+    }
+  }
+}
+
+TEST(SocialContentTest, MediaQuantilesRoughlyMatchPaper) {
+  const SocialGraph graph{};
+  const SocialContent content(graph);
+  std::vector<double> sizes;
+  for (int p = 0; p < content.post_count(); ++p) {
+    for (Bytes media : content.post(p).media_bytes) {
+      sizes.push_back(static_cast<double>(media));
+    }
+  }
+  std::sort(sizes.begin(), sizes.end());
+  const auto pct = [&](double q) {
+    return sizes[static_cast<std::size_t>(q * (sizes.size() - 1))];
+  };
+  EXPECT_NEAR(pct(0.25), 62.0 * 1024, 20.0 * 1024);
+  EXPECT_NEAR(pct(0.50), 1024.0 * 1024, 256.0 * 1024);
+  EXPECT_NEAR(pct(0.75), 2048.0 * 1024, 512.0 * 1024);
+}
+
+TEST(SocialContentTest, ObjectNamesAreUniquePerEntity) {
+  EXPECT_NE(SocialContent::PostObjectName(1), SocialContent::PostObjectName(2));
+  EXPECT_NE(SocialContent::MediaObjectName(1, 0),
+            SocialContent::MediaObjectName(1, 1));
+  EXPECT_NE(SocialContent::ProfileObjectName(3),
+            SocialContent::FriendListObjectName(3));
+}
+
+TEST(SocialContentTest, CatalogTotalsAreConsistent) {
+  const SocialGraph graph(TinyGraphConfig());
+  const SocialContent content(graph);
+  EXPECT_GT(content.unique_object_count(),
+            static_cast<std::uint64_t>(content.post_count()));
+  EXPECT_GT(content.total_bytes(), 0u);
+}
+
+TEST(SocialWorkloadTest, TraceShapeMatchesConfig) {
+  const SocialGraph graph(TinyGraphConfig());
+  const SocialContent content(graph);
+  SocialWorkloadConfig config;
+  config.request_count = 1000;
+  const auto trace = GenerateSocialTrace(content, config);
+  EXPECT_GT(trace.size(), config.request_count * 5);
+  const auto stats = ComputeTraceStats(trace);
+  EXPECT_EQ(stats.accesses, trace.size());
+  EXPECT_GT(stats.unique_objects, 0u);
+  EXPECT_GT(stats.unique_bytes, 0u);
+}
+
+TEST(SocialWorkloadTest, DeterministicForSeed) {
+  const SocialGraph graph(TinyGraphConfig());
+  const SocialContent content(graph);
+  SocialWorkloadConfig config;
+  config.request_count = 200;
+  const auto a = GenerateSocialTrace(content, config);
+  const auto b = GenerateSocialTrace(content, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].size, b[i].size);
+  }
+}
+
+TEST(SocialWorkloadTest, ZipfSkewsTowardPopularUsers) {
+  const SocialGraph graph(TinyGraphConfig());
+  const SocialContent content(graph);
+  SocialWorkloadConfig config;
+  config.request_count = 20000;
+  const auto trace = GenerateSocialTrace(content, config);
+  std::unordered_map<std::string, int> counts;
+  for (const auto& access : trace) {
+    ++counts[access.key];
+  }
+  int max_count = 0;
+  for (const auto& [_, c] : counts) {
+    max_count = std::max(max_count, c);
+  }
+  const double avg =
+      static_cast<double>(trace.size()) / static_cast<double>(counts.size());
+  EXPECT_GT(max_count, 5 * avg);  // heavy skew
+}
+
+TEST(WebAppSimTest, PaletteBeatsObliviousWithManyWorkers) {
+  const SocialGraph graph(TinyGraphConfig());
+  const SocialContent content(graph);
+  SocialWorkloadConfig workload;
+  workload.request_count = 5000;
+  const auto trace = GenerateSocialTrace(content, workload);
+
+  WebAppConfig palette;
+  palette.policy = PolicyKind::kBucketHashing;
+  palette.workers = 8;
+  palette.per_instance_cache_bytes = 16 * kMiB;
+
+  WebAppConfig oblivious = palette;
+  oblivious.policy = PolicyKind::kObliviousRandom;
+  oblivious.use_colors = false;
+
+  const auto p = RunWebAppExperiment(trace, palette);
+  const auto o = RunWebAppExperiment(trace, oblivious);
+  EXPECT_GT(p.hit_ratio, 1.5 * o.hit_ratio);
+}
+
+TEST(WebAppSimTest, SingleWorkerPoliciesEquivalent) {
+  const SocialGraph graph(TinyGraphConfig());
+  const SocialContent content(graph);
+  SocialWorkloadConfig workload;
+  workload.request_count = 2000;
+  const auto trace = GenerateSocialTrace(content, workload);
+
+  WebAppConfig a;
+  a.policy = PolicyKind::kBucketHashing;
+  a.workers = 1;
+  a.per_instance_cache_bytes = 16 * kMiB;
+  WebAppConfig b = a;
+  b.policy = PolicyKind::kObliviousRandom;
+  b.use_colors = false;
+
+  // With one instance there is nothing to partition: identical hit ratios.
+  EXPECT_DOUBLE_EQ(RunWebAppExperiment(trace, a).hit_ratio,
+                   RunWebAppExperiment(trace, b).hit_ratio);
+}
+
+TEST(WebAppSimTest, ColoredRoutingNeverServesStaleReads) {
+  // Single-instance-per-color coherence: writes route to the one instance
+  // caching the object, so a sticky policy cannot serve a stale copy.
+  const SocialGraph graph(TinyGraphConfig());
+  const SocialContent content(graph);
+  SocialWorkloadConfig workload;
+  workload.request_count = 3000;
+  const auto trace = GenerateSocialTrace(content, workload);
+
+  WebAppConfig config;
+  config.policy = PolicyKind::kLeastAssigned;
+  config.use_colors = true;
+  config.workers = 8;
+  config.write_fraction = 0.1;
+  const auto result = RunWebAppExperiment(trace, config);
+  EXPECT_GT(result.writes, 0u);
+  EXPECT_EQ(result.stale_reads, 0u);
+}
+
+TEST(WebAppSimTest, ObliviousRoutingServesStaleReadsUnderWrites) {
+  const SocialGraph graph(TinyGraphConfig());
+  const SocialContent content(graph);
+  SocialWorkloadConfig workload;
+  workload.request_count = 3000;
+  const auto trace = GenerateSocialTrace(content, workload);
+
+  WebAppConfig config;
+  config.policy = PolicyKind::kObliviousRandom;
+  config.use_colors = false;
+  config.workers = 8;
+  config.write_fraction = 0.1;
+  const auto result = RunWebAppExperiment(trace, config);
+  EXPECT_GT(result.stale_reads, 0u);
+  EXPECT_GT(result.stale_read_ratio, 0.0);
+}
+
+TEST(WebAppSimTest, ReadOnlyWorkloadHasNoWritesOrStaleness) {
+  const SocialGraph graph(TinyGraphConfig());
+  const SocialContent content(graph);
+  SocialWorkloadConfig workload;
+  workload.request_count = 500;
+  const auto trace = GenerateSocialTrace(content, workload);
+  WebAppConfig config;
+  config.workers = 4;
+  const auto result = RunWebAppExperiment(trace, config);
+  EXPECT_EQ(result.writes, 0u);
+  EXPECT_EQ(result.stale_reads, 0u);
+}
+
+TEST(WebAppSimTest, AccountsEveryAccess) {
+  const SocialGraph graph(TinyGraphConfig());
+  const SocialContent content(graph);
+  SocialWorkloadConfig workload;
+  workload.request_count = 500;
+  const auto trace = GenerateSocialTrace(content, workload);
+  WebAppConfig config;
+  config.workers = 4;
+  const auto result = RunWebAppExperiment(trace, config);
+  EXPECT_EQ(result.accesses, trace.size());
+  EXPECT_LE(result.hits, result.accesses);
+  EXPECT_GT(result.aggregate_cached_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace palette

@@ -1,0 +1,169 @@
+// Tests for the Task Bench DAG generator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/taskbench/taskbench.h"
+
+namespace palette {
+namespace {
+
+TaskBenchConfig SmallConfig() {
+  TaskBenchConfig config;
+  config.width = 8;
+  config.timesteps = 4;
+  config.cpu_ops_per_task = 1000;
+  config.output_bytes = kMiB;
+  return config;
+}
+
+TEST(TaskBenchTest, AllPatternsEnumerated) {
+  EXPECT_EQ(AllTaskBenchPatterns().size(), 9u);
+  std::set<std::string_view> names;
+  for (auto pattern : AllTaskBenchPatterns()) {
+    names.insert(TaskBenchPatternName(pattern));
+  }
+  EXPECT_EQ(names.size(), 9u);
+  EXPECT_TRUE(names.count("trivial"));
+  EXPECT_TRUE(names.count("fft"));
+}
+
+TEST(TaskBenchTest, GridSizeIsWidthTimesTimesteps) {
+  const auto config = SmallConfig();
+  for (auto pattern : AllTaskBenchPatterns()) {
+    const Dag dag = MakeTaskBenchDag(pattern, config);
+    EXPECT_EQ(dag.size(), config.width * config.timesteps)
+        << TaskBenchPatternName(pattern);
+  }
+}
+
+TEST(TaskBenchTest, TrivialHasNoEdges) {
+  const Dag dag = MakeTaskBenchDag(TaskBenchPattern::kTrivial, SmallConfig());
+  EXPECT_EQ(dag.edge_count(), 0);
+}
+
+TEST(TaskBenchTest, NoCommFormsIndependentChains) {
+  const auto config = SmallConfig();
+  const Dag dag = MakeTaskBenchDag(TaskBenchPattern::kNoComm, config);
+  // Each non-first-step task has exactly one dep: same point, previous step.
+  EXPECT_EQ(dag.edge_count(), config.width * (config.timesteps - 1));
+  for (const auto& task : dag.tasks()) {
+    EXPECT_LE(task.deps.size(), 1u);
+  }
+}
+
+TEST(TaskBenchTest, StencilHasThreePointNeighborhood) {
+  const auto config = SmallConfig();
+  const Dag dag = MakeTaskBenchDag(TaskBenchPattern::kStencil1d, config);
+  for (const auto& task : dag.tasks()) {
+    if (!task.deps.empty()) {
+      EXPECT_GE(task.deps.size(), 2u);  // edges clamp to 2
+      EXPECT_LE(task.deps.size(), 3u);
+    }
+  }
+}
+
+TEST(TaskBenchTest, PeriodicStencilAlwaysThreeDeps) {
+  const auto config = SmallConfig();
+  const Dag dag =
+      MakeTaskBenchDag(TaskBenchPattern::kStencil1dPeriodic, config);
+  for (const auto& task : dag.tasks()) {
+    if (!task.deps.empty()) {
+      EXPECT_EQ(task.deps.size(), 3u);
+    }
+  }
+}
+
+TEST(TaskBenchTest, AllToAllDependsOnFullWidth) {
+  const auto config = SmallConfig();
+  const Dag dag = MakeTaskBenchDag(TaskBenchPattern::kAllToAll, config);
+  int full_deps = 0;
+  for (const auto& task : dag.tasks()) {
+    if (!task.deps.empty()) {
+      EXPECT_EQ(task.deps.size(), static_cast<std::size_t>(config.width));
+      ++full_deps;
+    }
+  }
+  EXPECT_EQ(full_deps, config.width * (config.timesteps - 1));
+}
+
+TEST(TaskBenchTest, FftHasAtMostTwoDeps) {
+  const auto config = SmallConfig();
+  const Dag dag = MakeTaskBenchDag(TaskBenchPattern::kFft, config);
+  for (const auto& task : dag.tasks()) {
+    if (!task.deps.empty()) {
+      EXPECT_EQ(task.deps.size(), 2u);  // width 8 (power of two): always 2
+    }
+  }
+}
+
+TEST(TaskBenchTest, NearestUsesFivePointNeighborhood) {
+  const auto config = SmallConfig();
+  const Dag dag = MakeTaskBenchDag(TaskBenchPattern::kNearest, config);
+  std::size_t max_deps = 0;
+  for (const auto& task : dag.tasks()) {
+    max_deps = std::max(max_deps, task.deps.size());
+  }
+  EXPECT_EQ(max_deps, 5u);
+}
+
+TEST(TaskBenchTest, RandomNearestDeterministicForSeed) {
+  const auto config = SmallConfig();
+  const Dag a = MakeTaskBenchDag(TaskBenchPattern::kRandomNearest, config);
+  const Dag b = MakeTaskBenchDag(TaskBenchPattern::kRandomNearest, config);
+  ASSERT_EQ(a.size(), b.size());
+  for (int id = 0; id < a.size(); ++id) {
+    EXPECT_EQ(a.task(id).deps, b.task(id).deps);
+  }
+}
+
+TEST(TaskBenchTest, RandomNearestSeedChangesShape) {
+  auto config = SmallConfig();
+  const Dag a = MakeTaskBenchDag(TaskBenchPattern::kRandomNearest, config);
+  config.seed = 12345;
+  const Dag b = MakeTaskBenchDag(TaskBenchPattern::kRandomNearest, config);
+  bool differs = false;
+  for (int id = 0; id < a.size() && !differs; ++id) {
+    differs = a.task(id).deps != b.task(id).deps;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(TaskBenchTest, EdgeDensityOrderingRoughlyIncreases) {
+  // Fig. 8 orders patterns by transfer frequency; the generator should
+  // respect the broad ordering: no_comm < stencil < all_to_all.
+  const auto config = SmallConfig();
+  const int no_comm =
+      MakeTaskBenchDag(TaskBenchPattern::kNoComm, config).edge_count();
+  const int stencil =
+      MakeTaskBenchDag(TaskBenchPattern::kStencil1d, config).edge_count();
+  const int all_to_all =
+      MakeTaskBenchDag(TaskBenchPattern::kAllToAll, config).edge_count();
+  EXPECT_LT(no_comm, stencil);
+  EXPECT_LT(stencil, all_to_all);
+}
+
+TEST(TaskBenchTest, TaskParametersApplied) {
+  auto config = SmallConfig();
+  config.cpu_ops_per_task = 42;
+  config.output_bytes = 1234;
+  const Dag dag = MakeTaskBenchDag(TaskBenchPattern::kStencil1d, config);
+  for (const auto& task : dag.tasks()) {
+    EXPECT_DOUBLE_EQ(task.cpu_ops, 42.0);
+    EXPECT_EQ(task.output_bytes, 1234u);
+  }
+}
+
+TEST(FanoutDagTest, ShapeMatches) {
+  const Dag dag = MakeFanoutDag(10, 256 * kMiB, 1e6);
+  EXPECT_EQ(dag.size(), 11);
+  EXPECT_EQ(dag.Sources(), (std::vector<int>{0}));
+  EXPECT_EQ(dag.successors(0).size(), 10u);
+  EXPECT_EQ(dag.task(0).output_bytes, 256 * kMiB);
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_EQ(dag.task(i).deps, (std::vector<int>{0}));
+  }
+}
+
+}  // namespace
+}  // namespace palette

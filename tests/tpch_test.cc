@@ -1,0 +1,93 @@
+// Tests for the TPC-H-like query DAG builder.
+#include <gtest/gtest.h>
+
+#include "src/tpch/tpch.h"
+
+namespace palette {
+namespace {
+
+TEST(TpchTest, AllQueriesBuildNonEmptyDags) {
+  for (int q = 1; q <= kTpchQueryCount; ++q) {
+    const Dag dag = MakeTpchQueryDag(q);
+    EXPECT_GT(dag.size(), 0) << "Q" << q;
+    EXPECT_EQ(dag.Sinks().size(), 1u) << "Q" << q;  // single query result
+  }
+}
+
+TEST(TpchTest, ScanCountMatchesRecipe) {
+  for (int q = 1; q <= kTpchQueryCount; ++q) {
+    const TpchQueryRecipe recipe = RecipeForQuery(q);
+    const Dag dag = MakeTpchQueryDag(q);
+    const int partitions = 8;  // 2 GB / 256 MB
+    EXPECT_EQ(static_cast<int>(dag.Sources().size()),
+              recipe.tables * partitions)
+        << "Q" << q;
+  }
+}
+
+TEST(TpchTest, ShuffleQueriesMoveMoreBytes) {
+  // Q12 (3 shuffles, high selectivity) must move far more edge bytes than
+  // Q6 (single scan-aggregate).
+  const Bytes q12 = MakeTpchQueryDag(12).TotalEdgeBytes();
+  const Bytes q6 = MakeTpchQueryDag(6).TotalEdgeBytes();
+  EXPECT_GT(q12, 4 * q6);
+}
+
+TEST(TpchTest, HeavyTransferQueriesAreHeavy) {
+  // The paper singles out queries 3, 4, 10, 12, 17 as having the largest
+  // data transfers; their recipes must put them in the top half.
+  std::vector<Bytes> edge_bytes(kTpchQueryCount + 1, 0);
+  std::vector<Bytes> all;
+  for (int q = 1; q <= kTpchQueryCount; ++q) {
+    edge_bytes[q] = MakeTpchQueryDag(q).TotalEdgeBytes();
+    all.push_back(edge_bytes[q]);
+  }
+  std::sort(all.begin(), all.end());
+  const Bytes median = all[all.size() / 2];
+  for (int q : {3, 4, 10, 12, 17}) {
+    EXPECT_GE(edge_bytes[q], median) << "Q" << q;
+  }
+}
+
+TEST(TpchTest, BlockCountScalesWithConfig) {
+  TpchConfig config;
+  config.table_bytes = 1 * kGiB;
+  config.block_bytes = 256 * kMiB;  // 4 partitions
+  const Dag dag = MakeTpchQueryDag(6, config);
+  EXPECT_EQ(dag.Sources().size(), 4u);
+}
+
+TEST(TpchTest, SelectivityShrinksStageOutputs) {
+  const Dag dag = MakeTpchQueryDag(1);  // selectivity 0.4, 2 map stages
+  Bytes scan_out = 0;
+  Bytes map_out = 0;
+  for (const auto& task : dag.tasks()) {
+    if (task.name.find("scan") != std::string::npos) {
+      scan_out = task.output_bytes;
+    }
+    if (task.name.find("map1") != std::string::npos) {
+      map_out = task.output_bytes;
+    }
+  }
+  ASSERT_GT(scan_out, 0u);
+  ASSERT_GT(map_out, 0u);
+  EXPECT_LT(map_out, scan_out);
+}
+
+TEST(TpchTest, RecipesRejectOutOfRange) {
+  EXPECT_DEATH(RecipeForQuery(0), "");
+  EXPECT_DEATH(RecipeForQuery(23), "");
+}
+
+TEST(TpchTest, DagIsDeterministic) {
+  const Dag a = MakeTpchQueryDag(5);
+  const Dag b = MakeTpchQueryDag(5);
+  ASSERT_EQ(a.size(), b.size());
+  for (int id = 0; id < a.size(); ++id) {
+    EXPECT_EQ(a.task(id).deps, b.task(id).deps);
+    EXPECT_EQ(a.task(id).output_bytes, b.task(id).output_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace palette

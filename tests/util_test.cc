@@ -1,0 +1,129 @@
+// Tests for the trace CSV I/O and the flag parser.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "src/cache/trace_io.h"
+#include "src/common/flags.h"
+
+namespace palette {
+namespace {
+
+TEST(TraceIoTest, RoundTripThroughStreams) {
+  const std::vector<CacheAccess> trace = {
+      {"post/1", 512}, {"media/1/0/c3", 131072}, {"profile/9", 1024}};
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTraceCsv(trace, buffer));
+  std::string error;
+  const auto loaded = ReadTraceCsv(buffer, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].key, trace[i].key);
+    EXPECT_EQ((*loaded)[i].size, trace[i].size);
+  }
+}
+
+TEST(TraceIoTest, AcceptsHeaderlessInput) {
+  std::stringstream in("a,1\nb,2\n");
+  const auto loaded = ReadTraceCsv(in);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 2u);
+}
+
+TEST(TraceIoTest, SkipsBlankLines) {
+  std::stringstream in("key,size\na,1\n\nb,2\n");
+  const auto loaded = ReadTraceCsv(in);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 2u);
+}
+
+TEST(TraceIoTest, RejectsMalformedSize) {
+  std::stringstream in("a,notanumber\n");
+  std::string error;
+  EXPECT_FALSE(ReadTraceCsv(in, &error).has_value());
+  EXPECT_NE(error.find("bad size"), std::string::npos);
+}
+
+TEST(TraceIoTest, RejectsMissingComma) {
+  std::stringstream in("justakey\n");
+  std::string error;
+  EXPECT_FALSE(ReadTraceCsv(in, &error).has_value());
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "palette_trace_test.csv")
+          .string();
+  const std::vector<CacheAccess> trace = {{"x", 7}, {"y", 9}};
+  ASSERT_TRUE(WriteTraceCsvFile(trace, path));
+  const auto loaded = ReadTraceCsvFile(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileReportsError) {
+  std::string error;
+  EXPECT_FALSE(
+      ReadTraceCsvFile("/nonexistent/dir/trace.csv", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(FlagParserTest, EqualsForm) {
+  const char* argv[] = {"tool", "--workers=8", "--policy=la"};
+  const FlagParser flags(3, argv);
+  EXPECT_EQ(flags.GetInt("workers", 0), 8);
+  EXPECT_EQ(flags.GetString("policy", ""), "la");
+}
+
+TEST(FlagParserTest, SpaceForm) {
+  const char* argv[] = {"tool", "--workers", "12", "--verbose"};
+  const FlagParser flags(4, argv);
+  EXPECT_EQ(flags.GetInt("workers", 0), 12);
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+}
+
+TEST(FlagParserTest, DefaultsWhenAbsentOrMalformed) {
+  const char* argv[] = {"tool", "--count=abc"};
+  const FlagParser flags(2, argv);
+  EXPECT_EQ(flags.GetInt("count", 42), 42);
+  EXPECT_EQ(flags.GetInt("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 1.5), 1.5);
+}
+
+TEST(FlagParserTest, DoubleParsing) {
+  const char* argv[] = {"tool", "--rate=60e6"};
+  const FlagParser flags(2, argv);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 0), 60e6);
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  const char* argv[] = {"tool", "run", "--n=1", "extra"};
+  const FlagParser flags(4, argv);
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"run", "extra"}));
+}
+
+TEST(FlagParserTest, BoolValues) {
+  const char* argv[] = {"tool", "--a=true", "--b=1", "--c=yes", "--d=false"};
+  const FlagParser flags(5, argv);
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+}
+
+TEST(FlagParserTest, UnqueriedFlagsDetected) {
+  const char* argv[] = {"tool", "--used=1", "--typo=2"};
+  const FlagParser flags(3, argv);
+  flags.GetInt("used", 0);
+  const auto unused = flags.UnqueriedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+}  // namespace
+}  // namespace palette

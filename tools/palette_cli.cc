@@ -1,0 +1,291 @@
+// palette_cli — run Palette experiments from the command line.
+//
+// Subcommands:
+//   policies                       list color scheduling policies
+//   route    --policy=la --workers=8 --colors=100 [--requests=1000]
+//                                  route a synthetic color stream, report
+//                                  distribution and state
+//   dag      --pattern=stencil_1d --policy=la --coloring=chain
+//            --workers=8 [--width=16 --steps=10 --ops=60e6 --mb=256]
+//                                  run one Task Bench DAG end to end
+//   tpch     --query=5 --policy=la --workers=48
+//                                  run one TPC-H-shaped query
+//   webapp   --policy=bh --workers=24 [--requests=72000]
+//            [--trace=trace.csv] [--export=trace.csv]
+//                                  social-network cache experiment; can
+//                                  import/export CSV traces
+//
+// Examples:
+//   palette_cli dag --pattern=fft --policy=rr --coloring=none --workers=8
+//   palette_cli webapp --policy=la --workers=12 --export=social.csv
+#include <cstdio>
+#include <string>
+
+#include "src/cache/trace_io.h"
+#include "src/common/flags.h"
+#include "src/common/table_printer.h"
+#include "src/core/palette_load_balancer.h"
+#include "src/core/policy_factory.h"
+#include "src/dag/dag_executor.h"
+#include "src/dag/serverful_scheduler.h"
+#include "src/socialnet/content.h"
+#include "src/socialnet/social_graph.h"
+#include "src/socialnet/webapp_sim.h"
+#include "src/socialnet/workload.h"
+#include "src/taskbench/taskbench.h"
+#include "src/tpch/tpch.h"
+
+namespace palette {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: palette_cli <policies|route|dag|tpch|webapp> "
+               "[--flag=value ...]\n"
+               "see the header of tools/palette_cli.cc for full flag "
+               "documentation\n");
+  return 2;
+}
+
+bool ParsePolicyOrDie(const FlagParser& flags, PolicyKind* out) {
+  const std::string id = flags.GetString("policy", "la");
+  if (!ParsePolicyKind(id, out)) {
+    std::fprintf(stderr, "unknown --policy '%s' (try: ", id.c_str());
+    for (PolicyKind kind : AllPolicyKinds()) {
+      std::fprintf(stderr, "%s ", std::string(PolicyKindId(kind)).c_str());
+    }
+    std::fprintf(stderr, ")\n");
+    return false;
+  }
+  return true;
+}
+
+int CmdPolicies() {
+  TablePrinter table;
+  table.AddRow({"id", "name", "locality-aware"});
+  for (PolicyKind kind : AllPolicyKinds()) {
+    auto policy = MakePolicy(kind, 1);
+    table.AddRow({std::string(PolicyKindId(kind)), std::string(policy->name()),
+                  IsLocalityAware(kind) ? "yes" : "no"});
+  }
+  table.Print();
+  return 0;
+}
+
+int CmdRoute(const FlagParser& flags) {
+  PolicyKind kind;
+  if (!ParsePolicyOrDie(flags, &kind)) {
+    return 2;
+  }
+  const int workers = static_cast<int>(flags.GetInt("workers", 8));
+  const int colors = static_cast<int>(flags.GetInt("colors", 100));
+  const int requests = static_cast<int>(flags.GetInt("requests", 1000));
+
+  PaletteLoadBalancer lb(MakePolicy(kind, flags.GetInt("seed", 1)));
+  for (int i = 0; i < workers; ++i) {
+    lb.AddInstance(StrFormat("w%d", i));
+  }
+  for (int r = 0; r < requests; ++r) {
+    lb.Route(Color(StrFormat("color-%d", r % colors)));
+  }
+  TablePrinter table;
+  table.AddRow({"instance", "requests"});
+  for (int i = 0; i < workers; ++i) {
+    const std::string name = StrFormat("w%d", i);
+    table.AddRow({name, StrFormat("%llu", static_cast<unsigned long long>(
+                                              lb.RoutedTo(name)))});
+  }
+  table.Print();
+  std::printf("\nimbalance (max/avg): %.2f   policy state: %s\n",
+              lb.RoutingImbalance(),
+              FormatBytes(lb.policy().StateBytes()).c_str());
+  return 0;
+}
+
+TaskBenchPattern PatternByNameOrDefault(const std::string& name) {
+  for (TaskBenchPattern pattern : AllTaskBenchPatterns()) {
+    if (TaskBenchPatternName(pattern) == name) {
+      return pattern;
+    }
+  }
+  std::fprintf(stderr, "unknown --pattern '%s', using stencil_1d\n",
+               name.c_str());
+  return TaskBenchPattern::kStencil1d;
+}
+
+ColoringKind ColoringByNameOrDefault(const std::string& name) {
+  for (ColoringKind kind :
+       {ColoringKind::kNone, ColoringKind::kSameColor, ColoringKind::kChain,
+        ColoringKind::kVirtualWorker}) {
+    if (ColoringKindName(kind) == name) {
+      return kind;
+    }
+  }
+  std::fprintf(stderr, "unknown --coloring '%s', using chain\n", name.c_str());
+  return ColoringKind::kChain;
+}
+
+void PrintDagResult(const Dag& dag, const DagRunResult& result,
+                    const ServerfulRunResult& serverful) {
+  TablePrinter table;
+  table.AddRow({"metric", "value"});
+  table.AddRow({"tasks", StrFormat("%d", dag.size())});
+  table.AddRow({"makespan", result.makespan.ToString()});
+  table.AddRow({"serverful baseline", serverful.makespan.ToString()});
+  table.AddRow({"local hits", StrFormat("%llu", static_cast<unsigned long long>(
+                                                    result.local_hits))});
+  table.AddRow(
+      {"remote hits", StrFormat("%llu", static_cast<unsigned long long>(
+                                            result.remote_hits))});
+  table.AddRow({"storage misses",
+                StrFormat("%llu",
+                          static_cast<unsigned long long>(result.misses))});
+  table.AddRow({"network bytes", FormatBytes(result.network_bytes)});
+  table.AddRow({"distinct colors", StrFormat("%d", result.distinct_colors)});
+  table.AddRow(
+      {"routing imbalance", StrFormat("%.2f", result.routing_imbalance)});
+  table.Print();
+}
+
+int CmdDag(const FlagParser& flags) {
+  PolicyKind kind;
+  if (!ParsePolicyOrDie(flags, &kind)) {
+    return 2;
+  }
+  TaskBenchConfig tb;
+  tb.width = static_cast<int>(flags.GetInt("width", 16));
+  tb.timesteps = static_cast<int>(flags.GetInt("steps", 10));
+  tb.cpu_ops_per_task = flags.GetDouble("ops", 60e6);
+  tb.output_bytes =
+      static_cast<Bytes>(flags.GetInt("mb", 256)) * kMiB;
+  const Dag dag = MakeTaskBenchDag(
+      PatternByNameOrDefault(flags.GetString("pattern", "stencil_1d")), tb);
+
+  DagRunConfig config;
+  config.policy = kind;
+  config.coloring = ColoringByNameOrDefault(flags.GetString("coloring",
+                                                            "chain"));
+  config.workers = static_cast<int>(flags.GetInt("workers", 8));
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  config.platform.cpu_ops_per_second = flags.GetDouble("cpu_rate", 30e6);
+
+  ServerfulConfig serverful;
+  serverful.workers = config.workers;
+  serverful.cpu_ops_per_second = config.platform.cpu_ops_per_second;
+  serverful.network = config.platform.network;
+
+  PrintDagResult(dag, RunDagOnFaas(dag, config), RunServerful(dag, serverful));
+  return 0;
+}
+
+int CmdTpch(const FlagParser& flags) {
+  PolicyKind kind;
+  if (!ParsePolicyOrDie(flags, &kind)) {
+    return 2;
+  }
+  const int query = static_cast<int>(flags.GetInt("query", 1));
+  if (query < 1 || query > kTpchQueryCount) {
+    std::fprintf(stderr, "--query must be 1..%d\n", kTpchQueryCount);
+    return 2;
+  }
+  const Dag dag = MakeTpchQueryDag(query);
+  DagRunConfig config;
+  config.policy = kind;
+  config.coloring = IsLocalityAware(kind) ? ColoringKind::kVirtualWorker
+                                          : ColoringKind::kNone;
+  config.workers = static_cast<int>(flags.GetInt("workers", 48));
+  config.platform.cpu_ops_per_second = flags.GetDouble("cpu_rate", 30e6);
+
+  ServerfulConfig serverful;
+  serverful.workers = config.workers;
+  serverful.cpu_ops_per_second = config.platform.cpu_ops_per_second;
+  serverful.network = config.platform.network;
+
+  std::printf("TPC-H-shaped Q%d under %s:\n\n", query,
+              std::string(PolicyKindId(kind)).c_str());
+  PrintDagResult(dag, RunDagOnFaas(dag, config), RunServerful(dag, serverful));
+  return 0;
+}
+
+int CmdWebapp(const FlagParser& flags) {
+  PolicyKind kind;
+  if (!ParsePolicyOrDie(flags, &kind)) {
+    return 2;
+  }
+  std::vector<CacheAccess> trace;
+  if (flags.Has("trace")) {
+    std::string error;
+    auto loaded = ReadTraceCsvFile(flags.GetString("trace", ""), &error);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "failed to load trace: %s\n", error.c_str());
+      return 1;
+    }
+    trace = std::move(*loaded);
+  } else {
+    const SocialGraph graph{};
+    const SocialContent content(graph);
+    SocialWorkloadConfig workload;
+    workload.request_count =
+        static_cast<std::uint64_t>(flags.GetInt("requests", 72000));
+    trace = GenerateSocialTrace(content, workload);
+  }
+  if (flags.Has("export")) {
+    const std::string path = flags.GetString("export", "trace.csv");
+    if (!WriteTraceCsvFile(trace, path)) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("exported %zu accesses to %s\n", trace.size(), path.c_str());
+  }
+
+  WebAppConfig config;
+  config.policy = kind;
+  config.use_colors = IsLocalityAware(kind);
+  config.workers = static_cast<int>(flags.GetInt("workers", 24));
+  config.per_instance_cache_bytes =
+      static_cast<Bytes>(flags.GetInt("cache_mb", 128)) * kMiB;
+  const auto result = RunWebAppExperiment(trace, config);
+
+  TablePrinter table;
+  table.AddRow({"metric", "value"});
+  table.AddRow({"accesses", StrFormat("%llu", static_cast<unsigned long long>(
+                                                  result.accesses))});
+  table.AddRow({"hit ratio", StrFormat("%.1f%%", 100 * result.hit_ratio)});
+  table.AddRow(
+      {"routing imbalance", StrFormat("%.2f", result.routing_imbalance)});
+  table.AddRow({"aggregate cached", FormatBytes(result.aggregate_cached_bytes)});
+  table.Print();
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  const FlagParser flags(argc - 1, argv + 1);
+
+  int rc;
+  if (command == "policies") {
+    rc = CmdPolicies();
+  } else if (command == "route") {
+    rc = CmdRoute(flags);
+  } else if (command == "dag") {
+    rc = CmdDag(flags);
+  } else if (command == "tpch") {
+    rc = CmdTpch(flags);
+  } else if (command == "webapp") {
+    rc = CmdWebapp(flags);
+  } else {
+    return Usage();
+  }
+  for (const std::string& unknown : flags.UnqueriedFlags()) {
+    std::fprintf(stderr, "warning: unused flag --%s\n", unknown.c_str());
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace palette
+
+int main(int argc, char** argv) { return palette::Main(argc, argv); }
