@@ -68,9 +68,10 @@ LatencyResult Replay(const std::vector<CacheAccess>& trace, PolicyKind policy,
     }
     spec.cpu_ops = 2e5;  // render/serialize the response
     spec.inputs.push_back(ObjectRef{access.key, access.size});
-    sim.At(arrival, [&platform, &sim, &latencies_ms, &hits, spec]() mutable {
+    auto spec_ptr = std::make_shared<InvocationSpec>(std::move(spec));
+    sim.At(arrival, [&platform, &sim, &latencies_ms, &hits, spec_ptr]() {
       const SimTime submitted = sim.Now();
-      platform.Invoke(std::move(spec),
+      platform.Invoke(std::move(*spec_ptr),
                       [&latencies_ms, &hits, submitted](
                           const InvocationResult& result) {
                         latencies_ms.push_back(

@@ -2,11 +2,20 @@
 // load balancer's hot path: hashing, ring lookups, policy routing, and the
 // HyperLogLog sketch. These bound the per-invocation overhead Palette adds
 // to a FaaS frontend.
+//
+// On top of the google-benchmark suite, main() times two summary figures —
+// simulator events/sec (schedule + dispatch through the pooled 4-ary heap)
+// and load-balancer routes/sec per policy — and writes them to
+// BENCH_core.json (schema "palette-bench-v1", shared with bench_sweep) so
+// the perf trajectory is machine-readable.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "src/common/json_writer.h"
 #include "src/common/table_printer.h"
 #include "src/core/bucket_hashing_policy.h"
 #include "src/core/least_assigned_policy.h"
@@ -14,6 +23,7 @@
 #include "src/core/policy_factory.h"
 #include "src/hash/consistent_hash_ring.h"
 #include "src/hash/hash.h"
+#include "src/sim/simulator.h"
 #include "src/sketch/hyperloglog.h"
 
 namespace palette {
@@ -135,12 +145,156 @@ void BM_LoadBalancerEndToEnd(benchmark::State& state) {
   const auto colors = MakeColors(8192);
   std::size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(lb.Route(colors[i++ & 8191]));
+    benchmark::DoNotOptimize(lb.RouteId(colors[i++ & 8191]));
   }
 }
 BENCHMARK(BM_LoadBalancerEndToEnd);
 
+void BM_SimulatorEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    state.ResumeTiming();
+    // A self-rescheduling chain plus a fan of peers models the platform's
+    // mix: mostly near-future events with some already-due ones.
+    const int n = static_cast<int>(state.range(0));
+    std::uint64_t ticks = 0;
+    std::function<void()> chain = [&] {
+      if (++ticks < static_cast<std::uint64_t>(n)) {
+        sim.After(SimTime::FromNanos(10), [&chain] { chain(); });
+      }
+    };
+    for (int i = 0; i < 64; ++i) {
+      sim.After(SimTime::FromNanos(5 * i), [] {});
+    }
+    sim.After(SimTime::FromNanos(1), [&chain] { chain(); });
+    sim.Run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEvents)->Arg(100000);
+
+// Timed summary figures for BENCH_core.json.
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// A self-rescheduling event whose capture is the size class of the FaaS
+// platform's invocation continuations (80 bytes — well past std::function's
+// small-buffer threshold, within the simulator's inline capacity).
+struct EventLane {
+  Simulator* sim;
+  std::uint64_t* checksum;
+  std::uint64_t* remaining;
+  std::uint64_t state;
+  std::uint64_t pad[6];
+
+  void operator()() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    *checksum += state >> 60;
+    if (*remaining > 0) {
+      --*remaining;
+      sim->After(SimTime::FromNanos(
+                     static_cast<std::int64_t>(1 + (state >> 33) % 97)),
+                 *this);
+    }
+  }
+};
+static_assert(sizeof(EventLane) == 80);
+
+// Schedules and dispatches `n` events through the pooled heap: a 2048-wide
+// self-rearming event fan (a realistic pending-event depth for a loaded
+// platform) whose callbacks carry platform-sized captures, instead of
+// draining a pre-filled queue of empty lambdas.
+double MeasureEventsPerSec(std::uint64_t n) {
+  Simulator sim;
+  constexpr int kFanWidth = 2048;
+  std::uint64_t checksum = 0;
+  std::uint64_t remaining = n;
+  const auto start = std::chrono::steady_clock::now();
+  for (int lane = 0; lane < kFanWidth && remaining > 0; ++lane) {
+    --remaining;
+    sim.At(SimTime::FromNanos(lane % 13),
+           EventLane{&sim, &checksum, &remaining,
+                     static_cast<std::uint64_t>(lane),
+                     {}});
+  }
+  sim.Run();
+  const double seconds = SecondsSince(start);
+  benchmark::DoNotOptimize(checksum);
+  return static_cast<double>(sim.executed_events()) / seconds;
+}
+
+double MeasureRoutesPerSec(PolicyKind kind, std::uint64_t n) {
+  PaletteLoadBalancer lb(MakePolicy(kind, 1));
+  for (int i = 0; i < 48; ++i) {
+    lb.AddInstance(StrFormat("w%d", i));
+  }
+  const auto colors = MakeColors(8192);
+  // Warm the color tables so the steady-state (hit) path dominates.
+  for (std::size_t i = 0; i < 8192; ++i) {
+    lb.RouteId(colors[i]);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    benchmark::DoNotOptimize(lb.RouteId(colors[i & 8191]));
+  }
+  return static_cast<double>(n) / SecondsSince(start);
+}
+
+void WriteBenchCoreJson() {
+  constexpr std::uint64_t kEvents = 2'000'000;
+  constexpr std::uint64_t kRoutes = 2'000'000;
+  const double events_per_sec = MeasureEventsPerSec(kEvents);
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("schema");
+  json.String("palette-bench-v1");
+  json.Key("bench");
+  json.String("core");
+  json.Key("results");
+  json.BeginArray();
+  json.BeginObject();
+  json.Key("name");
+  json.String("events_per_sec");
+  json.Key("value");
+  json.Double(events_per_sec);
+  json.EndObject();
+  std::printf("\nevents_per_sec: %.3e\n", events_per_sec);
+  for (const PolicyKind kind : AllPolicyKinds()) {
+    const double routes = MeasureRoutesPerSec(kind, kRoutes);
+    json.BeginObject();
+    json.Key("name");
+    json.String(StrFormat("routes_per_sec_%s",
+                          std::string(PolicyKindId(kind)).c_str()));
+    json.Key("value");
+    json.Double(routes);
+    json.EndObject();
+    std::printf("routes_per_sec_%s: %.3e\n",
+                std::string(PolicyKindId(kind)).c_str(), routes);
+  }
+  json.EndArray();
+  json.EndObject();
+  if (WriteTextFile("BENCH_core.json", json.str())) {
+    std::printf("wrote BENCH_core.json\n");
+  }
+}
+
 }  // namespace
 }  // namespace palette
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  palette::WriteBenchCoreJson();
+  return 0;
+}

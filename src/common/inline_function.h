@@ -1,0 +1,138 @@
+// Small-buffer-optimized, allocation-free callable wrapper.
+//
+// The discrete-event simulator executes tens of millions of continuations
+// per experiment; std::function heap-allocates any capture larger than its
+// ~16-byte internal buffer, which made event scheduling the dominant cost
+// of the inner loop. InlineFunction stores the callable inline in a
+// fixed-size buffer and *refuses to compile* when it does not fit, so the
+// hot path can never silently regress into malloc/free per event.
+//
+// Move-only (events execute exactly once); constructible from any callable
+// with operator()() returning void, including lvalue std::function objects
+// (they are copied into the buffer — the std::function itself fits even if
+// its target is heap-held).
+#ifndef PALETTE_SRC_COMMON_INLINE_FUNCTION_H_
+#define PALETTE_SRC_COMMON_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace palette {
+
+template <std::size_t Capacity>
+class InlineFunction {
+ public:
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    Emplace(std::forward<F>(f));
+  }
+
+  // Constructs the callable directly in the buffer (destroying any current
+  // one). This is the zero-move path: at a call site where the concrete
+  // callable type is visible, the capture is built in place — no temporary
+  // InlineFunction, no relocation through the type-erased ops table.
+  template <typename F>
+  void Emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (std::is_same_v<Fn, InlineFunction>) {
+      *this = std::forward<F>(f);
+    } else {
+      static_assert(
+          sizeof(Fn) <= Capacity,
+          "callable capture exceeds InlineFunction capacity; shrink "
+          "the capture (e.g. intern strings to ids, wrap bulky state "
+          "in a shared_ptr) rather than growing the event size");
+      static_assert(alignof(Fn) <= alignof(std::max_align_t));
+      static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                    "event callbacks must be nothrow-movable (the heap moves "
+                    "them between pool slots)");
+      Reset();
+      ::new (static_cast<void*>(buffer_)) Fn(std::forward<F>(f));
+      ops_ = &OpsFor<Fn>::kOps;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buffer_, buffer_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.buffer_, buffer_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  void operator()() { ops_->invoke(buffer_); }
+
+  // Invokes the callable and destroys it in one type-erased call (one
+  // indirect call instead of invoke + later destroy); leaves *this empty.
+  void InvokeOnce() {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->invoke_and_destroy(buffer_);
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+  static constexpr std::size_t capacity() { return Capacity; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* src);
+    void (*invoke_and_destroy)(void* src);
+    // Move-constructs into `dst` and destroys the source.
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void* src);
+  };
+
+  template <typename Fn>
+  struct OpsFor {
+    static void Invoke(void* src) { (*static_cast<Fn*>(src))(); }
+    static void InvokeAndDestroy(void* src) {
+      Fn* fn = static_cast<Fn*>(src);
+      (*fn)();
+      fn->~Fn();
+    }
+    static void Relocate(void* src, void* dst) {
+      Fn* from = static_cast<Fn*>(src);
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static void Destroy(void* src) { static_cast<Fn*>(src)->~Fn(); }
+    static constexpr Ops kOps{&Invoke, &InvokeAndDestroy, &Relocate, &Destroy};
+  };
+
+  alignas(std::max_align_t) unsigned char buffer_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_COMMON_INLINE_FUNCTION_H_

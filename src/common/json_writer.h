@@ -1,0 +1,59 @@
+// Minimal JSON emission for the machine-readable bench outputs
+// (BENCH_core.json, BENCH_sweep.json). Write-only by design: the repo
+// needs to *produce* results for the perf trajectory, not parse them, and
+// the container has no JSON library dependency.
+#ifndef PALETTE_SRC_COMMON_JSON_WRITER_H_
+#define PALETTE_SRC_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace palette {
+
+// Builds a JSON document imperatively:
+//
+//   JsonWriter json;
+//   json.BeginObject();
+//   json.Key("schema"); json.String("palette-bench-v1");
+//   json.Key("results"); json.BeginArray();
+//   ...
+//   json.EndArray();
+//   json.EndObject();
+//   WriteFile("BENCH_core.json", json.str());
+//
+// The writer tracks whether a comma is needed; callers are responsible for
+// balanced Begin/End pairs (asserted in debug builds via depth tracking).
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(std::string_view key);
+  void String(std::string_view value);
+  void Int(std::int64_t value);
+  void UInt(std::uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void MaybeComma();
+  void AppendEscaped(std::string_view s);
+
+  std::string out_;
+  // One entry per open container: true if at least one element written.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+// Writes `content` to `path`; returns false (and prints to stderr) on
+// failure.
+bool WriteTextFile(const std::string& path, std::string_view content);
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_COMMON_JSON_WRITER_H_

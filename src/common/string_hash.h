@@ -1,0 +1,27 @@
+// Transparent hashing for std::unordered_map<std::string, V> so lookups
+// accept std::string_view without materializing a temporary std::string.
+// The color-table hot paths (Least Assigned, Bounded Loads, Replicated)
+// look up a truncated color per invocation; before this, every route
+// allocated a throwaway key string just to probe the table.
+#ifndef PALETTE_SRC_COMMON_STRING_HASH_H_
+#define PALETTE_SRC_COMMON_STRING_HASH_H_
+
+#include <cstddef>
+#include <functional>
+#include <string_view>
+
+namespace palette {
+
+struct TransparentStringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+// Usage: std::unordered_map<std::string, V, TransparentStringHash,
+//                           std::equal_to<>>
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_COMMON_STRING_HASH_H_

@@ -1,0 +1,59 @@
+// Fixed-size worker thread pool for fanning independent simulation
+// replicas across cores.
+//
+// The simulator itself is single-threaded by design (determinism); the
+// parallelism opportunity is *between* replicas — every (policy, seed,
+// worker-count) cell of a sweep owns a private Simulator and shares no
+// mutable state, so the pool needs no locking on the simulation path, only
+// on its own task queue.
+#ifndef PALETTE_SRC_COMMON_THREAD_POOL_H_
+#define PALETTE_SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace palette {
+
+class ThreadPool {
+ public:
+  // `threads` == 0 selects the hardware concurrency (min 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks may themselves call Submit.
+  void Submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and every worker is idle. Safe to call
+  // repeatedly; Submit may be used again afterwards.
+  void Wait();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + currently executing
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs `fn(i)` for i in [0, n) on `threads` threads (0 = hardware
+// concurrency; 1 runs inline with no pool). Blocks until all complete.
+void ParallelFor(std::size_t n, std::size_t threads,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_COMMON_THREAD_POOL_H_

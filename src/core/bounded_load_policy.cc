@@ -16,50 +16,52 @@ BoundedLoadPolicy::BoundedLoadPolicy(std::uint64_t seed,
 }
 
 std::size_t BoundedLoadPolicy::CapacityPerInstance() const {
-  if (instances().empty()) {
+  if (instance_ids().empty()) {
     return 0;
   }
   const double average = static_cast<double>(table_.size() + 1) /
-                         static_cast<double>(instances().size());
+                         static_cast<double>(instance_ids().size());
   return static_cast<std::size_t>(std::ceil(config_.c_factor * average));
 }
 
-std::optional<std::string> BoundedLoadPolicy::PlaceColor(
+std::size_t BoundedLoadPolicy::CountOf(InstanceId id) const {
+  const auto it = assigned_counts_.find(id);
+  return it == assigned_counts_.end() ? 0 : it->second;
+}
+
+std::optional<InstanceId> BoundedLoadPolicy::PlaceColor(
     std::string_view truncated) {
   const std::size_t capacity = CapacityPerInstance();
-  const auto walk = ring_.LookupN(truncated, instances().size());
-  for (const std::string& candidate : walk) {
-    const auto it = assigned_counts_.find(candidate);
-    const std::size_t count = it == assigned_counts_.end() ? 0 : it->second;
-    if (count < capacity) {
+  ring_.LookupNIds(truncated, instance_ids().size(), &walk_buffer_);
+  for (const InstanceId candidate : walk_buffer_) {
+    if (CountOf(candidate) < capacity) {
       return candidate;
     }
   }
   // Every instance at the cap (possible when the table is full of stale
   // mappings): fall back to the globally least-assigned instance.
-  std::optional<std::string> least;
+  std::optional<InstanceId> least;
   std::size_t least_count = 0;
-  for (const auto& instance : instances()) {
-    const auto it = assigned_counts_.find(instance);
-    const std::size_t count = it == assigned_counts_.end() ? 0 : it->second;
+  for (const InstanceId id : instance_ids()) {
+    const std::size_t count = CountOf(id);
     if (!least.has_value() || count < least_count) {
-      least = instance;
+      least = id;
       least_count = count;
     }
   }
   return least;
 }
 
-std::optional<std::string> BoundedLoadPolicy::RouteColored(
+std::optional<InstanceId> BoundedLoadPolicy::RouteColoredId(
     std::string_view color) {
-  if (instances().empty()) {
+  if (instance_ids().empty()) {
     return std::nullopt;
   }
-  const std::string key(color.substr(0, config_.max_color_bytes));
+  const std::string_view key = color.substr(0, config_.max_color_bytes);
   auto it = table_.find(key);
   if (it != table_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
-    if (it->second->instance.empty()) {
+    if (it->second->instance == kInvalidInstanceId) {
       const auto revived = PlaceColor(key);
       assert(revived.has_value());
       it->second->instance = *revived;
@@ -72,8 +74,8 @@ std::optional<std::string> BoundedLoadPolicy::RouteColored(
   if (table_.size() >= config_.table_capacity) {
     EvictLru();
   }
-  lru_.push_front(Entry{key, *target});
-  table_[key] = lru_.begin();
+  lru_.push_front(Entry{std::string(key), *target});
+  table_.emplace(lru_.front().color, lru_.begin());
   ++assigned_counts_[*target];
   return target;
 }
@@ -81,7 +83,7 @@ std::optional<std::string> BoundedLoadPolicy::RouteColored(
 void BoundedLoadPolicy::OnInstanceAdded(const std::string& instance) {
   PolicyBase::OnInstanceAdded(instance);
   ring_.AddMember(instance);
-  assigned_counts_.try_emplace(instance, 0);
+  assigned_counts_.try_emplace(InternInstance(instance), 0);
   // Existing mappings stay put (moving them would trade locality for
   // balance); the newcomer's spare capacity attracts new colors via the
   // capacity test.
@@ -90,16 +92,20 @@ void BoundedLoadPolicy::OnInstanceAdded(const std::string& instance) {
 void BoundedLoadPolicy::OnInstanceRemoved(const std::string& instance) {
   PolicyBase::OnInstanceRemoved(instance);
   ring_.RemoveMember(instance);
-  assigned_counts_.erase(instance);
+  const auto removed = InstanceRegistry::Global().Find(instance);
+  if (!removed.has_value()) {
+    return;
+  }
+  assigned_counts_.erase(*removed);
   // Only colors on the removed instance move: they re-walk their ring
   // order, preserving the bounded-load invariant.
   for (auto& entry : lru_) {
-    if (entry.instance != instance) {
+    if (entry.instance != *removed) {
       continue;
     }
     const auto target = PlaceColor(entry.color);
     if (!target.has_value()) {
-      entry.instance.clear();
+      entry.instance = kInvalidInstanceId;
       continue;
     }
     entry.instance = *target;
@@ -120,23 +126,23 @@ void BoundedLoadPolicy::EvictLru() {
 
 std::size_t BoundedLoadPolicy::AssignedCount(
     const std::string& instance) const {
-  const auto it = assigned_counts_.find(instance);
-  return it == assigned_counts_.end() ? 0 : it->second;
+  const auto id = InstanceRegistry::Global().Find(instance);
+  return id.has_value() ? CountOf(*id) : 0;
 }
 
 double BoundedLoadPolicy::RelativeMaxAssigned() const {
-  if (instances().empty() || table_.empty()) {
+  if (instance_ids().empty() || table_.empty()) {
     return 0;
   }
   std::size_t max = 0;
   std::size_t total = 0;
-  for (const auto& instance : instances()) {
-    const std::size_t count = AssignedCount(instance);
+  for (const InstanceId id : instance_ids()) {
+    const std::size_t count = CountOf(id);
     max = std::max(max, count);
     total += count;
   }
-  const double avg =
-      static_cast<double>(total) / static_cast<double>(instances().size());
+  const double avg = static_cast<double>(total) /
+                     static_cast<double>(instance_ids().size());
   return avg > 0 ? static_cast<double>(max) / avg : 0;
 }
 

@@ -22,7 +22,9 @@
 #include <list>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "src/common/string_hash.h"
 #include "src/core/color_scheduling_policy.h"
 #include "src/hash/consistent_hash_ring.h"
 
@@ -42,7 +44,7 @@ class BoundedLoadPolicy : public PolicyBase {
  public:
   explicit BoundedLoadPolicy(std::uint64_t seed, BoundedLoadConfig config = {});
 
-  std::optional<std::string> RouteColored(std::string_view color) override;
+  std::optional<InstanceId> RouteColoredId(std::string_view color) override;
   void OnInstanceAdded(const std::string& instance) override;
   void OnInstanceRemoved(const std::string& instance) override;
   std::size_t StateBytes() const override;
@@ -60,21 +62,25 @@ class BoundedLoadPolicy : public PolicyBase {
  private:
   struct Entry {
     std::string color;
-    std::string instance;
+    InstanceId instance = kInvalidInstanceId;
   };
   using List = std::list<Entry>;
 
   // First instance in `color`'s ring order with spare capacity (falls back
   // to the globally least-assigned when every instance is at the cap).
-  std::optional<std::string> PlaceColor(std::string_view truncated);
+  std::optional<InstanceId> PlaceColor(std::string_view truncated);
+  std::size_t CountOf(InstanceId id) const;
   void EvictLru();
   std::size_t CapacityPerInstance() const;
 
   BoundedLoadConfig config_;
   ConsistentHashRing ring_;
   List lru_;  // front = most recently used
-  std::unordered_map<std::string, List::iterator> table_;
-  std::unordered_map<std::string, std::size_t> assigned_counts_;
+  std::unordered_map<std::string, List::iterator, TransparentStringHash,
+                     std::equal_to<>>
+      table_;
+  std::unordered_map<InstanceId, std::size_t> assigned_counts_;
+  std::vector<InstanceId> walk_buffer_;  // scratch for ring walks
 };
 
 }  // namespace palette

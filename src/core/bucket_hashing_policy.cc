@@ -17,25 +17,24 @@ BucketHashingPolicy::BucketHashingPolicy(std::uint64_t seed,
   }
 }
 
-std::size_t BucketHashingPolicy::BucketIndexOf(std::string_view color) const {
-  return Murmur3_64(color, bucket_hash_seed_) % buckets_.size();
-}
-
-std::optional<std::string> BucketHashingPolicy::RouteColored(
+std::optional<InstanceId> BucketHashingPolicy::RouteColoredId(
     std::string_view color) {
-  if (instances().empty()) {
+  if (instance_ids().empty()) {
     return std::nullopt;
   }
-  Bucket& bucket = buckets_[BucketIndexOf(color)];
-  bucket.colors.Add(color);
-  assert(!bucket.owner.empty());
+  // One string hash per route: the digest picks the bucket; a remix of the
+  // same digest feeds the sketch (remixed so the sketch's register-index
+  // bits are independent of the bucket-index bits).
+  const std::uint64_t digest = Murmur3_64(color, bucket_hash_seed_);
+  Bucket& bucket = buckets_[digest % buckets_.size()];
+  bucket.colors.AddHash(MixU64(digest));
+  assert(bucket.owner != kInvalidInstanceId);
   return bucket.owner;
 }
 
-void BucketHashingPolicy::MoveBucket(std::size_t index,
-                                     const std::string& to) {
+void BucketHashingPolicy::MoveBucket(std::size_t index, InstanceId to) {
   Bucket& bucket = buckets_[index];
-  if (!bucket.owner.empty()) {
+  if (bucket.owner != kInvalidInstanceId) {
     auto& from_list = owner_lists_[bucket.owner];
     from_list.erase(std::find(from_list.begin(), from_list.end(), index));
   }
@@ -46,10 +45,11 @@ void BucketHashingPolicy::MoveBucket(std::size_t index,
 void BucketHashingPolicy::OnInstanceAdded(const std::string& instance) {
   const bool first = instances().empty();
   PolicyBase::OnInstanceAdded(instance);
-  owner_lists_.try_emplace(instance);
+  const InstanceId added = InternInstance(instance);
+  owner_lists_.try_emplace(added);
   if (first) {
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
-      MoveBucket(i, instance);
+      MoveBucket(i, added);
     }
     return;
   }
@@ -57,46 +57,50 @@ void BucketHashingPolicy::OnInstanceAdded(const std::string& instance) {
   // fair share (by bucket count: colors hash uniformly into buckets, so
   // count is an unbiased load proxy when the sketches are cold; a later
   // Rebalance() refines the split with the measured color counts).
-  const std::size_t target = buckets_.size() / instances().size();
-  while (owner_lists_.at(instance).size() < target) {
-    std::string donor;
+  const std::size_t target = buckets_.size() / instance_ids().size();
+  while (owner_lists_.at(added).size() < target) {
+    InstanceId donor = kInvalidInstanceId;
     std::size_t donor_size = 0;
-    for (const auto& name : instances()) {
-      const std::size_t size = owner_lists_.at(name).size();
-      if (name != instance && size > donor_size) {
-        donor = name;
+    for (const InstanceId id : instance_ids()) {
+      const std::size_t size = owner_lists_.at(id).size();
+      if (id != added && size > donor_size) {
+        donor = id;
         donor_size = size;
       }
     }
-    if (donor.empty() || donor_size <= target) {
+    if (donor == kInvalidInstanceId || donor_size <= target) {
       break;
     }
-    MoveBucket(owner_lists_.at(donor).back(), instance);
+    MoveBucket(owner_lists_.at(donor).back(), added);
   }
 }
 
 void BucketHashingPolicy::OnInstanceRemoved(const std::string& instance) {
   PolicyBase::OnInstanceRemoved(instance);
-  auto it = owner_lists_.find(instance);
+  const auto removed = InstanceRegistry::Global().Find(instance);
+  if (!removed.has_value()) {
+    return;
+  }
+  auto it = owner_lists_.find(*removed);
   if (it == owner_lists_.end()) {
     return;
   }
   const std::vector<std::size_t> orphans = std::move(it->second);
   owner_lists_.erase(it);
   for (std::size_t index : orphans) {
-    buckets_[index].owner.clear();
+    buckets_[index].owner = kInvalidInstanceId;
   }
-  if (instances().empty()) {
+  if (instance_ids().empty()) {
     return;
   }
   // Greedy: each orphan goes to the owner with the fewest buckets.
   for (std::size_t index : orphans) {
-    std::string least;
+    InstanceId least = kInvalidInstanceId;
     std::size_t least_size = SIZE_MAX;
-    for (const auto& name : instances()) {
-      const std::size_t size = owner_lists_.at(name).size();
+    for (const InstanceId id : instance_ids()) {
+      const std::size_t size = owner_lists_.at(id).size();
       if (size < least_size) {
-        least = name;
+        least = id;
         least_size = size;
       }
     }
@@ -110,14 +114,14 @@ void BucketHashingPolicy::RotateWindows() {
   }
 }
 
-std::unordered_map<std::string, double> BucketHashingPolicy::InstanceLoads()
+std::unordered_map<InstanceId, double> BucketHashingPolicy::InstanceLoads()
     const {
-  std::unordered_map<std::string, double> loads;
-  for (const auto& instance : instances()) {
-    loads[instance] = 0;
+  std::unordered_map<InstanceId, double> loads;
+  for (const InstanceId id : instance_ids()) {
+    loads[id] = 0;
   }
   for (const auto& bucket : buckets_) {
-    if (!bucket.owner.empty()) {
+    if (bucket.owner != kInvalidInstanceId) {
       loads[bucket.owner] += bucket.colors.Estimate();
     }
   }
@@ -125,7 +129,7 @@ std::unordered_map<std::string, double> BucketHashingPolicy::InstanceLoads()
 }
 
 int BucketHashingPolicy::Rebalance() {
-  if (instances().size() < 2) {
+  if (instance_ids().size() < 2) {
     return 0;
   }
   auto loads = InstanceLoads();
@@ -136,12 +140,16 @@ int BucketHashingPolicy::Rebalance() {
     auto min_it = loads.begin();
     for (auto it = loads.begin(); it != loads.end(); ++it) {
       total += it->second;
+      // Ties break on the lexicographically smaller instance *name* (ids
+      // are interned in first-use order, so name order must be looked up).
       if (it->second > max_it->second ||
-          (it->second == max_it->second && it->first < max_it->first)) {
+          (it->second == max_it->second &&
+           InstanceName(it->first) < InstanceName(max_it->first))) {
         max_it = it;
       }
       if (it->second < min_it->second ||
-          (it->second == min_it->second && it->first < min_it->first)) {
+          (it->second == min_it->second &&
+           InstanceName(it->first) < InstanceName(min_it->first))) {
         min_it = it;
       }
     }
@@ -165,7 +173,7 @@ int BucketHashingPolicy::Rebalance() {
     if (best == buckets_.size() || best_estimate <= 0) {
       break;  // No movable bucket improves the balance.
     }
-    const std::string to = min_it->first;
+    const InstanceId to = min_it->first;
     max_it->second -= best_estimate;
     min_it->second += best_estimate;
     MoveBucket(best, to);
@@ -190,7 +198,12 @@ double BucketHashingPolicy::CurrentRelativeMaxLoad() const {
 }
 
 const std::string& BucketHashingPolicy::BucketOwner(std::size_t b) const {
-  return buckets_.at(b).owner;
+  static const std::string kUnowned;
+  const Bucket& bucket = buckets_.at(b);
+  if (bucket.owner == kInvalidInstanceId) {
+    return kUnowned;
+  }
+  return InstanceName(bucket.owner);
 }
 
 std::size_t BucketHashingPolicy::StateBytes() const {

@@ -12,6 +12,10 @@
 // each rebalance the two windows are merged and buckets are moved from the
 // most- to the least-loaded instance until the relative maximum load
 // (max/avg colors per instance) drops below a threshold (2.0, from Fig. 5).
+//
+// Hot path: RouteColoredId hashes the color string exactly once; the digest
+// selects the bucket and (remixed) feeds the bucket's sketch. Bucket owners
+// are interned InstanceIds, so routing never touches instance names.
 #ifndef PALETTE_SRC_CORE_BUCKET_HASHING_POLICY_H_
 #define PALETTE_SRC_CORE_BUCKET_HASHING_POLICY_H_
 
@@ -39,7 +43,7 @@ class BucketHashingPolicy : public PolicyBase {
   explicit BucketHashingPolicy(std::uint64_t seed,
                                BucketHashingConfig config = {});
 
-  std::optional<std::string> RouteColored(std::string_view color) override;
+  std::optional<InstanceId> RouteColoredId(std::string_view color) override;
   void OnInstanceAdded(const std::string& instance) override;
   void OnInstanceRemoved(const std::string& instance) override;
   std::size_t StateBytes() const override;
@@ -61,22 +65,21 @@ class BucketHashingPolicy : public PolicyBase {
 
  private:
   struct Bucket {
-    std::string owner;
+    InstanceId owner = kInvalidInstanceId;
     WindowedHyperLogLog colors;
     explicit Bucket(int precision) : colors(precision) {}
   };
 
-  std::size_t BucketIndexOf(std::string_view color) const;
   // Estimated color load per instance under the current assignment.
-  std::unordered_map<std::string, double> InstanceLoads() const;
+  std::unordered_map<InstanceId, double> InstanceLoads() const;
   // Reassigns bucket `index` to owner `to`, keeping the owner lists in sync.
-  void MoveBucket(std::size_t index, const std::string& to);
+  void MoveBucket(std::size_t index, InstanceId to);
 
   BucketHashingConfig config_;
   std::uint64_t bucket_hash_seed_;
   std::vector<Bucket> buckets_;
   // Owner -> indices of owned buckets, for O(1) donor selection.
-  std::unordered_map<std::string, std::vector<std::size_t>> owner_lists_;
+  std::unordered_map<InstanceId, std::vector<std::size_t>> owner_lists_;
 };
 
 }  // namespace palette

@@ -4,30 +4,51 @@
 
 namespace palette {
 
+std::optional<std::string> ColorSchedulingPolicy::RouteColored(
+    std::string_view color) {
+  const auto id = RouteColoredId(color);
+  if (!id.has_value()) {
+    return std::nullopt;
+  }
+  return InstanceName(*id);
+}
+
+std::optional<std::string> ColorSchedulingPolicy::RouteUncolored() {
+  const auto id = RouteUncoloredId();
+  if (!id.has_value()) {
+    return std::nullopt;
+  }
+  return InstanceName(*id);
+}
+
 void PolicyBase::OnInstanceAdded(const std::string& instance) {
   auto it = std::lower_bound(instances_.begin(), instances_.end(), instance);
   if (it != instances_.end() && *it == instance) {
     return;
   }
+  const auto index = it - instances_.begin();
   instances_.insert(it, instance);
+  instance_ids_.insert(instance_ids_.begin() + index,
+                       InternInstance(instance));
 }
 
 void PolicyBase::OnInstanceRemoved(const std::string& instance) {
   auto it = std::lower_bound(instances_.begin(), instances_.end(), instance);
   if (it != instances_.end() && *it == instance) {
+    instance_ids_.erase(instance_ids_.begin() + (it - instances_.begin()));
     instances_.erase(it);
   }
 }
 
-std::optional<std::string> PolicyBase::RouteUncolored() {
+std::optional<InstanceId> PolicyBase::RouteUncoloredId() {
   return RandomInstance();
 }
 
-std::optional<std::string> PolicyBase::RandomInstance() {
-  if (instances_.empty()) {
+std::optional<InstanceId> PolicyBase::RandomInstance() {
+  if (instance_ids_.empty()) {
     return std::nullopt;
   }
-  return instances_[rng_.NextBelow(instances_.size())];
+  return instance_ids_[rng_.NextBelow(instance_ids_.size())];
 }
 
 bool PolicyBase::HasInstance(const std::string& instance) const {

@@ -5,6 +5,14 @@
 // forwards instance membership changes from the scale controller. Policies
 // assume "a single active instance per color at any time" (one instance may
 // hold many colors), matching the paper's prototype.
+//
+// The hot path speaks interned InstanceIds (src/common/instance_id.h): the
+// per-invocation RouteColoredId/RouteUncoloredId return a dense uint32 id,
+// and concrete policies key their color tables by id rather than instance
+// name. The string-returning RouteColored/RouteUncolored remain as
+// non-virtual shims so existing callers (benches, tests, CLI) stay
+// source-compatible; membership notifications keep their string signatures
+// because membership churn is rare.
 #ifndef PALETTE_SRC_CORE_COLOR_SCHEDULING_POLICY_H_
 #define PALETTE_SRC_CORE_COLOR_SCHEDULING_POLICY_H_
 
@@ -14,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/instance_id.h"
 #include "src/common/rng.h"
 #include "src/core/color.h"
 
@@ -25,11 +34,15 @@ class ColorSchedulingPolicy {
 
   // Chooses the instance for an invocation carrying `color`. Returns nullopt
   // only when no instances are registered.
-  virtual std::optional<std::string> RouteColored(std::string_view color) = 0;
+  virtual std::optional<InstanceId> RouteColoredId(std::string_view color) = 0;
 
   // Chooses the instance for an invocation without a color. Colors are
   // optional — uncolored traffic must still be served.
-  virtual std::optional<std::string> RouteUncolored() = 0;
+  virtual std::optional<InstanceId> RouteUncoloredId() = 0;
+
+  // String shims over the id-based hot path (pre-interning API).
+  std::optional<std::string> RouteColored(std::string_view color);
+  std::optional<std::string> RouteUncolored();
 
   // Membership notifications from the scale controller.
   virtual void OnInstanceAdded(const std::string& instance) = 0;
@@ -42,9 +55,9 @@ class ColorSchedulingPolicy {
   virtual std::string_view name() const = 0;
 };
 
-// Shared instance bookkeeping for concrete policies: a sorted instance list
-// (sorted so that tie-breaking is deterministic) plus random selection for
-// uncolored traffic.
+// Shared instance bookkeeping for concrete policies: a name-sorted instance
+// list (sorted so that tie-breaking is deterministic) mirrored by the
+// matching id list, plus random selection for uncolored traffic.
 class PolicyBase : public ColorSchedulingPolicy {
  public:
   explicit PolicyBase(std::uint64_t seed) : rng_(seed) {}
@@ -52,18 +65,21 @@ class PolicyBase : public ColorSchedulingPolicy {
   void OnInstanceAdded(const std::string& instance) override;
   void OnInstanceRemoved(const std::string& instance) override;
 
-  std::optional<std::string> RouteUncolored() override;
+  std::optional<InstanceId> RouteUncoloredId() override;
 
   const std::vector<std::string>& instances() const { return instances_; }
+  // Interned ids in the same (name-sorted) order as instances().
+  const std::vector<InstanceId>& instance_ids() const { return instance_ids_; }
 
  protected:
-  std::optional<std::string> RandomInstance();
+  std::optional<InstanceId> RandomInstance();
   bool HasInstance(const std::string& instance) const;
 
   Rng rng_;
 
  private:
-  std::vector<std::string> instances_;  // kept sorted
+  std::vector<std::string> instances_;     // kept sorted by name
+  std::vector<InstanceId> instance_ids_;   // parallel to instances_
 };
 
 }  // namespace palette

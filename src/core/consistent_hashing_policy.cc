@@ -8,9 +8,9 @@ ConsistentHashingPolicy::ConsistentHashingPolicy(std::uint64_t seed,
       virtual_nodes_(virtual_nodes),
       ring_(virtual_nodes, /*seed=*/seed ^ 0xC0115EEDULL) {}
 
-std::optional<std::string> ConsistentHashingPolicy::RouteColored(
+std::optional<InstanceId> ConsistentHashingPolicy::RouteColoredId(
     std::string_view color) {
-  return ring_.Lookup(color);
+  return ring_.LookupId(color);
 }
 
 void ConsistentHashingPolicy::OnInstanceAdded(const std::string& instance) {

@@ -16,7 +16,7 @@ class ConsistentHashingPolicy : public PolicyBase {
  public:
   explicit ConsistentHashingPolicy(std::uint64_t seed, int virtual_nodes = 128);
 
-  std::optional<std::string> RouteColored(std::string_view color) override;
+  std::optional<InstanceId> RouteColoredId(std::string_view color) override;
   void OnInstanceAdded(const std::string& instance) override;
   void OnInstanceRemoved(const std::string& instance) override;
   std::size_t StateBytes() const override;

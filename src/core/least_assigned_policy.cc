@@ -11,16 +11,16 @@ LeastAssignedPolicy::LeastAssignedPolicy(std::uint64_t seed,
   assert(config_.table_capacity > 0);
 }
 
-std::optional<std::string> LeastAssignedPolicy::RouteColored(
+std::optional<InstanceId> LeastAssignedPolicy::RouteColoredId(
     std::string_view color) {
-  if (instances().empty()) {
+  if (instance_ids().empty()) {
     return std::nullopt;
   }
-  const std::string key(color.substr(0, config_.max_color_bytes));
+  const std::string_view key = color.substr(0, config_.max_color_bytes);
   auto it = table_.find(key);
   if (it != table_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
-    if (it->second->instance.empty()) {
+    if (it->second->instance == kInvalidInstanceId) {
       // Mapping went dormant while no instances existed; reassign now.
       const auto revived = LeastLoadedInstance();
       assert(revived.has_value());
@@ -34,30 +34,34 @@ std::optional<std::string> LeastAssignedPolicy::RouteColored(
   if (table_.size() >= config_.table_capacity) {
     EvictLru();
   }
-  lru_.push_front(Entry{key, *target});
-  table_[key] = lru_.begin();
+  lru_.push_front(Entry{std::string(key), *target});
+  table_.emplace(lru_.front().color, lru_.begin());
   ++assigned_counts_[*target];
   return target;
 }
 
 void LeastAssignedPolicy::OnInstanceAdded(const std::string& instance) {
   PolicyBase::OnInstanceAdded(instance);
-  assigned_counts_.try_emplace(instance, 0);
+  assigned_counts_.try_emplace(InternInstance(instance), 0);
 }
 
 void LeastAssignedPolicy::OnInstanceRemoved(const std::string& instance) {
   PolicyBase::OnInstanceRemoved(instance);
-  assigned_counts_.erase(instance);
+  const auto removed = InstanceRegistry::Global().Find(instance);
+  if (!removed.has_value()) {
+    return;
+  }
+  assigned_counts_.erase(*removed);
   // Redistribute the removed instance's colors with the same policy,
   // walking from most- to least-recently used so hot colors get first pick
   // of the least-loaded instances.
   for (auto& entry : lru_) {
-    if (entry.instance != instance) {
+    if (entry.instance != *removed) {
       continue;
     }
     const auto target = LeastLoadedInstance();
     if (!target.has_value()) {
-      entry.instance.clear();  // No instances left; mapping is dormant.
+      entry.instance = kInvalidInstanceId;  // No instances left; dormant.
       continue;
     }
     entry.instance = *target;
@@ -65,14 +69,18 @@ void LeastAssignedPolicy::OnInstanceRemoved(const std::string& instance) {
   }
 }
 
-std::optional<std::string> LeastAssignedPolicy::LeastLoadedInstance() const {
-  std::optional<std::string> best;
+std::size_t LeastAssignedPolicy::CountOf(InstanceId id) const {
+  const auto it = assigned_counts_.find(id);
+  return it == assigned_counts_.end() ? 0 : it->second;
+}
+
+std::optional<InstanceId> LeastAssignedPolicy::LeastLoadedInstance() const {
+  std::optional<InstanceId> best;
   std::size_t best_count = 0;
-  for (const auto& instance : instances()) {
-    const auto it = assigned_counts_.find(instance);
-    const std::size_t count = it == assigned_counts_.end() ? 0 : it->second;
+  for (const InstanceId id : instance_ids()) {
+    const std::size_t count = CountOf(id);
     if (!best.has_value() || count < best_count) {
-      best = instance;
+      best = id;
       best_count = count;
     }
   }
@@ -93,18 +101,18 @@ void LeastAssignedPolicy::EvictLru() {
 
 std::size_t LeastAssignedPolicy::AssignedCount(
     const std::string& instance) const {
-  const auto it = assigned_counts_.find(instance);
-  return it == assigned_counts_.end() ? 0 : it->second;
+  const auto id = InstanceRegistry::Global().Find(instance);
+  return id.has_value() ? CountOf(*id) : 0;
 }
 
 std::optional<std::string> LeastAssignedPolicy::LookupColor(
     std::string_view color) const {
-  const std::string key(color.substr(0, config_.max_color_bytes));
+  const std::string_view key = color.substr(0, config_.max_color_bytes);
   const auto it = table_.find(key);
-  if (it == table_.end() || it->second->instance.empty()) {
+  if (it == table_.end() || it->second->instance == kInvalidInstanceId) {
     return std::nullopt;
   }
-  return it->second->instance;
+  return InstanceName(it->second->instance);
 }
 
 std::size_t LeastAssignedPolicy::StateBytes() const {

@@ -11,6 +11,10 @@
 // Membership changes: new instances naturally attract new colors (they have
 // the least assigned); when an instance is removed its colors are
 // immediately redistributed with the same least-assigned rule.
+//
+// Hot path: table entries store interned InstanceIds (4 bytes, integer
+// hashing) instead of instance name strings, and lookups probe the table
+// with the truncated string_view directly — the hit path allocates nothing.
 #ifndef PALETTE_SRC_CORE_LEAST_ASSIGNED_POLICY_H_
 #define PALETTE_SRC_CORE_LEAST_ASSIGNED_POLICY_H_
 
@@ -19,6 +23,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/common/string_hash.h"
 #include "src/core/color_scheduling_policy.h"
 
 namespace palette {
@@ -33,7 +38,7 @@ class LeastAssignedPolicy : public PolicyBase {
   explicit LeastAssignedPolicy(std::uint64_t seed,
                                LeastAssignedConfig config = {});
 
-  std::optional<std::string> RouteColored(std::string_view color) override;
+  std::optional<InstanceId> RouteColoredId(std::string_view color) override;
   void OnInstanceAdded(const std::string& instance) override;
   void OnInstanceRemoved(const std::string& instance) override;
   std::size_t StateBytes() const override;
@@ -48,19 +53,23 @@ class LeastAssignedPolicy : public PolicyBase {
 
  private:
   struct Entry {
-    std::string color;     // truncated key
-    std::string instance;  // current assignment
+    std::string color;                       // truncated key
+    InstanceId instance = kInvalidInstanceId;  // current assignment
   };
   using List = std::list<Entry>;
 
-  // The instance with the fewest assigned colors (deterministic tie-break).
-  std::optional<std::string> LeastLoadedInstance() const;
+  // The instance with the fewest assigned colors (deterministic tie-break:
+  // first in name-sorted order).
+  std::optional<InstanceId> LeastLoadedInstance() const;
+  std::size_t CountOf(InstanceId id) const;
   void EvictLru();
 
   LeastAssignedConfig config_;
   List lru_;  // front = most recently used
-  std::unordered_map<std::string, List::iterator> table_;
-  std::unordered_map<std::string, std::size_t> assigned_counts_;
+  std::unordered_map<std::string, List::iterator, TransparentStringHash,
+                     std::equal_to<>>
+      table_;
+  std::unordered_map<InstanceId, std::size_t> assigned_counts_;
   std::uint64_t evictions_ = 0;
 };
 

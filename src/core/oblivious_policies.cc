@@ -2,24 +2,24 @@
 
 namespace palette {
 
-std::optional<std::string> ObliviousRandomPolicy::RouteColored(
+std::optional<InstanceId> ObliviousRandomPolicy::RouteColoredId(
     std::string_view color) {
   (void)color;  // Oblivious: the hint is ignored.
   return RandomInstance();
 }
 
-std::optional<std::string> ObliviousRoundRobinPolicy::RouteColored(
+std::optional<InstanceId> ObliviousRoundRobinPolicy::RouteColoredId(
     std::string_view color) {
   (void)color;
   return NextInstance();
 }
 
-std::optional<std::string> ObliviousRoundRobinPolicy::RouteUncolored() {
+std::optional<InstanceId> ObliviousRoundRobinPolicy::RouteUncoloredId() {
   return NextInstance();
 }
 
-std::optional<std::string> ObliviousRoundRobinPolicy::NextInstance() {
-  const auto& list = instances();
+std::optional<InstanceId> ObliviousRoundRobinPolicy::NextInstance() {
+  const auto& list = instance_ids();
   if (list.empty()) {
     return std::nullopt;
   }

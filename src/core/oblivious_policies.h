@@ -14,7 +14,7 @@ class ObliviousRandomPolicy : public PolicyBase {
  public:
   explicit ObliviousRandomPolicy(std::uint64_t seed) : PolicyBase(seed) {}
 
-  std::optional<std::string> RouteColored(std::string_view color) override;
+  std::optional<InstanceId> RouteColoredId(std::string_view color) override;
   std::size_t StateBytes() const override { return 0; }
   std::string_view name() const override { return "Oblivious: Random"; }
 };
@@ -23,13 +23,13 @@ class ObliviousRoundRobinPolicy : public PolicyBase {
  public:
   explicit ObliviousRoundRobinPolicy(std::uint64_t seed) : PolicyBase(seed) {}
 
-  std::optional<std::string> RouteColored(std::string_view color) override;
-  std::optional<std::string> RouteUncolored() override;
+  std::optional<InstanceId> RouteColoredId(std::string_view color) override;
+  std::optional<InstanceId> RouteUncoloredId() override;
   std::size_t StateBytes() const override { return sizeof(next_); }
   std::string_view name() const override { return "Oblivious: Round Robin"; }
 
  private:
-  std::optional<std::string> NextInstance();
+  std::optional<InstanceId> NextInstance();
 
   std::size_t next_ = 0;
 };

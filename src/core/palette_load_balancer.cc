@@ -13,16 +13,28 @@ PaletteLoadBalancer::PaletteLoadBalancer(
   assert(policy_ != nullptr);
 }
 
-std::optional<std::string> PaletteLoadBalancer::Route(
+std::optional<InstanceId> PaletteLoadBalancer::RouteId(
     const std::optional<Color>& color) {
-  std::optional<std::string> instance =
-      color.has_value() ? policy_->RouteColored(*color)
-                        : policy_->RouteUncolored();
+  std::optional<InstanceId> instance =
+      color.has_value() ? policy_->RouteColoredId(*color)
+                        : policy_->RouteUncoloredId();
   if (instance.has_value()) {
     ++total_routed_;
+    if (*instance >= routed_counts_.size()) {
+      routed_counts_.resize(*instance + 1, 0);
+    }
     ++routed_counts_[*instance];
   }
   return instance;
+}
+
+std::optional<std::string> PaletteLoadBalancer::Route(
+    const std::optional<Color>& color) {
+  const auto id = RouteId(color);
+  if (!id.has_value()) {
+    return std::nullopt;
+  }
+  return InstanceName(*id);
 }
 
 void PaletteLoadBalancer::AddInstance(const std::string& instance) {
@@ -30,8 +42,12 @@ void PaletteLoadBalancer::AddInstance(const std::string& instance) {
       instances_.end()) {
     return;
   }
-  instances_.push_back(instance);
-  std::sort(instances_.begin(), instances_.end());
+  const auto at = std::lower_bound(instances_.begin(), instances_.end(),
+                                   instance);
+  const auto index = static_cast<std::size_t>(at - instances_.begin());
+  instances_.insert(at, instance);
+  instance_ids_.insert(instance_ids_.begin() + index,
+                       InternInstance(instance));
   policy_->OnInstanceAdded(instance);
 }
 
@@ -40,13 +56,23 @@ void PaletteLoadBalancer::RemoveInstance(const std::string& instance) {
   if (it == instances_.end()) {
     return;
   }
+  instance_ids_.erase(instance_ids_.begin() + (it - instances_.begin()));
   instances_.erase(it);
   policy_->OnInstanceRemoved(instance);
 }
 
+std::optional<InstanceId> PaletteLoadBalancer::ResolveColorId(
+    const Color& color) {
+  return policy_->RouteColoredId(color);
+}
+
 std::optional<std::string> PaletteLoadBalancer::ResolveColor(
     const Color& color) {
-  return policy_->RouteColored(color);
+  const auto id = ResolveColorId(color);
+  if (!id.has_value()) {
+    return std::nullopt;
+  }
+  return InstanceName(*id);
 }
 
 std::string PaletteLoadBalancer::TranslateObjectName(
@@ -55,29 +81,33 @@ std::string PaletteLoadBalancer::TranslateObjectName(
   if (pos == std::string::npos) {
     return object_name;
   }
-  const Color color = object_name.substr(0, pos);
-  const auto instance = ResolveColor(color);
+  const auto instance =
+      ResolveColorId(object_name.substr(0, pos));
   if (!instance.has_value()) {
     return object_name;
   }
-  return *instance + object_name.substr(pos);
+  return InstanceName(*instance) + object_name.substr(pos);
+}
+
+std::uint64_t PaletteLoadBalancer::RoutedToId(InstanceId id) const {
+  return id < routed_counts_.size() ? routed_counts_[id] : 0;
 }
 
 std::uint64_t PaletteLoadBalancer::RoutedTo(const std::string& instance) const {
-  const auto it = routed_counts_.find(instance);
-  return it == routed_counts_.end() ? 0 : it->second;
+  const auto id = InstanceRegistry::Global().Find(instance);
+  return id.has_value() ? RoutedToId(*id) : 0;
 }
 
 double PaletteLoadBalancer::RoutingImbalance() const {
-  if (instances_.empty() || total_routed_ == 0) {
+  if (instance_ids_.empty() || total_routed_ == 0) {
     return 0;
   }
   std::uint64_t max = 0;
-  for (const auto& instance : instances_) {
-    max = std::max(max, RoutedTo(instance));
+  for (const InstanceId id : instance_ids_) {
+    max = std::max(max, RoutedToId(id));
   }
   const double avg = static_cast<double>(total_routed_) /
-                     static_cast<double>(instances_.size());
+                     static_cast<double>(instance_ids_.size());
   return static_cast<double>(max) / avg;
 }
 

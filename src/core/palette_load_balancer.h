@@ -5,6 +5,10 @@
 // routing counts, and receives membership updates from the scale controller.
 // One PaletteLoadBalancer exists per application — the color namespace is
 // application-scoped, so no state is shared across applications.
+//
+// The hot path is id-based: RouteId() returns an interned InstanceId and
+// bumps a flat per-id counter (no string hashing per route). Route() remains
+// as a string-returning shim for callers that want names.
 #ifndef PALETTE_SRC_CORE_PALETTE_LOAD_BALANCER_H_
 #define PALETTE_SRC_CORE_PALETTE_LOAD_BALANCER_H_
 
@@ -12,9 +16,9 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/instance_id.h"
 #include "src/core/color.h"
 #include "src/core/color_scheduling_policy.h"
 
@@ -25,8 +29,11 @@ class PaletteLoadBalancer {
   explicit PaletteLoadBalancer(std::unique_ptr<ColorSchedulingPolicy> policy);
 
   // Routes one invocation. `color` is the optional locality hint; nullopt
-  // routes obliviously. Returns the chosen instance, or nullopt when the
+  // routes obliviously. Returns the chosen instance id, or nullopt when the
   // application currently has no instances.
+  std::optional<InstanceId> RouteId(const std::optional<Color>& color);
+
+  // String-returning shim over RouteId().
   std::optional<std::string> Route(const std::optional<Color>& color);
 
   // Scale controller integration.
@@ -37,6 +44,7 @@ class PaletteLoadBalancer {
   // Translates a color to the instance it maps to *without* recording an
   // invocation. Used for Faa$T object-name translation (§5.1): the LB
   // rewrites input/output color prefixes to instance names.
+  std::optional<InstanceId> ResolveColorId(const Color& color);
   std::optional<std::string> ResolveColor(const Color& color);
 
   // Rewrites "<color>___rest" to "<instance>___rest" per §5.1. Names without
@@ -48,13 +56,17 @@ class PaletteLoadBalancer {
 
   std::uint64_t total_routed() const { return total_routed_; }
   std::uint64_t RoutedTo(const std::string& instance) const;
+  std::uint64_t RoutedToId(InstanceId id) const;
   // max/avg invocations routed per instance; load-balance quality metric.
   double RoutingImbalance() const;
 
  private:
   std::unique_ptr<ColorSchedulingPolicy> policy_;
-  std::vector<std::string> instances_;
-  std::unordered_map<std::string, std::uint64_t> routed_counts_;
+  std::vector<std::string> instances_;       // name-sorted
+  std::vector<InstanceId> instance_ids_;     // parallel to instances_
+  // Indexed by global InstanceId; grows on demand. Ids are dense, so this
+  // stays a flat array bump instead of a hash lookup per route.
+  std::vector<std::uint64_t> routed_counts_;
   std::uint64_t total_routed_ = 0;
 };
 

@@ -27,7 +27,7 @@ bool ReplicatedColorPolicy::IsHot(std::string_view color) const {
   if (window_total_ == 0) {
     return false;
   }
-  const std::string key(color.substr(0, config_.max_color_bytes));
+  const std::string_view key = color.substr(0, config_.max_color_bytes);
   const auto it = table_.find(key);
   if (it == table_.end()) {
     return false;
@@ -50,12 +50,12 @@ void ReplicatedColorPolicy::MaybeDecay() {
   }
 }
 
-std::optional<std::string> ReplicatedColorPolicy::RouteColored(
+std::optional<InstanceId> ReplicatedColorPolicy::RouteColoredId(
     std::string_view color) {
-  if (instances().empty()) {
+  if (instance_ids().empty()) {
     return std::nullopt;
   }
-  const std::string key(color.substr(0, config_.max_color_bytes));
+  const std::string_view key = color.substr(0, config_.max_color_bytes);
 
   auto it = table_.find(key);
   if (it == table_.end()) {
@@ -65,8 +65,8 @@ std::optional<std::string> ReplicatedColorPolicy::RouteColored(
       table_.erase(victim.color);
       lru_.pop_back();
     }
-    lru_.push_front(Entry{key, 0, 0});
-    it = table_.emplace(key, lru_.begin()).first;
+    lru_.push_front(Entry{std::string(key), 0, 0});
+    it = table_.emplace(lru_.front().color, lru_.begin()).first;
   } else {
     lru_.splice(lru_.begin(), lru_, it->second);
   }
@@ -78,10 +78,10 @@ std::optional<std::string> ReplicatedColorPolicy::RouteColored(
   // instance (full locality). Non-adaptive mode treats everything as hot.
   const std::size_t set_size =
       IsHot(key) ? static_cast<std::size_t>(config_.replicas) : 1;
-  const auto replicas = ring_.LookupN(key, set_size);
-  assert(!replicas.empty());
+  ring_.LookupNIds(key, set_size, &replica_buffer_);
+  assert(!replica_buffer_.empty());
   const std::uint32_t cursor = it->second->cursor++;
-  return replicas[cursor % replicas.size()];
+  return replica_buffer_[cursor % replica_buffer_.size()];
 }
 
 void ReplicatedColorPolicy::OnInstanceAdded(const std::string& instance) {

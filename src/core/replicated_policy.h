@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/string_hash.h"
 #include "src/core/color_scheduling_policy.h"
 #include "src/hash/consistent_hash_ring.h"
 
@@ -50,7 +51,7 @@ class ReplicatedColorPolicy : public PolicyBase {
   explicit ReplicatedColorPolicy(std::uint64_t seed,
                                  ReplicatedColorConfig config = {});
 
-  std::optional<std::string> RouteColored(std::string_view color) override;
+  std::optional<InstanceId> RouteColoredId(std::string_view color) override;
   void OnInstanceAdded(const std::string& instance) override;
   void OnInstanceRemoved(const std::string& instance) override;
   std::size_t StateBytes() const override;
@@ -78,9 +79,12 @@ class ReplicatedColorPolicy : public PolicyBase {
   ReplicatedColorConfig config_;
   ConsistentHashRing ring_;
   List lru_;
-  std::unordered_map<std::string, List::iterator> table_;
+  std::unordered_map<std::string, List::iterator, TransparentStringHash,
+                     std::equal_to<>>
+      table_;
   std::uint64_t routes_since_decay_ = 0;
   std::uint64_t window_total_ = 0;  // decayed total across colors
+  std::vector<InstanceId> replica_buffer_;  // scratch for ring walks
 };
 
 }  // namespace palette

@@ -25,11 +25,12 @@ FaasPlatform::FaasPlatform(Simulator* sim, PolicyKind policy,
 }
 
 void FaasPlatform::AddWorker(const std::string& name, double speed) {
-  if (workers_.count(name) > 0) {
+  const InstanceId id = InternInstance(name);
+  if (workers_.count(id) > 0) {
     return;
   }
   assert(speed > 0);
-  workers_.emplace(name, std::make_unique<Worker>(sim_, speed));
+  workers_.emplace(id, std::make_unique<Worker>(sim_, speed));
   network_ptr_->AddNode(name);
   cache_.AddInstance(name);
   lb_.AddInstance(name);
@@ -42,7 +43,8 @@ void FaasPlatform::AddWorkers(int count) {
 }
 
 void FaasPlatform::RemoveWorker(const std::string& name) {
-  if (workers_.erase(name) == 0) {
+  const auto id = InstanceRegistry::Global().Find(name);
+  if (!id.has_value() || workers_.erase(*id) == 0) {
     return;
   }
   cache_.RemoveInstance(name);
@@ -52,8 +54,8 @@ void FaasPlatform::RemoveWorker(const std::string& name) {
 std::vector<std::string> FaasPlatform::WorkerNames() const {
   std::vector<std::string> names;
   names.reserve(workers_.size());
-  for (const auto& [name, _] : workers_) {
-    names.push_back(name);
+  for (const auto& [id, _] : workers_) {
+    names.push_back(InstanceName(id));
   }
   std::sort(names.begin(), names.end());
   return names;
@@ -65,14 +67,14 @@ void FaasPlatform::SeedStorageObject(const std::string& name, Bytes size) {
 
 std::optional<std::uint64_t> FaasPlatform::Invoke(
     InvocationSpec spec, CompletionCallback on_complete) {
-  const auto instance = lb_.Route(spec.color);
+  const auto instance = lb_.RouteId(spec.color);
   if (!instance.has_value()) {
     return std::nullopt;
   }
   const std::uint64_t id = next_id_++;
   auto result = std::make_shared<InvocationResult>();
   result->id = id;
-  result->instance = *instance;
+  result->instance = InstanceName(*instance);
 
   Worker& worker = *workers_.at(*instance);
   SimTime dispatch_done = sim_->Now() + config_.dispatch_latency;
@@ -83,7 +85,7 @@ std::optional<std::uint64_t> FaasPlatform::Invoke(
   result->dispatched = dispatch_done;
 
   auto spec_ptr = std::make_shared<InvocationSpec>(std::move(spec));
-  const std::string target = *instance;
+  const InstanceId target = *instance;
   sim_->At(dispatch_done, [this, target, spec_ptr, result,
                            cb = std::move(on_complete)]() mutable {
     // The request arrives at the instance and joins its FIFO run queue.
@@ -100,7 +102,7 @@ std::optional<std::uint64_t> FaasPlatform::Invoke(
   return id;
 }
 
-void FaasPlatform::StartNextOnWorker(const std::string& instance) {
+void FaasPlatform::StartNextOnWorker(InstanceId instance) {
   auto worker_it = workers_.find(instance);
   if (worker_it == workers_.end()) {
     return;
@@ -115,23 +117,26 @@ void FaasPlatform::StartNextOnWorker(const std::string& instance) {
   worker.queue.pop_front();
   const std::shared_ptr<InvocationSpec>& spec = pending.spec;
   const std::shared_ptr<InvocationResult>& result = pending.result;
+  const std::string& instance_name = InstanceName(instance);
 
   // Fetch inputs: the invocation blocks the worker for the duration.
   SimTime inputs_ready = sim_->Now();
   Bytes payload_bytes = 0;
   for (const ObjectRef& input : spec->inputs) {
     payload_bytes += input.size;
-    CacheLookup lookup = cache_.Get(instance, input.name);
+    CacheLookup lookup = cache_.Get(instance_name, input.name);
     SimTime done;
     switch (lookup.outcome) {
       case CacheOutcome::kLocalHit:
         ++result->local_hits;
-        done = network_ptr_->Transfer(instance, instance, lookup.size);
+        done = network_ptr_->Transfer(instance_name, instance_name,
+                                      lookup.size);
         break;
       case CacheOutcome::kRemoteHit:
         ++result->remote_hits;
         result->network_bytes += lookup.size;
-        done = network_ptr_->Transfer(lookup.owner, instance, lookup.size);
+        done = network_ptr_->Transfer(lookup.owner, instance_name,
+                                      lookup.size);
         break;
       case CacheOutcome::kMiss: {
         ++result->misses;
@@ -139,9 +144,9 @@ void FaasPlatform::StartNextOnWorker(const std::string& instance) {
         const Bytes size = it != storage_objects_.end() ? it->second
                                                         : input.size;
         result->network_bytes += size;
-        done = network_ptr_->Transfer(kStorageNode, instance, size);
+        done = network_ptr_->Transfer(kStorageNode, instance_name, size);
         if (config_.cache_miss_fills) {
-          cache_.PutLocal(instance, input.name, size);
+          cache_.PutLocal(instance_name, input.name, size);
         }
         break;
       }
@@ -205,8 +210,8 @@ void FaasPlatform::StartNextOnWorker(const std::string& instance) {
 
 std::unordered_map<std::string, SimTime> FaasPlatform::WorkerBusyTime() const {
   std::unordered_map<std::string, SimTime> out;
-  for (const auto& [name, worker] : workers_) {
-    out[name] = worker->cpu.busy_time();
+  for (const auto& [id, worker] : workers_) {
+    out[InstanceName(id)] = worker->cpu.busy_time();
   }
   return out;
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/cache/faast_cache.h"
+#include "src/common/instance_id.h"
 #include "src/common/types.h"
 #include "src/core/palette_load_balancer.h"
 #include "src/core/policy_factory.h"
@@ -128,7 +129,7 @@ class FaasPlatform {
   };
 
   // Pops and executes the next queued invocation on `instance`, if any.
-  void StartNextOnWorker(const std::string& instance);
+  void StartNextOnWorker(InstanceId instance);
 
   Simulator* sim_;
   PlatformConfig config_;
@@ -136,7 +137,10 @@ class FaasPlatform {
   Network* network_ptr_;
   FaastCache cache_;
   PaletteLoadBalancer lb_;
-  std::unordered_map<std::string, std::unique_ptr<Worker>> workers_;
+  // Keyed by interned id: platform continuations capture the 4-byte id (not
+  // a worker-name string), keeping them inside the simulator's inline
+  // event-callback buffer.
+  std::unordered_map<InstanceId, std::unique_ptr<Worker>> workers_;
   std::unordered_map<std::string, Bytes> storage_objects_;
   std::string worker_prefix_ = "w";
   std::uint64_t next_id_ = 1;

@@ -1,6 +1,7 @@
 #include "src/hash/consistent_hash_ring.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "src/hash/hash.h"
 
@@ -10,78 +11,135 @@ ConsistentHashRing::ConsistentHashRing(int virtual_nodes, std::uint64_t seed)
     : virtual_nodes_(virtual_nodes), seed_(seed) {}
 
 bool ConsistentHashRing::AddMember(const std::string& member) {
-  if (!members_.insert(member).second) {
+  if (member_index_.find(member) != member_index_.end()) {
     return false;
   }
-  for (int i = 0; i < virtual_nodes_; ++i) {
-    const std::uint64_t pos =
-        Murmur3_64(member, seed_ + static_cast<std::uint64_t>(i));
-    // On the (astronomically unlikely) collision of two virtual-node
-    // positions, the established entry wins; the member still has its
-    // remaining virtual nodes.
-    ring_.emplace(pos, member);
-  }
+  member_index_.emplace(member,
+                        static_cast<std::uint32_t>(members_.size()));
+  members_.push_back(Member{member, InternInstance(member)});
+  dirty_ = true;
   return true;
 }
 
 bool ConsistentHashRing::RemoveMember(const std::string& member) {
-  if (members_.erase(member) == 0) {
+  const auto it = member_index_.find(member);
+  if (it == member_index_.end()) {
     return false;
   }
-  for (auto it = ring_.begin(); it != ring_.end();) {
-    if (it->second == member) {
-      it = ring_.erase(it);
-    } else {
-      ++it;
-    }
+  members_.erase(members_.begin() + it->second);
+  // Indices above the removed slot shifted down; rebuild the index map
+  // (membership churn is rare, lookups are the hot path).
+  member_index_.clear();
+  for (std::uint32_t i = 0; i < members_.size(); ++i) {
+    member_index_.emplace(members_[i].name, i);
   }
+  dirty_ = true;
   return true;
 }
 
 bool ConsistentHashRing::Contains(const std::string& member) const {
-  return members_.count(member) > 0;
+  return member_index_.find(member) != member_index_.end();
 }
 
 std::vector<std::string> ConsistentHashRing::Members() const {
-  std::vector<std::string> out(members_.begin(), members_.end());
+  std::vector<std::string> out;
+  out.reserve(members_.size());
+  for (const Member& member : members_) {
+    out.push_back(member.name);
+  }
   std::sort(out.begin(), out.end());
   return out;
 }
 
-std::optional<std::string> ConsistentHashRing::Lookup(
+void ConsistentHashRing::RebuildIfDirty() const {
+  if (!dirty_) {
+    return;
+  }
+  ring_.clear();
+  ring_.reserve(members_.size() * static_cast<std::size_t>(virtual_nodes_));
+  for (std::uint32_t m = 0; m < members_.size(); ++m) {
+    for (int i = 0; i < virtual_nodes_; ++i) {
+      const std::uint64_t pos =
+          Murmur3_64(members_[m].name, seed_ + static_cast<std::uint64_t>(i));
+      ring_.push_back(VNode{pos, m});
+    }
+  }
+  // stable_sort keeps insertion order among equal positions, so the
+  // earlier-added member wins a collision; the duplicate is then dropped.
+  std::stable_sort(ring_.begin(), ring_.end(),
+                   [](const VNode& a, const VNode& b) { return a.pos < b.pos; });
+  ring_.erase(std::unique(ring_.begin(), ring_.end(),
+                          [](const VNode& a, const VNode& b) {
+                            return a.pos == b.pos;
+                          }),
+              ring_.end());
+  dirty_ = false;
+}
+
+std::size_t ConsistentHashRing::SuccessorIndex(std::uint64_t pos) const {
+  assert(!ring_.empty());
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), pos,
+      [](const VNode& node, std::uint64_t p) { return node.pos < p; });
+  if (it == ring_.end()) {
+    return 0;
+  }
+  return static_cast<std::size_t>(it - ring_.begin());
+}
+
+std::optional<InstanceId> ConsistentHashRing::LookupId(
     std::string_view key) const {
-  if (ring_.empty()) {
+  if (members_.empty()) {
     return std::nullopt;
   }
   // Identity property (§5.1): a member name maps to itself.
-  if (auto it = members_.find(std::string(key)); it != members_.end()) {
-    return *it;
+  if (const auto it = member_index_.find(key); it != member_index_.end()) {
+    return members_[it->second].id;
   }
-  const std::uint64_t pos = Murmur3_64(key, seed_);
-  auto it = ring_.lower_bound(pos);
-  if (it == ring_.end()) {
-    it = ring_.begin();
+  RebuildIfDirty();
+  const std::size_t index = SuccessorIndex(Murmur3_64(key, seed_));
+  return members_[ring_[index].member_index].id;
+}
+
+std::optional<std::string> ConsistentHashRing::Lookup(
+    std::string_view key) const {
+  if (members_.empty()) {
+    return std::nullopt;
   }
-  return it->second;
+  if (const auto it = member_index_.find(key); it != member_index_.end()) {
+    return members_[it->second].name;
+  }
+  RebuildIfDirty();
+  const std::size_t index = SuccessorIndex(Murmur3_64(key, seed_));
+  return members_[ring_[index].member_index].name;
+}
+
+void ConsistentHashRing::LookupNIds(std::string_view key, std::size_t count,
+                                    std::vector<InstanceId>* out) const {
+  out->clear();
+  if (members_.empty() || count == 0) {
+    return;
+  }
+  RebuildIfDirty();
+  count = std::min(count, members_.size());
+  std::size_t index = SuccessorIndex(Murmur3_64(key, seed_));
+  while (out->size() < count) {
+    const InstanceId id = members_[ring_[index].member_index].id;
+    if (std::find(out->begin(), out->end(), id) == out->end()) {
+      out->push_back(id);
+    }
+    index = index + 1 == ring_.size() ? 0 : index + 1;
+  }
 }
 
 std::vector<std::string> ConsistentHashRing::LookupN(std::string_view key,
                                                      std::size_t count) const {
+  std::vector<InstanceId> ids;
+  LookupNIds(key, count, &ids);
   std::vector<std::string> out;
-  if (ring_.empty() || count == 0) {
-    return out;
-  }
-  count = std::min(count, members_.size());
-  const std::uint64_t pos = Murmur3_64(key, seed_);
-  auto it = ring_.lower_bound(pos);
-  while (out.size() < count) {
-    if (it == ring_.end()) {
-      it = ring_.begin();
-    }
-    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
-      out.push_back(it->second);
-    }
-    ++it;
+  out.reserve(ids.size());
+  for (const InstanceId id : ids) {
+    out.push_back(InstanceName(id));
   }
   return out;
 }

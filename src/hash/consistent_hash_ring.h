@@ -7,16 +7,25 @@
 // identity function when the argument is the name of one of the members of
 // the ring", §5.1). The ring guarantees this by registering an exact-match
 // table alongside the virtual-node ring.
+//
+// Representation: lookups are per-invocation while membership changes are
+// rare scale events, so the ring is a flat position-sorted std::vector
+// searched with binary search, rebuilt lazily after membership changes
+// (previously a std::map with per-node allocation and pointer-chasing
+// successor walks). Members carry interned InstanceIds so the routing hot
+// path (LookupId/LookupNIds) never materializes name strings.
 #ifndef PALETTE_SRC_HASH_CONSISTENT_HASH_RING_H_
 #define PALETTE_SRC_HASH_CONSISTENT_HASH_RING_H_
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
+
+#include "src/common/instance_id.h"
+#include "src/common/string_hash.h"
 
 namespace palette {
 
@@ -41,17 +50,48 @@ class ConsistentHashRing {
   // member (identity property). Returns nullopt when the ring is empty.
   std::optional<std::string> Lookup(std::string_view key) const;
 
+  // Id-returning Lookup for the routing hot path.
+  std::optional<InstanceId> LookupId(std::string_view key) const;
+
   // Like Lookup but walks the ring to return up to `count` distinct members
   // (replica set order). Used by tests and by replication experiments.
-  std::vector<std::string> LookupN(std::string_view key, std::size_t count) const;
+  std::vector<std::string> LookupN(std::string_view key,
+                                   std::size_t count) const;
+
+  // Allocation-free LookupN: clears `*out` and appends up to `count`
+  // distinct member ids in ring-successor order.
+  void LookupNIds(std::string_view key, std::size_t count,
+                  std::vector<InstanceId>* out) const;
 
  private:
+  struct Member {
+    std::string name;
+    InstanceId id;
+  };
+  // Virtual node: ring position plus the index of its member in members_.
+  struct VNode {
+    std::uint64_t pos;
+    std::uint32_t member_index;
+  };
+
+  // Rebuilds the sorted vnode vector if membership changed since the last
+  // lookup. On the (astronomically unlikely) collision of two virtual-node
+  // positions the earlier-added member wins, matching the previous
+  // std::map::emplace semantics.
+  void RebuildIfDirty() const;
+
+  // Index of the first vnode with position >= pos, wrapping to 0 past the
+  // end. Requires a non-empty, clean ring.
+  std::size_t SuccessorIndex(std::uint64_t pos) const;
+
   int virtual_nodes_;
   std::uint64_t seed_;
-  // Ring position -> member name. std::map keeps positions ordered for
-  // successor lookup.
-  std::map<std::uint64_t, std::string> ring_;
-  std::unordered_set<std::string> members_;
+  std::vector<Member> members_;  // insertion order (collision tie-break)
+  std::unordered_map<std::string, std::uint32_t, TransparentStringHash,
+                     std::equal_to<>>
+      member_index_;             // name -> index into members_
+  mutable std::vector<VNode> ring_;  // sorted by pos when !dirty_
+  mutable bool dirty_ = false;
 };
 
 }  // namespace palette

@@ -1,30 +1,100 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace palette {
 
-void Simulator::At(SimTime t, Callback cb) {
+namespace {
+constexpr std::size_t kHeapArity = 4;
+}  // namespace
+
+void Simulator::SiftUp(std::size_t index) {
+  const HeapKey key = heap_[index];
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / kHeapArity;
+    if (!(key < heap_[parent])) {
+      break;
+    }
+    heap_[index] = heap_[parent];
+    index = parent;
+  }
+  heap_[index] = key;
+}
+
+void Simulator::PopRoot() {
+  const HeapKey moved = heap_.back();
+  heap_.pop_back();
+  const std::size_t size = heap_.size();
+  if (size == 0) {
+    return;
+  }
+  // Walk the hole down along min-children to a leaf without comparing
+  // against `moved`, then sift `moved` up from the leaf. The tail key is
+  // almost always late (recently scheduled), so the upward pass is short
+  // and the downward pass saves one compare-and-branch per level.
+  std::size_t index = 0;
+  for (;;) {
+    const std::size_t first_child = index * kHeapArity + 1;
+    if (first_child >= size) {
+      break;
+    }
+    std::size_t best = first_child;
+    const std::size_t last_child = std::min(first_child + kHeapArity, size);
+    for (std::size_t child = first_child + 1; child < last_child; ++child) {
+      if (heap_[child] < heap_[best]) {
+        best = child;
+      }
+    }
+    heap_[index] = heap_[best];
+    index = best;
+  }
+  while (index > 0) {
+    const std::size_t parent = (index - 1) / kHeapArity;
+    if (!(moved < heap_[parent])) {
+      break;
+    }
+    heap_[index] = heap_[parent];
+    index = parent;
+  }
+  heap_[index] = moved;
+}
+
+Simulator::Callback& Simulator::NewSlot(SimTime t) {
   if (t < now_) {
     t = now_;
   }
-  queue_.push(Event{t, next_seq_++, std::move(cb)});
-}
-
-void Simulator::After(SimTime delay, Callback cb) {
-  At(now_ + delay, std::move(cb));
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = pool_size_++;
+    assert(slot <= kSlotMask && "more than 2^24 simultaneously pending events");
+    if ((slot >> kChunkShift) == chunks_.size()) {
+      chunks_.emplace_back(new Callback[kChunkMask + 1]);
+    }
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  heap_.push_back(MakeKey(t, next_seq_++, slot));
+  SiftUp(heap_.size() - 1);
+  return SlotRef(slot);
 }
 
 bool Simulator::Step() {
-  if (queue_.empty()) {
+  if (heap_.empty()) {
     return false;
   }
-  // The queue only hands out const refs; move the callback out before pop.
-  Event event = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = event.time;
+  const HeapKey top = heap_[0];
+  PopRoot();
+  // The callback executes in place: chunks never move, so events it
+  // schedules can grow the pool without invalidating its slot. The slot is
+  // recycled only after the callback (and its captures) are destroyed.
+  const std::uint32_t slot = SlotOf(top);
+  now_ = TimeOf(top);
   ++executed_;
-  event.cb();
+  SlotRef(slot).InvokeOnce();
+  free_slots_.push_back(slot);
   return true;
 }
 

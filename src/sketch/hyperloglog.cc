@@ -84,6 +84,10 @@ WindowedHyperLogLog::WindowedHyperLogLog(int precision)
 
 void WindowedHyperLogLog::Add(std::string_view item) { current_.Add(item); }
 
+void WindowedHyperLogLog::AddHash(std::uint64_t hash) {
+  current_.AddHash(hash);
+}
+
 double WindowedHyperLogLog::Estimate() const {
   HyperLogLog merged = current_;
   merged.Merge(previous_);

@@ -52,6 +52,10 @@ class WindowedHyperLogLog {
   explicit WindowedHyperLogLog(int precision = 12);
 
   void Add(std::string_view item);
+  // For callers that already hold a well-mixed 64-bit hash of the item
+  // (e.g. the Bucket Hashing route path, which hashes each color exactly
+  // once and reuses the digest for both bucket index and sketch).
+  void AddHash(std::uint64_t hash);
   double Estimate() const;
   void Rotate();
 

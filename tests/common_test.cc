@@ -1,15 +1,23 @@
-// Unit tests for src/common: types, RNG, distributions, stats, tables.
+// Unit tests for src/common: types, RNG, distributions, stats, tables,
+// inline callbacks, instance interning, the thread pool, and JSON output.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <map>
+#include <memory>
+#include <numeric>
 #include <vector>
 
 #include "src/common/distributions.h"
+#include "src/common/inline_function.h"
+#include "src/common/instance_id.h"
+#include "src/common/json_writer.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/table_printer.h"
+#include "src/common/thread_pool.h"
 #include "src/common/types.h"
 
 namespace palette {
@@ -276,6 +284,126 @@ TEST(StrFormatTest, FormatsLikePrintf) {
   EXPECT_EQ(StrFormat("w%d", 7), "w7");
   EXPECT_EQ(StrFormat("%.2f%%", 12.345), "12.35%");
   EXPECT_EQ(StrFormat("%s/%s", "a", "b"), "a/b");
+}
+
+TEST(InlineFunctionTest, InvokesStoredCallable) {
+  int calls = 0;
+  InlineFunction<64> fn([&calls] { ++calls; });
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFunctionTest, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  InlineFunction<64> fn([counter] { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  InlineFunction<64> moved(std::move(fn));
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_EQ(counter.use_count(), 2);  // moved, not copied
+  moved();
+  EXPECT_EQ(*counter, 1);
+  moved.Reset();
+  EXPECT_EQ(counter.use_count(), 1);  // capture destroyed
+}
+
+TEST(InlineFunctionTest, MoveAssignReplacesExistingCallable) {
+  auto a = std::make_shared<int>(0);
+  auto b = std::make_shared<int>(0);
+  InlineFunction<64> fn([a] { ++*a; });
+  InlineFunction<64> other([b] { ++*b; });
+  fn = std::move(other);
+  EXPECT_EQ(a.use_count(), 1);  // old capture destroyed on assignment
+  fn();
+  EXPECT_EQ(*b, 1);
+  EXPECT_EQ(*a, 0);
+}
+
+TEST(InstanceRegistryTest, InternIsIdempotentAndRoundTrips) {
+  const InstanceId id = InternInstance("common-test-wA");
+  EXPECT_EQ(InternInstance("common-test-wA"), id);
+  EXPECT_EQ(InstanceName(id), "common-test-wA");
+  EXPECT_NE(InternInstance("common-test-wB"), id);
+}
+
+TEST(InstanceRegistryTest, FindDoesNotIntern) {
+  const auto& registry = InstanceRegistry::Global();
+  EXPECT_FALSE(registry.Find("common-test-never-interned").has_value());
+  const InstanceId id = InternInstance("common-test-wC");
+  const auto found = registry.Find("common-test-wC");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, id);
+}
+
+TEST(InstanceRegistryTest, ConcurrentInternAgreesOnIds) {
+  // All threads intern the same names; every thread must observe the same
+  // id for a given name.
+  constexpr int kNames = 64;
+  std::vector<std::vector<InstanceId>> seen(4,
+                                            std::vector<InstanceId>(kNames));
+  ParallelFor(4, 4, [&seen](std::size_t t) {
+    for (int i = 0; i < kNames; ++i) {
+      seen[t][static_cast<std::size_t>(i)] =
+          InternInstance(StrFormat("common-test-conc-%d", i));
+    }
+  });
+  for (std::size_t t = 1; t < seen.size(); ++t) {
+    EXPECT_EQ(seen[t], seen[0]);
+  }
+}
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 257;
+  std::vector<std::atomic<int>> counts(kN);
+  ParallelFor(kN, 4, [&counts](std::size_t i) { ++counts[i]; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, WaitAllowsReuse) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&done] { ++done; });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(done.load(), 30);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsSelectsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(JsonWriterTest, EmitsValidNestedDocument) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name");
+  json.String("a\"b\\c\n");
+  json.Key("values");
+  json.BeginArray();
+  json.Int(-3);
+  json.UInt(7);
+  json.Bool(true);
+  json.EndArray();
+  json.Key("pi");
+  json.Double(0.5);
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"a\\\"b\\\\c\\n\",\"values\":[-3,7,true],"
+            "\"pi\":0.5}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Double(std::nan(""));
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[null]");
 }
 
 }  // namespace

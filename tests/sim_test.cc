@@ -1,7 +1,9 @@
 // Unit tests for the discrete-event simulator and network model.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/sim/network.h"
@@ -85,6 +87,97 @@ TEST(SimulatorTest, StepOnEmptyReturnsFalse) {
   Simulator sim;
   EXPECT_FALSE(sim.Step());
   EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulatorTest, PastClampedEventKeepsSchedulingOrderAtNow) {
+  // An event scheduled in the past is clamped to Now() and must run after
+  // events already queued for Now (earlier seq) but before any later time.
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(SimTime::FromSeconds(5), [&] {
+    sim.At(SimTime::FromSeconds(5), [&] { order.push_back(1); });
+    sim.At(SimTime::FromSeconds(1), [&] { order.push_back(2); });  // past
+    sim.At(SimTime::FromSeconds(6), [&] { order.push_back(3); });
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, EqualTimestampOrderingSurvivesHeapChurn) {
+  // Interleaves a spread of distinct times with large equal-time batches so
+  // heap sift operations shuffle entries; ties must still execute in
+  // scheduling (seq) order. A linear-congruential walk keeps the schedule
+  // deterministic.
+  Simulator sim;
+  std::vector<std::pair<std::int64_t, int>> executed;
+  std::uint64_t lcg = 12345;
+  int seq_in_batch = 0;
+  for (int i = 0; i < 2000; ++i) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto bucket = static_cast<std::int64_t>((lcg >> 33) % 97);
+    const SimTime when = SimTime::FromMicros(static_cast<double>(bucket));
+    sim.At(when, [&executed, bucket, seq = seq_in_batch++] {
+      executed.emplace_back(bucket, seq);
+    });
+  }
+  sim.Run();
+  ASSERT_EQ(executed.size(), 2000u);
+  for (std::size_t i = 1; i < executed.size(); ++i) {
+    ASSERT_LE(executed[i - 1].first, executed[i].first);
+    if (executed[i - 1].first == executed[i].first) {
+      // Same timestamp: scheduling order must be preserved.
+      ASSERT_LT(executed[i - 1].second, executed[i].second);
+    }
+  }
+}
+
+TEST(SimulatorTest, PendingEventsTracksPoolReuse) {
+  Simulator sim;
+  EXPECT_EQ(sim.pending_events(), 0u);
+  for (int i = 0; i < 10; ++i) {
+    sim.After(SimTime::FromMillis(i), [] {});
+  }
+  EXPECT_EQ(sim.pending_events(), 10u);
+  while (sim.Step()) {
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.executed_events(), 10u);
+  // Freed slots are recycled: scheduling again must not grow the pending
+  // count beyond what is actually queued.
+  sim.After(SimTime::FromMillis(1), [] {});
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(sim.executed_events(), 11u);
+}
+
+TEST(SimulatorTest, CallbackMayRescheduleWhilePoolGrows) {
+  // The running callback is moved out of its pool slot before invocation,
+  // so a callback that schedules enough new events to reallocate the pool
+  // must not invalidate itself.
+  Simulator sim;
+  int fired = 0;
+  sim.At(SimTime::FromMillis(1), [&] {
+    for (int i = 0; i < 1000; ++i) {
+      sim.After(SimTime::FromMillis(1), [&fired] { ++fired; });
+    }
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 1000);
+}
+
+TEST(SimulatorTest, CapacitySizedCaptureFits) {
+  // A capture exactly at the inline buffer's capacity must be accepted
+  // (the platform's continuations rely on this headroom).
+  struct Padded {
+    int* target;
+    unsigned char pad[Simulator::kMaxEventCaptureBytes - sizeof(int*)];
+  };
+  Simulator sim;
+  int hits = 0;
+  Padded padded{&hits, {}};
+  sim.After(SimTime::FromMillis(1), [padded] { ++*padded.target; });
+  sim.Run();
+  EXPECT_EQ(hits, 1);
 }
 
 TEST(FifoResourceTest, SequentialBookingsQueue) {
