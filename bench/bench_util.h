@@ -5,10 +5,50 @@
 #ifndef PALETTE_BENCH_BENCH_UTIL_H_
 #define PALETTE_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
 #include "src/dag/dag_executor.h"
 #include "src/dag/serverful_scheduler.h"
+#include "src/obs/trace.h"
 
 namespace palette {
+
+// ---------------------------------------------------------------------------
+// Opt-in lifecycle tracing (docs/OBSERVABILITY.md). Benches that support it
+// check TraceRequested() — set PALETTE_TRACE=1 (any value except "0") to
+// record per-invocation spans and write TRACE_<bench>.json in the working
+// directory. Off by default: the benches' timed loops then run with the
+// recorder pointer null, i.e. zero instrumentation work.
+// ---------------------------------------------------------------------------
+
+inline bool TraceRequested() {
+  const char* value = std::getenv("PALETTE_TRACE");
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+inline std::string TracePath(const std::string& bench_name) {
+  return "TRACE_" + bench_name + ".json";
+}
+
+// Writes the recorder's Chrome trace to TRACE_<bench>.json and prints the
+// aggregate phase breakdown. Returns the path written, empty on failure.
+inline std::string WriteBenchTrace(const TraceRecorder& recorder,
+                                   const std::string& bench_name) {
+  const std::string path = TracePath(bench_name);
+  if (!recorder.WriteChromeTrace(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return std::string();
+  }
+  std::printf("\n%s", recorder.PhaseBreakdownTable().c_str());
+  std::printf(
+      "trace: %zu invocations, %zu fetches -> %s (load in Perfetto or "
+      "chrome://tracing)\n",
+      recorder.invocation_count(), recorder.fetch_count(), path.c_str());
+  return path;
+}
 
 // CPU rating for the Dask-style (Python-level) experiments. The paper's
 // tasks spend seconds on 60M "ops"; ~30M ops/s makes a 60M-op task ~2 s,

@@ -43,6 +43,7 @@ std::string FaastCache::Put(const std::string& producer,
   const auto home = HomeInstance(object_name);
   assert(home.has_value());
   shards_.at(*home)->Put(object_name, size);
+  put_bytes_ += size;
   return *home;
 }
 
@@ -51,6 +52,7 @@ void FaastCache::PutLocal(const std::string& instance,
   auto it = shards_.find(instance);
   assert(it != shards_.end() && "unknown instance");
   it->second->Put(object_name, size);
+  put_bytes_ += size;
 }
 
 CacheLookup FaastCache::Get(const std::string& reader,
@@ -60,8 +62,9 @@ CacheLookup FaastCache::Get(const std::string& reader,
 
   if (reader_it->second->Get(object_name)) {
     ++local_hits_;
-    return CacheLookup{CacheOutcome::kLocalHit, reader,
-                       reader_it->second->SizeOf(object_name)};
+    const Bytes size = reader_it->second->SizeOf(object_name);
+    local_hit_bytes_ += size;
+    return CacheLookup{CacheOutcome::kLocalHit, reader, size};
   }
 
   const auto home = HomeInstance(object_name);
@@ -70,8 +73,11 @@ CacheLookup FaastCache::Get(const std::string& reader,
     if (home_it != shards_.end() && home_it->second->Contains(object_name)) {
       ++remote_hits_;
       const Bytes size = home_it->second->SizeOf(object_name);
+      remote_hit_bytes_ += size;
       if (config_.replicate_on_remote_hit) {
         reader_it->second->Put(object_name, size);
+        put_bytes_ += size;
+        replicated_bytes_ += size;
       }
       return CacheLookup{CacheOutcome::kRemoteHit, *home, size};
     }
@@ -90,6 +96,19 @@ void FaastCache::Invalidate(const std::string& object_name) {
 Bytes FaastCache::shard_used_bytes(const std::string& instance) const {
   auto it = shards_.find(instance);
   return it == shards_.end() ? 0 : it->second->used_bytes();
+}
+
+std::uint64_t FaastCache::total_evictions() const {
+  std::uint64_t total = 0;
+  for (const auto& [_, shard] : shards_) {
+    total += shard->evictions();
+  }
+  return total;
+}
+
+std::uint64_t FaastCache::shard_evictions(const std::string& instance) const {
+  auto it = shards_.find(instance);
+  return it == shards_.end() ? 0 : it->second->evictions();
 }
 
 }  // namespace palette

@@ -96,6 +96,17 @@ class FaastCache {
   std::uint64_t local_hits() const { return local_hits_; }
   std::uint64_t remote_hits() const { return remote_hits_; }
   std::uint64_t misses() const { return misses_; }
+  // Bytes served from the reader's own shard / from peer shards, bytes
+  // written through Put/PutLocal, and bytes copied into the reader's shard
+  // by replicate_on_remote_hit (a subset of put_bytes).
+  Bytes local_hit_bytes() const { return local_hit_bytes_; }
+  Bytes remote_hit_bytes() const { return remote_hit_bytes_; }
+  Bytes put_bytes() const { return put_bytes_; }
+  Bytes replicated_bytes() const { return replicated_bytes_; }
+  // Evictions across live shards (a removed instance's count is lost with
+  // its shard, matching the reclaimed-worker semantics).
+  std::uint64_t total_evictions() const;
+  std::uint64_t shard_evictions(const std::string& instance) const;
   Bytes shard_used_bytes(const std::string& instance) const;
 
   const FaastCacheConfig& config() const { return config_; }
@@ -107,6 +118,10 @@ class FaastCache {
   std::uint64_t local_hits_ = 0;
   std::uint64_t remote_hits_ = 0;
   std::uint64_t misses_ = 0;
+  Bytes local_hit_bytes_ = 0;
+  Bytes remote_hit_bytes_ = 0;
+  Bytes put_bytes_ = 0;
+  Bytes replicated_bytes_ = 0;
 };
 
 }  // namespace palette

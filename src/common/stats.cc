@@ -17,6 +17,16 @@ void RunningStats::Add(double value) {
   const double delta = value - mean_;
   mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (value - mean_);
+  if (retain_) {
+    samples_.push_back(value);
+  }
+}
+
+double RunningStats::percentile(double p) const {
+  if (!retain_ || samples_.empty()) {
+    return 0.0;
+  }
+  return Percentile(samples_, p);
 }
 
 double RunningStats::variance() const {
@@ -35,19 +45,40 @@ double RunningStats::stderr_mean() const {
   return stddev() / std::sqrt(static_cast<double>(count_));
 }
 
+namespace {
+
+double SortedPercentile(const std::vector<double>& sorted, double p) {
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
 double Percentile(std::vector<double> samples, double p) {
   if (samples.empty()) {
     return 0.0;
   }
   std::sort(samples.begin(), samples.end());
-  if (samples.size() == 1) {
-    return samples[0];
+  return SortedPercentile(samples, p);
+}
+
+std::vector<double> Percentiles(std::vector<double> samples,
+                                const std::vector<double>& ps) {
+  std::vector<double> out(ps.size(), 0.0);
+  if (samples.empty()) {
+    return out;
   }
-  const double rank = (p / 100.0) * static_cast<double>(samples.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return samples[lo] + frac * (samples[hi] - samples[lo]);
+  std::sort(samples.begin(), samples.end());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    out[i] = SortedPercentile(samples, ps[i]);
+  }
+  return out;
 }
 
 double RelativeMaxLoad(const std::vector<double>& samples) {

@@ -10,9 +10,14 @@
 namespace palette {
 
 // Accumulates samples online (Welford's algorithm) and answers summary
-// queries. Percentile queries require the retained-sample mode.
+// queries. Percentile queries require the opt-in retained-sample mode
+// (construct with retain_samples = true), which keeps every Add()ed value;
+// the default mode holds O(1) state and answers percentile() with 0.
 class RunningStats {
  public:
+  RunningStats() = default;
+  explicit RunningStats(bool retain_samples) : retain_(retain_samples) {}
+
   void Add(double value);
 
   std::size_t count() const { return count_; }
@@ -26,17 +31,32 @@ class RunningStats {
   // Standard error of the mean.
   double stderr_mean() const;
 
+  // Retained-sample mode.
+  bool retains_samples() const { return retain_; }
+  const std::vector<double>& samples() const { return samples_; }
+  // Linear-interpolated percentile over the retained samples; `p` in
+  // [0, 100]. Returns 0 when samples are not retained or none were added.
+  double percentile(double p) const;
+
  private:
   std::size_t count_ = 0;
   double mean_ = 0;
   double m2_ = 0;
   double min_ = 0;
   double max_ = 0;
+  bool retain_ = false;
+  std::vector<double> samples_;
 };
 
 // Percentile of a sample set using linear interpolation between closest
 // ranks. `p` in [0, 100]. The input is copied and sorted.
 double Percentile(std::vector<double> samples, double p);
+
+// Percentiles at each rank in `ps`, sorting `samples` once (same
+// interpolation as Percentile). Returns one value per entry of `ps`, in
+// order; all zeros for empty input.
+std::vector<double> Percentiles(std::vector<double> samples,
+                                const std::vector<double>& ps);
 
 // Relative maximum load: max(samples) / mean(samples). This is the load
 // imbalance metric from Fig. 5 (maximum / average colors per instance).

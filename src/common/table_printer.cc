@@ -9,8 +9,14 @@ void TablePrinter::AddRow(std::vector<std::string> cells) {
 }
 
 void TablePrinter::Print(std::FILE* out) const {
+  const std::string rendered = ToString();
+  std::fwrite(rendered.data(), 1, rendered.size(), out);
+}
+
+std::string TablePrinter::ToString() const {
+  std::string out;
   if (rows_.empty()) {
-    return;
+    return out;
   }
   std::vector<std::size_t> widths;
   for (const auto& row : rows_) {
@@ -21,25 +27,24 @@ void TablePrinter::Print(std::FILE* out) const {
       widths[i] = std::max(widths[i], row[i].size());
     }
   }
-  const auto print_row = [&](const std::vector<std::string>& row) {
+  const auto append_row = [&](const std::vector<std::string>& row) {
     for (std::size_t i = 0; i < row.size(); ++i) {
-      std::fprintf(out, "%-*s", static_cast<int>(widths[i] + 2),
-                   row[i].c_str());
+      out += row[i];
+      out.append(widths[i] + 2 - row[i].size(), ' ');
     }
-    std::fprintf(out, "\n");
+    out += '\n';
   };
-  print_row(rows_[0]);
+  append_row(rows_[0]);
   std::size_t total = 0;
   for (std::size_t w : widths) {
     total += w + 2;
   }
-  for (std::size_t i = 0; i < total; ++i) {
-    std::fputc('-', out);
-  }
-  std::fputc('\n', out);
+  out.append(total, '-');
+  out += '\n';
   for (std::size_t i = 1; i < rows_.size(); ++i) {
-    print_row(rows_[i]);
+    append_row(rows_[i]);
   }
+  return out;
 }
 
 std::string StrFormat(const char* fmt, ...) {

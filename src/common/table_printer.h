@@ -19,6 +19,9 @@ class TablePrinter {
   // under the header row.
   void Print(std::FILE* out = stdout) const;
 
+  // Renders the same layout into a string (for logs and JSON sidecars).
+  std::string ToString() const;
+
   std::size_t row_count() const { return rows_.size(); }
 
  private:

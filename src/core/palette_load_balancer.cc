@@ -20,10 +20,20 @@ std::optional<InstanceId> PaletteLoadBalancer::RouteId(
                         : policy_->RouteUncoloredId();
   if (instance.has_value()) {
     ++total_routed_;
+    if (color.has_value()) {
+      ++hints_honored_;
+      if (color_stats_enabled_) {
+        ++color_counts_[*color];
+      }
+    } else {
+      ++unhinted_routed_;
+    }
     if (*instance >= routed_counts_.size()) {
       routed_counts_.resize(*instance + 1, 0);
     }
     ++routed_counts_[*instance];
+  } else if (color.has_value()) {
+    ++hint_failures_;
   }
   return instance;
 }

@@ -16,6 +16,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/instance_id.h"
@@ -60,6 +61,25 @@ class PaletteLoadBalancer {
   // max/avg invocations routed per instance; load-balance quality metric.
   double RoutingImbalance() const;
 
+  // Hint-outcome counters (docs/OBSERVABILITY.md): a route either carried
+  // a color the policy honored, carried no color (oblivious fallback
+  // path), or carried a color the policy could not place (no instances —
+  // the invocation fails).
+  std::uint64_t hints_honored() const { return hints_honored_; }
+  std::uint64_t unhinted_routed() const { return unhinted_routed_; }
+  std::uint64_t hint_failures() const { return hint_failures_; }
+
+  // Opt-in per-color invocation counts. Off by default: the per-route
+  // string map insert is exactly the cost the interned hot path removed,
+  // so only tracing/debugging sessions should turn it on.
+  void set_color_stats_enabled(bool enabled) {
+    color_stats_enabled_ = enabled;
+  }
+  bool color_stats_enabled() const { return color_stats_enabled_; }
+  const std::unordered_map<std::string, std::uint64_t>& color_counts() const {
+    return color_counts_;
+  }
+
  private:
   std::unique_ptr<ColorSchedulingPolicy> policy_;
   std::vector<std::string> instances_;       // name-sorted
@@ -68,6 +88,11 @@ class PaletteLoadBalancer {
   // stays a flat array bump instead of a hash lookup per route.
   std::vector<std::uint64_t> routed_counts_;
   std::uint64_t total_routed_ = 0;
+  std::uint64_t hints_honored_ = 0;
+  std::uint64_t unhinted_routed_ = 0;
+  std::uint64_t hint_failures_ = 0;
+  bool color_stats_enabled_ = false;
+  std::unordered_map<std::string, std::uint64_t> color_counts_;
 };
 
 }  // namespace palette

@@ -33,6 +33,8 @@ DagRunResult RunDagOnFaas(const Dag& dag, const DagRunConfig& config,
 
   Simulator sim;
   FaasPlatform platform(&sim, config.policy, config.seed, config.platform);
+  platform.set_trace_recorder(config.trace);
+  platform.set_metrics(config.metrics);
   if (config.worker_speeds.empty()) {
     platform.AddWorkers(config.workers);
   } else {
@@ -141,6 +143,9 @@ DagRunResult RunDagOnFaas(const Dag& dag, const DagRunConfig& config,
   result.makespan = makespan;
   result.cluster_remote_bytes = platform.network().remote_bytes();
   result.routing_imbalance = platform.load_balancer().RoutingImbalance();
+  if (config.metrics != nullptr) {
+    platform.ExportMetrics(config.metrics);
+  }
   return result;
 }
 
@@ -154,6 +159,8 @@ SharedRunResult RunDagsOnSharedPlatform(const std::vector<DagJob>& jobs,
 
   Simulator sim;
   FaasPlatform platform(&sim, config.policy, config.seed, config.platform);
+  platform.set_trace_recorder(config.trace);
+  platform.set_metrics(config.metrics);
   platform.AddWorkers(config.workers);
 
   const int vw = config.virtual_workers > 0 ? config.virtual_workers
@@ -246,6 +253,9 @@ SharedRunResult RunDagsOnSharedPlatform(const std::vector<DagJob>& jobs,
   sim.Run();
   assert(jobs_remaining == 0 && "shared run did not drain all jobs");
   result.cluster_remote_bytes = platform.network().remote_bytes();
+  if (config.metrics != nullptr) {
+    platform.ExportMetrics(config.metrics);
+  }
   return result;
 }
 

@@ -33,6 +33,12 @@ struct DagRunConfig {
   int virtual_workers = 0;
   std::uint64_t seed = 1;
   PlatformConfig platform;
+  // Optional observability hooks (docs/OBSERVABILITY.md). When non-null
+  // they are attached to the platform for the run; `metrics` additionally
+  // receives the platform's counter snapshot (ExportMetrics) after the
+  // run drains. Null keeps the hot path instrumentation-free.
+  TraceRecorder* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct DagRunResult {

@@ -38,10 +38,13 @@ struct InvocationSpec {
 struct InvocationResult {
   std::uint64_t id = 0;
   std::string instance;  // where it ran
-  SimTime dispatched;    // left the load balancer
+  SimTime submitted;     // entered the load balancer
+  SimTime dispatched;    // left the load balancer (incl. any cold start)
+  SimTime fetch_start;   // popped from the worker's FIFO; input fetch began
   SimTime inputs_ready;  // all inputs fetched
   SimTime compute_done;
   SimTime completed;     // outputs stored
+  SimTime cold_start;    // cold-start share of dispatch (zero when warm)
   int local_hits = 0;
   int remote_hits = 0;
   int misses = 0;

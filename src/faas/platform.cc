@@ -75,12 +75,19 @@ std::optional<std::uint64_t> FaasPlatform::Invoke(
   auto result = std::make_shared<InvocationResult>();
   result->id = id;
   result->instance = InstanceName(*instance);
+  result->submitted = sim_->Now();
 
   Worker& worker = *workers_.at(*instance);
   SimTime dispatch_done = sim_->Now() + config_.dispatch_latency;
   if (!worker.warm) {
     worker.warm = true;
+    ++worker.cold_starts;
+    ++cold_starts_;
+    if (metrics_ != nullptr) {
+      m_cold_starts_->Increment();
+    }
     dispatch_done += config_.cold_start;
+    result->cold_start = config_.cold_start;
   }
   result->dispatched = dispatch_done;
 
@@ -118,14 +125,18 @@ void FaasPlatform::StartNextOnWorker(InstanceId instance) {
   const std::shared_ptr<InvocationSpec>& spec = pending.spec;
   const std::shared_ptr<InvocationResult>& result = pending.result;
   const std::string& instance_name = InstanceName(instance);
+  result->fetch_start = sim_->Now();
 
   // Fetch inputs: the invocation blocks the worker for the duration.
   SimTime inputs_ready = sim_->Now();
   Bytes payload_bytes = 0;
   for (const ObjectRef& input : spec->inputs) {
     payload_bytes += input.size;
+    const SimTime fetch_issued = sim_->Now();
     CacheLookup lookup = cache_.Get(instance_name, input.name);
     SimTime done;
+    FetchSource source = FetchSource::kLocal;
+    Bytes fetched_bytes = lookup.size;
     switch (lookup.outcome) {
       case CacheOutcome::kLocalHit:
         ++result->local_hits;
@@ -135,6 +146,7 @@ void FaasPlatform::StartNextOnWorker(InstanceId instance) {
       case CacheOutcome::kRemoteHit:
         ++result->remote_hits;
         result->network_bytes += lookup.size;
+        source = FetchSource::kRemote;
         done = network_ptr_->Transfer(lookup.owner, instance_name,
                                       lookup.size);
         break;
@@ -144,12 +156,19 @@ void FaasPlatform::StartNextOnWorker(InstanceId instance) {
         const Bytes size = it != storage_objects_.end() ? it->second
                                                         : input.size;
         result->network_bytes += size;
+        source = FetchSource::kStorage;
+        fetched_bytes = size;
         done = network_ptr_->Transfer(kStorageNode, instance_name, size);
         if (config_.cache_miss_fills) {
           cache_.PutLocal(instance_name, input.name, size);
         }
         break;
       }
+    }
+    if (trace_ != nullptr) {
+      trace_->RecordFetch(FetchTrace{result->id, instance_name, input.name,
+                                     source, fetched_bytes, fetch_issued,
+                                     done});
     }
     if (done > inputs_ready) {
       inputs_ready = done;
@@ -191,6 +210,25 @@ void FaasPlatform::StartNextOnWorker(InstanceId instance) {
       }
     }
     result->completed = completed;
+    if (trace_ != nullptr) {
+      trace_->RecordInvocation(InvocationTrace{
+          result->id, spec->function, result->instance, spec->color,
+          result->submitted, result->dispatched, result->fetch_start,
+          result->inputs_ready, result->compute_done, result->completed,
+          result->cold_start});
+    }
+    if (metrics_ != nullptr) {
+      m_invocations_->Increment();
+      const auto ns = [](SimTime t) {
+        return static_cast<std::uint64_t>(t.nanos() > 0 ? t.nanos() : 0);
+      };
+      m_e2e_ns_->Record(ns(result->completed - result->submitted));
+      m_route_ns_->Record(ns(result->dispatched - result->submitted));
+      m_queue_ns_->Record(ns(result->fetch_start - result->dispatched));
+      m_fetch_ns_->Record(ns(result->inputs_ready - result->fetch_start));
+      m_compute_ns_->Record(ns(result->compute_done - result->inputs_ready));
+      m_store_ns_->Record(ns(result->completed - result->compute_done));
+    }
     if (completed > sim_->Now()) {
       // Keep the worker occupied through the blocking put.
       auto worker_it = workers_.find(instance);
@@ -214,6 +252,99 @@ std::unordered_map<std::string, SimTime> FaasPlatform::WorkerBusyTime() const {
     out[InstanceName(id)] = worker->cpu.busy_time();
   }
   return out;
+}
+
+void FaasPlatform::set_metrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics == nullptr) {
+    m_invocations_ = nullptr;
+    m_cold_starts_ = nullptr;
+    m_e2e_ns_ = nullptr;
+    m_route_ns_ = nullptr;
+    m_queue_ns_ = nullptr;
+    m_fetch_ns_ = nullptr;
+    m_compute_ns_ = nullptr;
+    m_store_ns_ = nullptr;
+    return;
+  }
+  m_invocations_ = &metrics->counter("faas.invocations");
+  m_cold_starts_ = &metrics->counter("faas.cold_starts");
+  m_e2e_ns_ = &metrics->histogram("faas.latency.end_to_end_ns");
+  m_route_ns_ = &metrics->histogram("faas.latency.route_ns");
+  m_queue_ns_ = &metrics->histogram("faas.latency.queue_ns");
+  m_fetch_ns_ = &metrics->histogram("faas.latency.fetch_ns");
+  m_compute_ns_ = &metrics->histogram("faas.latency.compute_ns");
+  m_store_ns_ = &metrics->histogram("faas.latency.store_ns");
+}
+
+std::size_t FaasPlatform::WorkerQueueDepth(const std::string& name) const {
+  const auto id = InstanceRegistry::Global().Find(name);
+  if (!id.has_value()) {
+    return 0;
+  }
+  const auto it = workers_.find(*id);
+  return it != workers_.end() ? it->second->queue.size() : 0;
+}
+
+std::uint64_t FaasPlatform::WorkerColdStarts(const std::string& name) const {
+  const auto id = InstanceRegistry::Global().Find(name);
+  if (!id.has_value()) {
+    return 0;
+  }
+  const auto it = workers_.find(*id);
+  return it != workers_.end() ? it->second->cold_starts : 0;
+}
+
+void FaasPlatform::ExportMetrics(MetricsRegistry* metrics) const {
+  metrics->counter("faas.invocations.completed").Set(completed_);
+  metrics->counter("faas.cold_starts.total").Set(cold_starts_);
+
+  metrics->counter("lb.routed.total").Set(lb_.total_routed());
+  metrics->counter("lb.hints_honored").Set(lb_.hints_honored());
+  metrics->counter("lb.unhinted").Set(lb_.unhinted_routed());
+  metrics->counter("lb.hint_failures").Set(lb_.hint_failures());
+  metrics->gauge("lb.routing_imbalance").Set(lb_.RoutingImbalance());
+  metrics->gauge("lb.color_table_bytes")
+      .Set(static_cast<double>(lb_.policy().StateBytes()));
+
+  metrics->counter("cache.local_hits").Set(cache_.local_hits());
+  metrics->counter("cache.remote_hits").Set(cache_.remote_hits());
+  metrics->counter("cache.misses").Set(cache_.misses());
+  metrics->counter("cache.evictions").Set(cache_.total_evictions());
+  metrics->counter("cache.local_hit_bytes").Set(cache_.local_hit_bytes());
+  metrics->counter("cache.remote_hit_bytes").Set(cache_.remote_hit_bytes());
+  metrics->counter("cache.put_bytes").Set(cache_.put_bytes());
+
+  metrics->counter("net.remote_bytes").Set(network_ptr_->remote_bytes());
+  metrics->counter("net.local_bytes").Set(network_ptr_->local_bytes());
+  metrics->counter("net.remote_transfers")
+      .Set(network_ptr_->remote_transfers());
+  metrics->counter("net.queue_delay_ns")
+      .Set(static_cast<std::uint64_t>(
+          network_ptr_->total_queue_delay().nanos()));
+
+  for (const auto& [id, worker] : workers_) {
+    const std::string& name = InstanceName(id);
+    metrics->gauge(StrFormat("worker.%s.queue_depth", name.c_str()))
+        .Set(static_cast<double>(worker->queue.size()));
+    metrics->gauge(StrFormat("worker.%s.busy_seconds", name.c_str()))
+        .Set(worker->cpu.busy_time().seconds());
+    metrics->counter(StrFormat("worker.%s.cold_starts", name.c_str()))
+        .Set(worker->cold_starts);
+    metrics->counter(StrFormat("worker.%s.routed", name.c_str()))
+        .Set(lb_.RoutedToId(id));
+    metrics->gauge(StrFormat("cache.shard.%s.used_bytes", name.c_str()))
+        .Set(static_cast<double>(cache_.shard_used_bytes(name)));
+    metrics->counter(StrFormat("cache.shard.%s.evictions", name.c_str()))
+        .Set(cache_.shard_evictions(name));
+    const Network::NodeStats net = network_ptr_->NodeStatsOf(name);
+    metrics->counter(StrFormat("net.%s.bytes_out", name.c_str()))
+        .Set(net.bytes_out);
+    metrics->counter(StrFormat("net.%s.bytes_in", name.c_str()))
+        .Set(net.bytes_in);
+    metrics->counter(StrFormat("net.%s.queue_delay_ns", name.c_str()))
+        .Set(static_cast<std::uint64_t>(net.queue_delay.nanos()));
+  }
 }
 
 }  // namespace palette

@@ -29,6 +29,8 @@
 #include "src/core/palette_load_balancer.h"
 #include "src/core/policy_factory.h"
 #include "src/faas/invocation.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
 
@@ -107,6 +109,27 @@ class FaasPlatform {
   // Busy CPU time per worker (utilization and stragglers).
   std::unordered_map<std::string, SimTime> WorkerBusyTime() const;
 
+  // Observability (docs/OBSERVABILITY.md). Both hooks default to off and
+  // the attached object must outlive the platform; when off, every
+  // instrumentation point is a single pointer test (no allocation, no
+  // formatting) so production/bench hot paths are unaffected.
+  void set_trace_recorder(TraceRecorder* recorder) { trace_ = recorder; }
+  void set_metrics(MetricsRegistry* metrics);
+  TraceRecorder* trace_recorder() const { return trace_; }
+
+  // Requests waiting in a worker's FIFO (excludes the one running). Zero
+  // for unknown workers; returns to zero once the platform drains.
+  std::size_t WorkerQueueDepth(const std::string& name) const;
+  // Cold starts a worker has paid (0 or 1 under the current model: a
+  // worker warms on first dispatch and never cools).
+  std::uint64_t WorkerColdStarts(const std::string& name) const;
+  std::uint64_t total_cold_starts() const { return cold_starts_; }
+
+  // Snapshots platform + LB + cache + network counters into `metrics`
+  // (counter/gauge names in docs/OBSERVABILITY.md). Call after a run; the
+  // live per-invocation histograms come from set_metrics instead.
+  void ExportMetrics(MetricsRegistry* metrics) const;
+
  private:
   struct PendingInvocation {
     std::shared_ptr<InvocationSpec> spec;
@@ -126,6 +149,7 @@ class FaasPlatform {
     std::deque<PendingInvocation> queue;
     bool busy = false;
     bool warm = false;
+    std::uint64_t cold_starts = 0;
   };
 
   // Pops and executes the next queued invocation on `instance`, if any.
@@ -145,7 +169,21 @@ class FaasPlatform {
   std::string worker_prefix_ = "w";
   std::uint64_t next_id_ = 1;
   std::uint64_t completed_ = 0;
+  std::uint64_t cold_starts_ = 0;
   int next_worker_index_ = 0;
+
+  // Observability hooks; null = off. Per-invocation metrics are resolved
+  // once in set_metrics so the hot path bumps plain integers.
+  TraceRecorder* trace_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  Counter* m_invocations_ = nullptr;
+  Counter* m_cold_starts_ = nullptr;
+  LatencyHistogram* m_e2e_ns_ = nullptr;
+  LatencyHistogram* m_route_ns_ = nullptr;
+  LatencyHistogram* m_queue_ns_ = nullptr;
+  LatencyHistogram* m_fetch_ns_ = nullptr;
+  LatencyHistogram* m_compute_ns_ = nullptr;
+  LatencyHistogram* m_store_ns_ = nullptr;
 };
 
 }  // namespace palette

@@ -1,0 +1,217 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "src/common/json_writer.h"
+#include "src/common/table_printer.h"
+
+namespace palette {
+
+void LatencyHistogram::Record(std::uint64_t value) {
+  if (count_ == 0 || value < min_) {
+    min_ = value;
+  }
+  if (value > max_) {
+    max_ = value;
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketIndex(value)];
+  if (retain_samples_) {
+    samples_.push_back(value);
+  }
+}
+
+std::size_t LatencyHistogram::BucketIndex(std::uint64_t value) {
+  // Octave = position of the highest set bit; sub-bucket = the next
+  // kSubBucketBits bits below it. Values below kSubBuckets land in the
+  // low linear range where octave == sub-bucket resolution.
+  if (value < kSubBuckets) {
+    return static_cast<std::size_t>(value);
+  }
+  const std::uint32_t octave =
+      63u - static_cast<std::uint32_t>(std::countl_zero(value));
+  const std::uint64_t sub = (value >> (octave - kSubBucketBits)) - kSubBuckets;
+  return static_cast<std::size_t>(octave) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::BucketLowerBound(std::size_t index) {
+  if (index < kSubBuckets) {
+    return index;
+  }
+  const std::uint64_t octave = index / kSubBuckets;
+  const std::uint64_t sub = index % kSubBuckets;
+  return (std::uint64_t{1} << octave) +
+         (sub << (octave - kSubBucketBits));
+}
+
+std::uint64_t LatencyHistogram::BucketUpperBound(std::size_t index) {
+  if (index < kSubBuckets) {
+    return index;
+  }
+  const std::uint64_t octave = index / kSubBuckets;
+  return BucketLowerBound(index) + (std::uint64_t{1} << (octave -
+                                                         kSubBucketBits)) - 1;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  if (retain_samples_) {
+    std::vector<std::uint64_t> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return static_cast<double>(sorted[lo]) +
+           frac * static_cast<double>(sorted[hi] - sorted[lo]);
+  }
+  // Walk buckets to the one containing the target rank, then interpolate
+  // linearly within its value range.
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    if (static_cast<double>(seen + buckets_[i]) >= target) {
+      const double into =
+          std::max(0.0, target - static_cast<double>(seen));
+      const double frac =
+          buckets_[i] > 0 ? into / static_cast<double>(buckets_[i]) : 0.0;
+      const double lo = static_cast<double>(BucketLowerBound(i));
+      const double hi = static_cast<double>(BucketUpperBound(i)) + 1.0;
+      const double estimate = lo + frac * (hi - lo);
+      return std::clamp(estimate, static_cast<double>(min_),
+                        static_cast<double>(max_));
+    }
+    seen += buckets_[i];
+  }
+  return static_cast<double>(max_);
+}
+
+template <typename T>
+T& MetricsRegistry::GetOrCreate(std::string_view name, std::deque<T>* store,
+                                std::unordered_map<std::string, T*>* index) {
+  const auto it = index->find(std::string(name));
+  if (it != index->end()) {
+    return *it->second;
+  }
+  store->emplace_back();
+  T* metric = &store->back();
+  index->emplace(std::string(name), metric);
+  return *metric;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return GetOrCreate(name, &counter_store_, &counters_);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return GetOrCreate(name, &gauge_store_, &gauges_);
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
+  return GetOrCreate(name, &histogram_store_, &histograms_);
+}
+
+bool MetricsRegistry::HasMetric(std::string_view name) const {
+  const std::string key(name);
+  return counters_.count(key) > 0 || gauges_.count(key) > 0 ||
+         histograms_.count(key) > 0;
+}
+
+namespace {
+
+template <typename Map>
+std::vector<std::pair<std::string, typename Map::mapped_type>> Sorted(
+    const Map& map) {
+  std::vector<std::pair<std::string, typename Map::mapped_type>> out(
+      map.begin(), map.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToTable() const {
+  // One row per metric, sorted by name across all kinds.
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [name, c] : counters_) {
+    rows.push_back({name, "counter",
+                    StrFormat("%llu",
+                              static_cast<unsigned long long>(c->value())),
+                    "", "", ""});
+  }
+  for (const auto& [name, g] : gauges_) {
+    rows.push_back({name, "gauge", StrFormat("%.6g", g->value()), "", "",
+                    ""});
+  }
+  for (const auto& [name, h] : histograms_) {
+    rows.push_back({name, "histogram",
+                    StrFormat("n=%llu mean=%.4g",
+                              static_cast<unsigned long long>(h->count()),
+                              h->mean()),
+                    StrFormat("%.4g", h->Quantile(0.50)),
+                    StrFormat("%.4g", h->Quantile(0.95)),
+                    StrFormat("%.4g", h->Quantile(0.99))});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a[0] < b[0]; });
+  TablePrinter table;
+  table.AddRow({"metric", "type", "value", "p50", "p95", "p99"});
+  for (auto& row : rows) {
+    table.AddRow(std::move(row));
+  }
+  return table.ToString();
+}
+
+void MetricsRegistry::AppendJson(JsonWriter* json) const {
+  json->Key("counters");
+  json->BeginObject();
+  for (const auto& [name, c] : Sorted(counters_)) {
+    json->Key(name);
+    json->UInt(c->value());
+  }
+  json->EndObject();
+  json->Key("gauges");
+  json->BeginObject();
+  for (const auto& [name, g] : Sorted(gauges_)) {
+    json->Key(name);
+    json->Double(g->value());
+  }
+  json->EndObject();
+  json->Key("histograms");
+  json->BeginObject();
+  for (const auto& [name, h] : Sorted(histograms_)) {
+    json->Key(name);
+    json->BeginObject();
+    json->Key("count");
+    json->UInt(h->count());
+    json->Key("sum");
+    json->UInt(h->sum());
+    json->Key("min");
+    json->UInt(h->min());
+    json->Key("max");
+    json->UInt(h->max());
+    json->Key("mean");
+    json->Double(h->mean());
+    json->Key("p50");
+    json->Double(h->Quantile(0.50));
+    json->Key("p95");
+    json->Double(h->Quantile(0.95));
+    json->Key("p99");
+    json->Double(h->Quantile(0.99));
+    json->EndObject();
+  }
+  json->EndObject();
+}
+
+}  // namespace palette

@@ -1,0 +1,142 @@
+// Metrics registry for the Palette reproduction (§7-style evaluation).
+//
+// The benches and the platform need cheap always-on counters plus latency
+// distributions that do not retain per-sample state: a sweep executes
+// millions of invocations, and keeping every latency sample alive would
+// dwarf the simulation state itself. LatencyHistogram therefore buckets
+// values log-linearly (powers of two split into 16 linear sub-buckets,
+// HdrHistogram-style), which answers p50/p95/p99 with bounded (< ~6%)
+// relative error from a fixed 1.5 KB footprint. An opt-in exact mode
+// retains raw samples for tests that want to pin the estimator against
+// true percentiles.
+//
+// Metrics are owned by the registry and handed out as stable references
+// (deque storage), so hot paths resolve a metric once at setup and bump a
+// plain integer per event — no name hashing per increment.
+#ifndef PALETTE_SRC_OBS_METRICS_H_
+#define PALETTE_SRC_OBS_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace palette {
+
+class JsonWriter;
+
+// Monotonic event count ("faas.cold_starts", "cache.local_hits", ...).
+class Counter {
+ public:
+  void Increment() { ++value_; }
+  void Add(std::uint64_t n) { value_ += n; }
+  void Set(std::uint64_t n) { value_ = n; }  // snapshot-style export
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Last-written point-in-time value ("lb.color_table_bytes", queue depth).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double v) { value_ += v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+// Log-bucketed latency/size histogram: p50/p95/p99 without retaining
+// samples. Values are non-negative integers (nanoseconds or bytes).
+class LatencyHistogram {
+ public:
+  // 16 linear sub-buckets per power-of-two octave covers [0, 2^63) with
+  // bounded 1/16 (~6%) relative quantile error.
+  static constexpr std::uint32_t kSubBucketBits = 4;
+  static constexpr std::uint32_t kSubBuckets = 1u << kSubBucketBits;
+
+  LatencyHistogram() : buckets_(BucketCount(), 0) {}
+
+  void Record(std::uint64_t value);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ > 0 ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_)
+                      : 0.0;
+  }
+
+  // Quantile estimate for q in [0, 1]: linear interpolation inside the
+  // containing bucket, clamped to the observed [min, max].
+  double Quantile(double q) const;
+
+  // Exact mode: retain raw samples so Quantile() answers from a sorted
+  // copy instead of the buckets. For tests and small-N offline analysis.
+  void set_retain_samples(bool retain) { retain_samples_ = retain; }
+  bool retains_samples() const { return retain_samples_; }
+  const std::vector<std::uint64_t>& samples() const { return samples_; }
+
+ private:
+  static constexpr std::size_t BucketCount() {
+    // Octaves 0..63, kSubBuckets each; low octaves alias but stay distinct
+    // slots for simplicity of the index math.
+    return 64 * kSubBuckets;
+  }
+  static std::size_t BucketIndex(std::uint64_t value);
+  // Inclusive lower bound of bucket `index`'s value range.
+  static std::uint64_t BucketLowerBound(std::size_t index);
+  static std::uint64_t BucketUpperBound(std::size_t index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  bool retain_samples_ = false;
+  std::vector<std::uint64_t> samples_;
+};
+
+// Named metrics for one run. Not thread-safe: each simulation cell owns its
+// registry, mirroring the sweep runner's share-nothing design.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  LatencyHistogram& histogram(std::string_view name);
+
+  bool HasMetric(std::string_view name) const;
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // Renders every metric, name-sorted, as a two/five-column table.
+  std::string ToTable() const;
+
+  // Appends {"counters": {...}, "gauges": {...}, "histograms": {...}} to an
+  // open JSON object. Histograms export count/sum/min/max/p50/p95/p99.
+  void AppendJson(JsonWriter* json) const;
+
+ private:
+  template <typename T>
+  T& GetOrCreate(std::string_view name, std::deque<T>* store,
+                 std::unordered_map<std::string, T*>* index);
+
+  // Deques keep references stable across inserts.
+  std::deque<Counter> counter_store_;
+  std::deque<Gauge> gauge_store_;
+  std::deque<LatencyHistogram> histogram_store_;
+  std::unordered_map<std::string, Counter*> counters_;
+  std::unordered_map<std::string, Gauge*> gauges_;
+  std::unordered_map<std::string, LatencyHistogram*> histograms_;
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_OBS_METRICS_H_

@@ -1,0 +1,239 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/json_writer.h"
+#include "src/common/table_printer.h"
+
+namespace palette {
+
+std::string_view FetchSourceName(FetchSource source) {
+  switch (source) {
+    case FetchSource::kLocal:
+      return "local";
+    case FetchSource::kRemote:
+      return "remote";
+    case FetchSource::kStorage:
+      return "storage";
+  }
+  return "unknown";
+}
+
+void TraceRecorder::RecordInvocation(InvocationTrace trace) {
+  invocations_.push_back(std::move(trace));
+}
+
+void TraceRecorder::RecordFetch(FetchTrace fetch) {
+  fetches_.push_back(std::move(fetch));
+}
+
+void TraceRecorder::Clear() {
+  invocations_.clear();
+  fetches_.clear();
+}
+
+TraceRecorder::PhaseTotals TraceRecorder::Totals() const {
+  PhaseTotals totals;
+  for (const InvocationTrace& t : invocations_) {
+    totals.route += t.dispatched - t.submitted;
+    totals.queue += t.fetch_start - t.dispatched;
+    totals.fetch += t.inputs_ready - t.fetch_start;
+    totals.compute += t.compute_done - t.inputs_ready;
+    totals.store += t.completed - t.compute_done;
+    totals.cold_start += t.cold_start;
+    totals.end_to_end += t.completed - t.submitted;
+    ++totals.invocations;
+  }
+  return totals;
+}
+
+std::string TraceRecorder::PhaseBreakdownTable() const {
+  const PhaseTotals totals = Totals();
+  const double e2e = totals.end_to_end.seconds();
+  const double n =
+      totals.invocations > 0 ? static_cast<double>(totals.invocations) : 1.0;
+  TablePrinter table;
+  table.AddRow({"phase", "total", "mean/invocation", "% of end-to-end"});
+  const auto add = [&](const char* name, SimTime total) {
+    table.AddRow({name, total.ToString(),
+                  SimTime::FromSeconds(total.seconds() / n).ToString(),
+                  e2e > 0 ? StrFormat("%.1f%%", 100.0 * total.seconds() / e2e)
+                          : "-"});
+  };
+  add("route", totals.route);
+  add("  cold_start", totals.cold_start);
+  add("queue", totals.queue);
+  add("fetch", totals.fetch);
+  add("compute", totals.compute);
+  add("store", totals.store);
+  add("end_to_end", totals.end_to_end);
+  return table.ToString();
+}
+
+namespace {
+
+// Complete ("X") trace event. ts/dur are microseconds of simulated time.
+void AppendSpan(JsonWriter* json, std::string_view name,
+                std::string_view category, int tid, SimTime start, SimTime end,
+                std::uint64_t invocation_id) {
+  json->BeginObject();
+  json->Key("name");
+  json->String(name);
+  json->Key("cat");
+  json->String(category);
+  json->Key("ph");
+  json->String("X");
+  json->Key("ts");
+  json->Double(start.micros());
+  json->Key("dur");
+  json->Double((end - start).micros());
+  json->Key("pid");
+  json->Int(1);
+  json->Key("tid");
+  json->Int(tid);
+  json->Key("args");
+  json->BeginObject();
+  json->Key("invocation");
+  json->UInt(invocation_id);
+  json->EndObject();
+  json->EndObject();
+}
+
+}  // namespace
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  // Stable instance -> tid mapping in first-seen order.
+  std::unordered_map<std::string, int> tids;
+  std::vector<std::string> tid_names;
+  const auto tid_of = [&](const std::string& instance) {
+    const auto [it, inserted] =
+        tids.emplace(instance, static_cast<int>(tid_names.size()));
+    if (inserted) {
+      tid_names.push_back(instance);
+    }
+    return it->second;
+  };
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("displayTimeUnit");
+  json.String("ms");
+  json.Key("traceEvents");
+  json.BeginArray();
+  for (const InvocationTrace& t : invocations_) {
+    const int tid = tid_of(t.instance);
+    // Top-level invocation span with the full lifecycle in args, then the
+    // five phase spans that partition it.
+    json.BeginObject();
+    json.Key("name");
+    json.String(t.function);
+    json.Key("cat");
+    json.String("invocation");
+    json.Key("ph");
+    json.String("X");
+    json.Key("ts");
+    json.Double(t.submitted.micros());
+    json.Key("dur");
+    json.Double((t.completed - t.submitted).micros());
+    json.Key("pid");
+    json.Int(1);
+    json.Key("tid");
+    json.Int(tid);
+    json.Key("args");
+    json.BeginObject();
+    json.Key("invocation");
+    json.UInt(t.id);
+    if (t.color.has_value()) {
+      json.Key("color");
+      json.String(*t.color);
+    }
+    json.Key("cold_start_us");
+    json.Double(t.cold_start.micros());
+    json.EndObject();
+    json.EndObject();
+
+    AppendSpan(&json, "route", "phase", tid, t.submitted, t.dispatched, t.id);
+    if (t.cold_start > SimTime()) {
+      AppendSpan(&json, "cold_start", "phase", tid,
+                 t.dispatched - t.cold_start, t.dispatched, t.id);
+    }
+    AppendSpan(&json, "queue", "phase", tid, t.dispatched, t.fetch_start,
+               t.id);
+    AppendSpan(&json, "fetch", "phase", tid, t.fetch_start, t.inputs_ready,
+               t.id);
+    AppendSpan(&json, "compute", "phase", tid, t.inputs_ready, t.compute_done,
+               t.id);
+    AppendSpan(&json, "store", "phase", tid, t.compute_done, t.completed,
+               t.id);
+  }
+  for (const FetchTrace& f : fetches_) {
+    const int tid = tid_of(f.instance);
+    json.BeginObject();
+    json.Key("name");
+    json.String(f.object);
+    json.Key("cat");
+    json.String("fetch");
+    json.Key("ph");
+    json.String("X");
+    json.Key("ts");
+    json.Double(f.start.micros());
+    json.Key("dur");
+    json.Double((f.end - f.start).micros());
+    json.Key("pid");
+    json.Int(1);
+    json.Key("tid");
+    json.Int(tid);
+    json.Key("args");
+    json.BeginObject();
+    json.Key("invocation");
+    json.UInt(f.invocation_id);
+    json.Key("source");
+    json.String(FetchSourceName(f.source));
+    json.Key("bytes");
+    json.UInt(f.bytes);
+    json.EndObject();
+    json.EndObject();
+  }
+  // Metadata: process and per-instance thread names, so Perfetto shows
+  // worker names instead of bare tids.
+  json.BeginObject();
+  json.Key("name");
+  json.String("process_name");
+  json.Key("ph");
+  json.String("M");
+  json.Key("pid");
+  json.Int(1);
+  json.Key("args");
+  json.BeginObject();
+  json.Key("name");
+  json.String("palette");
+  json.EndObject();
+  json.EndObject();
+  for (std::size_t i = 0; i < tid_names.size(); ++i) {
+    json.BeginObject();
+    json.Key("name");
+    json.String("thread_name");
+    json.Key("ph");
+    json.String("M");
+    json.Key("pid");
+    json.Int(1);
+    json.Key("tid");
+    json.Int(static_cast<std::int64_t>(i));
+    json.Key("args");
+    json.BeginObject();
+    json.Key("name");
+    json.String(tid_names[i]);
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  return WriteTextFile(path, ToChromeTraceJson());
+}
+
+}  // namespace palette

@@ -43,22 +43,33 @@ SimTime Network::Transfer(const std::string& src, const std::string& dst,
   // serialization time on each.
   Nic& src_nic = *src_it->second;
   Nic& dst_nic = *dst_it->second;
-  SimTime start = sim_->Now();
-  if (ready > start) {
-    start = ready;
+  SimTime base = sim_->Now();
+  if (ready > base) {
+    base = ready;
   }
+  SimTime start = base;
   if (src_nic.egress.available_at() > start) {
     start = src_nic.egress.available_at();
   }
   if (dst_nic.ingress.available_at() > start) {
     start = dst_nic.ingress.available_at();
   }
+  const SimTime wait = start - base;
+  total_queue_delay_ = total_queue_delay_ + wait;
+  src_nic.stats.bytes_out += size;
+  dst_nic.stats.bytes_in += size;
+  dst_nic.stats.queue_delay = dst_nic.stats.queue_delay + wait;
   const SimTime egress_done = src_nic.egress.Acquire(duration, start);
   const SimTime ingress_done = dst_nic.ingress.Acquire(duration, start);
   const SimTime done =
       (egress_done > ingress_done ? egress_done : ingress_done) +
       config_.latency;
   return done;
+}
+
+Network::NodeStats Network::NodeStatsOf(const std::string& node) const {
+  auto it = nics_.find(node);
+  return it == nics_.end() ? NodeStats{} : it->second->stats;
 }
 
 }  // namespace palette

@@ -49,6 +49,19 @@ class Network {
   Bytes remote_bytes() const { return remote_bytes_; }
   Bytes local_bytes() const { return local_bytes_; }
   std::uint64_t remote_transfers() const { return remote_transfers_; }
+  // Total time remote transfers spent waiting for a busy NIC (the gap
+  // between a transfer becoming ready and its serialization starting).
+  SimTime total_queue_delay() const { return total_queue_delay_; }
+
+  // Per-node NIC statistics. Local copies bypass the NIC and are not
+  // counted here; queue_delay is recorded at the receiving node (the
+  // reader is the party that waits).
+  struct NodeStats {
+    Bytes bytes_out = 0;
+    Bytes bytes_in = 0;
+    SimTime queue_delay;
+  };
+  NodeStats NodeStatsOf(const std::string& node) const;
 
   const NetworkConfig& config() const { return config_; }
 
@@ -57,6 +70,7 @@ class Network {
     explicit Nic(Simulator* sim) : egress(sim), ingress(sim) {}
     FifoResource egress;
     FifoResource ingress;
+    NodeStats stats;
   };
 
   Simulator* sim_;
@@ -65,6 +79,7 @@ class Network {
   Bytes remote_bytes_ = 0;
   Bytes local_bytes_ = 0;
   std::uint64_t remote_transfers_ = 0;
+  SimTime total_queue_delay_;
 };
 
 }  // namespace palette

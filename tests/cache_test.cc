@@ -322,5 +322,107 @@ TEST(FaastCacheTest, CapacityEvictionLosesObject) {
   EXPECT_EQ(cache.Get("w0", "w0___b").outcome, CacheOutcome::kLocalHit);
 }
 
+TEST(FaastCacheTest, ByteCountersTrackHitsAndPuts) {
+  FaastCache cache;
+  cache.AddInstance("w0");
+  cache.AddInstance("w1");
+
+  // "___"-prefixed names home on the instance named by the prefix.
+  cache.Put("w0", "w0___obj", 100);
+  EXPECT_EQ(cache.put_bytes(), 100u);
+
+  // Local hit from the producer.
+  EXPECT_EQ(cache.Get("w0", "w0___obj").outcome, CacheOutcome::kLocalHit);
+  EXPECT_EQ(cache.local_hit_bytes(), 100u);
+  EXPECT_EQ(cache.remote_hit_bytes(), 0u);
+
+  // Remote hit from the peer. Replication is off by default, so no extra
+  // put bytes and no replicated bytes.
+  EXPECT_EQ(cache.Get("w1", "w0___obj").outcome, CacheOutcome::kRemoteHit);
+  EXPECT_EQ(cache.remote_hit_bytes(), 100u);
+  EXPECT_EQ(cache.put_bytes(), 100u);
+  EXPECT_EQ(cache.replicated_bytes(), 0u);
+
+  // A miss moves no cache bytes.
+  EXPECT_EQ(cache.Get("w1", "w1___absent").outcome, CacheOutcome::kMiss);
+  EXPECT_EQ(cache.local_hit_bytes(), 100u);
+  EXPECT_EQ(cache.remote_hit_bytes(), 100u);
+  EXPECT_EQ(cache.local_hits(), 1u);
+  EXPECT_EQ(cache.remote_hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(FaastCacheTest, ReplicationCountsPutAndReplicatedBytes) {
+  FaastCacheConfig config;
+  config.replicate_on_remote_hit = true;
+  FaastCache cache(config);
+  cache.AddInstance("w0");
+  cache.AddInstance("w1");
+
+  cache.Put("w0", "w0___obj", 100);
+  EXPECT_EQ(cache.Get("w1", "w0___obj").outcome, CacheOutcome::kRemoteHit);
+  // The remote hit copied the object into w1's shard: counted both as put
+  // bytes and as replicated bytes (replicated is a subset of put).
+  EXPECT_EQ(cache.put_bytes(), 200u);
+  EXPECT_EQ(cache.replicated_bytes(), 100u);
+  // The copy serves the next read locally.
+  EXPECT_EQ(cache.Get("w1", "w0___obj").outcome, CacheOutcome::kLocalHit);
+  EXPECT_EQ(cache.local_hit_bytes(), 100u);
+
+  // PutLocal (miss fill) counts put bytes but not replicated bytes.
+  cache.PutLocal("w1", "fill", 40);
+  EXPECT_EQ(cache.put_bytes(), 240u);
+  EXPECT_EQ(cache.replicated_bytes(), 100u);
+}
+
+TEST(FaastCacheTest, EvictionCountersPerShardAndTotal) {
+  FaastCacheConfig config;
+  config.per_instance_capacity = 100;
+  FaastCache cache(config);
+  cache.AddInstance("w0");
+  cache.AddInstance("w1");
+
+  cache.Put("w0", "w0___a", 60);
+  cache.Put("w0", "w0___b", 60);  // evicts a from w0's shard
+  cache.Put("w1", "w1___c", 50);
+  EXPECT_EQ(cache.shard_evictions("w0"), 1u);
+  EXPECT_EQ(cache.shard_evictions("w1"), 0u);
+  EXPECT_EQ(cache.total_evictions(), 1u);
+
+  cache.Put("w1", "w1___d", 60);  // evicts c from w1's shard
+  EXPECT_EQ(cache.shard_evictions("w1"), 1u);
+  EXPECT_EQ(cache.total_evictions(), 2u);
+  EXPECT_EQ(cache.shard_evictions("no-such-instance"), 0u);
+
+  // Dropping an instance loses its shard's eviction count with the shard
+  // (reclaimed-worker semantics).
+  cache.RemoveInstance("w0");
+  EXPECT_EQ(cache.total_evictions(), 1u);
+}
+
+TEST(FaastCacheTest, HashKeyNamesShareHomeUnprefixedNamesDoNot) {
+  FaastCache cache;
+  cache.AddInstance("w0");
+  cache.AddInstance("w1");
+
+  // Same "___" prefix -> same hashing key -> same home instance.
+  const auto home_x = cache.HomeInstance("w0___x");
+  const auto home_y = cache.HomeInstance("w0___y");
+  ASSERT_TRUE(home_x.has_value());
+  ASSERT_TRUE(home_y.has_value());
+  EXPECT_EQ(*home_x, *home_y);
+  EXPECT_EQ(*home_x, "w0");  // ring maps a member name to itself
+
+  // Without the token the whole name hashes; byte counters still track a
+  // remote hit when the home is not the reader.
+  cache.Put("w0", "plain-object", 30);
+  const auto home = cache.HomeInstance("plain-object");
+  ASSERT_TRUE(home.has_value());
+  const std::string reader = (*home == "w0") ? "w1" : "w0";
+  const auto lookup = cache.Get(reader, "plain-object");
+  EXPECT_EQ(lookup.outcome, CacheOutcome::kRemoteHit);
+  EXPECT_EQ(cache.remote_hit_bytes(), 30u);
+}
+
 }  // namespace
 }  // namespace palette

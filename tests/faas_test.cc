@@ -219,6 +219,61 @@ TEST(FaasPlatformTest, SingleVcpuSerializesConcurrentInvocations) {
   EXPECT_NEAR((completions[2] - completions[1]).seconds(), 1.0, 1e-3);
 }
 
+TEST(FaasPlatformTest, QueueDepthVisibleUnderBacklogAndZeroAfterDrain) {
+  Simulator sim;
+  FaasPlatform platform(&sim, PolicyKind::kLeastAssigned, 1, FastConfig());
+  platform.AddWorker("w0");
+
+  int completed = 0;
+  for (int i = 0; i < 4; ++i) {
+    InvocationSpec spec;
+    spec.function = "f";
+    spec.color = "c";  // same color -> all four land on w0
+    spec.cpu_ops = 1e7;  // 10 ms each on the single-vCPU worker
+    platform.Invoke(std::move(spec),
+                    [&](const InvocationResult&) { ++completed; });
+  }
+  // All four dispatch at 1 ms (the first also pays the 100 ms cold start
+  // before reaching the worker). Shortly after dispatch, one invocation is
+  // running and at least two more are parked in the FIFO.
+  std::size_t mid_run_depth = 0;
+  sim.At(SimTime::FromMillis(2), [&]() {
+    mid_run_depth = platform.WorkerQueueDepth("w0");
+  });
+  sim.Run();
+  EXPECT_GE(mid_run_depth, 2u);
+  EXPECT_EQ(completed, 4);
+  EXPECT_EQ(platform.WorkerQueueDepth("w0"), 0u);
+  EXPECT_EQ(platform.WorkerQueueDepth("no-such-worker"), 0u);
+}
+
+TEST(FaasPlatformTest, ExactlyOneColdStartPerWarmWorker) {
+  Simulator sim;
+  FaasPlatform platform(&sim, PolicyKind::kLeastAssigned, 1, FastConfig());
+  platform.AddWorkers(3);
+
+  // Two rounds over three colors: least-assigned spreads the colors across
+  // all three workers, so every worker runs at least two invocations.
+  int completed = 0;
+  for (int round = 0; round < 2; ++round) {
+    for (const char* color : {"a", "b", "c"}) {
+      InvocationSpec spec;
+      spec.function = "f";
+      spec.color = color;
+      spec.cpu_ops = 1e6;
+      platform.Invoke(std::move(spec),
+                      [&](const InvocationResult&) { ++completed; });
+    }
+  }
+  sim.Run();
+  EXPECT_EQ(completed, 6);
+  for (const std::string& name : platform.WorkerNames()) {
+    EXPECT_EQ(platform.WorkerColdStarts(name), 1u) << name;
+  }
+  EXPECT_EQ(platform.total_cold_starts(), 3u);
+  EXPECT_EQ(platform.WorkerColdStarts("no-such-worker"), 0u);
+}
+
 TEST(ScaleControllerTest, ScalesOutUnderLoad) {
   Simulator sim;
   FaasPlatform platform(&sim, PolicyKind::kLeastAssigned, 1, FastConfig());

@@ -1,0 +1,395 @@
+// Tests for src/obs: metrics registry, log-bucketed histogram accuracy,
+// lifecycle trace recording, Chrome trace-event export, and the platform
+// integration (spans partition end-to-end latency exactly).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/json_writer.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/table_printer.h"
+#include "src/faas/platform.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sim/simulator.h"
+
+namespace palette {
+namespace {
+
+TEST(CounterTest, IncrementAddSet) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Set(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(GaugeTest, SetAdd) {
+  Gauge g;
+  g.Set(2.5);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(LatencyHistogramTest, SummariesAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v : {10u, 20u, 30u, 40u}) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 100u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 40u);
+  EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  // Values below one sub-bucket range (16) land in singleton buckets, so
+  // quantiles are exact there.
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    h.Record(v);
+  }
+  EXPECT_LE(h.Quantile(0.0), 1.0);
+  EXPECT_NEAR(h.Quantile(1.0), 15.0, 1.0);
+}
+
+TEST(LatencyHistogramTest, QuantilesWithinRelativeErrorBound) {
+  // Against the exact percentile over the same (heavy-tailed) samples, the
+  // log-linear estimate must stay within the 1/16 sub-bucket resolution
+  // (plus interpolation slack).
+  Rng rng(42);
+  LatencyHistogram h;
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    // Exponent spread over ~6 decades, like ns-scale latencies.
+    const double v = std::pow(10.0, 3.0 + 6.0 * rng.NextDouble());
+    const auto value = static_cast<std::uint64_t>(v);
+    h.Record(value);
+    samples.push_back(static_cast<double>(value));
+  }
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    const double exact = Percentile(samples, 100 * q);
+    const double estimate = h.Quantile(q);
+    EXPECT_NEAR(estimate, exact, 0.08 * exact) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, QuantileClampedToObservedRange) {
+  LatencyHistogram h;
+  h.Record(1000);
+  h.Record(1001);
+  EXPECT_GE(h.Quantile(0.0), 1000.0);
+  EXPECT_LE(h.Quantile(1.0), 1001.0);
+}
+
+TEST(LatencyHistogramTest, ExactModeMatchesTruePercentiles) {
+  LatencyHistogram h;
+  h.set_retain_samples(true);
+  for (std::uint64_t v = 1; v <= 100; ++v) {
+    h.Record(v);
+  }
+  ASSERT_EQ(h.samples().size(), 100u);
+  // With retained samples the quantile is rank-interpolated, not bucketed.
+  EXPECT_NEAR(h.Quantile(0.50), 50.5, 0.51);
+  EXPECT_NEAR(h.Quantile(0.99), 99.01, 0.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 100.0);
+}
+
+TEST(MetricsRegistryTest, HandsOutStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("a");
+  a.Increment();
+  // Force rehash/new allocations; the earlier reference must stay valid.
+  for (int i = 0; i < 1000; ++i) {
+    registry.counter(StrFormat("c%d", i));
+  }
+  a.Increment();
+  EXPECT_EQ(registry.counter("a").value(), 2u);
+  EXPECT_TRUE(registry.HasMetric("a"));
+  EXPECT_FALSE(registry.HasMetric("nope"));
+  EXPECT_EQ(registry.size(), 1001u);
+}
+
+TEST(MetricsRegistryTest, TableListsAllKindsNameSorted) {
+  MetricsRegistry registry;
+  registry.counter("z.count").Set(3);
+  registry.gauge("a.gauge").Set(1.5);
+  registry.histogram("m.hist").Record(100);
+  const std::string table = registry.ToTable();
+  const auto a = table.find("a.gauge");
+  const auto m = table.find("m.hist");
+  const auto z = table.find("z.count");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(m, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, m);
+  EXPECT_LT(m, z);
+}
+
+TEST(MetricsRegistryTest, JsonExportIsWellFormed) {
+  MetricsRegistry registry;
+  registry.counter("faas.invocations").Set(12);
+  registry.gauge("lb.imbalance").Set(1.25);
+  auto& h = registry.histogram("lat_ns");
+  h.Record(10);
+  h.Record(30);
+
+  JsonWriter json;
+  json.BeginObject();
+  registry.AppendJson(&json);
+  json.EndObject();
+  const std::string& out = json.str();
+  EXPECT_NE(out.find("\"counters\""), std::string::npos);
+  EXPECT_NE(out.find("\"faas.invocations\":12"), std::string::npos);
+  EXPECT_NE(out.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(out.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(out.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(out.find("\"p99\""), std::string::npos);
+}
+
+InvocationTrace MakeTrace(std::uint64_t id, std::int64_t base_us) {
+  InvocationTrace t;
+  t.id = id;
+  t.function = "f";
+  t.instance = "w0";
+  t.submitted = SimTime::FromMicros(base_us);
+  t.dispatched = SimTime::FromMicros(base_us + 100);
+  t.fetch_start = SimTime::FromMicros(base_us + 150);
+  t.inputs_ready = SimTime::FromMicros(base_us + 500);
+  t.compute_done = SimTime::FromMicros(base_us + 2500);
+  t.completed = SimTime::FromMicros(base_us + 2600);
+  return t;
+}
+
+TEST(TraceRecorderTest, PhaseTotalsPartitionEndToEnd) {
+  TraceRecorder recorder;
+  recorder.RecordInvocation(MakeTrace(1, 0));
+  recorder.RecordInvocation(MakeTrace(2, 5000));
+  const auto totals = recorder.Totals();
+  EXPECT_EQ(totals.invocations, 2u);
+  EXPECT_EQ(totals.PhaseSum().nanos(), totals.end_to_end.nanos());
+  EXPECT_EQ(totals.end_to_end.micros(), 2 * 2600);
+  EXPECT_EQ(totals.route.micros(), 2 * 100);
+  EXPECT_EQ(totals.queue.micros(), 2 * 50);
+  EXPECT_EQ(totals.fetch.micros(), 2 * 350);
+  EXPECT_EQ(totals.compute.micros(), 2 * 2000);
+  EXPECT_EQ(totals.store.micros(), 2 * 100);
+}
+
+TEST(TraceRecorderTest, BreakdownTableNamesEveryPhase) {
+  TraceRecorder recorder;
+  recorder.RecordInvocation(MakeTrace(1, 0));
+  const std::string table = recorder.PhaseBreakdownTable();
+  for (const char* phase :
+       {"route", "queue", "fetch", "compute", "store", "end_to_end"}) {
+    EXPECT_NE(table.find(phase), std::string::npos) << phase;
+  }
+}
+
+TEST(TraceRecorderTest, ChromeTraceJsonHasSpansAndMetadata) {
+  TraceRecorder recorder;
+  InvocationTrace t = MakeTrace(7, 0);
+  t.color = "c1";
+  t.cold_start = SimTime::FromMicros(80);
+  recorder.RecordInvocation(t);
+  recorder.RecordFetch(FetchTrace{7, "w0", "c1___obj", FetchSource::kRemote,
+                                  4096, SimTime::FromMicros(150),
+                                  SimTime::FromMicros(500)});
+  const std::string json = recorder.ToChromeTraceJson();
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ms\""), 0u);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  for (const char* name :
+       {"\"route\"", "\"queue\"", "\"fetch\"", "\"compute\"", "\"store\"",
+        "\"cold_start\"", "\"process_name\"", "\"thread_name\""}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(json.find("\"c1___obj\""), std::string::npos);
+  EXPECT_NE(json.find("\"remote\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, ClearResetsEverything) {
+  TraceRecorder recorder;
+  recorder.RecordInvocation(MakeTrace(1, 0));
+  recorder.RecordFetch(FetchTrace{});
+  recorder.Clear();
+  EXPECT_EQ(recorder.invocation_count(), 0u);
+  EXPECT_EQ(recorder.fetch_count(), 0u);
+  EXPECT_EQ(recorder.Totals().invocations, 0u);
+}
+
+// --- Platform integration -------------------------------------------------
+
+PlatformConfig ObsTestConfig() {
+  PlatformConfig config;
+  config.cpu_ops_per_second = 1e9;
+  config.serialization_bytes_per_second = 0;
+  return config;
+}
+
+TEST(PlatformObservabilityTest, RecordsOneTracePerInvocation) {
+  Simulator sim;
+  FaasPlatform platform(&sim, PolicyKind::kLeastAssigned, 1, ObsTestConfig());
+  platform.AddWorkers(2);
+  TraceRecorder recorder;
+  MetricsRegistry metrics;
+  platform.set_trace_recorder(&recorder);
+  platform.set_metrics(&metrics);
+
+  constexpr int kInvocations = 12;
+  int completed = 0;
+  for (int i = 0; i < kInvocations; ++i) {
+    InvocationSpec spec;
+    spec.function = "f";
+    spec.color = StrFormat("c%d", i % 4);
+    spec.cpu_ops = 1e6;
+    spec.inputs.push_back(
+        ObjectRef{platform.TranslateObjectName(
+                      StrFormat("c%d___in%d", i % 4, i)),
+                  1 * kMiB});
+    spec.outputs.push_back(
+        ObjectRef{platform.TranslateObjectName(
+                      StrFormat("c%d___out%d", i % 4, i)),
+                  1 * kMiB});
+    platform.Invoke(std::move(spec),
+                    [&](const InvocationResult&) { ++completed; });
+  }
+  sim.Run();
+  EXPECT_EQ(completed, kInvocations);
+  ASSERT_EQ(recorder.invocation_count(),
+            static_cast<std::size_t>(kInvocations));
+  // One input each -> one fetch span each.
+  EXPECT_EQ(recorder.fetch_count(), static_cast<std::size_t>(kInvocations));
+
+  // The five phases partition [submitted, completed] for EVERY invocation —
+  // not just in aggregate.
+  for (const InvocationTrace& t : recorder.invocations()) {
+    const std::int64_t sum = (t.dispatched - t.submitted).nanos() +
+                             (t.fetch_start - t.dispatched).nanos() +
+                             (t.inputs_ready - t.fetch_start).nanos() +
+                             (t.compute_done - t.inputs_ready).nanos() +
+                             (t.completed - t.compute_done).nanos();
+    EXPECT_EQ(sum, (t.completed - t.submitted).nanos()) << "id " << t.id;
+  }
+  const auto totals = recorder.Totals();
+  EXPECT_EQ(totals.PhaseSum().nanos(), totals.end_to_end.nanos());
+
+  // Live metrics recorded the same population.
+  EXPECT_EQ(metrics.counter("faas.invocations").value(),
+            static_cast<std::uint64_t>(kInvocations));
+  EXPECT_EQ(metrics.histogram("faas.latency.end_to_end_ns").count(),
+            static_cast<std::uint64_t>(kInvocations));
+  EXPECT_GT(metrics.histogram("faas.latency.fetch_ns").sum(), 0u);
+}
+
+TEST(PlatformObservabilityTest, ExportMetricsSnapshotsAllLayers) {
+  Simulator sim;
+  FaasPlatform platform(&sim, PolicyKind::kLeastAssigned, 1, ObsTestConfig());
+  platform.AddWorkers(2);
+
+  int completed = 0;
+  for (int i = 0; i < 6; ++i) {
+    InvocationSpec spec;
+    spec.function = "f";
+    spec.color = StrFormat("c%d", i % 2);
+    spec.cpu_ops = 1e6;
+    spec.outputs.push_back(
+        ObjectRef{platform.TranslateObjectName(
+                      StrFormat("c%d___o%d", i % 2, i)),
+                  64 * 1024});
+    platform.Invoke(std::move(spec),
+                    [&](const InvocationResult&) { ++completed; });
+  }
+  sim.Run();
+  ASSERT_EQ(completed, 6);
+
+  MetricsRegistry metrics;
+  platform.ExportMetrics(&metrics);
+  EXPECT_EQ(metrics.counter("faas.invocations.completed").value(), 6u);
+  EXPECT_EQ(metrics.counter("faas.cold_starts.total").value(), 2u);
+  EXPECT_EQ(metrics.counter("lb.routed.total").value(), 6u);
+  EXPECT_EQ(metrics.counter("lb.hints_honored").value(), 6u);
+  EXPECT_EQ(metrics.counter("lb.hint_failures").value(), 0u);
+  EXPECT_EQ(metrics.counter("cache.put_bytes").value(), 6u * 64 * 1024);
+  EXPECT_TRUE(metrics.HasMetric("lb.routing_imbalance"));
+  EXPECT_TRUE(metrics.HasMetric("cache.evictions"));
+  EXPECT_TRUE(metrics.HasMetric("net.remote_bytes"));
+  EXPECT_TRUE(metrics.HasMetric("net.queue_delay_ns"));
+  for (const std::string& name : platform.WorkerNames()) {
+    EXPECT_EQ(metrics.counter(
+                  StrFormat("worker.%s.cold_starts", name.c_str())).value(),
+              1u);
+    EXPECT_TRUE(metrics.HasMetric(
+        StrFormat("worker.%s.queue_depth", name.c_str())));
+    EXPECT_TRUE(metrics.HasMetric(
+        StrFormat("cache.shard.%s.used_bytes", name.c_str())));
+    EXPECT_TRUE(metrics.HasMetric(
+        StrFormat("net.%s.bytes_in", name.c_str())));
+  }
+}
+
+TEST(PlatformObservabilityTest, ColorStatsOptIn) {
+  Simulator sim;
+  FaasPlatform platform(&sim, PolicyKind::kLeastAssigned, 1, ObsTestConfig());
+  platform.AddWorkers(2);
+  platform.load_balancer().set_color_stats_enabled(true);
+
+  int completed = 0;
+  for (int i = 0; i < 9; ++i) {
+    InvocationSpec spec;
+    spec.function = "f";
+    spec.color = StrFormat("c%d", i % 3);
+    spec.cpu_ops = 1e5;
+    platform.Invoke(std::move(spec),
+                    [&](const InvocationResult&) { ++completed; });
+  }
+  sim.Run();
+  ASSERT_EQ(completed, 9);
+  const auto& counts = platform.load_balancer().color_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  for (const auto& [color, n] : counts) {
+    EXPECT_EQ(n, 3u) << color;
+  }
+}
+
+TEST(PlatformObservabilityTest, TracingOffRecordsNothing) {
+  Simulator sim;
+  FaasPlatform platform(&sim, PolicyKind::kLeastAssigned, 1, ObsTestConfig());
+  platform.AddWorkers(1);
+  // No recorder, no metrics attached: the run must complete normally and
+  // the LB's plain counters still work.
+  int completed = 0;
+  InvocationSpec spec;
+  spec.function = "f";
+  spec.color = "c";
+  spec.cpu_ops = 1e6;
+  platform.Invoke(std::move(spec),
+                  [&](const InvocationResult&) { ++completed; });
+  sim.Run();
+  EXPECT_EQ(completed, 1);
+  EXPECT_EQ(platform.trace_recorder(), nullptr);
+  EXPECT_EQ(platform.load_balancer().hints_honored(), 1u);
+  EXPECT_FALSE(platform.load_balancer().color_stats_enabled());
+  EXPECT_TRUE(platform.load_balancer().color_counts().empty());
+}
+
+}  // namespace
+}  // namespace palette

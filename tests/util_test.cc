@@ -1,12 +1,17 @@
-// Tests for the trace CSV I/O and the flag parser.
+// Tests for the trace CSV I/O, the flag parser, the JSON writer, and the
+// stats helpers.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <sstream>
 
 #include "src/cache/trace_io.h"
 #include "src/common/flags.h"
+#include "src/common/json_writer.h"
+#include "src/common/stats.h"
 
 namespace palette {
 namespace {
@@ -123,6 +128,100 @@ TEST(FlagParserTest, UnqueriedFlagsDetected) {
   const auto unused = flags.UnqueriedFlags();
   ASSERT_EQ(unused.size(), 1u);
   EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(JsonWriterTest, EscapesQuotesAndBackslashes) {
+  JsonWriter json;
+  json.String("a\"b\\c");
+  EXPECT_EQ(json.str(), "\"a\\\"b\\\\c\"");
+}
+
+TEST(JsonWriterTest, EscapesNamedControlCharacters) {
+  JsonWriter json;
+  json.String("a\nb\tc\rd");
+  EXPECT_EQ(json.str(), "\"a\\nb\\tc\\rd\"");
+}
+
+TEST(JsonWriterTest, EscapesUnnamedControlCharactersAsUnicode) {
+  JsonWriter json;
+  json.String(std::string_view("\x01\x1f\x08", 3));
+  EXPECT_EQ(json.str(), "\"\\u0001\\u001f\\u0008\"");
+}
+
+TEST(JsonWriterTest, EscapesControlCharactersInKeys) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bad\x02key");
+  json.Int(1);
+  json.EndObject();
+  EXPECT_EQ(json.str(), "{\"bad\\u0002key\":1}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Double(std::numeric_limits<double>::quiet_NaN());
+  json.Double(std::numeric_limits<double>::infinity());
+  json.Double(-std::numeric_limits<double>::infinity());
+  json.Double(1.5);
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[null,null,null,1.5]");
+}
+
+TEST(JsonWriterTest, CommasBetweenObjectPairsAndArrayElements) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("a");
+  json.Int(1);
+  json.Key("b");
+  json.BeginArray();
+  json.UInt(2);
+  json.Bool(true);
+  json.EndArray();
+  json.EndObject();
+  EXPECT_EQ(json.str(), "{\"a\":1,\"b\":[2,true]}");
+}
+
+TEST(RunningStatsTest, DefaultModeRejectsPercentiles) {
+  RunningStats stats;
+  stats.Add(1.0);
+  stats.Add(2.0);
+  EXPECT_FALSE(stats.retains_samples());
+  EXPECT_TRUE(stats.samples().empty());
+  EXPECT_DOUBLE_EQ(stats.percentile(50), 0.0);
+}
+
+TEST(RunningStatsTest, RetainedModeAnswersPercentiles) {
+  RunningStats stats(/*retain_samples=*/true);
+  for (int v : {5, 1, 4, 2, 3}) {
+    stats.Add(v);
+  }
+  EXPECT_TRUE(stats.retains_samples());
+  ASSERT_EQ(stats.samples().size(), 5u);
+  EXPECT_DOUBLE_EQ(stats.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(100), 5.0);
+  // Retention does not change the streaming summaries.
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+}
+
+TEST(PercentilesTest, MatchesSingleRankQueries) {
+  const std::vector<double> samples = {9, 2, 7, 4, 6, 1, 8, 3, 5, 10};
+  const std::vector<double> ps = {0, 25, 50, 90, 100};
+  const auto batch = Percentiles(samples, ps);
+  ASSERT_EQ(batch.size(), ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], Percentile(samples, ps[i])) << "p" << ps[i];
+  }
+}
+
+TEST(PercentilesTest, EmptyInputGivesZeros) {
+  const auto out = Percentiles({}, {50, 99});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
 }
 
 }  // namespace

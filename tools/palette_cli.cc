@@ -14,10 +14,18 @@
 //            [--trace=trace.csv] [--export=trace.csv]
 //                                  social-network cache experiment; can
 //                                  import/export CSV traces
+//   trace    --pattern=stencil_1d --policy=la --coloring=chain
+//            --workers=8 [--out=TRACE_dag.json]
+//                                  run one Task Bench DAG with lifecycle
+//                                  tracing + metrics on; writes Chrome
+//                                  trace-event JSON (Perfetto-loadable)
+//                                  and prints the phase breakdown and the
+//                                  platform metric snapshot
 //
 // Examples:
 //   palette_cli dag --pattern=fft --policy=rr --coloring=none --workers=8
 //   palette_cli webapp --policy=la --workers=12 --export=social.csv
+//   palette_cli trace --pattern=fft --policy=la --workers=8 --out=fft.json
 #include <cstdio>
 #include <string>
 
@@ -40,7 +48,7 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: palette_cli <policies|route|dag|tpch|webapp> "
+               "usage: palette_cli <policies|route|dag|tpch|webapp|trace> "
                "[--flag=value ...]\n"
                "see the header of tools/palette_cli.cc for full flag "
                "documentation\n");
@@ -178,6 +186,50 @@ int CmdDag(const FlagParser& flags) {
   return 0;
 }
 
+int CmdTrace(const FlagParser& flags) {
+  PolicyKind kind;
+  if (!ParsePolicyOrDie(flags, &kind)) {
+    return 2;
+  }
+  TaskBenchConfig tb;
+  tb.width = static_cast<int>(flags.GetInt("width", 16));
+  tb.timesteps = static_cast<int>(flags.GetInt("steps", 10));
+  tb.cpu_ops_per_task = flags.GetDouble("ops", 60e6);
+  tb.output_bytes = static_cast<Bytes>(flags.GetInt("mb", 256)) * kMiB;
+  const Dag dag = MakeTaskBenchDag(
+      PatternByNameOrDefault(flags.GetString("pattern", "stencil_1d")), tb);
+
+  DagRunConfig config;
+  config.policy = kind;
+  config.coloring = ColoringByNameOrDefault(flags.GetString("coloring",
+                                                            "chain"));
+  config.workers = static_cast<int>(flags.GetInt("workers", 8));
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  config.platform.cpu_ops_per_second = flags.GetDouble("cpu_rate", 30e6);
+
+  TraceRecorder recorder;
+  MetricsRegistry metrics;
+  config.trace = &recorder;
+  config.metrics = &metrics;
+  const DagRunResult result = RunDagOnFaas(dag, config);
+
+  std::printf("%d tasks, makespan %s\n\n", dag.size(),
+              result.makespan.ToString().c_str());
+  std::printf("%s\n", recorder.PhaseBreakdownTable().c_str());
+  std::printf("%s\n", metrics.ToTable().c_str());
+
+  const std::string out = flags.GetString("out", "TRACE_dag.json");
+  if (!recorder.WriteChromeTrace(out)) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu invocations, %zu fetches to %s (load in Perfetto "
+              "or chrome://tracing)\n",
+              recorder.invocation_count(), recorder.fetch_count(),
+              out.c_str());
+  return 0;
+}
+
 int CmdTpch(const FlagParser& flags) {
   PolicyKind kind;
   if (!ParsePolicyOrDie(flags, &kind)) {
@@ -276,6 +328,8 @@ int Main(int argc, char** argv) {
     rc = CmdTpch(flags);
   } else if (command == "webapp") {
     rc = CmdWebapp(flags);
+  } else if (command == "trace") {
+    rc = CmdTrace(flags);
   } else {
     return Usage();
   }
