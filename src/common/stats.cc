@@ -47,11 +47,21 @@ double RunningStats::stderr_mean() const {
 
 namespace {
 
+// Clamps a percentile rank into [0, 100]; NaN maps to 0 (the documented
+// defensive contract in stats.h).
+double ClampRank(double p) {
+  if (std::isnan(p) || p < 0.0) {
+    return 0.0;
+  }
+  return p > 100.0 ? 100.0 : p;
+}
+
 double SortedPercentile(const std::vector<double>& sorted, double p) {
   if (sorted.size() == 1) {
     return sorted[0];
   }
-  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const double rank =
+      (ClampRank(p) / 100.0) * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);

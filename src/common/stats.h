@@ -49,12 +49,15 @@ class RunningStats {
 };
 
 // Percentile of a sample set using linear interpolation between closest
-// ranks. `p` in [0, 100]. The input is copied and sorted.
+// ranks. The input is copied and sorted. Defensive contract (the SLO
+// scorer calls this on possibly-empty per-color buckets): an empty sample
+// set returns 0; `p` is clamped to [0, 100], with NaN treated as 0 — so
+// out-of-range ranks return min/max instead of reading out of bounds.
 double Percentile(std::vector<double> samples, double p);
 
 // Percentiles at each rank in `ps`, sorting `samples` once (same
-// interpolation as Percentile). Returns one value per entry of `ps`, in
-// order; all zeros for empty input.
+// interpolation and clamping as Percentile). Returns one value per entry
+// of `ps`, in order; all zeros for empty input.
 std::vector<double> Percentiles(std::vector<double> samples,
                                 const std::vector<double>& ps);
 

@@ -44,9 +44,22 @@ void FaasPlatform::AddWorkers(int count) {
 
 void FaasPlatform::RemoveWorker(const std::string& name) {
   const auto id = InstanceRegistry::Global().Find(name);
-  if (!id.has_value() || workers_.erase(*id) == 0) {
+  if (!id.has_value()) {
     return;
   }
+  const auto it = workers_.find(*id);
+  if (it == workers_.end()) {
+    return;
+  }
+  // Requests waiting in the dead worker's FIFO die with it (the running
+  // one, if any, already left the queue and still completes). Count them
+  // rather than letting them vanish silently.
+  const std::uint64_t queued = it->second->queue.size();
+  dropped_ += queued;
+  if (metrics_ != nullptr) {
+    m_dropped_->Add(queued);
+  }
+  workers_.erase(it);
   cache_.RemoveInstance(name);
   lb_.RemoveInstance(name);
 }
@@ -98,7 +111,12 @@ std::optional<std::uint64_t> FaasPlatform::Invoke(
     // The request arrives at the instance and joins its FIFO run queue.
     auto it = workers_.find(target);
     if (it == workers_.end()) {
-      return;  // Worker removed while the request was in flight: dropped.
+      // Worker removed while the request was in flight: dropped.
+      ++dropped_;
+      if (metrics_ != nullptr) {
+        m_dropped_->Increment();
+      }
+      return;
     }
     it->second->queue.push_back(
         PendingInvocation{spec_ptr, result, std::move(cb)});
@@ -231,9 +249,9 @@ void FaasPlatform::StartNextOnWorker(InstanceId instance) {
     }
     if (completed > sim_->Now()) {
       // Keep the worker occupied through the blocking put.
-      auto worker_it = workers_.find(instance);
-      if (worker_it != workers_.end()) {
-        worker_it->second->cpu.Acquire(completed - sim_->Now());
+      auto occupied_it = workers_.find(instance);
+      if (occupied_it != workers_.end()) {
+        occupied_it->second->cpu.Acquire(completed - sim_->Now());
       }
     }
     sim_->At(completed, [this, instance, result, cb2 = std::move(cb)]() {
@@ -259,6 +277,7 @@ void FaasPlatform::set_metrics(MetricsRegistry* metrics) {
   if (metrics == nullptr) {
     m_invocations_ = nullptr;
     m_cold_starts_ = nullptr;
+    m_dropped_ = nullptr;
     m_e2e_ns_ = nullptr;
     m_route_ns_ = nullptr;
     m_queue_ns_ = nullptr;
@@ -269,6 +288,7 @@ void FaasPlatform::set_metrics(MetricsRegistry* metrics) {
   }
   m_invocations_ = &metrics->counter("faas.invocations");
   m_cold_starts_ = &metrics->counter("faas.cold_starts");
+  m_dropped_ = &metrics->counter("faas.invocations_dropped");
   m_e2e_ns_ = &metrics->histogram("faas.latency.end_to_end_ns");
   m_route_ns_ = &metrics->histogram("faas.latency.route_ns");
   m_queue_ns_ = &metrics->histogram("faas.latency.queue_ns");
@@ -298,6 +318,7 @@ std::uint64_t FaasPlatform::WorkerColdStarts(const std::string& name) const {
 void FaasPlatform::ExportMetrics(MetricsRegistry* metrics) const {
   metrics->counter("faas.invocations.completed").Set(completed_);
   metrics->counter("faas.cold_starts.total").Set(cold_starts_);
+  metrics->counter("faas.invocations_dropped").Set(dropped_);
 
   metrics->counter("lb.routed.total").Set(lb_.total_routed());
   metrics->counter("lb.hints_honored").Set(lb_.hints_honored());

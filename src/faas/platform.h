@@ -106,6 +106,12 @@ class FaasPlatform {
   const PlatformConfig& config() const { return config_; }
 
   std::uint64_t completed_invocations() const { return completed_; }
+  // Invocations lost in flight to RemoveWorker: queued on the removed
+  // worker, or dispatched to it before the removal and arriving after.
+  // Their completion callbacks never fire. Exported as
+  // "faas.invocations_dropped"; submitted = completed + dropped + running
+  // once the simulator drains.
+  std::uint64_t dropped_invocations() const { return dropped_; }
   // Busy CPU time per worker (utilization and stragglers).
   std::unordered_map<std::string, SimTime> WorkerBusyTime() const;
 
@@ -170,6 +176,7 @@ class FaasPlatform {
   std::uint64_t next_id_ = 1;
   std::uint64_t completed_ = 0;
   std::uint64_t cold_starts_ = 0;
+  std::uint64_t dropped_ = 0;
   int next_worker_index_ = 0;
 
   // Observability hooks; null = off. Per-invocation metrics are resolved
@@ -178,6 +185,7 @@ class FaasPlatform {
   MetricsRegistry* metrics_ = nullptr;
   Counter* m_invocations_ = nullptr;
   Counter* m_cold_starts_ = nullptr;
+  Counter* m_dropped_ = nullptr;
   LatencyHistogram* m_e2e_ns_ = nullptr;
   LatencyHistogram* m_route_ns_ = nullptr;
   LatencyHistogram* m_queue_ns_ = nullptr;

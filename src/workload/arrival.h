@@ -1,0 +1,86 @@
+// Arrival processes for open-loop traffic generation (docs/WORKLOADS.md).
+//
+// An ArrivalProcess is a deterministic stream of absolute invocation times
+// on the simulation clock: construct it with a seed and repeatedly call
+// Next(). The same (spec, seed) pair always produces the same stream, bit
+// for bit, so workload runs are exactly reproducible — the property every
+// experiment in this repository leans on.
+//
+// Four processes cover the arrival shapes the serverless-scheduling
+// literature evaluates against (Hiku's Azure-trace-shaped load, Faa$T's
+// diurnal application traffic):
+//   * fixed    — deterministic rate, arrival k at k/rate (the closed-form
+//                baseline; zero variance isolates queueing from burstiness)
+//   * poisson  — memoryless arrivals at a constant mean rate
+//   * mmpp     — two-state Markov-modulated Poisson process: exponentially
+//                distributed ON (burst) and OFF (base) dwell periods, each
+//                with its own Poisson rate. Models on/off bursty traffic.
+//   * diurnal  — non-homogeneous Poisson whose rate follows a sinusoidal
+//                day curve, sampled by Lewis-Shedler thinning.
+// All processes are normalized so the *long-run mean* rate equals
+// `rate_per_sec`; burstiness parameters reshape the stream around that mean.
+#ifndef PALETTE_SRC_WORKLOAD_ARRIVAL_H_
+#define PALETTE_SRC_WORKLOAD_ARRIVAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace palette {
+
+enum class ArrivalKind {
+  kDeterministic,
+  kPoisson,
+  kMmpp,
+  kDiurnal,
+};
+
+// Short identifier for CLI flags and reports ("fixed", "poisson", "mmpp",
+// "diurnal").
+std::string_view ArrivalKindId(ArrivalKind kind);
+
+// Parses an id back to a kind; returns false for an unknown id.
+bool ParseArrivalKind(std::string_view id, ArrivalKind* out);
+
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  // Long-run mean arrival rate, in invocations per simulated second.
+  double rate_per_sec = 100.0;
+
+  // MMPP shape: the ON state runs at `burst_multiplier` times the OFF
+  // state's rate; dwell times in each state are exponential with the given
+  // means. The two state rates are scaled so the duty-cycle-weighted mean
+  // equals rate_per_sec.
+  double burst_multiplier = 8.0;
+  double mean_on_seconds = 1.0;
+  double mean_off_seconds = 4.0;
+
+  // Diurnal shape: rate(t) = rate_per_sec * (1 + amplitude*sin(2*pi*t/P)).
+  // `amplitude` must be in [0, 1); 0 degenerates to plain Poisson.
+  double period_seconds = 60.0;
+  double amplitude = 0.8;
+};
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  // Absolute time of the next arrival. Non-decreasing across calls; the
+  // stream is infinite (callers bound it by horizon or count).
+  virtual SimTime Next() = 0;
+
+  virtual ArrivalKind kind() const = 0;
+  virtual double rate_per_sec() const = 0;
+};
+
+// Builds the process described by `spec`, with its private Rng stream
+// derived from `seed`. rate_per_sec must be > 0.
+std::unique_ptr<ArrivalProcess> MakeArrivalProcess(const ArrivalSpec& spec,
+                                                   std::uint64_t seed);
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_WORKLOAD_ARRIVAL_H_

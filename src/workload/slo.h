@@ -1,0 +1,115 @@
+// SLO scoring over open-loop driver samples (docs/WORKLOADS.md).
+//
+// Consumes the driver's intended-start -> completion samples and reports
+// the numbers a latency SLO is written in: tail percentiles (p50/p95/p99/
+// p99.9), goodput (completions within the deadline, per second), drop and
+// rejection counts, and per-color locality hit ratios. A rate step-sweep
+// helper finds the maximum sustainable throughput — the highest offered
+// rate whose tail still meets the deadline — which is where the
+// latency-vs-throughput knee sits.
+#ifndef PALETTE_SRC_WORKLOAD_SLO_H_
+#define PALETTE_SRC_WORKLOAD_SLO_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/workload/driver.h"
+
+namespace palette {
+
+class JsonWriter;
+
+struct SloConfig {
+  // Latency deadline the goodput and sustainability checks use.
+  SimTime deadline = SimTime::FromMillis(100);
+  // Samples whose intended start precedes the warmup are excluded from
+  // latency/goodput scoring (cold caches, empty queues); totals still
+  // count them.
+  SimTime warmup;
+  // Rows in the per-color breakdown (most-invoked colors first).
+  std::size_t top_colors = 8;
+};
+
+struct ColorSlo {
+  std::uint32_t color_id = 0;
+  std::uint64_t count = 0;
+  double p99_ms = 0;
+  double local_hit_ratio = 0;
+};
+
+struct SloReport {
+  // Whole-run accounting (warmup included).
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t dropped = 0;  // submitted but never completed
+
+  // Measurement window [warmup, horizon).
+  std::uint64_t scored = 0;  // completed samples scored
+  double offered_rps = 0;
+  double completed_rps = 0;
+  double goodput_rps = 0;       // completions within deadline / window
+  double goodput_fraction = 0;  // within-deadline share of scored samples
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  double p999_ms = 0;
+  double max_ms = 0;
+  double local_hit_ratio = 0;
+  double deadline_ms = 0;
+  double window_seconds = 0;
+
+  std::vector<ColorSlo> per_color;  // top colors by invocation count
+
+  // The sustainability criterion for the rate sweep: the tail meets the
+  // deadline and nothing was shed.
+  bool MeetsSlo() const {
+    return scored > 0 && p99_ms <= deadline_ms && dropped == 0 &&
+           rejected == 0;
+  }
+};
+
+// Scores `samples` against `config`. `horizon` is the arrival window end
+// (driver duration) used for rate math; `offered_rps` the configured rate.
+// Empty sample sets and empty per-color buckets score as zeros — the
+// hardened Percentile contract in src/common/stats.h.
+SloReport ScoreSlo(const std::vector<InvocationSample>& samples,
+                   const SloConfig& config, SimTime horizon,
+                   double offered_rps);
+
+// Renders the report as a two-column table plus the per-color breakdown.
+std::string SloReportTable(const SloReport& report);
+
+// Appends the report as a JSON object value (caller wrote the key).
+void AppendSloReportJson(const SloReport& report, JsonWriter* json);
+
+// Order-sensitive FNV-1a digest over every sample field. Two runs with the
+// same spec and seed must produce equal digests — the bit-reproducibility
+// check CI and the determinism tests assert.
+std::uint64_t SamplesDigest(const std::vector<InvocationSample>& samples);
+
+// Rate step-sweep: runs `run_at_rate` (a fresh platform + driver per call)
+// at each offered rate, in order, and reports the highest rate whose
+// report meets its SLO. Rates should be increasing for the knee to read
+// naturally, but any order works.
+struct RateSweepPoint {
+  double offered_rps = 0;
+  SloReport report;
+};
+
+struct RateSweepResult {
+  std::vector<RateSweepPoint> points;
+  double max_sustainable_rps = 0;  // 0 when no rate met the SLO
+};
+
+RateSweepResult SweepRates(
+    const std::vector<double>& rates,
+    const std::function<SloReport(double rate)>& run_at_rate);
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_WORKLOAD_SLO_H_

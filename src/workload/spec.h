@@ -1,0 +1,70 @@
+// WorkloadSpec: one self-contained description of an open-loop experiment —
+// arrival process, invocation mix, driver horizon, and seed — parseable
+// from CLI flags and serializable into the BENCH_slo.json header so a
+// result file names the exact workload that produced it.
+#ifndef PALETTE_SRC_WORKLOAD_SPEC_H_
+#define PALETTE_SRC_WORKLOAD_SPEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/policy_factory.h"
+#include "src/faas/platform.h"
+#include "src/workload/arrival.h"
+#include "src/workload/driver.h"
+#include "src/workload/mix.h"
+#include "src/workload/slo.h"
+
+namespace palette {
+
+class FlagParser;
+class JsonWriter;
+
+struct WorkloadSpec {
+  ArrivalSpec arrival;
+  MixConfig mix;
+  DriverConfig driver;
+  // Experiment seed; the arrival process and the mix/driver stream derive
+  // independent sub-streams from it.
+  std::uint64_t seed = 1;
+};
+
+// Reads a spec from flags (all optional, defaults above):
+//   --arrival=poisson|fixed|mmpp|diurnal  --rate=<rps>  --duration=<s>
+//   --burst_mult= --on_s= --off_s=        (mmpp)
+//   --period_s= --amplitude=              (diurnal)
+//   --colors= --theta= --churn_interval_s= --churn_step=
+//   --objects_per_color= --inputs= --cpu_ops= --write_fraction=
+//   --seed= --max_invocations=
+// Returns false (and prints to stderr) on an unknown arrival kind.
+bool WorkloadSpecFromFlags(const FlagParser& flags, WorkloadSpec* out);
+
+// Appends the spec as a JSON object value (caller wrote the key).
+void AppendWorkloadSpecJson(const WorkloadSpec& spec, JsonWriter* json);
+
+// Platform sized so open-loop SLO runs exercise the locality trade-off:
+// a deliberately small per-instance cache (256 MiB, below the default
+// mix's ~340 MiB object population) makes oblivious routing thrash where
+// color-sticky routing keeps each instance's 1/N share warm.
+PlatformConfig DefaultWorkloadPlatformConfig();
+
+struct WorkloadRunResult {
+  std::vector<InvocationSample> samples;
+  SloReport report;
+  std::uint64_t samples_digest = 0;
+  std::uint64_t platform_dropped = 0;  // faas.invocations_dropped
+  std::uint64_t cold_starts = 0;
+  std::uint64_t sim_events = 0;
+};
+
+// Runs `spec` open-loop against a fresh Simulator + FaasPlatform with
+// `workers` workers under `policy`, drains the platform, and scores the
+// samples. Deterministic: identical (spec, policy, workers, config) give
+// a bit-identical sample set.
+WorkloadRunResult RunWorkload(const WorkloadSpec& spec, PolicyKind policy,
+                              int workers, const SloConfig& slo,
+                              const PlatformConfig& platform_config);
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_WORKLOAD_SPEC_H_

@@ -267,6 +267,36 @@ TEST(PercentileTest, InterpolatesRanks) {
   EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
 }
 
+TEST(PercentileTest, ClampsOutOfRangeRanks) {
+  // The defensive contract in stats.h: p is clamped into [0, 100] and NaN
+  // maps to 0, so callers with computed ranks never read out of bounds.
+  const std::vector<double> samples = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(samples, -10), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 150), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, std::nan("")), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, -10), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, std::nan("")), 0.0);
+}
+
+TEST(PercentilesTest, BatchedRanksMatchSingleCalls) {
+  const std::vector<double> samples = {5, 1, 3, 2, 4};  // unsorted input
+  const std::vector<double> out =
+      Percentiles(samples, {0, 25, 50, 100, -5, 250});
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_DOUBLE_EQ(out[2], 3.0);
+  EXPECT_DOUBLE_EQ(out[3], 5.0);
+  EXPECT_DOUBLE_EQ(out[4], 1.0);  // clamped to p0
+  EXPECT_DOUBLE_EQ(out[5], 5.0);  // clamped to p100
+}
+
+TEST(PercentilesTest, EmptyInputYieldsZerosPerRank) {
+  const std::vector<double> out = Percentiles({}, {50, 99, 99.9});
+  EXPECT_EQ(out, (std::vector<double>{0.0, 0.0, 0.0}));
+  EXPECT_TRUE(Percentiles({1.0}, {}).empty());
+}
+
 TEST(RelativeMaxLoadTest, UniformIsOne) {
   EXPECT_DOUBLE_EQ(RelativeMaxLoad({3, 3, 3}), 1.0);
   EXPECT_DOUBLE_EQ(RelativeMaxLoad({0, 0, 6}), 3.0);

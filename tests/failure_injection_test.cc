@@ -39,6 +39,13 @@ TEST(FailureInjectionTest, WorkerRemovalMidRunDropsOnlyItsQueue) {
   sim.Run();
   EXPECT_GT(completed, 0);
   EXPECT_LT(completed, 41);
+  // Every invocation is accounted for: either it completed or the platform
+  // counted it dropped with the dead worker (exported as
+  // "faas.invocations_dropped"). Nothing vanishes silently.
+  EXPECT_GT(platform.dropped_invocations(), 0u);
+  EXPECT_EQ(static_cast<std::uint64_t>(completed) +
+                platform.dropped_invocations(),
+            40u);
   // New work after the removal routes fine — never to the dead worker.
   bool served = false;
   InvocationSpec spec;
@@ -158,6 +165,11 @@ TEST(FailureInjectionTest, RapidChurnUnderLoadStillDrains) {
   // Dropped in-flight work on removed instances is allowed; the vast
   // majority completes and nothing deadlocks.
   EXPECT_GT(completed, submitted * 3 / 4);
+  // The drop counter closes the books: submitted = completed + dropped
+  // once the simulator drains.
+  EXPECT_EQ(static_cast<std::uint64_t>(completed) +
+                platform.dropped_invocations(),
+            static_cast<std::uint64_t>(submitted));
 }
 
 }  // namespace

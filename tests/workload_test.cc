@@ -1,0 +1,395 @@
+// Tests for src/workload: arrival-process statistics and determinism, mix
+// popularity churn, the open-loop driver's accounting, SLO scoring edge
+// cases, and bit-identical end-to-end reproducibility.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workload/arrival.h"
+#include "src/workload/driver.h"
+#include "src/workload/mix.h"
+#include "src/workload/slo.h"
+#include "src/workload/spec.h"
+
+namespace palette {
+namespace {
+
+// Draws arrivals until `horizon` and returns the count.
+std::uint64_t CountArrivals(ArrivalProcess& process, SimTime horizon) {
+  std::uint64_t count = 0;
+  while (process.Next() < horizon) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(ArrivalTest, KindIdsRoundTrip) {
+  for (ArrivalKind kind :
+       {ArrivalKind::kDeterministic, ArrivalKind::kPoisson,
+        ArrivalKind::kMmpp, ArrivalKind::kDiurnal}) {
+    ArrivalKind parsed;
+    ASSERT_TRUE(ParseArrivalKind(ArrivalKindId(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  ArrivalKind unused;
+  EXPECT_FALSE(ParseArrivalKind("bogus", &unused));
+}
+
+TEST(ArrivalTest, DeterministicProcessIsExact) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kDeterministic;
+  spec.rate_per_sec = 200;
+  auto process = MakeArrivalProcess(spec, 7);
+  // Arrival k at exactly k/rate, k starting at 1: 5 ms spacing, no float
+  // drift.
+  EXPECT_EQ(process->Next(), SimTime::FromMillis(5));
+  EXPECT_EQ(process->Next(), SimTime::FromMillis(10));
+  EXPECT_EQ(process->Next(), SimTime::FromMillis(15));
+  // Arrivals in [0, 10 s) are k = 1..1999; three already consumed.
+  EXPECT_EQ(CountArrivals(*process, SimTime::FromSeconds(10)), 1996u);
+}
+
+TEST(ArrivalTest, SameSeedSameStreamDifferentSeedDiverges) {
+  for (ArrivalKind kind : {ArrivalKind::kPoisson, ArrivalKind::kMmpp,
+                           ArrivalKind::kDiurnal}) {
+    ArrivalSpec spec;
+    spec.kind = kind;
+    spec.rate_per_sec = 500;
+    auto a = MakeArrivalProcess(spec, 42);
+    auto b = MakeArrivalProcess(spec, 42);
+    auto c = MakeArrivalProcess(spec, 43);
+    bool diverged = false;
+    for (int i = 0; i < 2000; ++i) {
+      const SimTime ta = a->Next();
+      ASSERT_EQ(ta, b->Next()) << ArrivalKindId(kind) << " arrival " << i;
+      diverged |= ta != c->Next();
+    }
+    EXPECT_TRUE(diverged) << ArrivalKindId(kind);
+  }
+}
+
+TEST(ArrivalTest, ArrivalsAreNonDecreasing) {
+  for (ArrivalKind kind : {ArrivalKind::kPoisson, ArrivalKind::kMmpp,
+                           ArrivalKind::kDiurnal}) {
+    ArrivalSpec spec;
+    spec.kind = kind;
+    spec.rate_per_sec = 1000;
+    auto process = MakeArrivalProcess(spec, 3);
+    SimTime prev;
+    for (int i = 0; i < 5000; ++i) {
+      const SimTime t = process->Next();
+      ASSERT_GE(t, prev) << ArrivalKindId(kind) << " arrival " << i;
+      prev = t;
+    }
+  }
+}
+
+TEST(ArrivalTest, PoissonEmpiricalRateMatchesConfigured) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kPoisson;
+  spec.rate_per_sec = 400;
+  auto process = MakeArrivalProcess(spec, 11);
+  const double seconds = 200;
+  const auto count =
+      CountArrivals(*process, SimTime::FromSeconds(seconds));
+  const double empirical = static_cast<double>(count) / seconds;
+  // 80k expected arrivals; +-5% is ~13 sigma for a fixed seed.
+  EXPECT_NEAR(empirical, 400, 400 * 0.05);
+}
+
+TEST(ArrivalTest, MmppLongRunRateIsNormalizedToMean) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kMmpp;
+  spec.rate_per_sec = 300;
+  spec.burst_multiplier = 10;
+  spec.mean_on_seconds = 0.5;
+  spec.mean_off_seconds = 2.0;
+  auto process = MakeArrivalProcess(spec, 19);
+  const double seconds = 500;  // many on/off cycles
+  const auto count =
+      CountArrivals(*process, SimTime::FromSeconds(seconds));
+  const double empirical = static_cast<double>(count) / seconds;
+  // Duty-cycle-weighted mean must come back to rate_per_sec (+-10%: the
+  // state process adds variance beyond Poisson).
+  EXPECT_NEAR(empirical, 300, 300 * 0.10);
+}
+
+TEST(ArrivalTest, MmppIsBurstierThanPoisson) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kMmpp;
+  spec.rate_per_sec = 200;
+  spec.burst_multiplier = 16;
+  auto process = MakeArrivalProcess(spec, 5);
+  // Count arrivals per 100 ms bucket; a bursty stream has a much larger
+  // bucket-count variance-to-mean ratio than Poisson (which has ~1).
+  std::vector<double> buckets(600, 0.0);
+  const SimTime horizon = SimTime::FromSeconds(60);
+  for (SimTime t = process->Next(); t < horizon; t = process->Next()) {
+    buckets[static_cast<std::size_t>(t.nanos() / 100'000'000)] += 1;
+  }
+  double mean = 0;
+  for (double b : buckets) {
+    mean += b;
+  }
+  mean /= static_cast<double>(buckets.size());
+  double var = 0;
+  for (double b : buckets) {
+    var += (b - mean) * (b - mean);
+  }
+  var /= static_cast<double>(buckets.size());
+  EXPECT_GT(var / mean, 3.0);
+}
+
+TEST(ArrivalTest, DiurnalPeakAndTroughFollowTheCurve) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kDiurnal;
+  spec.rate_per_sec = 500;
+  spec.period_seconds = 40;
+  spec.amplitude = 0.8;
+  auto process = MakeArrivalProcess(spec, 23);
+  // rate(t) = 500 * (1 + 0.8 sin(2 pi t / 40)): the first quarter-period
+  // [0, 10) sits on the rising crest, the third quarter [20, 30) in the
+  // trough. Average over 5 periods to tame sampling noise.
+  double peak = 0;
+  double trough = 0;
+  const SimTime horizon = SimTime::FromSeconds(5 * 40);
+  for (SimTime t = process->Next(); t < horizon; t = process->Next()) {
+    const double phase_s =
+        static_cast<double>(t.nanos() % 40'000'000'000LL) / 1e9;
+    if (phase_s < 10) {
+      peak += 1;
+    } else if (phase_s >= 20 && phase_s < 30) {
+      trough += 1;
+    }
+  }
+  // Quarter-period integrals of the curve: peak ~ 1 + 0.8*(2/pi) = 1.51x
+  // the mean, trough ~ 0.49x. Require a conservative 2x separation.
+  EXPECT_GT(peak, 2.0 * trough);
+}
+
+TEST(MixTest, ZipfChurnRotatesTheHotSet) {
+  MixConfig config;
+  config.color_count = 64;
+  config.zipf_theta = 0.9;
+  config.churn_interval = SimTime::FromSeconds(10);
+  config.churn_step = 8;
+  const InvocationMix mix(config);
+
+  const std::uint32_t hot_before = mix.ColorIdForRank(0, SimTime());
+  const std::uint32_t hot_after =
+      mix.ColorIdForRank(0, SimTime::FromSeconds(10));
+  EXPECT_NE(hot_before, hot_after);
+  // Within one churn interval the mapping is stable.
+  EXPECT_EQ(hot_before, mix.ColorIdForRank(0, SimTime::FromSeconds(9)));
+
+  // Empirically: the pre-churn hot color loses its traffic share after
+  // the rotation.
+  Rng rng(99);
+  std::map<std::uint32_t, int> before;
+  std::map<std::uint32_t, int> after;
+  for (int i = 0; i < 20000; ++i) {
+    before[mix.Sample(SimTime(), rng).color_id]++;
+    after[mix.Sample(SimTime::FromSeconds(10), rng).color_id]++;
+  }
+  // Zipf(0.9) over 64 colors puts ~21% of mass on rank 0.
+  EXPECT_GT(before[hot_before], 20000 / 10);
+  EXPECT_GT(after[hot_after], 20000 / 10);
+  EXPECT_LT(after[hot_before], before[hot_before] / 4);
+}
+
+TEST(MixTest, NoChurnMeansStableMapping) {
+  MixConfig config;
+  config.color_count = 16;
+  config.churn_interval = SimTime();  // disabled
+  const InvocationMix mix(config);
+  EXPECT_EQ(mix.ColorIdForRank(3, SimTime()),
+            mix.ColorIdForRank(3, SimTime::FromSeconds(3600)));
+}
+
+TEST(MixTest, ObjectSizesAreDeterministicAndWithinQuantiles) {
+  MixConfig config;
+  const InvocationMix mix(config);
+  const Bytes lo = static_cast<Bytes>(config.size_quantiles.front().value);
+  const Bytes hi = static_cast<Bytes>(config.size_quantiles.back().value);
+  bool varied = false;
+  for (std::uint32_t color = 0; color < 32; ++color) {
+    for (std::uint64_t obj = 0; obj < config.objects_per_color; ++obj) {
+      const Bytes size = mix.ObjectSize(color, obj);
+      EXPECT_EQ(size, mix.ObjectSize(color, obj));  // same identity, same size
+      EXPECT_GE(size, lo);
+      EXPECT_LE(size, hi);
+      varied |= size != mix.ObjectSize(0, 0);
+    }
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(MixTest, FunctionMixFollowsWeights) {
+  MixConfig config;
+  config.functions = {{"fast", 3.0, 1e6}, {"slow", 1.0, 1e7}};
+  const InvocationMix mix(config);
+  Rng rng(7);
+  int fast = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    const MixedInvocation inv = mix.Sample(SimTime(), rng);
+    if (inv.function_index == 0) {
+      ++fast;
+      EXPECT_EQ(inv.spec.function, "fast");
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(fast) / draws, 0.75, 0.02);
+}
+
+TEST(SloTest, EmptySamplesScoreZeroSafely) {
+  const SloReport report =
+      ScoreSlo({}, SloConfig{}, SimTime::FromSeconds(10), 100);
+  EXPECT_EQ(report.submitted, 0u);
+  EXPECT_EQ(report.scored, 0u);
+  EXPECT_EQ(report.p99_ms, 0.0);
+  EXPECT_FALSE(report.MeetsSlo());
+  EXPECT_EQ(SamplesDigest({}), SamplesDigest({}));
+}
+
+TEST(SloTest, GoodputCountsOnlyWithinDeadline) {
+  std::vector<InvocationSample> samples;
+  for (int i = 0; i < 10; ++i) {
+    InvocationSample s;
+    s.intended_start = SimTime::FromMillis(100 * i);
+    // 5 fast (10 ms), 5 slow (500 ms).
+    s.completed = s.intended_start +
+                  (i < 5 ? SimTime::FromMillis(10) : SimTime::FromMillis(500));
+    s.status = SampleStatus::kCompleted;
+    s.local_hits = 1;
+    samples.push_back(s);
+  }
+  SloConfig config;
+  config.deadline = SimTime::FromMillis(100);
+  const SloReport report =
+      ScoreSlo(samples, config, SimTime::FromSeconds(1), 10);
+  EXPECT_EQ(report.scored, 10u);
+  EXPECT_DOUBLE_EQ(report.goodput_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(report.goodput_rps, 5.0);
+  EXPECT_DOUBLE_EQ(report.local_hit_ratio, 1.0);
+  EXPECT_FALSE(report.MeetsSlo());  // p99 ~ 500 ms > 100 ms
+}
+
+TEST(SloTest, WarmupSamplesExcludedFromScoringButCounted) {
+  std::vector<InvocationSample> samples;
+  for (int i = 0; i < 4; ++i) {
+    InvocationSample s;
+    s.intended_start = SimTime::FromMillis(500 * i);  // 0, 0.5, 1.0, 1.5 s
+    s.completed = s.intended_start + SimTime::FromMillis(i < 2 ? 900 : 10);
+    s.status = SampleStatus::kCompleted;
+    samples.push_back(s);
+  }
+  SloConfig config;
+  config.warmup = SimTime::FromSeconds(1);
+  const SloReport report =
+      ScoreSlo(samples, config, SimTime::FromSeconds(2), 2);
+  EXPECT_EQ(report.submitted, 4u);
+  EXPECT_EQ(report.completed, 4u);
+  EXPECT_EQ(report.scored, 2u);  // the two slow warmup samples are excluded
+  EXPECT_LT(report.p99_ms, 11);
+  EXPECT_TRUE(report.MeetsSlo());
+}
+
+TEST(SloTest, SweepReportsHighestPassingRate) {
+  const std::vector<double> rates = {100, 200, 400};
+  const RateSweepResult result = SweepRates(rates, [](double rate) {
+    SloReport report;
+    report.scored = 1;
+    report.deadline_ms = 100;
+    report.p99_ms = rate <= 200 ? 50 : 5000;  // knee between 200 and 400
+    return report;
+  });
+  ASSERT_EQ(result.points.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.max_sustainable_rps, 200);
+}
+
+TEST(SloTest, DigestIsOrderAndFieldSensitive) {
+  InvocationSample a;
+  a.intended_start = SimTime::FromMillis(1);
+  a.completed = SimTime::FromMillis(2);
+  a.color_id = 3;
+  a.status = SampleStatus::kCompleted;
+  InvocationSample b = a;
+  b.color_id = 4;
+  EXPECT_NE(SamplesDigest({a, b}), SamplesDigest({b, a}));
+  InvocationSample c = a;
+  c.misses = 1;
+  EXPECT_NE(SamplesDigest({a}), SamplesDigest({c}));
+}
+
+TEST(WorkloadRunTest, OpenLoopAccountingClosesTheBooks) {
+  WorkloadSpec spec;
+  spec.arrival.kind = ArrivalKind::kPoisson;
+  spec.arrival.rate_per_sec = 300;
+  spec.mix.color_count = 32;
+  spec.driver.duration = SimTime::FromSeconds(4);
+  SloConfig slo;
+  slo.warmup = SimTime::FromMillis(500);
+  const WorkloadRunResult run =
+      RunWorkload(spec, PolicyKind::kLeastAssigned, 4, slo,
+                  DefaultWorkloadPlatformConfig());
+  EXPECT_GT(run.report.submitted, 1000u);
+  EXPECT_EQ(run.report.submitted,
+            run.report.completed + run.report.rejected + run.report.dropped);
+  EXPECT_EQ(run.report.dropped, run.platform_dropped);
+  EXPECT_EQ(run.samples.size(), run.report.submitted);
+  EXPECT_GT(run.report.p50_ms, 0);
+  // Healthy platform, no churn: nothing dropped or rejected.
+  EXPECT_EQ(run.report.dropped, 0u);
+  EXPECT_EQ(run.report.rejected, 0u);
+}
+
+TEST(WorkloadRunTest, IdenticalSpecsReproduceBitIdenticalSamples) {
+  WorkloadSpec spec;
+  spec.arrival.kind = ArrivalKind::kMmpp;
+  spec.arrival.rate_per_sec = 250;
+  spec.mix.color_count = 64;
+  spec.mix.churn_interval = SimTime::FromSeconds(1);
+  spec.driver.duration = SimTime::FromSeconds(3);
+  spec.seed = 77;
+  const SloConfig slo;
+  const PlatformConfig config = DefaultWorkloadPlatformConfig();
+  const WorkloadRunResult a =
+      RunWorkload(spec, PolicyKind::kBucketHashing, 4, slo, config);
+  const WorkloadRunResult b =
+      RunWorkload(spec, PolicyKind::kBucketHashing, 4, slo, config);
+  EXPECT_GT(a.samples.size(), 100u);
+  EXPECT_EQ(a.samples_digest, b.samples_digest);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+
+  // A different seed must actually change the stream.
+  WorkloadSpec reseeded = spec;
+  reseeded.seed = 78;
+  const WorkloadRunResult c =
+      RunWorkload(reseeded, PolicyKind::kBucketHashing, 4, slo, config);
+  EXPECT_NE(a.samples_digest, c.samples_digest);
+}
+
+TEST(WorkloadRunTest, StickyPoliciesBeatObliviousOnHitRatio) {
+  WorkloadSpec spec;
+  spec.arrival.kind = ArrivalKind::kPoisson;
+  spec.arrival.rate_per_sec = 400;
+  spec.mix.color_count = 64;
+  spec.mix.objects_per_color = 2;
+  spec.driver.duration = SimTime::FromSeconds(5);
+  SloConfig slo;
+  slo.warmup = SimTime::FromSeconds(1);
+  PlatformConfig config = DefaultWorkloadPlatformConfig();
+  config.cache.per_instance_capacity = 16 * kMiB;
+  const WorkloadRunResult sticky =
+      RunWorkload(spec, PolicyKind::kLeastAssigned, 4, slo, config);
+  const WorkloadRunResult oblivious =
+      RunWorkload(spec, PolicyKind::kObliviousRandom, 4, slo, config);
+  EXPECT_GT(sticky.report.local_hit_ratio,
+            oblivious.report.local_hit_ratio + 0.2);
+}
+
+}  // namespace
+}  // namespace palette

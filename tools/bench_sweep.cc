@@ -18,6 +18,13 @@
 //
 // `--threads=1` runs serially (the baseline for measuring sweep speedup);
 // `--threads=0` uses all hardware threads.
+//
+// `--workload=poisson|fixed|mmpp|diurnal` switches the grid cells from
+// Task Bench DAG replays to open-loop SLO runs (src/workload): each cell
+// drives a fresh platform with that arrival process and reports
+// p50/p99/goodput/hit ratio instead of makespan. The workload spec comes
+// from the loadgen flag set (--rate, --duration, --colors, --theta, ...;
+// see docs/WORKLOADS.md), with each cell's seed from the grid.
 #include <chrono>
 #include <cstdio>
 #include <optional>
@@ -31,6 +38,7 @@
 #include "src/core/policy_factory.h"
 #include "src/dag/dag_executor.h"
 #include "src/taskbench/taskbench.h"
+#include "src/workload/spec.h"
 
 namespace palette {
 namespace {
@@ -79,6 +87,112 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+// Open-loop SLO grid: one RunWorkload per (policy, seed, workers) cell.
+// Like the DAG cells, every cell owns a private Simulator + platform, so
+// the grid parallelizes without locks and is bit-reproducible.
+int RunWorkloadSweep(const FlagParser& flags, ArrivalKind arrival_kind,
+                     const std::vector<PolicyKind>& policies,
+                     const std::vector<int>& worker_counts,
+                     std::uint64_t seeds, std::size_t threads,
+                     const std::string& out_path) {
+  WorkloadSpec base_spec;
+  if (!WorkloadSpecFromFlags(flags, &base_spec)) {
+    return 1;
+  }
+  base_spec.arrival.kind = arrival_kind;
+  SloConfig slo;
+  slo.deadline = SimTime::FromMillis(flags.GetDouble("deadline_ms", 100));
+  slo.warmup = SimTime::FromSeconds(flags.GetDouble("warmup_s", 1));
+  const PlatformConfig platform_config = DefaultWorkloadPlatformConfig();
+
+  struct WorkloadCell {
+    PolicyKind policy;
+    std::uint64_t seed = 1;
+    int workers = 8;
+    WorkloadRunResult run;
+    double wall_seconds = 0;
+  };
+  std::vector<WorkloadCell> cells;
+  for (const PolicyKind policy : policies) {
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      for (const int workers : worker_counts) {
+        WorkloadCell cell;
+        cell.policy = policy;
+        cell.seed = seed;
+        cell.workers = workers;
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  const auto sweep_start = std::chrono::steady_clock::now();
+  ParallelFor(cells.size(), threads, [&](std::size_t i) {
+    WorkloadCell& cell = cells[i];
+    const auto cell_start = std::chrono::steady_clock::now();
+    WorkloadSpec spec = base_spec;
+    spec.seed = cell.seed;
+    cell.run = RunWorkload(spec, cell.policy, cell.workers, slo,
+                           platform_config);
+    cell.wall_seconds = SecondsSince(cell_start);
+  });
+  const double wall_seconds = SecondsSince(sweep_start);
+
+  TablePrinter table;
+  table.AddRow({"policy", "seed", "workers", "p50_ms", "p99_ms",
+                "goodput_rps", "hit%", "meets_slo"});
+  for (const WorkloadCell& cell : cells) {
+    table.AddRow(
+        {std::string(PolicyKindId(cell.policy)),
+         StrFormat("%llu", static_cast<unsigned long long>(cell.seed)),
+         StrFormat("%d", cell.workers),
+         StrFormat("%.3f", cell.run.report.p50_ms),
+         StrFormat("%.3f", cell.run.report.p99_ms),
+         StrFormat("%.1f", cell.run.report.goodput_rps),
+         StrFormat("%.1f", 100 * cell.run.report.local_hit_ratio),
+         cell.run.report.MeetsSlo() ? "yes" : "no"});
+  }
+  table.Print();
+  std::printf("\n%zu workload cells in %.3f s\n", cells.size(),
+              wall_seconds);
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("schema");
+  json.String("palette-bench-v1");
+  json.Key("bench");
+  json.String("sweep-workload");
+  json.Key("spec");
+  AppendWorkloadSpecJson(base_spec, &json);
+  json.Key("wall_seconds");
+  json.Double(wall_seconds);
+  json.Key("results");
+  json.BeginArray();
+  for (const WorkloadCell& cell : cells) {
+    json.BeginObject();
+    json.Key("policy");
+    json.String(PolicyKindId(cell.policy));
+    json.Key("seed");
+    json.UInt(cell.seed);
+    json.Key("workers");
+    json.Int(cell.workers);
+    json.Key("samples_digest");
+    json.String(StrFormat("%016llx", static_cast<unsigned long long>(
+                                         cell.run.samples_digest)));
+    json.Key("cell_wall_seconds");
+    json.Double(cell.wall_seconds);
+    json.Key("report");
+    AppendSloReportJson(cell.run.report, &json);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  if (!WriteTextFile(out_path, json.str())) {
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   const FlagParser flags(argc, argv);
 
@@ -103,6 +217,24 @@ int Run(int argc, char** argv) {
     worker_counts.push_back(count);
   }
   const auto seeds = static_cast<std::uint64_t>(flags.GetInt("seeds", 3));
+
+  // Open-loop SLO cells instead of DAG replays.
+  const std::string workload_id = flags.GetString("workload", "");
+  if (!workload_id.empty()) {
+    ArrivalKind arrival_kind;
+    if (!ParseArrivalKind(workload_id, &arrival_kind)) {
+      std::fprintf(stderr,
+                   "unknown workload arrival kind: %s (try: fixed, "
+                   "poisson, mmpp, diurnal)\n",
+                   workload_id.c_str());
+      return 1;
+    }
+    return RunWorkloadSweep(
+        flags, arrival_kind, policies, worker_counts, seeds,
+        static_cast<std::size_t>(flags.GetInt("threads", 0)),
+        flags.GetString("out", "BENCH_sweep.json"));
+  }
+
   const std::string pattern_name = flags.GetString("pattern", "stencil_1d");
   const auto pattern = ParsePattern(pattern_name);
   if (!pattern.has_value()) {

@@ -1,0 +1,226 @@
+// loadgen — deterministic open-loop traffic generator + SLO harness
+// (docs/WORKLOADS.md).
+//
+// Drives a fresh simulated FaaS platform with a workload spec (arrival
+// process x invocation mix), scores the intended-start -> completion
+// samples against a latency deadline, and writes BENCH_slo.json. The same
+// --seed and spec reproduce a bit-identical sample set (the JSON embeds an
+// order-sensitive digest; CI asserts on it).
+//
+// Usage:
+//   loadgen [--arrival=poisson] [--rate=400] [--duration=20] [--seed=1]
+//           [--policy=la] [--workers=8] [--deadline_ms=100] [--warmup_s=1]
+//           [--colors=512] [--theta=0.9] [--churn_interval_s=0] ...
+//           [--sweep=200,400,800,1600]   # rate step-sweep for the knee
+//           [--dump_samples]             # embed per-sample records
+//           [--out=BENCH_slo.json]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/json_writer.h"
+#include "src/common/table_printer.h"
+#include "src/core/policy_factory.h"
+#include "src/workload/spec.h"
+
+namespace palette {
+namespace {
+
+std::vector<double> ParseRateCsv(const std::string& csv) {
+  std::vector<double> out;
+  std::size_t start = 0;
+  while (start < csv.size()) {
+    std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) {
+      comma = csv.size();
+    }
+    if (comma > start) {
+      out.push_back(std::stod(csv.substr(start, comma - start)));
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+void AppendSamplesJson(const std::vector<InvocationSample>& samples,
+                       JsonWriter* json) {
+  json->BeginArray();
+  for (const InvocationSample& s : samples) {
+    json->BeginObject();
+    json->Key("t_ns");
+    json->Int(s.intended_start.nanos());
+    json->Key("done_ns");
+    json->Int(s.completed.nanos());
+    json->Key("color");
+    json->UInt(s.color_id);
+    json->Key("fn");
+    json->UInt(s.function_index);
+    json->Key("status");
+    json->UInt(static_cast<std::uint64_t>(s.status));
+    json->Key("local");
+    json->UInt(s.local_hits);
+    json->Key("remote");
+    json->UInt(s.remote_hits);
+    json->Key("miss");
+    json->UInt(s.misses);
+    json->EndObject();
+  }
+  json->EndArray();
+}
+
+int Run(int argc, char** argv) {
+  const FlagParser flags(argc, argv);
+
+  WorkloadSpec spec;
+  if (!WorkloadSpecFromFlags(flags, &spec)) {
+    return 1;
+  }
+  PolicyKind policy;
+  const std::string policy_id = flags.GetString("policy", "la");
+  if (!ParsePolicyKind(policy_id, &policy)) {
+    std::fprintf(stderr, "unknown policy id: %s\n", policy_id.c_str());
+    return 1;
+  }
+  const int workers = static_cast<int>(flags.GetInt("workers", 8));
+  SloConfig slo;
+  slo.deadline = SimTime::FromMillis(flags.GetDouble("deadline_ms", 100));
+  slo.warmup = SimTime::FromSeconds(flags.GetDouble("warmup_s", 1));
+  slo.top_colors =
+      static_cast<std::size_t>(flags.GetInt("top_colors", 8));
+  const std::string sweep_csv = flags.GetString("sweep", "");
+  const bool dump_samples = flags.GetBool("dump_samples", false);
+  const std::string out_path = flags.GetString("out", "BENCH_slo.json");
+  PlatformConfig platform_config = DefaultWorkloadPlatformConfig();
+  platform_config.cache.per_instance_capacity = static_cast<Bytes>(
+      flags.GetDouble("cache_mb",
+                      static_cast<double>(
+                          platform_config.cache.per_instance_capacity) /
+                          static_cast<double>(kMiB)) *
+      static_cast<double>(kMiB));
+
+  for (const std::string& unknown : flags.UnqueriedFlags()) {
+    std::fprintf(stderr, "warning: unrecognized flag --%s\n",
+                 unknown.c_str());
+  }
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("schema");
+  json.String("palette-bench-v1");
+  json.Key("bench");
+  json.String("loadgen");
+  json.Key("policy");
+  json.String(PolicyKindId(policy));
+  json.Key("workers");
+  json.Int(workers);
+  json.Key("deadline_ms");
+  json.Double(slo.deadline.millis());
+  json.Key("warmup_s");
+  json.Double(slo.warmup.seconds());
+  json.Key("spec");
+  AppendWorkloadSpecJson(spec, &json);
+
+  if (sweep_csv.empty()) {
+    // Single run at the spec's rate.
+    std::printf("== loadgen: %s arrivals at %.0f rps, %s policy, %d "
+                "workers ==\n\n",
+                std::string(ArrivalKindId(spec.arrival.kind)).c_str(),
+                spec.arrival.rate_per_sec, policy_id.c_str(), workers);
+    const WorkloadRunResult run =
+        RunWorkload(spec, policy, workers, slo, platform_config);
+    std::printf("%s\n", SloReportTable(run.report).c_str());
+    std::printf("samples: %zu, digest: %016llx, sim events: %llu, cold "
+                "starts: %llu, platform drops: %llu\n",
+                run.samples.size(),
+                static_cast<unsigned long long>(run.samples_digest),
+                static_cast<unsigned long long>(run.sim_events),
+                static_cast<unsigned long long>(run.cold_starts),
+                static_cast<unsigned long long>(run.platform_dropped));
+
+    json.Key("sample_count");
+    json.UInt(run.samples.size());
+    json.Key("samples_digest");
+    json.String(StrFormat("%016llx", static_cast<unsigned long long>(
+                                         run.samples_digest)));
+    json.Key("sim_events");
+    json.UInt(run.sim_events);
+    json.Key("cold_starts");
+    json.UInt(run.cold_starts);
+    json.Key("platform_dropped");
+    json.UInt(run.platform_dropped);
+    json.Key("report");
+    AppendSloReportJson(run.report, &json);
+    if (dump_samples) {
+      json.Key("samples");
+      AppendSamplesJson(run.samples, &json);
+    }
+  } else {
+    // Rate step-sweep: fresh platform per rate, max sustainable = highest
+    // rate whose p99 meets the deadline with nothing shed.
+    const std::vector<double> rates = ParseRateCsv(sweep_csv);
+    if (rates.empty()) {
+      std::fprintf(stderr, "empty --sweep rate list\n");
+      return 1;
+    }
+    std::printf("== loadgen rate sweep: %s policy, %d workers, deadline "
+                "%.0f ms ==\n\n",
+                policy_id.c_str(), workers, slo.deadline.millis());
+    std::vector<std::uint64_t> digests;
+    const RateSweepResult sweep =
+        SweepRates(rates, [&](double rate) {
+          WorkloadSpec at_rate = spec;
+          at_rate.arrival.rate_per_sec = rate;
+          const WorkloadRunResult run =
+              RunWorkload(at_rate, policy, workers, slo, platform_config);
+          digests.push_back(run.samples_digest);
+          return run.report;
+        });
+
+    TablePrinter table;
+    table.AddRow({"offered_rps", "completed_rps", "goodput_rps", "p50_ms",
+                  "p99_ms", "p99.9_ms", "hit%", "meets_slo"});
+    for (const RateSweepPoint& point : sweep.points) {
+      table.AddRow({StrFormat("%.0f", point.offered_rps),
+                    StrFormat("%.1f", point.report.completed_rps),
+                    StrFormat("%.1f", point.report.goodput_rps),
+                    StrFormat("%.3f", point.report.p50_ms),
+                    StrFormat("%.3f", point.report.p99_ms),
+                    StrFormat("%.3f", point.report.p999_ms),
+                    StrFormat("%.1f", 100 * point.report.local_hit_ratio),
+                    point.report.MeetsSlo() ? "yes" : "no"});
+    }
+    table.Print();
+    std::printf("\nmax sustainable rate: %.0f rps (p99 <= %.0f ms)\n",
+                sweep.max_sustainable_rps, slo.deadline.millis());
+
+    json.Key("max_sustainable_rps");
+    json.Double(sweep.max_sustainable_rps);
+    json.Key("sweep");
+    json.BeginArray();
+    for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+      json.BeginObject();
+      json.Key("offered_rps");
+      json.Double(sweep.points[i].offered_rps);
+      json.Key("samples_digest");
+      json.String(StrFormat(
+          "%016llx", static_cast<unsigned long long>(digests[i])));
+      json.Key("report");
+      AppendSloReportJson(sweep.points[i].report, &json);
+      json.EndObject();
+    }
+    json.EndArray();
+  }
+  json.EndObject();
+
+  if (!WriteTextFile(out_path, json.str())) {
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace palette
+
+int main(int argc, char** argv) { return palette::Run(argc, argv); }
