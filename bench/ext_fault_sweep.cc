@@ -1,0 +1,229 @@
+// Extension experiment — goodput and tail latency under instance churn
+// (docs/FAULTS.md).
+//
+// The paper argues colors are safe to rely on precisely because they are
+// best-effort hints: an instance can die and the system keeps working.
+// This bench quantifies "keeps working". A deterministic fault schedule
+// (seeded MTBF crash/restart process) is replayed identically against every
+// routing policy, with the platform's retry layer off and on, and each cell
+// reports goodput, p99, and the failure books.
+//
+// Two effects separate the cells:
+//   * retries off: every invocation queued on (or running on) a crashed
+//     worker is dropped — goodput falls by roughly the queue depth per
+//     crash, and the books record the loss as faas.invocations_dropped;
+//   * retries on: lost attempts re-enter the load balancer, where
+//     failure-aware re-coloring has already re-homed the dead instance's
+//     colors, so the retry lands on a live replacement (lb.recolored
+//     counts the moved mappings). Goodput recovers to the offered rate and
+//     the cost shows up as p99 instead (backoff + re-execution).
+//
+// The accounting identity `submitted = completed + dropped + abandoned`
+// must close in every cell once the simulator drains; the bench exits
+// non-zero if it does not, and CI asserts the retries-on cells drop and
+// abandon nothing.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/common/json_writer.h"
+#include "src/common/table_printer.h"
+#include "src/core/policy_factory.h"
+#include "src/workload/fault_schedule.h"
+#include "src/workload/spec.h"
+
+namespace palette {
+namespace {
+
+constexpr int kWorkers = 8;
+constexpr double kDeadlineMs = 100;
+constexpr double kOfferedRps = 1000;
+
+WorkloadSpec SweepSpec() {
+  WorkloadSpec spec;
+  spec.arrival.kind = ArrivalKind::kPoisson;
+  spec.arrival.rate_per_sec = kOfferedRps;
+  spec.mix.color_count = 256;
+  spec.mix.zipf_theta = 0.7;
+  spec.mix.objects_per_color = 2;
+  spec.mix.inputs_per_invocation = 1;
+  spec.mix.functions[0].cpu_ops = 2e6;  // ~2 ms compute per invocation
+  spec.driver.duration = SimTime::FromSeconds(15);
+  spec.seed = 1;
+  return spec;
+}
+
+// Churn hits the middle of the run: crashes (hard failures — the running
+// attempt dies too) with restarts, so membership dips and recovers
+// repeatedly while load keeps arriving.
+FaultSchedule SweepFaults(const WorkloadSpec& spec) {
+  MtbfConfig mtbf;
+  mtbf.mtbf = SimTime::FromSeconds(2);
+  mtbf.mttr = SimTime::FromMillis(1500);
+  mtbf.start = SimTime::FromSeconds(3);
+  mtbf.end = SimTime::FromSeconds(12);
+  mtbf.crash = true;
+  std::vector<std::string> workers;
+  for (int i = 0; i < kWorkers; ++i) {
+    workers.push_back(StrFormat("w%d", i));
+  }
+  return FaultSchedule::FromMtbf(mtbf, workers, spec.seed ^ 0xFA117ULL);
+}
+
+void Run() {
+  std::printf("== Extension: goodput + p99 under instance churn ==\n");
+  std::printf(
+      "(open-loop Poisson %.0f rps, %d workers, seeded MTBF crash/restart "
+      "schedule,\n retries off vs on, identical churn for every policy)\n\n",
+      kOfferedRps, kWorkers);
+
+  const std::vector<PolicyKind> policies = {
+      PolicyKind::kObliviousRandom, PolicyKind::kConsistentHashing,
+      PolicyKind::kBucketHashing, PolicyKind::kLeastAssigned};
+
+  SloConfig slo;
+  slo.deadline = SimTime::FromMillis(kDeadlineMs);
+  slo.warmup = SimTime::FromSeconds(2);
+
+  const WorkloadSpec spec = SweepSpec();
+  const FaultSchedule faults = SweepFaults(spec);
+
+  PlatformConfig base_config = DefaultWorkloadPlatformConfig();
+  base_config.cache.per_instance_capacity = 32 * kMiB;
+  // A generous per-attempt deadline: it only fires when churn strands an
+  // attempt, so timeouts stay a churn signal rather than a latency tax.
+  base_config.default_deadline = SimTime::FromSeconds(1);
+
+  PlatformConfig retry_config = base_config;
+  retry_config.retry.max_attempts = 4;
+  retry_config.retry.initial_backoff = SimTime::FromMillis(5);
+  retry_config.retry.multiplier = 2.0;
+  retry_config.retry.jitter = 0.2;
+
+  TablePrinter table;
+  table.AddRow({"policy", "retries", "goodput_rps", "p99_ms", "submitted",
+                "completed", "dropped", "abandoned", "retried", "timeouts",
+                "recolored"});
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("schema");
+  json.String("palette-bench-v1");
+  json.Key("bench");
+  json.String("ext_fault_sweep");
+  json.Key("workers");
+  json.Int(kWorkers);
+  json.Key("deadline_ms");
+  json.Double(kDeadlineMs);
+  json.Key("spec");
+  AppendWorkloadSpecJson(spec, &json);
+  json.Key("faults");
+  json.BeginObject();
+  json.Key("crashes");
+  json.UInt(faults.CountOf(FaultKind::kCrash));
+  json.Key("restarts");
+  json.UInt(faults.CountOf(FaultKind::kRestart));
+  json.Key("events");
+  json.BeginArray();
+  for (const FaultEvent& event : faults.events()) {
+    json.BeginObject();
+    json.Key("at_s");
+    json.Double(event.at.seconds());
+    json.Key("kind");
+    json.String(FaultKindId(event.kind));
+    json.Key("worker");
+    json.String(event.worker);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  json.Key("cells");
+  json.BeginArray();
+
+  bool books_ok = true;
+  for (const PolicyKind policy : policies) {
+    for (const bool retries_on : {false, true}) {
+      const PlatformConfig& config = retries_on ? retry_config : base_config;
+      const WorkloadRunResult run =
+          RunWorkload(spec, policy, kWorkers, slo, config, &faults);
+      const bool closes =
+          run.platform_submitted == run.platform_completed +
+                                        run.platform_dropped +
+                                        run.platform_abandoned;
+      books_ok = books_ok && closes;
+
+      table.AddRow({std::string(PolicyKindId(policy)),
+                    retries_on ? "on" : "off",
+                    StrFormat("%.1f", run.report.goodput_rps),
+                    StrFormat("%.3f", run.report.p99_ms),
+                    StrFormat("%llu", (unsigned long long)run.platform_submitted),
+                    StrFormat("%llu", (unsigned long long)run.platform_completed),
+                    StrFormat("%llu", (unsigned long long)run.platform_dropped),
+                    StrFormat("%llu", (unsigned long long)run.platform_abandoned),
+                    StrFormat("%llu", (unsigned long long)run.retries),
+                    StrFormat("%llu", (unsigned long long)run.timeouts),
+                    StrFormat("%llu", (unsigned long long)run.recolored)});
+
+      json.BeginObject();
+      json.Key("policy");
+      json.String(PolicyKindId(policy));
+      json.Key("retries_enabled");
+      json.Bool(retries_on);
+      json.Key("submitted");
+      json.UInt(run.platform_submitted);
+      json.Key("completed");
+      json.UInt(run.platform_completed);
+      json.Key("dropped");
+      json.UInt(run.platform_dropped);
+      json.Key("abandoned");
+      json.UInt(run.platform_abandoned);
+      json.Key("retries");
+      json.UInt(run.retries);
+      json.Key("timeouts");
+      json.UInt(run.timeouts);
+      json.Key("recolored");
+      json.UInt(run.recolored);
+      json.Key("cold_starts");
+      json.UInt(run.cold_starts);
+      json.Key("books_close");
+      json.Bool(closes);
+      json.Key("samples_digest");
+      json.UInt(run.samples_digest);
+      json.Key("report");
+      AppendSloReportJson(run.report, &json);
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+  json.Key("books_close");
+  json.Bool(books_ok);
+  json.EndObject();
+
+  table.Print();
+  std::printf(
+      "\nIdentical churn per cell; retries turn crash losses (dropped) "
+      "into\nbackoff latency, and failure-aware re-coloring points the "
+      "retried hints\nat the replacement instances (recolored > 0 for "
+      "color-table policies).\n");
+  if (!books_ok) {
+    std::fprintf(stderr,
+                 "FAIL: accounting identity violated — submitted != "
+                 "completed + dropped + abandoned\n");
+    std::exit(1);
+  }
+  std::printf("books close in every cell: submitted = completed + dropped "
+              "+ abandoned\n");
+
+  if (!WriteTextFile("BENCH_fault.json", json.str())) {
+    return;
+  }
+  std::printf("\nwrote BENCH_fault.json\n");
+}
+
+}  // namespace
+}  // namespace palette
+
+int main() {
+  palette::Run();
+  return 0;
+}

@@ -39,9 +39,17 @@ std::optional<std::string> FaastCache::HomeInstance(
 
 std::string FaastCache::Put(const std::string& producer,
                             const std::string& object_name, Bytes size) {
-  assert(shards_.count(producer) > 0 && "unknown producer instance");
+  // No assert on the producer: an invocation can legitimately finish on an
+  // instance after RemoveInstance (graceful scale-in lets running work
+  // complete), and its output store must not crash the platform. The home
+  // ring never contains removed members, so the object still lands on a
+  // live shard.
   const auto home = HomeInstance(object_name);
-  assert(home.has_value());
+  if (!home.has_value()) {
+    // Membership is empty: nowhere to store. Report the producer as the
+    // (nominal) home so the caller's transfer is a local no-op.
+    return producer;
+  }
   shards_.at(*home)->Put(object_name, size);
   put_bytes_ += size;
   return *home;

@@ -98,11 +98,13 @@ void BoundedLoadPolicy::OnInstanceRemoved(const std::string& instance) {
   }
   assigned_counts_.erase(*removed);
   // Only colors on the removed instance move: they re-walk their ring
-  // order, preserving the bounded-load invariant.
+  // order, preserving the bounded-load invariant. Each is a re-colored
+  // mapping.
   for (auto& entry : lru_) {
     if (entry.instance != *removed) {
       continue;
     }
+    ++recolored_;
     const auto target = PlaceColor(entry.color);
     if (!target.has_value()) {
       entry.instance = kInvalidInstanceId;

@@ -90,6 +90,10 @@ void BucketHashingPolicy::OnInstanceRemoved(const std::string& instance) {
   for (std::size_t index : orphans) {
     buckets_[index].owner = kInvalidInstanceId;
   }
+  // Every orphaned bucket is re-homed below (or left unowned until an
+  // instance appears): count each as a re-colored mapping at bucket
+  // granularity — all colors hashing into the bucket move together.
+  recolored_ += orphans.size();
   if (instance_ids().empty()) {
     return;
   }

@@ -53,6 +53,15 @@ class ColorSchedulingPolicy {
 
   // Human-readable policy name for reports ("Oblivious: Random", ...).
   virtual std::string_view name() const = 0;
+
+  // Color-to-instance mappings explicitly remapped because their instance
+  // left (failure-aware re-coloring; exported as "lb.recolored"). Stateful
+  // policies count table entries or bucket moves; stateless ring policies
+  // remap implicitly and report 0.
+  std::uint64_t recolored() const { return recolored_; }
+
+ protected:
+  std::uint64_t recolored_ = 0;
 };
 
 // Shared instance bookkeeping for concrete policies: a name-sorted instance

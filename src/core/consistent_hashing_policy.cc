@@ -20,6 +20,8 @@ void ConsistentHashingPolicy::OnInstanceAdded(const std::string& instance) {
 
 void ConsistentHashingPolicy::OnInstanceRemoved(const std::string& instance) {
   PolicyBase::OnInstanceRemoved(instance);
+  // The ring remaps the removed member's arc to its successors implicitly;
+  // with no per-color table there is no entry count to add to recolored_.
   ring_.RemoveMember(instance);
 }
 

@@ -54,11 +54,13 @@ void LeastAssignedPolicy::OnInstanceRemoved(const std::string& instance) {
   assigned_counts_.erase(*removed);
   // Redistribute the removed instance's colors with the same policy,
   // walking from most- to least-recently used so hot colors get first pick
-  // of the least-loaded instances.
+  // of the least-loaded instances. Each moved (or dormant-marked) entry is
+  // a re-colored mapping: a retried hint will land on the new instance.
   for (auto& entry : lru_) {
     if (entry.instance != *removed) {
       continue;
     }
+    ++recolored_;
     const auto target = LeastLoadedInstance();
     if (!target.has_value()) {
       entry.instance = kInvalidInstanceId;  // No instances left; dormant.

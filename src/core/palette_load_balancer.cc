@@ -66,7 +66,16 @@ void PaletteLoadBalancer::RemoveInstance(const std::string& instance) {
   if (it == instances_.end()) {
     return;
   }
-  instance_ids_.erase(instance_ids_.begin() + (it - instances_.begin()));
+  const std::size_t index = static_cast<std::size_t>(it - instances_.begin());
+  const InstanceId id = instance_ids_[index];
+  // Interned ids are reused when a name rejoins, so the per-id routing
+  // counter must die with the membership — otherwise a removed-then-re-added
+  // instance starts with the dead incarnation's count (counter
+  // bleed-through).
+  if (id < routed_counts_.size()) {
+    routed_counts_[id] = 0;
+  }
+  instance_ids_.erase(instance_ids_.begin() + index);
   instances_.erase(it);
   policy_->OnInstanceRemoved(instance);
 }
@@ -88,12 +97,19 @@ std::optional<std::string> PaletteLoadBalancer::ResolveColor(
 std::string PaletteLoadBalancer::TranslateObjectName(
     const std::string& object_name) {
   const std::size_t pos = object_name.find(kHashKeyToken);
-  if (pos == std::string::npos) {
+  if (pos == std::string::npos || pos == 0) {
+    // No hash-key prefix, or an empty one ("___rest"): nothing to
+    // translate. An empty color is not a hint, and resolving it would
+    // fabricate an empty-color mapping in the policy's table.
     return object_name;
   }
+  // Names with several separators ("a___b___c") split at the first one:
+  // the prefix is "a", the rest ("___b___c") is carried through verbatim.
   const auto instance =
       ResolveColorId(object_name.substr(0, pos));
   if (!instance.has_value()) {
+    // The prefix resolves to no instance (empty membership): leave the
+    // name untranslated; the cache will hash it by its raw prefix.
     return object_name;
   }
   return InstanceName(*instance) + object_name.substr(pos);

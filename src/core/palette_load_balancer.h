@@ -69,6 +69,12 @@ class PaletteLoadBalancer {
   std::uint64_t unhinted_routed() const { return unhinted_routed_; }
   std::uint64_t hint_failures() const { return hint_failures_; }
 
+  // Color mappings the policy explicitly remapped because their instance
+  // left (failure-aware re-coloring; exported as "lb.recolored"). Retried
+  // hints for those colors land on the re-mapped instance instead of
+  // routing into a dead one.
+  std::uint64_t recolored() const { return policy_->recolored(); }
+
   // Opt-in per-color invocation counts. Off by default: the per-route
   // string map insert is exactly the cost the interned hot path removed,
   // so only tracing/debugging sessions should turn it on.

@@ -36,9 +36,9 @@ int ColorScaleController::Evaluate() {
   }
   if (target < current) {
     // Conservative scale-in: one worker per evaluation, so color mappings
-    // re-home gradually rather than in a thundering herd.
-    const auto names = platform_->WorkerNames();
-    platform_->RemoveWorker(names.back());
+    // re-home gradually rather than in a thundering herd. Drain-aware
+    // victim choice: the shallowest queue strands the fewest requests.
+    platform_->RemoveWorker(platform_->DrainCandidateWorker());
     return -1;
   }
   return 0;

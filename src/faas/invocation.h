@@ -31,14 +31,22 @@ struct InvocationSpec {
   // CPU demand in abstract operations; divided by the platform's
   // ops-per-second rating to get compute time.
   double cpu_ops = 0;
+  // Per-attempt time budget, measured from (re-)submission. An attempt
+  // still incomplete when the budget expires is cancelled on its worker
+  // (unexecuted CPU time refunded) and handled as a failure — retried if
+  // the platform's RetryPolicy allows, otherwise dropped. Zero means "use
+  // the platform's default_deadline"; if that is zero too, no deadline.
+  SimTime deadline;
   std::vector<ObjectRef> inputs;
   std::vector<ObjectRef> outputs;
 };
 
 struct InvocationResult {
   std::uint64_t id = 0;
-  std::string instance;  // where it ran
-  SimTime submitted;     // entered the load balancer
+  std::string instance;  // where it ran (the final, successful attempt)
+  int attempts = 1;      // tries this invocation took (1 = no retries)
+  SimTime submitted;     // entered the load balancer (first attempt; kept
+                         // across retries so e2e latency spans the backoffs)
   SimTime dispatched;    // left the load balancer (incl. any cold start)
   SimTime fetch_start;   // popped from the worker's FIFO; input fetch began
   SimTime inputs_ready;  // all inputs fetched

@@ -18,7 +18,8 @@ FaasPlatform::FaasPlatform(Simulator* sim, PolicyKind policy,
       network_ptr_(shared_network != nullptr ? shared_network
                                              : owned_network_.get()),
       cache_(config.cache),
-      lb_(MakePolicy(policy, seed)) {
+      lb_(MakePolicy(policy, seed)),
+      retry_rng_(seed ^ 0x5EEDBACC0FFULL) {
   if (!network_ptr_->HasNode(kStorageNode)) {
     network_ptr_->AddNode(kStorageNode);
   }
@@ -51,17 +52,41 @@ void FaasPlatform::RemoveWorker(const std::string& name) {
   if (it == workers_.end()) {
     return;
   }
-  // Requests waiting in the dead worker's FIFO die with it (the running
-  // one, if any, already left the queue and still completes). Count them
-  // rather than letting them vanish silently.
-  const std::uint64_t queued = it->second->queue.size();
-  dropped_ += queued;
-  if (metrics_ != nullptr) {
-    m_dropped_->Add(queued);
-  }
+  // Graceful drain: the running attempt (if any) already left the queue
+  // and still completes; attempts waiting in the FIFO fail. Membership is
+  // updated first so the policy re-colors before any retry re-routes.
+  std::deque<AttemptPtr> orphans = std::move(it->second->queue);
   workers_.erase(it);
   cache_.RemoveInstance(name);
   lb_.RemoveInstance(name);
+  for (const AttemptPtr& attempt : orphans) {
+    HandleFailure(attempt, FailureReason::kWorkerLost);
+  }
+}
+
+void FaasPlatform::CrashWorker(const std::string& name) {
+  const auto id = InstanceRegistry::Global().Find(name);
+  if (!id.has_value()) {
+    return;
+  }
+  const auto it = workers_.find(*id);
+  if (it == workers_.end()) {
+    return;
+  }
+  // Hard failure: the running attempt dies too — its partial work is lost
+  // and a retry re-executes from scratch (at-least-once). The instance's
+  // cached objects vanish with its shard.
+  std::deque<AttemptPtr> orphans = std::move(it->second->queue);
+  AttemptPtr running = std::move(it->second->running);
+  workers_.erase(it);
+  cache_.RemoveInstance(name);
+  lb_.RemoveInstance(name);
+  if (running != nullptr) {
+    HandleFailure(running, FailureReason::kWorkerLost);
+  }
+  for (const AttemptPtr& attempt : orphans) {
+    HandleFailure(attempt, FailureReason::kWorkerLost);
+  }
 }
 
 std::vector<std::string> FaasPlatform::WorkerNames() const {
@@ -72,6 +97,19 @@ std::vector<std::string> FaasPlatform::WorkerNames() const {
   }
   std::sort(names.begin(), names.end());
   return names;
+}
+
+std::string FaasPlatform::DrainCandidateWorker() const {
+  std::string best;
+  std::size_t best_depth = 0;
+  for (const std::string& name : WorkerNames()) {  // sorted: ties -> smallest
+    const std::size_t depth = WorkerQueueDepth(name);
+    if (best.empty() || depth < best_depth) {
+      best = name;
+      best_depth = depth;
+    }
+  }
+  return best;
 }
 
 void FaasPlatform::SeedStorageObject(const std::string& name, Bytes size) {
@@ -85,12 +123,27 @@ std::optional<std::uint64_t> FaasPlatform::Invoke(
     return std::nullopt;
   }
   const std::uint64_t id = next_id_++;
+  ++submitted_;
   auto result = std::make_shared<InvocationResult>();
   result->id = id;
-  result->instance = InstanceName(*instance);
   result->submitted = sim_->Now();
 
-  Worker& worker = *workers_.at(*instance);
+  auto attempt = std::make_shared<Attempt>();
+  attempt->spec = std::make_shared<InvocationSpec>(std::move(spec));
+  attempt->result = std::move(result);
+  attempt->on_complete = std::move(on_complete);
+  DispatchTo(attempt, *instance);
+  return id;
+}
+
+void FaasPlatform::DispatchTo(const AttemptPtr& attempt, InstanceId target) {
+  attempt->worker = target;
+  InvocationResult& result = *attempt->result;
+  result.instance = InstanceName(target);
+  result.attempts = attempt->number;
+  result.cold_start = SimTime();
+
+  Worker& worker = *workers_.at(target);
   SimTime dispatch_done = sim_->Now() + config_.dispatch_latency;
   if (!worker.warm) {
     worker.warm = true;
@@ -100,31 +153,142 @@ std::optional<std::uint64_t> FaasPlatform::Invoke(
       m_cold_starts_->Increment();
     }
     dispatch_done += config_.cold_start;
-    result->cold_start = config_.cold_start;
+    result.cold_start = config_.cold_start;
   }
-  result->dispatched = dispatch_done;
+  result.dispatched = dispatch_done;
 
-  auto spec_ptr = std::make_shared<InvocationSpec>(std::move(spec));
-  const InstanceId target = *instance;
-  sim_->At(dispatch_done, [this, target, spec_ptr, result,
-                           cb = std::move(on_complete)]() mutable {
+  const SimTime budget = attempt->spec->deadline > SimTime()
+                             ? attempt->spec->deadline
+                             : config_.default_deadline;
+  if (budget > SimTime()) {
+    attempt->deadline = sim_->Now() + budget;
+    ArmDeadline(attempt);
+  }
+
+  sim_->At(dispatch_done, [this, attempt, target]() {
     // The request arrives at the instance and joins its FIFO run queue.
+    if (attempt->cancelled) {
+      return;  // deadline expired while in dispatch flight
+    }
     auto it = workers_.find(target);
     if (it == workers_.end()) {
-      // Worker removed while the request was in flight: dropped.
-      ++dropped_;
-      if (metrics_ != nullptr) {
-        m_dropped_->Increment();
-      }
+      // Worker removed while the request was in flight.
+      HandleFailure(attempt, FailureReason::kWorkerLost);
       return;
     }
-    it->second->queue.push_back(
-        PendingInvocation{spec_ptr, result, std::move(cb)});
+    it->second->queue.push_back(attempt);
     if (!it->second->busy) {
       StartNextOnWorker(target);
     }
   });
-  return id;
+}
+
+void FaasPlatform::ArmDeadline(const AttemptPtr& attempt) {
+  sim_->At(attempt->deadline, [this, attempt]() { OnDeadline(attempt); });
+}
+
+void FaasPlatform::OnDeadline(const AttemptPtr& attempt) {
+  if (attempt->cancelled || attempt->committed) {
+    return;  // already failed another way, or past the point of no return
+  }
+  ++timeouts_;
+  if (metrics_ != nullptr) {
+    m_timeouts_->Increment();
+  }
+  const InstanceId target = attempt->worker;
+  const bool was_running = attempt->running;
+  HandleFailure(attempt, FailureReason::kTimeout);
+  const auto it = workers_.find(target);
+  if (it == workers_.end()) {
+    return;
+  }
+  Worker& worker = *it->second;
+  if (was_running && worker.running == attempt) {
+    // Cancel on the worker: return the unexecuted tail of the CPU booking
+    // so the next queued request starts now instead of after the ghost of
+    // the cancelled compute.
+    const SimTime remaining = attempt->result->compute_done - sim_->Now();
+    if (remaining > SimTime()) {
+      worker.cpu.Refund(remaining);
+    }
+    worker.running.reset();
+    StartNextOnWorker(target);
+  } else {
+    // Still waiting in the FIFO: drop it from the queue so depth gauges
+    // don't count a dead entry.
+    auto& queue = worker.queue;
+    queue.erase(std::remove(queue.begin(), queue.end(), attempt),
+                queue.end());
+  }
+}
+
+void FaasPlatform::HandleFailure(const AttemptPtr& attempt,
+                                 FailureReason reason) {
+  if (attempt->cancelled) {
+    return;  // this attempt's failure is already being handled
+  }
+  attempt->cancelled = true;
+  const RetryPolicy& retry = config_.retry;
+  if (retry.enabled() && attempt->number < retry.max_attempts) {
+    ++retries_;
+    if (metrics_ != nullptr) {
+      m_retries_->Increment();
+    }
+    const SimTime backoff = retry.BackoffFor(attempt->number, retry_rng_);
+    const SimTime resubmit_at = sim_->Now() + backoff;
+    if (trace_ != nullptr) {
+      trace_->RecordRetry(RetryTrace{
+          attempt->result->id, attempt->number,
+          attempt->worker != kInvalidInstanceId ? InstanceName(attempt->worker)
+                                                : std::string(),
+          reason == FailureReason::kTimeout ? RetryReason::kTimeout
+                                            : RetryReason::kWorkerLost,
+          sim_->Now(), resubmit_at});
+    }
+    sim_->At(resubmit_at, [this, attempt]() { Resubmit(attempt); });
+    return;
+  }
+  if (retry.enabled()) {
+    ++abandoned_;
+    if (metrics_ != nullptr) {
+      m_abandoned_->Increment();
+    }
+  } else {
+    ++dropped_;
+    if (metrics_ != nullptr) {
+      m_dropped_->Increment();
+    }
+  }
+}
+
+void FaasPlatform::Resubmit(const AttemptPtr& failed) {
+  // A brand-new Attempt: events still pending against the failed one see
+  // its tombstone and no-op, so they can never resurrect it.
+  auto next = std::make_shared<Attempt>();
+  next->spec = failed->spec;
+  next->result = failed->result;
+  next->on_complete = std::move(failed->on_complete);
+  next->number = failed->number + 1;
+
+  // Per-attempt result fields start over; `submitted` is kept so the
+  // end-to-end latency spans the failed attempts and backoffs.
+  InvocationResult& result = *next->result;
+  result.attempts = next->number;
+  result.local_hits = 0;
+  result.remote_hits = 0;
+  result.misses = 0;
+  result.network_bytes = 0;
+
+  // A fresh route: colors re-mapped by failure-aware re-coloring land on
+  // the replacement instance, not the dead one.
+  const auto instance = lb_.RouteId(next->spec->color);
+  if (!instance.has_value()) {
+    // No instances at the moment; treat as another failed attempt (backs
+    // off again, up to max_attempts).
+    HandleFailure(next, FailureReason::kWorkerLost);
+    return;
+  }
+  DispatchTo(next, *instance);
 }
 
 void FaasPlatform::StartNextOnWorker(InstanceId instance) {
@@ -133,15 +297,21 @@ void FaasPlatform::StartNextOnWorker(InstanceId instance) {
     return;
   }
   Worker& worker = *worker_it->second;
+  while (!worker.queue.empty() && worker.queue.front()->cancelled) {
+    worker.queue.pop_front();
+  }
   if (worker.queue.empty()) {
     worker.busy = false;
+    worker.running.reset();
     return;
   }
   worker.busy = true;
-  PendingInvocation pending = std::move(worker.queue.front());
+  AttemptPtr attempt = std::move(worker.queue.front());
   worker.queue.pop_front();
-  const std::shared_ptr<InvocationSpec>& spec = pending.spec;
-  const std::shared_ptr<InvocationResult>& result = pending.result;
+  worker.running = attempt;
+  attempt->running = true;
+  const std::shared_ptr<InvocationSpec>& spec = attempt->spec;
+  const std::shared_ptr<InvocationResult>& result = attempt->result;
   const std::string& instance_name = InstanceName(instance);
   result->fetch_start = sim_->Now();
 
@@ -209,8 +379,15 @@ void FaasPlatform::StartNextOnWorker(InstanceId instance) {
       worker.cpu.Acquire((inputs_ready - sim_->Now()) + compute);
   result->compute_done = compute_done;
 
-  sim_->At(compute_done, [this, instance, spec, result,
-                          cb = std::move(pending.on_complete)]() mutable {
+  sim_->At(compute_done, [this, instance, attempt]() {
+    if (attempt->cancelled) {
+      return;  // timed out or crashed mid-run; the failure path took over
+    }
+    // Compute finished: the attempt is past its deadline's reach (only
+    // output placement remains, which a timeout no longer interrupts).
+    attempt->committed = true;
+    const std::shared_ptr<InvocationSpec>& spec2 = attempt->spec;
+    const std::shared_ptr<InvocationResult>& result2 = attempt->result;
     SimTime completed = sim_->Now();
     // Output placement: the invocation is not finished until its outputs
     // are stored at their home instances, and the single-threaded worker
@@ -218,34 +395,34 @@ void FaasPlatform::StartNextOnWorker(InstanceId instance) {
     // producing worker itself (a fast local store); under far-memory-style
     // naming the put crosses the network — the write-side cost oblivious
     // routing pays.
-    for (const ObjectRef& output : spec->outputs) {
+    for (const ObjectRef& output : spec2->outputs) {
       const std::string home =
-          cache_.Put(result->instance, output.name, output.size);
+          cache_.Put(result2->instance, output.name, output.size);
       const SimTime done =
-          network_ptr_->Transfer(result->instance, home, output.size);
+          network_ptr_->Transfer(result2->instance, home, output.size);
       if (done > completed) {
         completed = done;
       }
     }
-    result->completed = completed;
+    result2->completed = completed;
     if (trace_ != nullptr) {
       trace_->RecordInvocation(InvocationTrace{
-          result->id, spec->function, result->instance, spec->color,
-          result->submitted, result->dispatched, result->fetch_start,
-          result->inputs_ready, result->compute_done, result->completed,
-          result->cold_start});
+          result2->id, spec2->function, result2->instance, spec2->color,
+          result2->submitted, result2->dispatched, result2->fetch_start,
+          result2->inputs_ready, result2->compute_done, result2->completed,
+          result2->cold_start});
     }
     if (metrics_ != nullptr) {
       m_invocations_->Increment();
       const auto ns = [](SimTime t) {
         return static_cast<std::uint64_t>(t.nanos() > 0 ? t.nanos() : 0);
       };
-      m_e2e_ns_->Record(ns(result->completed - result->submitted));
-      m_route_ns_->Record(ns(result->dispatched - result->submitted));
-      m_queue_ns_->Record(ns(result->fetch_start - result->dispatched));
-      m_fetch_ns_->Record(ns(result->inputs_ready - result->fetch_start));
-      m_compute_ns_->Record(ns(result->compute_done - result->inputs_ready));
-      m_store_ns_->Record(ns(result->completed - result->compute_done));
+      m_e2e_ns_->Record(ns(result2->completed - result2->submitted));
+      m_route_ns_->Record(ns(result2->dispatched - result2->submitted));
+      m_queue_ns_->Record(ns(result2->fetch_start - result2->dispatched));
+      m_fetch_ns_->Record(ns(result2->inputs_ready - result2->fetch_start));
+      m_compute_ns_->Record(ns(result2->compute_done - result2->inputs_ready));
+      m_store_ns_->Record(ns(result2->completed - result2->compute_done));
     }
     if (completed > sim_->Now()) {
       // Keep the worker occupied through the blocking put.
@@ -254,10 +431,18 @@ void FaasPlatform::StartNextOnWorker(InstanceId instance) {
         occupied_it->second->cpu.Acquire(completed - sim_->Now());
       }
     }
-    sim_->At(completed, [this, instance, result, cb2 = std::move(cb)]() {
+    sim_->At(completed, [this, instance, attempt]() {
+      if (attempt->cancelled) {
+        return;  // worker crashed during the store phase; being retried
+      }
       ++completed_;
-      if (cb2) {
-        cb2(*result);
+      attempt->running = false;
+      auto it = workers_.find(instance);
+      if (it != workers_.end() && it->second->running == attempt) {
+        it->second->running.reset();
+      }
+      if (attempt->on_complete) {
+        attempt->on_complete(*attempt->result);
       }
       StartNextOnWorker(instance);
     });
@@ -278,6 +463,9 @@ void FaasPlatform::set_metrics(MetricsRegistry* metrics) {
     m_invocations_ = nullptr;
     m_cold_starts_ = nullptr;
     m_dropped_ = nullptr;
+    m_abandoned_ = nullptr;
+    m_retries_ = nullptr;
+    m_timeouts_ = nullptr;
     m_e2e_ns_ = nullptr;
     m_route_ns_ = nullptr;
     m_queue_ns_ = nullptr;
@@ -289,6 +477,9 @@ void FaasPlatform::set_metrics(MetricsRegistry* metrics) {
   m_invocations_ = &metrics->counter("faas.invocations");
   m_cold_starts_ = &metrics->counter("faas.cold_starts");
   m_dropped_ = &metrics->counter("faas.invocations_dropped");
+  m_abandoned_ = &metrics->counter("faas.invocations_abandoned");
+  m_retries_ = &metrics->counter("faas.retries");
+  m_timeouts_ = &metrics->counter("faas.timeouts");
   m_e2e_ns_ = &metrics->histogram("faas.latency.end_to_end_ns");
   m_route_ns_ = &metrics->histogram("faas.latency.route_ns");
   m_queue_ns_ = &metrics->histogram("faas.latency.queue_ns");
@@ -316,14 +507,19 @@ std::uint64_t FaasPlatform::WorkerColdStarts(const std::string& name) const {
 }
 
 void FaasPlatform::ExportMetrics(MetricsRegistry* metrics) const {
+  metrics->counter("faas.invocations.submitted").Set(submitted_);
   metrics->counter("faas.invocations.completed").Set(completed_);
   metrics->counter("faas.cold_starts.total").Set(cold_starts_);
   metrics->counter("faas.invocations_dropped").Set(dropped_);
+  metrics->counter("faas.invocations_abandoned").Set(abandoned_);
+  metrics->counter("faas.retries").Set(retries_);
+  metrics->counter("faas.timeouts").Set(timeouts_);
 
   metrics->counter("lb.routed.total").Set(lb_.total_routed());
   metrics->counter("lb.hints_honored").Set(lb_.hints_honored());
   metrics->counter("lb.unhinted").Set(lb_.unhinted_routed());
   metrics->counter("lb.hint_failures").Set(lb_.hint_failures());
+  metrics->counter("lb.recolored").Set(lb_.recolored());
   metrics->gauge("lb.routing_imbalance").Set(lb_.RoutingImbalance());
   metrics->gauge("lb.color_table_bytes")
       .Set(static_cast<double>(lb_.policy().StateBytes()));

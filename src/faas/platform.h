@@ -11,6 +11,17 @@
 //   -> compute on the worker's CPU FIFO (plus serialization overhead)
 //   -> store outputs at their home instances
 //   -> completion callback.
+//
+// Fault tolerance (docs/FAULTS.md): each try of an invocation is an
+// Attempt. An attempt fails when its worker disappears under it
+// (RemoveWorker while queued or in dispatch flight, CrashWorker at any
+// point) or its deadline expires. Failed attempts re-enter the load
+// balancer under the platform's RetryPolicy — a fresh route, so colors
+// remapped by the policy's failure-aware re-coloring land on the new
+// instance — until they complete or max_attempts is exhausted. The books
+// always close: submitted = completed + dropped + abandoned once the
+// simulator drains (dropped = failures with retry disabled, abandoned =
+// failures that exhausted their retry budget).
 #ifndef PALETTE_SRC_FAAS_PLATFORM_H_
 #define PALETTE_SRC_FAAS_PLATFORM_H_
 
@@ -25,10 +36,12 @@
 
 #include "src/cache/faast_cache.h"
 #include "src/common/instance_id.h"
+#include "src/common/rng.h"
 #include "src/common/types.h"
 #include "src/core/palette_load_balancer.h"
 #include "src/core/policy_factory.h"
 #include "src/faas/invocation.h"
+#include "src/faas/retry_policy.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sim/network.h"
@@ -53,8 +66,22 @@ struct PlatformConfig {
   double serialization_bytes_per_second = 1.5e9;
   // Whether objects fetched from backing storage are cached locally.
   bool cache_miss_fills = true;
+  // Per-attempt time budget applied to invocations whose spec leaves
+  // `deadline` zero. Zero (the default) disables deadlines entirely.
+  SimTime default_deadline;
+  // Re-execution of failed attempts (worker lost, crash, timeout). The
+  // default (max_attempts = 1) keeps the pre-retry behavior: failures are
+  // counted as dropped.
+  RetryPolicy retry;
   FaastCacheConfig cache;
   NetworkConfig network;
+};
+
+// Why an attempt failed (the retry trace uses the obs-layer RetryReason
+// mirror of this).
+enum class FailureReason {
+  kWorkerLost,  // worker removed/crashed while the attempt was on it
+  kTimeout,     // per-attempt deadline expired
 };
 
 class FaasPlatform {
@@ -78,9 +105,20 @@ class FaasPlatform {
   void set_worker_prefix(std::string prefix) {
     worker_prefix_ = std::move(prefix);
   }
+  // Graceful scale-in: the running attempt (if any) completes; queued and
+  // in-dispatch-flight attempts fail (retried or dropped per RetryPolicy).
   void RemoveWorker(const std::string& name);
+  // Hard failure: the running attempt dies with the worker too, and its
+  // partially-executed work is lost (re-executed from scratch on retry —
+  // at-least-once semantics).
+  void CrashWorker(const std::string& name);
   std::size_t worker_count() const { return workers_.size(); }
   std::vector<std::string> WorkerNames() const;
+  // Scale-in victim selection: the worker with the fewest queued requests
+  // (ties break on the lexicographically smallest name). Removing the
+  // shallowest queue strands the fewest in-flight attempts. Empty string
+  // when there are no workers.
+  std::string DrainCandidateWorker() const;
 
   // Submits an invocation; `on_complete` fires (via the simulator) when its
   // outputs are stored. Returns the invocation id, or nullopt if no workers
@@ -105,13 +143,24 @@ class FaasPlatform {
   Simulator& simulator() { return *sim_; }
   const PlatformConfig& config() const { return config_; }
 
+  // Accounting identity (once the simulator drains, with no invocation
+  // mid-flight): submitted = completed + dropped + abandoned.
+  std::uint64_t submitted_invocations() const { return submitted_; }
   std::uint64_t completed_invocations() const { return completed_; }
-  // Invocations lost in flight to RemoveWorker: queued on the removed
-  // worker, or dispatched to it before the removal and arriving after.
-  // Their completion callbacks never fire. Exported as
-  // "faas.invocations_dropped"; submitted = completed + dropped + running
-  // once the simulator drains.
+  // Attempts lost to worker removal/crash or timeout while retries are
+  // DISABLED (the pre-retry drop semantics). Their completion callbacks
+  // never fire. Exported as "faas.invocations_dropped".
   std::uint64_t dropped_invocations() const { return dropped_; }
+  // Invocations whose final allowed attempt also failed (retries were
+  // enabled but the budget ran out). Exported as
+  // "faas.invocations_abandoned".
+  std::uint64_t abandoned_invocations() const { return abandoned_; }
+  // Re-submissions performed ("faas.retries") and per-attempt deadline
+  // expiries observed ("faas.timeouts"). A timed-out attempt that is
+  // successfully retried counts in timeouts_ and retries_ and, eventually,
+  // completed_.
+  std::uint64_t total_retries() const { return retries_; }
+  std::uint64_t total_timeouts() const { return timeouts_; }
   // Busy CPU time per worker (utilization and stragglers).
   std::unordered_map<std::string, SimTime> WorkerBusyTime() const;
 
@@ -137,11 +186,22 @@ class FaasPlatform {
   void ExportMetrics(MetricsRegistry* metrics) const;
 
  private:
-  struct PendingInvocation {
+  // One try of an invocation. Simulator events cannot be cancelled, so a
+  // failed attempt is tombstoned (`cancelled`) and its already-scheduled
+  // events no-op when they fire; the retry is a brand-new Attempt sharing
+  // the spec/result, so stale events can never resurrect it.
+  struct Attempt {
     std::shared_ptr<InvocationSpec> spec;
     std::shared_ptr<InvocationResult> result;
     CompletionCallback on_complete;
+    int number = 1;                          // 1-based try index
+    InstanceId worker = kInvalidInstanceId;  // where this try was routed
+    SimTime deadline;                        // absolute; zero = none
+    bool cancelled = false;  // failed; pending events must no-op
+    bool running = false;    // popped from the FIFO, occupying the CPU
+    bool committed = false;  // compute finished; deadline no longer applies
   };
+  using AttemptPtr = std::shared_ptr<Attempt>;
 
   // A worker is a single-vCPU application instance: it serves one
   // invocation at a time from a FIFO queue and *blocks* while fetching that
@@ -152,11 +212,28 @@ class FaasPlatform {
         : cpu(sim), speed(speed_factor) {}
     FifoResource cpu;  // busy-time accounting
     double speed;      // CPU rate multiplier
-    std::deque<PendingInvocation> queue;
+    std::deque<AttemptPtr> queue;
+    AttemptPtr running;  // attempt occupying the CPU (null when idle)
     bool busy = false;
     bool warm = false;
     std::uint64_t cold_starts = 0;
   };
+
+  // Routes `attempt` through the LB and dispatches it; on empty membership
+  // falls through to HandleFailure. Used by Invoke (first attempt routed
+  // there) and by retries.
+  void DispatchTo(const AttemptPtr& attempt, InstanceId target);
+  // Arms the per-attempt deadline timer if the attempt has one.
+  void ArmDeadline(const AttemptPtr& attempt);
+  // Deadline timer callback: cancels the attempt (refunding unexecuted CPU
+  // time if it was mid-run) and hands it to HandleFailure.
+  void OnDeadline(const AttemptPtr& attempt);
+  // Failure funnel: retries the invocation (new Attempt after backoff) or
+  // closes its books as dropped/abandoned. Idempotent per attempt.
+  void HandleFailure(const AttemptPtr& attempt, FailureReason reason);
+  // Builds attempt number `number` sharing `failed`'s spec/result and
+  // routes it through the LB afresh.
+  void Resubmit(const AttemptPtr& failed);
 
   // Pops and executes the next queued invocation on `instance`, if any.
   void StartNextOnWorker(InstanceId instance);
@@ -174,10 +251,17 @@ class FaasPlatform {
   std::unordered_map<std::string, Bytes> storage_objects_;
   std::string worker_prefix_ = "w";
   std::uint64_t next_id_ = 1;
+  std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t cold_starts_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t abandoned_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t timeouts_ = 0;
   int next_worker_index_ = 0;
+  // Jitter stream for retry backoff; seeded from the platform seed so runs
+  // stay bit-reproducible.
+  Rng retry_rng_;
 
   // Observability hooks; null = off. Per-invocation metrics are resolved
   // once in set_metrics so the hot path bumps plain integers.
@@ -186,6 +270,9 @@ class FaasPlatform {
   Counter* m_invocations_ = nullptr;
   Counter* m_cold_starts_ = nullptr;
   Counter* m_dropped_ = nullptr;
+  Counter* m_abandoned_ = nullptr;
+  Counter* m_retries_ = nullptr;
+  Counter* m_timeouts_ = nullptr;
   LatencyHistogram* m_e2e_ns_ = nullptr;
   LatencyHistogram* m_route_ns_ = nullptr;
   LatencyHistogram* m_queue_ns_ = nullptr;

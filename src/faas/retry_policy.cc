@@ -1,0 +1,23 @@
+#include "src/faas/retry_policy.h"
+
+#include <algorithm>
+
+namespace palette {
+
+SimTime RetryPolicy::BackoffFor(int failed_attempt, Rng& rng) const {
+  double nanos = static_cast<double>(initial_backoff.nanos());
+  for (int i = 1; i < failed_attempt; ++i) {
+    nanos *= multiplier;
+    if (nanos >= static_cast<double>(max_backoff.nanos())) {
+      break;
+    }
+  }
+  nanos = std::min(nanos, static_cast<double>(max_backoff.nanos()));
+  const double j = std::clamp(jitter, 0.0, 1.0);
+  if (j > 0) {
+    nanos *= (1.0 - j) + 2.0 * j * rng.NextDouble();
+  }
+  return SimTime::FromNanos(static_cast<std::int64_t>(std::max(nanos, 0.0)));
+}
+
+}  // namespace palette

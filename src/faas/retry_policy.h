@@ -1,0 +1,43 @@
+// Retry policy for failed invocations (docs/FAULTS.md).
+//
+// The paper sells colors as best-effort hints precisely so the platform can
+// survive instance churn; a production FaaS additionally re-executes work
+// lost to that churn instead of dropping it (Cloudburst-style at-least-once
+// semantics). A RetryPolicy bounds the re-execution: a failed attempt —
+// worker removed while the request was queued or in flight, worker crash,
+// or per-invocation deadline expiry — is re-submitted through the load
+// balancer after an exponential backoff, up to max_attempts total tries.
+//
+// Backoff is deterministic: the jitter draw comes from a seeded Rng the
+// platform owns, so two runs with the same seed retry at identical
+// simulated times and stay bit-reproducible.
+#ifndef PALETTE_SRC_FAAS_RETRY_POLICY_H_
+#define PALETTE_SRC_FAAS_RETRY_POLICY_H_
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace palette {
+
+struct RetryPolicy {
+  // Total tries per invocation (first attempt included). 1 disables
+  // retries: failures are counted dropped, the pre-retry behavior.
+  int max_attempts = 1;
+  // Backoff before retry k (1-based failed attempt) is
+  //   initial_backoff * multiplier^(k-1), capped at max_backoff,
+  // then scaled by a uniform factor in [1 - jitter, 1 + jitter).
+  SimTime initial_backoff = SimTime::FromMillis(5);
+  double multiplier = 2.0;
+  SimTime max_backoff = SimTime::FromSeconds(2);
+  double jitter = 0.2;  // fraction; clamped to [0, 1]
+
+  bool enabled() const { return max_attempts > 1; }
+
+  // Backoff delay after `failed_attempt` (1-based) fails. `rng` supplies
+  // the jitter draw; pass the same seeded stream for reproducible runs.
+  SimTime BackoffFor(int failed_attempt, Rng& rng) const;
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_FAAS_RETRY_POLICY_H_

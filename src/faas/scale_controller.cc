@@ -34,9 +34,9 @@ int ScaleController::Evaluate() {
   if (per_worker < config_.scale_in_threshold &&
       workers > config_.min_workers) {
     // Remove one worker at a time; conservative scale-in limits locality
-    // churn for colors that have to move.
-    const auto names = platform_->WorkerNames();
-    platform_->RemoveWorker(names.back());
+    // churn for colors that have to move. Drain-aware victim choice: the
+    // shallowest queue strands the fewest in-flight requests.
+    platform_->RemoveWorker(platform_->DrainCandidateWorker());
     ++scale_ins_;
     return -1;
   }

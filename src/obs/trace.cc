@@ -8,6 +8,16 @@
 
 namespace palette {
 
+std::string_view RetryReasonName(RetryReason reason) {
+  switch (reason) {
+    case RetryReason::kWorkerLost:
+      return "worker_lost";
+    case RetryReason::kTimeout:
+      return "timeout";
+  }
+  return "unknown";
+}
+
 std::string_view FetchSourceName(FetchSource source) {
   switch (source) {
     case FetchSource::kLocal:
@@ -28,9 +38,14 @@ void TraceRecorder::RecordFetch(FetchTrace fetch) {
   fetches_.push_back(std::move(fetch));
 }
 
+void TraceRecorder::RecordRetry(RetryTrace retry) {
+  retries_.push_back(std::move(retry));
+}
+
 void TraceRecorder::Clear() {
   invocations_.clear();
   fetches_.clear();
+  retries_.clear();
 }
 
 TraceRecorder::PhaseTotals TraceRecorder::Totals() const {
@@ -192,6 +207,36 @@ std::string TraceRecorder::ToChromeTraceJson() const {
     json.String(FetchSourceName(f.source));
     json.Key("bytes");
     json.UInt(f.bytes);
+    json.EndObject();
+    json.EndObject();
+  }
+  // Retry spans: one per failed attempt, covering the backoff gap from
+  // failure to re-submission, on the track of the instance that failed.
+  for (const RetryTrace& r : retries_) {
+    const int tid = tid_of(r.instance);
+    json.BeginObject();
+    json.Key("name");
+    json.String(StrFormat("retry#%d", r.attempt));
+    json.Key("cat");
+    json.String("retry");
+    json.Key("ph");
+    json.String("X");
+    json.Key("ts");
+    json.Double(r.failed_at.micros());
+    json.Key("dur");
+    json.Double((r.resubmitted_at - r.failed_at).micros());
+    json.Key("pid");
+    json.Int(1);
+    json.Key("tid");
+    json.Int(tid);
+    json.Key("args");
+    json.BeginObject();
+    json.Key("invocation");
+    json.UInt(r.invocation_id);
+    json.Key("failed_attempt");
+    json.Int(r.attempt);
+    json.Key("reason");
+    json.String(RetryReasonName(r.reason));
     json.EndObject();
     json.EndObject();
   }

@@ -72,17 +72,39 @@ struct FetchTrace {
   SimTime end;
 };
 
+// Why an attempt failed and was re-submitted (mirrors the platform's
+// FailureReason without making obs depend on faas).
+enum class RetryReason { kWorkerLost, kTimeout };
+
+std::string_view RetryReasonName(RetryReason reason);
+
+// One retry: attempt `attempt` of invocation `invocation_id` failed at
+// `failed_at` and the next attempt was re-submitted at `resubmitted_at`
+// (the gap is the backoff). `instance` is where the failed attempt ran or
+// was headed.
+struct RetryTrace {
+  std::uint64_t invocation_id = 0;
+  int attempt = 1;
+  std::string instance;
+  RetryReason reason = RetryReason::kWorkerLost;
+  SimTime failed_at;
+  SimTime resubmitted_at;
+};
+
 class TraceRecorder {
  public:
   void RecordInvocation(InvocationTrace trace);
   void RecordFetch(FetchTrace fetch);
+  void RecordRetry(RetryTrace retry);
 
   std::size_t invocation_count() const { return invocations_.size(); }
   std::size_t fetch_count() const { return fetches_.size(); }
+  std::size_t retry_count() const { return retries_.size(); }
   const std::vector<InvocationTrace>& invocations() const {
     return invocations_;
   }
   const std::vector<FetchTrace>& fetches() const { return fetches_; }
+  const std::vector<RetryTrace>& retries() const { return retries_; }
 
   void Clear();
 
@@ -116,6 +138,7 @@ class TraceRecorder {
  private:
   std::vector<InvocationTrace> invocations_;
   std::vector<FetchTrace> fetches_;
+  std::vector<RetryTrace> retries_;
 };
 
 }  // namespace palette

@@ -119,4 +119,17 @@ SimTime FifoResource::Acquire(SimTime duration, SimTime not_before) {
   return available_at_;
 }
 
+void FifoResource::Refund(SimTime amount) {
+  const SimTime now = sim_->Now();
+  SimTime refund = available_at_ - now;  // time still booked ahead
+  if (amount < refund) {
+    refund = amount;
+  }
+  if (refund <= SimTime()) {
+    return;
+  }
+  available_at_ = available_at_ - refund;
+  busy_ = busy_ - refund;
+}
+
 }  // namespace palette

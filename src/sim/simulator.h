@@ -145,6 +145,13 @@ class FifoResource {
   // earlier than `not_before`; returns when the booking completes.
   SimTime Acquire(SimTime duration, SimTime not_before = SimTime());
 
+  // Returns un-executed booked time to the resource (invocation
+  // cancellation): shrinks the busy horizon by up to `amount`, never below
+  // Now(), so the next Acquire starts correspondingly earlier. Busy-time
+  // accounting is reduced by the same span — cancelled work was never
+  // actually computed.
+  void Refund(SimTime amount);
+
   SimTime available_at() const { return available_at_; }
   // Total booked (busy) time; utilization = busy / horizon.
   SimTime busy_time() const { return busy_; }

@@ -5,6 +5,7 @@
 
 #include "src/common/flags.h"
 #include "src/common/json_writer.h"
+#include "src/workload/fault_schedule.h"
 
 namespace palette {
 
@@ -120,10 +121,14 @@ PlatformConfig DefaultWorkloadPlatformConfig() {
 
 WorkloadRunResult RunWorkload(const WorkloadSpec& spec, PolicyKind policy,
                               int workers, const SloConfig& slo,
-                              const PlatformConfig& platform_config) {
+                              const PlatformConfig& platform_config,
+                              const FaultSchedule* faults) {
   Simulator sim;
   FaasPlatform platform(&sim, policy, spec.seed, platform_config);
   platform.AddWorkers(workers);
+  if (faults != nullptr) {
+    faults->InstallOn(&sim, &platform);
+  }
 
   // Independent sub-streams per component, both derived from the one
   // experiment seed.
@@ -142,7 +147,13 @@ WorkloadRunResult RunWorkload(const WorkloadSpec& spec, PolicyKind policy,
                            spec.arrival.rate_per_sec);
   result.samples = driver.samples();
   result.samples_digest = SamplesDigest(result.samples);
+  result.platform_submitted = platform.submitted_invocations();
+  result.platform_completed = platform.completed_invocations();
   result.platform_dropped = platform.dropped_invocations();
+  result.platform_abandoned = platform.abandoned_invocations();
+  result.retries = platform.total_retries();
+  result.timeouts = platform.total_timeouts();
+  result.recolored = platform.load_balancer().recolored();
   result.cold_starts = platform.total_cold_starts();
   result.sim_events = events;
   return result;

@@ -17,6 +17,7 @@
 
 namespace palette {
 
+class FaultSchedule;
 class FlagParser;
 class JsonWriter;
 
@@ -52,18 +53,29 @@ struct WorkloadRunResult {
   std::vector<InvocationSample> samples;
   SloReport report;
   std::uint64_t samples_digest = 0;
-  std::uint64_t platform_dropped = 0;  // faas.invocations_dropped
+  // Platform books (docs/FAULTS.md): once the simulator drains,
+  //   platform_submitted = platform_completed + platform_dropped
+  //                        + platform_abandoned.
+  std::uint64_t platform_submitted = 0;
+  std::uint64_t platform_completed = 0;
+  std::uint64_t platform_dropped = 0;    // faas.invocations_dropped
+  std::uint64_t platform_abandoned = 0;  // faas.invocations_abandoned
+  std::uint64_t retries = 0;             // faas.retries
+  std::uint64_t timeouts = 0;            // faas.timeouts
+  std::uint64_t recolored = 0;           // lb.recolored
   std::uint64_t cold_starts = 0;
   std::uint64_t sim_events = 0;
 };
 
 // Runs `spec` open-loop against a fresh Simulator + FaasPlatform with
 // `workers` workers under `policy`, drains the platform, and scores the
-// samples. Deterministic: identical (spec, policy, workers, config) give
-// a bit-identical sample set.
+// samples. Deterministic: identical (spec, policy, workers, config,
+// faults) give a bit-identical sample set. `faults`, when non-null, is
+// installed on the simulator before the driver starts.
 WorkloadRunResult RunWorkload(const WorkloadSpec& spec, PolicyKind policy,
                               int workers, const SloConfig& slo,
-                              const PlatformConfig& platform_config);
+                              const PlatformConfig& platform_config,
+                              const FaultSchedule* faults = nullptr);
 
 }  // namespace palette
 

@@ -64,6 +64,53 @@ TEST(LruCacheTest, RePutUpdatesSizeAndPromotes) {
   EXPECT_FALSE(cache.Contains("b"));
 }
 
+TEST(LruCacheTest, OverwriteWithLargerSizeAccountsAndEvicts) {
+  LruCache cache(30);
+  cache.Put("a", 10);
+  cache.Put("b", 10);
+  cache.Put("c", 10);
+  ASSERT_EQ(cache.used_bytes(), 30u);
+  // Growing "c" in place (10 -> 25) overflows the capacity by 15: the
+  // accounting must swap the old size for the new one exactly once, then
+  // evict from the LRU end (a, b) until the new total fits.
+  EXPECT_TRUE(cache.Put("c", 25));
+  EXPECT_EQ(cache.used_bytes(), 25u);
+  EXPECT_EQ(cache.SizeOf("c"), 25u);
+  EXPECT_FALSE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("b"));
+  EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(LruCacheTest, OverwriteWithSmallerSizeReleasesBytes) {
+  LruCache cache(30);
+  cache.Put("a", 20);
+  cache.Put("b", 10);
+  // Shrinking "a" (20 -> 5) must release the 15-byte difference — not
+  // leak it — so a 15-byte newcomer fits with no eviction.
+  EXPECT_TRUE(cache.Put("a", 5));
+  EXPECT_EQ(cache.used_bytes(), 15u);
+  EXPECT_EQ(cache.SizeOf("a"), 5u);
+  EXPECT_TRUE(cache.Put("c", 15));
+  EXPECT_EQ(cache.used_bytes(), 30u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_TRUE(cache.Contains("b"));
+  EXPECT_TRUE(cache.Contains("c"));
+}
+
+TEST(LruCacheTest, OverwriteWithOversizedValueLeavesEntryIntact) {
+  LruCache cache(30);
+  cache.Put("a", 10);
+  cache.Put("b", 10);
+  // An overwrite larger than the whole cache is rejected before any
+  // mutation: the old entry and the accounting survive untouched.
+  EXPECT_FALSE(cache.Put("a", 31));
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_EQ(cache.SizeOf("a"), 10u);
+  EXPECT_EQ(cache.used_bytes(), 20u);
+  EXPECT_TRUE(cache.Contains("b"));
+}
+
 TEST(LruCacheTest, ContainsDoesNotPromote) {
   LruCache cache(20);
   cache.Put("a", 10);
@@ -118,7 +165,7 @@ TEST_P(HitRatioCurveProperty, ExactForUniformSizes) {
   Rng rng(GetParam());
   std::vector<CacheAccess> trace;
   for (int i = 0; i < 3000; ++i) {
-    trace.push_back({StrFormat("obj%d", rng.NextBelow(50)), 10});
+    trace.push_back({StrFormat("obj%d", static_cast<int>(rng.NextBelow(50))), 10});
   }
   const std::vector<Bytes> capacities = {50, 100, 200, 400, 1000};
   const auto curve = HitRatioCurve::ForByteCapacities(trace, capacities);
@@ -172,7 +219,7 @@ TEST_P(HitRatioCurveProperty, ExactForObjectCapacities) {
   Rng rng(GetParam() + 200);
   std::vector<CacheAccess> trace;
   for (int i = 0; i < 3000; ++i) {
-    trace.push_back({StrFormat("obj%d", rng.NextBelow(60)), 1});
+    trace.push_back({StrFormat("obj%d", static_cast<int>(rng.NextBelow(60))), 1});
   }
   const std::vector<std::uint64_t> capacities = {1, 5, 20, 40, 60};
   const auto curve = HitRatioCurve::ForObjectCapacities(trace, capacities);
@@ -200,7 +247,7 @@ TEST(HitRatioCurveTest, ObjectCapacityMonotone) {
   Rng rng(77);
   std::vector<CacheAccess> trace;
   for (int i = 0; i < 5000; ++i) {
-    trace.push_back({StrFormat("o%d", rng.NextBelow(300)), 1});
+    trace.push_back({StrFormat("o%d", static_cast<int>(rng.NextBelow(300))), 1});
   }
   const auto curve =
       HitRatioCurve::ForObjectCapacities(trace, {1, 10, 50, 100, 300});

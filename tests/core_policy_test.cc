@@ -387,6 +387,76 @@ TEST(PaletteLoadBalancerTest, TranslationStableAcrossCalls) {
   EXPECT_EQ(first, second);
 }
 
+TEST(PaletteLoadBalancerTest, TranslateEmptyPrefixPassesThrough) {
+  PaletteLoadBalancer lb(MakePolicy(PolicyKind::kLeastAssigned, 9));
+  lb.AddInstance("w0");
+  // "___rest" has an empty color prefix: not a hint. It must pass through
+  // untranslated, and resolving it must not fabricate an empty-color
+  // mapping in the policy's table.
+  EXPECT_EQ(lb.TranslateObjectName("___rest"), "___rest");
+  EXPECT_EQ(lb.TranslateObjectName("___"), "___");
+}
+
+TEST(PaletteLoadBalancerTest, TranslateSplitsAtFirstSeparatorOnly) {
+  PaletteLoadBalancer lb(MakePolicy(PolicyKind::kLeastAssigned, 9));
+  lb.AddInstance("w0");
+  lb.AddInstance("w1");
+  // "a___b___c" splits at the first token: prefix "a", rest "___b___c"
+  // carried through verbatim.
+  const auto instance = lb.ResolveColor("a");
+  ASSERT_TRUE(instance.has_value());
+  EXPECT_EQ(lb.TranslateObjectName("a___b___c"), *instance + "___b___c");
+}
+
+TEST(PaletteLoadBalancerTest, TranslateWithNoInstancesPassesThrough) {
+  PaletteLoadBalancer lb(MakePolicy(PolicyKind::kLeastAssigned, 9));
+  // The prefix resolves to no instance (empty membership): the name stays
+  // as-is so the cache hashes it by its raw prefix.
+  EXPECT_EQ(lb.TranslateObjectName("blue___obj"), "blue___obj");
+}
+
+TEST(PaletteLoadBalancerTest, RemoveAndReAddInstanceResetsRoutingCounts) {
+  PaletteLoadBalancer lb(MakePolicy(PolicyKind::kLeastAssigned, 9));
+  lb.AddInstance("w0");
+  lb.AddInstance("w1");
+  // Pin every route onto one instance via a sticky color.
+  const auto sticky = lb.ResolveColor("c");
+  ASSERT_TRUE(sticky.has_value());
+  for (int i = 0; i < 10; ++i) {
+    lb.Route(Color("c"));
+  }
+  ASSERT_EQ(lb.RoutedTo(*sticky), 10u);
+
+  // Remove the instance, then bring the same name back. Interned ids are
+  // reused on re-add, so a stale counter would bleed the dead
+  // incarnation's 10 routes into the new one.
+  lb.RemoveInstance(*sticky);
+  EXPECT_EQ(lb.RoutedTo(*sticky), 0u);
+  lb.AddInstance(*sticky);
+  EXPECT_EQ(lb.RoutedTo(*sticky), 0u);
+
+  // And the re-added instance participates in fresh routing from zero.
+  for (int i = 0; i < 4; ++i) {
+    lb.Route(Color("c"));
+  }
+  EXPECT_EQ(lb.RoutedTo("w0") + lb.RoutedTo("w1"), 4u);
+}
+
+TEST(PaletteLoadBalancerTest, RemoveInstanceKeepsStickyResolutionLive) {
+  PaletteLoadBalancer lb(MakePolicy(PolicyKind::kLeastAssigned, 9));
+  lb.AddInstance("w0");
+  lb.AddInstance("w1");
+  const auto before = lb.ResolveColor("c");
+  ASSERT_TRUE(before.has_value());
+  lb.RemoveInstance(*before);
+  // No stale hits: the color resolves to the survivor, not the removed
+  // name, and the re-coloring is counted.
+  const auto after = lb.ResolveColor("c");
+  ASSERT_TRUE(after.has_value());
+  EXPECT_NE(*after, *before);
+  EXPECT_GT(lb.recolored(), 0u);
+}
+
 // ---------- Fig. 5 load models ----------
 
 TEST(LoadModelTest, BucketHashingBeatsSimpleHashing) {

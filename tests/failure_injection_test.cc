@@ -172,5 +172,155 @@ TEST(FailureInjectionTest, RapidChurnUnderLoadStillDrains) {
             static_cast<std::uint64_t>(submitted));
 }
 
+PlatformConfig RetryConfig(int max_attempts = 4) {
+  PlatformConfig config = TestConfig();
+  config.retry.max_attempts = max_attempts;
+  config.retry.initial_backoff = SimTime::FromMillis(5);
+  config.retry.multiplier = 2.0;
+  config.retry.jitter = 0.2;
+  return config;
+}
+
+TEST(FailureInjectionTest, CrashWithRetryClosesBooksWithNothingDropped) {
+  Simulator sim;
+  FaasPlatform platform(&sim, PolicyKind::kLeastAssigned, 1, RetryConfig());
+  platform.AddWorkers(4);
+
+  int completed = 0;
+  for (int i = 0; i < 40; ++i) {
+    InvocationSpec spec;
+    spec.function = "f";
+    spec.color = StrFormat("c%d", i % 8);
+    spec.cpu_ops = 1e8;  // 100 ms each
+    platform.Invoke(std::move(spec),
+                    [&](const InvocationResult&) { ++completed; });
+  }
+  // Hard crash mid-run: the victim's queue AND its running attempt die.
+  sim.At(SimTime::FromMillis(50), [&]() { platform.CrashWorker("w1"); });
+  sim.Run();
+
+  // With retries enabled and three surviving workers, every lost attempt
+  // is re-executed: nothing dropped, nothing abandoned, and the books
+  // close as submitted = completed (+ 0 + 0).
+  EXPECT_EQ(platform.submitted_invocations(), 40u);
+  EXPECT_EQ(completed, 40);
+  EXPECT_EQ(platform.dropped_invocations(), 0u);
+  EXPECT_EQ(platform.abandoned_invocations(), 0u);
+  EXPECT_GT(platform.total_retries(), 0u);
+  EXPECT_EQ(platform.submitted_invocations(),
+            platform.completed_invocations() +
+                platform.dropped_invocations() +
+                platform.abandoned_invocations());
+}
+
+TEST(FailureInjectionTest, RetriedColoredInvocationLandsOnRemappedInstance) {
+  Simulator sim;
+  FaasPlatform platform(&sim, PolicyKind::kLeastAssigned, 1, RetryConfig());
+  platform.AddWorker("w0");
+  platform.AddWorker("w1");
+
+  // Pin down where "red" maps before the failure.
+  const auto sticky = platform.load_balancer().ResolveColor("red");
+  ASSERT_TRUE(sticky.has_value());
+  const std::string survivor = *sticky == "w0" ? "w1" : "w0";
+
+  // Two red invocations: the first occupies the sticky instance for 500 ms,
+  // the second queues behind it.
+  std::vector<InvocationResult> results;
+  for (int i = 0; i < 2; ++i) {
+    InvocationSpec spec;
+    spec.function = "f";
+    spec.color = "red";
+    spec.cpu_ops = 5e8;
+    platform.Invoke(std::move(spec), [&](const InvocationResult& r) {
+      results.push_back(r);
+    });
+  }
+  // The sticky instance crashes while both are on it.
+  sim.At(SimTime::FromMillis(100), [&]() { platform.CrashWorker(*sticky); });
+  sim.Run();
+
+  // Failure-aware re-coloring re-homed "red", so the retried hints land on
+  // the survivor — not on a dead route, not dropped.
+  ASSERT_EQ(results.size(), 2u);
+  for (const InvocationResult& r : results) {
+    EXPECT_EQ(r.instance, survivor);
+    EXPECT_GT(r.attempts, 1);
+  }
+  EXPECT_GT(platform.load_balancer().recolored(), 0u);
+  EXPECT_EQ(platform.dropped_invocations(), 0u);
+  EXPECT_EQ(platform.abandoned_invocations(), 0u);
+}
+
+TEST(FailureInjectionTest, DeadlineTimeoutRefundsWorkerCompute) {
+  Simulator sim;
+  FaasPlatform platform(&sim, PolicyKind::kLeastAssigned, 1,
+                        TestConfig());  // retries disabled
+  platform.AddWorker("w0");
+
+  // A pays the 100 ms cold start + 1 ms dispatch, then computes 1 s — but
+  // its 300 ms deadline (armed at submission) fires mid-compute.
+  InvocationSpec a;
+  a.function = "slow";
+  a.color = "c";
+  a.cpu_ops = 1e9;
+  a.deadline = SimTime::FromMillis(300);
+  bool a_completed = false;
+  platform.Invoke(std::move(a),
+                  [&](const InvocationResult&) { a_completed = true; });
+
+  // B arrives behind A. Without the CPU refund it would wait out A's full
+  // booking (~1.1 s); with the refund it starts right at A's timeout.
+  SimTime b_done;
+  sim.At(SimTime::FromMillis(150), [&]() {
+    InvocationSpec b;
+    b.function = "fast";
+    b.color = "c";
+    b.cpu_ops = 1e6;  // 1 ms
+    platform.Invoke(std::move(b),
+                    [&](const InvocationResult& r) { b_done = r.completed; });
+  });
+  sim.Run();
+
+  EXPECT_FALSE(a_completed);
+  EXPECT_EQ(platform.total_timeouts(), 1u);
+  // Retries are disabled, so the timed-out invocation is dropped and the
+  // books still close.
+  EXPECT_EQ(platform.dropped_invocations(), 1u);
+  EXPECT_EQ(platform.submitted_invocations(), 2u);
+  EXPECT_EQ(platform.completed_invocations(), 1u);
+  // B finished just after the 300 ms timeout, not after A's 1 s booking.
+  EXPECT_GT(b_done, SimTime::FromMillis(300));
+  EXPECT_LT(b_done, SimTime::FromMillis(400));
+}
+
+TEST(FailureInjectionTest, AbandonedAfterMaxAttemptsClosesBooks) {
+  Simulator sim;
+  FaasPlatform platform(&sim, PolicyKind::kLeastAssigned, 1,
+                        RetryConfig(/*max_attempts=*/2));
+  platform.AddWorker("w0");
+
+  bool completed = false;
+  InvocationSpec spec;
+  spec.function = "f";
+  spec.color = "c";
+  spec.cpu_ops = 1e9;  // 1 s
+  platform.Invoke(std::move(spec),
+                  [&](const InvocationResult&) { completed = true; });
+  // The only worker crashes and never comes back: attempt 1 dies with it,
+  // attempt 2 finds no instances. Budget exhausted -> abandoned.
+  sim.At(SimTime::FromMillis(50), [&]() { platform.CrashWorker("w0"); });
+  sim.Run();
+
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(platform.total_retries(), 1u);
+  EXPECT_EQ(platform.abandoned_invocations(), 1u);
+  EXPECT_EQ(platform.dropped_invocations(), 0u);
+  EXPECT_EQ(platform.submitted_invocations(),
+            platform.completed_invocations() +
+                platform.dropped_invocations() +
+                platform.abandoned_invocations());
+}
+
 }  // namespace
 }  // namespace palette

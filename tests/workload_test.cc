@@ -3,13 +3,17 @@
 // cases, and bit-identical end-to-end reproducibility.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/table_printer.h"
 #include "src/workload/arrival.h"
 #include "src/workload/driver.h"
+#include "src/workload/fault_schedule.h"
 #include "src/workload/mix.h"
 #include "src/workload/slo.h"
 #include "src/workload/spec.h"
@@ -370,6 +374,118 @@ TEST(WorkloadRunTest, IdenticalSpecsReproduceBitIdenticalSamples) {
   const WorkloadRunResult c =
       RunWorkload(reseeded, PolicyKind::kBucketHashing, 4, slo, config);
   EXPECT_NE(a.samples_digest, c.samples_digest);
+}
+
+std::vector<std::string> FaultWorkers(int n) {
+  std::vector<std::string> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(StrFormat("w%d", i));
+  }
+  return out;
+}
+
+TEST(FaultScheduleTest, FromMtbfIsDeterministicPerSeed) {
+  MtbfConfig config;
+  config.mtbf = SimTime::FromSeconds(1);
+  config.mttr = SimTime::FromMillis(500);
+  config.end = SimTime::FromSeconds(10);
+  const auto workers = FaultWorkers(4);
+  const FaultSchedule a = FaultSchedule::FromMtbf(config, workers, 42);
+  const FaultSchedule b = FaultSchedule::FromMtbf(config, workers, 42);
+  ASSERT_GT(a.size(), 0u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events()[i].at, b.events()[i].at);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].worker, b.events()[i].worker);
+  }
+  // A different seed must actually move the failures.
+  const FaultSchedule c = FaultSchedule::FromMtbf(config, workers, 43);
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = !(a.events()[i].at == c.events()[i].at) ||
+              a.events()[i].worker != c.events()[i].worker;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultScheduleTest, FromMtbfRespectsWindowAndMembership) {
+  MtbfConfig config;
+  config.mtbf = SimTime::FromMillis(500);
+  config.mttr = SimTime::FromSeconds(1);
+  config.start = SimTime::FromSeconds(2);
+  config.end = SimTime::FromSeconds(8);
+  const auto workers = FaultWorkers(3);
+  const FaultSchedule schedule = FaultSchedule::FromMtbf(config, workers, 7);
+  ASSERT_GT(schedule.size(), 0u);
+  EXPECT_EQ(schedule.CountOf(FaultKind::kCrash),
+            schedule.CountOf(FaultKind::kRestart));
+  SimTime prev;
+  for (const FaultEvent& event : schedule.events()) {
+    EXPECT_GE(event.at, prev);  // sorted
+    prev = event.at;
+    EXPECT_TRUE(std::find(workers.begin(), workers.end(), event.worker) !=
+                workers.end());
+    if (event.kind == FaultKind::kCrash) {
+      // Crashes stay inside the window; restarts may trail past `end`.
+      EXPECT_GE(event.at, config.start);
+      EXPECT_LT(event.at, config.end);
+    }
+  }
+  // No worker is hit again while it is still down.
+  std::map<std::string, SimTime> down_until;
+  for (const FaultEvent& event : schedule.events()) {
+    if (event.kind == FaultKind::kCrash) {
+      const auto it = down_until.find(event.worker);
+      if (it != down_until.end()) {
+        EXPECT_GE(event.at, it->second);
+      }
+      down_until[event.worker] = event.at + config.mttr;
+    }
+  }
+}
+
+TEST(FaultScheduleTest, ChurnRunWithRetriesClosesBooksReproducibly) {
+  WorkloadSpec spec;
+  spec.arrival.kind = ArrivalKind::kPoisson;
+  spec.arrival.rate_per_sec = 300;
+  spec.mix.color_count = 32;
+  // ~10 ms compute at 300 rps over 4 workers keeps utilization around
+  // 0.75, so each crash reliably catches running + queued invocations.
+  spec.mix.functions[0].cpu_ops = 1e7;
+  spec.driver.duration = SimTime::FromSeconds(4);
+  spec.seed = 5;
+  SloConfig slo;
+  slo.warmup = SimTime::FromMillis(500);
+  PlatformConfig config = DefaultWorkloadPlatformConfig();
+  config.retry.max_attempts = 4;
+
+  MtbfConfig mtbf;
+  mtbf.mtbf = SimTime::FromMillis(500);
+  mtbf.mttr = SimTime::FromMillis(300);
+  mtbf.start = SimTime::FromSeconds(1);
+  mtbf.end = SimTime::FromSeconds(3);
+  const FaultSchedule faults =
+      FaultSchedule::FromMtbf(mtbf, FaultWorkers(4), 9);
+  ASSERT_GT(faults.CountOf(FaultKind::kCrash), 0u);
+
+  const WorkloadRunResult a = RunWorkload(
+      spec, PolicyKind::kLeastAssigned, 4, slo, config, &faults);
+  // Books close under churn + retry, and with enough attempts nothing is
+  // dropped or abandoned — crashes only cost latency.
+  EXPECT_EQ(a.platform_submitted,
+            a.platform_completed + a.platform_dropped + a.platform_abandoned);
+  EXPECT_EQ(a.platform_dropped, 0u);
+  EXPECT_EQ(a.platform_abandoned, 0u);
+  EXPECT_GT(a.retries, 0u);
+  EXPECT_GT(a.recolored, 0u);
+
+  // The whole faulted run is bit-reproducible.
+  const WorkloadRunResult b = RunWorkload(
+      spec, PolicyKind::kLeastAssigned, 4, slo, config, &faults);
+  EXPECT_EQ(a.samples_digest, b.samples_digest);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.retries, b.retries);
 }
 
 TEST(WorkloadRunTest, StickyPoliciesBeatObliviousOnHitRatio) {
