@@ -48,9 +48,46 @@ std::optional<std::uint64_t> FaasFrontend::Invoke(
     FaasPlatform::CompletionCallback cb) {
   auto it = apps_.find(app);
   if (it == apps_.end()) {
+    ++unknown_app_rejections_;
     return std::nullopt;
   }
   return it->second->Invoke(std::move(spec), std::move(cb));
+}
+
+FaasFrontend::AppBooks FaasFrontend::BooksOf(const std::string& app) const {
+  const auto it = apps_.find(app);
+  if (it == apps_.end()) {
+    return AppBooks{};
+  }
+  const FaasPlatform& platform = *it->second;
+  return AppBooks{platform.submitted_invocations(),
+                  platform.completed_invocations(),
+                  platform.dropped_invocations(),
+                  platform.abandoned_invocations()};
+}
+
+bool FaasFrontend::AllBooksClosed() const {
+  for (const auto& [name, _] : apps_) {
+    if (!BooksOf(name).Closed()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void FaasFrontend::ExportAppMetrics(const std::string& app,
+                                    MetricsRegistry* metrics) {
+  const auto it = apps_.find(app);
+  if (it == apps_.end()) {
+    return;
+  }
+  it->second->ExportMetrics(metrics, "app." + app + ".");
+}
+
+void FaasFrontend::ExportMetrics(MetricsRegistry* metrics) {
+  for (const std::string& app : AppNames()) {
+    ExportAppMetrics(app, metrics);
+  }
 }
 
 }  // namespace palette

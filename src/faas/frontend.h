@@ -40,9 +40,39 @@ class FaasFrontend {
   FaasPlatform& App(const std::string& app);
 
   // Routes one invocation of `app`. Convenience over App(app).Invoke.
+  // Invocations for unregistered apps are refused (nullopt) and counted in
+  // unknown_app_rejections(); they enter no application's books.
   std::optional<std::uint64_t> Invoke(const std::string& app,
                                       InvocationSpec spec,
                                       FaasPlatform::CompletionCallback cb);
+
+  // Per-application accounting books (docs/FAULTS.md identity). Once the
+  // simulator drains, Closed() holds for every registered app no matter
+  // how invocations entered (frontend Invoke or App(app).Invoke directly)
+  // or how they ended (completed, dropped with retries off, abandoned).
+  struct AppBooks {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t abandoned = 0;
+    bool Closed() const {
+      return submitted == completed + dropped + abandoned;
+    }
+  };
+  // Zeroed books for unknown apps.
+  AppBooks BooksOf(const std::string& app) const;
+  // True iff every registered application's books close.
+  bool AllBooksClosed() const;
+  std::uint64_t unknown_app_rejections() const {
+    return unknown_app_rejections_;
+  }
+
+  // Snapshots one application's full platform metrics (the same families
+  // FaasPlatform::ExportMetrics writes) under the "app.<app>." prefix,
+  // e.g. "app.social.faas.invocations.submitted". No-op for unknown apps.
+  void ExportAppMetrics(const std::string& app, MetricsRegistry* metrics);
+  // Snapshots every registered application.
+  void ExportMetrics(MetricsRegistry* metrics);
 
   Network& network() { return network_; }
   Simulator& simulator() { return *sim_; }
@@ -51,6 +81,7 @@ class FaasFrontend {
   Simulator* sim_;
   Network network_;
   std::unordered_map<std::string, std::unique_ptr<FaasPlatform>> apps_;
+  std::uint64_t unknown_app_rejections_ = 0;
 };
 
 }  // namespace palette

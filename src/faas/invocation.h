@@ -57,6 +57,9 @@ struct InvocationResult {
   int remote_hits = 0;
   int misses = 0;
   Bytes network_bytes = 0;  // bytes pulled over the network (remote + storage)
+  // Routing-tier replica (src/router) that routed the latest attempt, or -1
+  // when the platform's own load balancer routed it directly.
+  std::int32_t router = -1;
 };
 
 }  // namespace palette

@@ -35,6 +35,7 @@ void FaasPlatform::AddWorker(const std::string& name, double speed) {
   network_ptr_->AddNode(name);
   cache_.AddInstance(name);
   lb_.AddInstance(name);
+  NotifyMembership(MembershipEvent::kAdded, name);
 }
 
 void FaasPlatform::AddWorkers(int count) {
@@ -59,6 +60,7 @@ void FaasPlatform::RemoveWorker(const std::string& name) {
   workers_.erase(it);
   cache_.RemoveInstance(name);
   lb_.RemoveInstance(name);
+  NotifyMembership(MembershipEvent::kRemoved, name);
   for (const AttemptPtr& attempt : orphans) {
     HandleFailure(attempt, FailureReason::kWorkerLost);
   }
@@ -81,12 +83,18 @@ void FaasPlatform::CrashWorker(const std::string& name) {
   workers_.erase(it);
   cache_.RemoveInstance(name);
   lb_.RemoveInstance(name);
+  NotifyMembership(MembershipEvent::kRemoved, name);
   if (running != nullptr) {
     HandleFailure(running, FailureReason::kWorkerLost);
   }
   for (const AttemptPtr& attempt : orphans) {
     HandleFailure(attempt, FailureReason::kWorkerLost);
   }
+}
+
+bool FaasPlatform::HasWorker(const std::string& name) const {
+  const auto id = InstanceRegistry::Global().Find(name);
+  return id.has_value() && workers_.count(*id) > 0;
 }
 
 std::vector<std::string> FaasPlatform::WorkerNames() const {
@@ -136,6 +144,33 @@ std::optional<std::uint64_t> FaasPlatform::Invoke(
   return id;
 }
 
+std::optional<std::uint64_t> FaasPlatform::InvokeVia(
+    InvocationSpec spec, RouteFn route, CompletionCallback on_complete,
+    SimTime route_hop) {
+  // Peek the id before routing so the tier can trace the hop against it;
+  // it is only consumed once the first attempt routes successfully.
+  const std::uint64_t id = next_id_;
+  const auto target = route(spec.color, id, /*attempt=*/1);
+  if (!target.has_value() || workers_.count(target->instance) == 0) {
+    return std::nullopt;
+  }
+  next_id_ = id + 1;
+  ++submitted_;
+  auto result = std::make_shared<InvocationResult>();
+  result->id = id;
+  result->submitted = sim_->Now();
+  result->router = target->router;
+
+  auto attempt = std::make_shared<Attempt>();
+  attempt->spec = std::make_shared<InvocationSpec>(std::move(spec));
+  attempt->result = std::move(result);
+  attempt->on_complete = std::move(on_complete);
+  attempt->route = std::move(route);
+  attempt->route_hop = route_hop;
+  DispatchTo(attempt, target->instance);
+  return id;
+}
+
 void FaasPlatform::DispatchTo(const AttemptPtr& attempt, InstanceId target) {
   attempt->worker = target;
   InvocationResult& result = *attempt->result;
@@ -143,8 +178,17 @@ void FaasPlatform::DispatchTo(const AttemptPtr& attempt, InstanceId target) {
   result.attempts = attempt->number;
   result.cold_start = SimTime();
 
-  Worker& worker = *workers_.at(target);
-  SimTime dispatch_done = sim_->Now() + config_.dispatch_latency;
+  const auto worker_it = workers_.find(target);
+  if (worker_it == workers_.end()) {
+    // An external route function pointed at a worker the cluster no longer
+    // runs (the platform's own LB never does this). Fail the attempt; the
+    // retry layer re-routes it through the route function afresh.
+    HandleFailure(attempt, FailureReason::kWorkerLost);
+    return;
+  }
+  Worker& worker = *worker_it->second;
+  SimTime dispatch_done =
+      sim_->Now() + config_.dispatch_latency + attempt->route_hop;
   if (!worker.warm) {
     worker.warm = true;
     ++worker.cold_starts;
@@ -268,6 +312,8 @@ void FaasPlatform::Resubmit(const AttemptPtr& failed) {
   next->spec = failed->spec;
   next->result = failed->result;
   next->on_complete = std::move(failed->on_complete);
+  next->route = std::move(failed->route);
+  next->route_hop = failed->route_hop;
   next->number = failed->number + 1;
 
   // Per-attempt result fields start over; `submitted` is kept so the
@@ -280,15 +326,23 @@ void FaasPlatform::Resubmit(const AttemptPtr& failed) {
   result.network_bytes = 0;
 
   // A fresh route: colors re-mapped by failure-aware re-coloring land on
-  // the replacement instance, not the dead one.
-  const auto instance = lb_.RouteId(next->spec->color);
-  if (!instance.has_value()) {
+  // the replacement instance, not the dead one. Tier-routed invocations go
+  // back through the routing tier, so the router replica's own view (and
+  // its per-view re-coloring) governs where the retry lands.
+  std::optional<RoutedTarget> target;
+  if (next->route) {
+    target = next->route(next->spec->color, result.id, next->number);
+  } else if (const auto instance = lb_.RouteId(next->spec->color)) {
+    target = RoutedTarget{*instance, -1};
+  }
+  if (!target.has_value()) {
     // No instances at the moment; treat as another failed attempt (backs
     // off again, up to max_attempts).
     HandleFailure(next, FailureReason::kWorkerLost);
     return;
   }
-  DispatchTo(next, *instance);
+  result.router = target->router;
+  DispatchTo(next, target->instance);
 }
 
 void FaasPlatform::StartNextOnWorker(InstanceId instance) {
@@ -410,7 +464,7 @@ void FaasPlatform::StartNextOnWorker(InstanceId instance) {
           result2->id, spec2->function, result2->instance, spec2->color,
           result2->submitted, result2->dispatched, result2->fetch_start,
           result2->inputs_ready, result2->compute_done, result2->completed,
-          result2->cold_start});
+          result2->cold_start, result2->router});
     }
     if (metrics_ != nullptr) {
       m_invocations_->Increment();
@@ -506,60 +560,65 @@ std::uint64_t FaasPlatform::WorkerColdStarts(const std::string& name) const {
   return it != workers_.end() ? it->second->cold_starts : 0;
 }
 
-void FaasPlatform::ExportMetrics(MetricsRegistry* metrics) const {
-  metrics->counter("faas.invocations.submitted").Set(submitted_);
-  metrics->counter("faas.invocations.completed").Set(completed_);
-  metrics->counter("faas.cold_starts.total").Set(cold_starts_);
-  metrics->counter("faas.invocations_dropped").Set(dropped_);
-  metrics->counter("faas.invocations_abandoned").Set(abandoned_);
-  metrics->counter("faas.retries").Set(retries_);
-  metrics->counter("faas.timeouts").Set(timeouts_);
+void FaasPlatform::ExportMetrics(MetricsRegistry* metrics,
+                                 const std::string& prefix) const {
+  const auto counter = [&](const std::string& name) -> Counter& {
+    return metrics->counter(prefix.empty() ? name : prefix + name);
+  };
+  const auto gauge = [&](const std::string& name) -> Gauge& {
+    return metrics->gauge(prefix.empty() ? name : prefix + name);
+  };
 
-  metrics->counter("lb.routed.total").Set(lb_.total_routed());
-  metrics->counter("lb.hints_honored").Set(lb_.hints_honored());
-  metrics->counter("lb.unhinted").Set(lb_.unhinted_routed());
-  metrics->counter("lb.hint_failures").Set(lb_.hint_failures());
-  metrics->counter("lb.recolored").Set(lb_.recolored());
-  metrics->gauge("lb.routing_imbalance").Set(lb_.RoutingImbalance());
-  metrics->gauge("lb.color_table_bytes")
+  counter("faas.invocations.submitted").Set(submitted_);
+  counter("faas.invocations.completed").Set(completed_);
+  counter("faas.cold_starts.total").Set(cold_starts_);
+  counter("faas.invocations_dropped").Set(dropped_);
+  counter("faas.invocations_abandoned").Set(abandoned_);
+  counter("faas.retries").Set(retries_);
+  counter("faas.timeouts").Set(timeouts_);
+
+  counter("lb.routed.total").Set(lb_.total_routed());
+  counter("lb.hints_honored").Set(lb_.hints_honored());
+  counter("lb.unhinted").Set(lb_.unhinted_routed());
+  counter("lb.hint_failures").Set(lb_.hint_failures());
+  counter("lb.recolored").Set(lb_.recolored());
+  gauge("lb.routing_imbalance").Set(lb_.RoutingImbalance());
+  gauge("lb.color_table_bytes")
       .Set(static_cast<double>(lb_.policy().StateBytes()));
 
-  metrics->counter("cache.local_hits").Set(cache_.local_hits());
-  metrics->counter("cache.remote_hits").Set(cache_.remote_hits());
-  metrics->counter("cache.misses").Set(cache_.misses());
-  metrics->counter("cache.evictions").Set(cache_.total_evictions());
-  metrics->counter("cache.local_hit_bytes").Set(cache_.local_hit_bytes());
-  metrics->counter("cache.remote_hit_bytes").Set(cache_.remote_hit_bytes());
-  metrics->counter("cache.put_bytes").Set(cache_.put_bytes());
+  counter("cache.local_hits").Set(cache_.local_hits());
+  counter("cache.remote_hits").Set(cache_.remote_hits());
+  counter("cache.misses").Set(cache_.misses());
+  counter("cache.evictions").Set(cache_.total_evictions());
+  counter("cache.local_hit_bytes").Set(cache_.local_hit_bytes());
+  counter("cache.remote_hit_bytes").Set(cache_.remote_hit_bytes());
+  counter("cache.put_bytes").Set(cache_.put_bytes());
 
-  metrics->counter("net.remote_bytes").Set(network_ptr_->remote_bytes());
-  metrics->counter("net.local_bytes").Set(network_ptr_->local_bytes());
-  metrics->counter("net.remote_transfers")
-      .Set(network_ptr_->remote_transfers());
-  metrics->counter("net.queue_delay_ns")
+  counter("net.remote_bytes").Set(network_ptr_->remote_bytes());
+  counter("net.local_bytes").Set(network_ptr_->local_bytes());
+  counter("net.remote_transfers").Set(network_ptr_->remote_transfers());
+  counter("net.queue_delay_ns")
       .Set(static_cast<std::uint64_t>(
           network_ptr_->total_queue_delay().nanos()));
 
   for (const auto& [id, worker] : workers_) {
     const std::string& name = InstanceName(id);
-    metrics->gauge(StrFormat("worker.%s.queue_depth", name.c_str()))
+    gauge(StrFormat("worker.%s.queue_depth", name.c_str()))
         .Set(static_cast<double>(worker->queue.size()));
-    metrics->gauge(StrFormat("worker.%s.busy_seconds", name.c_str()))
+    gauge(StrFormat("worker.%s.busy_seconds", name.c_str()))
         .Set(worker->cpu.busy_time().seconds());
-    metrics->counter(StrFormat("worker.%s.cold_starts", name.c_str()))
+    counter(StrFormat("worker.%s.cold_starts", name.c_str()))
         .Set(worker->cold_starts);
-    metrics->counter(StrFormat("worker.%s.routed", name.c_str()))
+    counter(StrFormat("worker.%s.routed", name.c_str()))
         .Set(lb_.RoutedToId(id));
-    metrics->gauge(StrFormat("cache.shard.%s.used_bytes", name.c_str()))
+    gauge(StrFormat("cache.shard.%s.used_bytes", name.c_str()))
         .Set(static_cast<double>(cache_.shard_used_bytes(name)));
-    metrics->counter(StrFormat("cache.shard.%s.evictions", name.c_str()))
+    counter(StrFormat("cache.shard.%s.evictions", name.c_str()))
         .Set(cache_.shard_evictions(name));
     const Network::NodeStats net = network_ptr_->NodeStatsOf(name);
-    metrics->counter(StrFormat("net.%s.bytes_out", name.c_str()))
-        .Set(net.bytes_out);
-    metrics->counter(StrFormat("net.%s.bytes_in", name.c_str()))
-        .Set(net.bytes_in);
-    metrics->counter(StrFormat("net.%s.queue_delay_ns", name.c_str()))
+    counter(StrFormat("net.%s.bytes_out", name.c_str())).Set(net.bytes_out);
+    counter(StrFormat("net.%s.bytes_in", name.c_str())).Set(net.bytes_in);
+    counter(StrFormat("net.%s.queue_delay_ns", name.c_str()))
         .Set(static_cast<std::uint64_t>(net.queue_delay.nanos()));
   }
 }

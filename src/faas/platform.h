@@ -84,9 +84,32 @@ enum class FailureReason {
   kTimeout,     // per-attempt deadline expired
 };
 
+// A placement decision handed to the platform by an external routing tier
+// (src/router): the chosen instance plus the id of the router replica that
+// chose it (-1 = the platform's own load balancer).
+struct RoutedTarget {
+  InstanceId instance = kInvalidInstanceId;
+  std::int32_t router = -1;
+};
+
 class FaasPlatform {
  public:
   using CompletionCallback = std::function<void(const InvocationResult&)>;
+  // External per-attempt route decision (InvokeVia): called with the
+  // invocation's color, its id, and the 1-based attempt number — retries
+  // go back through the same function, so an external tier's view (and its
+  // failure-aware re-coloring) governs where re-submissions land. Returning
+  // nullopt fails the attempt (no live instance visible to the router).
+  using RouteFn = std::function<std::optional<RoutedTarget>(
+      const std::optional<Color>& color, std::uint64_t invocation_id,
+      int attempt)>;
+  // Cluster membership change feed for external routing tiers: fired
+  // synchronously from AddWorker / RemoveWorker / CrashWorker, after the
+  // platform's own membership (cache shards, LB view) has been updated but
+  // before orphaned attempts are failed over.
+  enum class MembershipEvent { kAdded, kRemoved };
+  using MembershipListener =
+      std::function<void(MembershipEvent event, const std::string& worker)>;
 
   // The platform owns the cache and load balancer; `sim` must outlive it.
   // If `shared_network` is non-null the platform joins that network
@@ -125,6 +148,27 @@ class FaasPlatform {
   // are available.
   std::optional<std::uint64_t> Invoke(InvocationSpec spec,
                                       CompletionCallback on_complete);
+
+  // Like Invoke, but placement comes from `route` instead of the platform's
+  // own load balancer — the entry point for the scale-out routing tier
+  // (src/router). `route` is kept for the invocation's lifetime and called
+  // again on every retry. `route_hop` is charged to each attempt's dispatch
+  // phase (the extra network hop through the tier). Returns nullopt without
+  // consuming an id if the route function rejects the first attempt.
+  std::optional<std::uint64_t> InvokeVia(InvocationSpec spec, RouteFn route,
+                                         CompletionCallback on_complete,
+                                         SimTime route_hop = SimTime());
+
+  // Authoritative membership tests for external routers (a stale router
+  // view may point at a worker the cluster no longer runs).
+  bool HasWorkerId(InstanceId id) const { return workers_.count(id) > 0; }
+  bool HasWorker(const std::string& name) const;
+
+  // At most one listener; replaces any previous one (empty = detach). The
+  // listener must outlive the platform or detach before dying.
+  void set_membership_listener(MembershipListener listener) {
+    membership_listener_ = std::move(listener);
+  }
 
   // §5.1 name translation: rewrites a color hash-key prefix to the instance
   // that color maps to. DAG executors call this on input/output names
@@ -182,8 +226,11 @@ class FaasPlatform {
 
   // Snapshots platform + LB + cache + network counters into `metrics`
   // (counter/gauge names in docs/OBSERVABILITY.md). Call after a run; the
-  // live per-invocation histograms come from set_metrics instead.
-  void ExportMetrics(MetricsRegistry* metrics) const;
+  // live per-invocation histograms come from set_metrics instead. `prefix`
+  // is prepended to every metric name (e.g. "app.social." for per-app
+  // snapshots through FaasFrontend::ExportAppMetrics).
+  void ExportMetrics(MetricsRegistry* metrics,
+                     const std::string& prefix = std::string()) const;
 
  private:
   // One try of an invocation. Simulator events cannot be cancelled, so a
@@ -197,6 +244,8 @@ class FaasPlatform {
     int number = 1;                          // 1-based try index
     InstanceId worker = kInvalidInstanceId;  // where this try was routed
     SimTime deadline;                        // absolute; zero = none
+    RouteFn route;      // external tier placement; null = platform LB
+    SimTime route_hop;  // per-attempt routing-tier hop, added to dispatch
     bool cancelled = false;  // failed; pending events must no-op
     bool running = false;    // popped from the FIFO, occupying the CPU
     bool committed = false;  // compute finished; deadline no longer applies
@@ -238,6 +287,12 @@ class FaasPlatform {
   // Pops and executes the next queued invocation on `instance`, if any.
   void StartNextOnWorker(InstanceId instance);
 
+  void NotifyMembership(MembershipEvent event, const std::string& worker) {
+    if (membership_listener_) {
+      membership_listener_(event, worker);
+    }
+  }
+
   Simulator* sim_;
   PlatformConfig config_;
   std::unique_ptr<Network> owned_network_;  // null when sharing
@@ -262,6 +317,7 @@ class FaasPlatform {
   // Jitter stream for retry backoff; seeded from the platform seed so runs
   // stay bit-reproducible.
   Rng retry_rng_;
+  MembershipListener membership_listener_;
 
   // Observability hooks; null = off. Per-invocation metrics are resolved
   // once in set_metrics so the hot path bumps plain integers.

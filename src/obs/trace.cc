@@ -42,10 +42,15 @@ void TraceRecorder::RecordRetry(RetryTrace retry) {
   retries_.push_back(std::move(retry));
 }
 
+void TraceRecorder::RecordRouterHop(RouterHopTrace hop) {
+  router_hops_.push_back(std::move(hop));
+}
+
 void TraceRecorder::Clear() {
   invocations_.clear();
   fetches_.clear();
   retries_.clear();
+  router_hops_.clear();
 }
 
 TraceRecorder::PhaseTotals TraceRecorder::Totals() const {
@@ -165,6 +170,10 @@ std::string TraceRecorder::ToChromeTraceJson() const {
     }
     json.Key("cold_start_us");
     json.Double(t.cold_start.micros());
+    if (t.router >= 0) {
+      json.Key("router");
+      json.Int(t.router);
+    }
     json.EndObject();
     json.EndObject();
 
@@ -237,6 +246,49 @@ std::string TraceRecorder::ToChromeTraceJson() const {
     json.Int(r.attempt);
     json.Key("reason");
     json.String(RetryReasonName(r.reason));
+    json.EndObject();
+    json.EndObject();
+  }
+  // Router hop spans: one per pass through the routing tier, on the
+  // router replica's own track, so the extra hop (and any misroute
+  // forwarding) shows up next to the invocation's route phase.
+  for (const RouterHopTrace& h : router_hops_) {
+    const int tid = tid_of(h.router);
+    json.BeginObject();
+    json.Key("name");
+    json.String(h.forwarded ? "hop+forward" : "hop");
+    json.Key("cat");
+    json.String("router");
+    json.Key("ph");
+    json.String("X");
+    json.Key("ts");
+    json.Double(h.start.micros());
+    json.Key("dur");
+    json.Double((h.end - h.start).micros());
+    json.Key("pid");
+    json.Int(1);
+    json.Key("tid");
+    json.Int(tid);
+    json.Key("args");
+    json.BeginObject();
+    json.Key("invocation");
+    json.UInt(h.invocation_id);
+    json.Key("attempt");
+    json.Int(h.attempt);
+    if (h.color.has_value()) {
+      json.Key("color");
+      json.String(*h.color);
+    }
+    json.Key("to");
+    json.String(h.instance);
+    if (h.forwarded) {
+      json.Key("forwarded");
+      json.Bool(true);
+      if (!h.stale_instance.empty()) {
+        json.Key("stale_instance");
+        json.String(h.stale_instance);
+      }
+    }
     json.EndObject();
     json.EndObject();
   }

@@ -59,6 +59,9 @@ struct InvocationTrace {
   SimTime completed;
   // Cold-start share of the route phase (zero when the worker was warm).
   SimTime cold_start;
+  // Routing-tier replica that routed the completing attempt, or -1 when the
+  // invocation went through the platform's own load balancer directly.
+  std::int32_t router = -1;
 };
 
 // One object fetched during an invocation's fetch phase.
@@ -91,20 +94,45 @@ struct RetryTrace {
   SimTime resubmitted_at;
 };
 
+// One pass of an attempt through the routing tier (src/router): the hop
+// from the client-facing edge to the router replica whose view placed the
+// attempt. `forwarded` marks misroute correction — the replica's stale
+// membership view first chose `stale_instance` (already dead), and the
+// tier forwarded the attempt to `instance` after syncing the view. The
+// span [start, end] is the configured per-hop routing latency, rendered on
+// the router's own track so the extra hop is visible next to the
+// invocation's route phase.
+struct RouterHopTrace {
+  std::uint64_t invocation_id = 0;
+  int attempt = 1;
+  std::string router;          // router replica name, e.g. "r2"
+  std::optional<std::string> color;
+  std::string instance;        // live instance the hop delivered to
+  std::string stale_instance;  // dead instance first chosen (empty = clean)
+  bool forwarded = false;
+  SimTime start;
+  SimTime end;
+};
+
 class TraceRecorder {
  public:
   void RecordInvocation(InvocationTrace trace);
   void RecordFetch(FetchTrace fetch);
   void RecordRetry(RetryTrace retry);
+  void RecordRouterHop(RouterHopTrace hop);
 
   std::size_t invocation_count() const { return invocations_.size(); }
   std::size_t fetch_count() const { return fetches_.size(); }
   std::size_t retry_count() const { return retries_.size(); }
+  std::size_t router_hop_count() const { return router_hops_.size(); }
   const std::vector<InvocationTrace>& invocations() const {
     return invocations_;
   }
   const std::vector<FetchTrace>& fetches() const { return fetches_; }
   const std::vector<RetryTrace>& retries() const { return retries_; }
+  const std::vector<RouterHopTrace>& router_hops() const {
+    return router_hops_;
+  }
 
   void Clear();
 
@@ -139,6 +167,7 @@ class TraceRecorder {
   std::vector<InvocationTrace> invocations_;
   std::vector<FetchTrace> fetches_;
   std::vector<RetryTrace> retries_;
+  std::vector<RouterHopTrace> router_hops_;
 };
 
 }  // namespace palette

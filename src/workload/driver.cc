@@ -11,6 +11,10 @@ OpenLoopDriver::OpenLoopDriver(FaasPlatform* platform,
                                std::uint64_t seed)
     : platform_(platform),
       sim_(&platform->simulator()),
+      invoke_([platform](InvocationSpec spec,
+                         FaasPlatform::CompletionCallback on_complete) {
+        return platform->Invoke(std::move(spec), std::move(on_complete));
+      }),
       arrivals_(std::move(arrivals)),
       mix_(std::move(mix)),
       config_(config),
@@ -50,7 +54,7 @@ void OpenLoopDriver::Fire() {
   samples_.push_back(sample);
   ++submitted_;
 
-  const auto id = platform_->Invoke(
+  const auto id = invoke_(
       std::move(mixed.spec), [this, index](const InvocationResult& result) {
         InvocationSample& s = samples_[index];
         s.completed = result.completed;

@@ -70,6 +70,14 @@ class OpenLoopDriver {
   // (sim.Run() drives arrivals and completions to drain).
   void Start();
 
+  // Submission hook: where Fire() sends each invocation. Defaults to
+  // FaasPlatform::Invoke on the constructor's platform; a routing tier
+  // replaces it (RouterTier::Invoke) so traffic flows through the tier
+  // while the driver keeps using the platform's simulator and accounting.
+  using InvokeFn = std::function<std::optional<std::uint64_t>(
+      InvocationSpec spec, FaasPlatform::CompletionCallback on_complete)>;
+  void set_invoker(InvokeFn invoke) { invoke_ = std::move(invoke); }
+
   const std::vector<InvocationSample>& samples() const { return samples_; }
   std::uint64_t submitted() const { return submitted_; }
   std::uint64_t completed() const { return completed_; }
@@ -86,6 +94,7 @@ class OpenLoopDriver {
 
   FaasPlatform* platform_;
   Simulator* sim_;
+  InvokeFn invoke_;
   std::unique_ptr<ArrivalProcess> arrivals_;
   InvocationMix mix_;
   DriverConfig config_;

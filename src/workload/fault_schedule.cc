@@ -5,6 +5,7 @@
 
 #include "src/common/rng.h"
 #include "src/faas/platform.h"
+#include "src/router/router_tier.h"
 #include "src/sim/simulator.h"
 
 namespace palette {
@@ -17,6 +18,10 @@ std::string_view FaultKindId(FaultKind kind) {
       return "remove";
     case FaultKind::kRestart:
       return "restart";
+    case FaultKind::kRouterCrash:
+      return "router_crash";
+    case FaultKind::kRouterRestart:
+      return "router_restart";
   }
   return "unknown";
 }
@@ -75,11 +80,16 @@ FaultSchedule FaultSchedule::FromMtbf(const MtbfConfig& config,
 }
 
 void FaultSchedule::InstallOn(Simulator* sim, FaasPlatform* platform) const {
+  InstallOn(sim, platform, nullptr);
+}
+
+void FaultSchedule::InstallOn(Simulator* sim, FaasPlatform* platform,
+                              RouterTier* tier) const {
   for (const FaultEvent& event : events_) {
     const FaultKind kind = event.kind;
     // Worker name captured by value (a const capture would block the
     // closure's nothrow move, which the event heap requires).
-    sim->At(event.at, [platform, kind, worker = event.worker]() {
+    sim->At(event.at, [platform, tier, kind, worker = event.worker]() {
       switch (kind) {
         case FaultKind::kCrash:
           platform->CrashWorker(worker);
@@ -89,6 +99,16 @@ void FaultSchedule::InstallOn(Simulator* sim, FaasPlatform* platform) const {
           break;
         case FaultKind::kRestart:
           platform->AddWorker(worker);
+          break;
+        case FaultKind::kRouterCrash:
+          if (tier != nullptr) {
+            tier->CrashRouter(worker);
+          }
+          break;
+        case FaultKind::kRouterRestart:
+          if (tier != nullptr) {
+            tier->RestartRouter(worker);
+          }
           break;
       }
     });

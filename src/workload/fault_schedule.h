@@ -20,12 +20,17 @@
 namespace palette {
 
 class FaasPlatform;
+class RouterTier;
 class Simulator;
 
 enum class FaultKind {
   kCrash,    // FaasPlatform::CrashWorker: running attempt dies too
   kRemove,   // FaasPlatform::RemoveWorker: graceful drain
   kRestart,  // FaasPlatform::AddWorker: the worker rejoins, cold
+  // Routing-tier faults: `worker` names a router replica ("r2"). Ignored
+  // when the run has no RouterTier installed.
+  kRouterCrash,    // RouterTier::CrashRouter: replica leaves dispatch
+  kRouterRestart,  // RouterTier::RestartRouter: replica resyncs + rejoins
 };
 
 std::string_view FaultKindId(FaultKind kind);
@@ -61,8 +66,12 @@ class FaultSchedule {
                                 std::uint64_t seed);
 
   // Schedules every event on `sim` against `platform`. Both must outlive
-  // the run; call before Simulator::Run.
+  // the run; call before Simulator::Run. The overload with a RouterTier
+  // additionally delivers kRouterCrash/kRouterRestart events to the tier
+  // (they are skipped when `tier` is null).
   void InstallOn(Simulator* sim, FaasPlatform* platform) const;
+  void InstallOn(Simulator* sim, FaasPlatform* platform,
+                 RouterTier* tier) const;
 
   const std::vector<FaultEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }

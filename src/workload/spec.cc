@@ -159,4 +159,57 @@ WorkloadRunResult RunWorkload(const WorkloadSpec& spec, PolicyKind policy,
   return result;
 }
 
+WorkloadRunResult RunRouterWorkload(const WorkloadSpec& spec,
+                                    PolicyKind policy, int workers,
+                                    RouterTierConfig tier_config,
+                                    const SloConfig& slo,
+                                    const PlatformConfig& platform_config,
+                                    const FaultSchedule* faults) {
+  Simulator sim;
+  FaasPlatform platform(&sim, policy, spec.seed, platform_config);
+  platform.AddWorkers(workers);
+  tier_config.policy = policy;
+  tier_config.seed = spec.seed;
+  RouterTier tier(&platform, tier_config);
+  if (faults != nullptr) {
+    faults->InstallOn(&sim, &platform, &tier);
+  }
+
+  Rng seeder(spec.seed);
+  const std::uint64_t arrival_seed = seeder.Next();
+  const std::uint64_t driver_seed = seeder.Next();
+
+  OpenLoopDriver driver(&platform,
+                        MakeArrivalProcess(spec.arrival, arrival_seed),
+                        InvocationMix(spec.mix), spec.driver, driver_seed);
+  driver.set_invoker(
+      [&tier](InvocationSpec invocation,
+              FaasPlatform::CompletionCallback on_complete) {
+        return tier.Invoke(std::move(invocation), std::move(on_complete));
+      });
+  driver.Start();
+  const std::uint64_t events = sim.Run();
+
+  WorkloadRunResult result;
+  result.report = ScoreSlo(driver.samples(), slo, spec.driver.duration,
+                           spec.arrival.rate_per_sec);
+  result.samples = driver.samples();
+  result.samples_digest = SamplesDigest(result.samples);
+  result.platform_submitted = platform.submitted_invocations();
+  result.platform_completed = platform.completed_invocations();
+  result.platform_dropped = platform.dropped_invocations();
+  result.platform_abandoned = platform.abandoned_invocations();
+  result.retries = platform.total_retries();
+  result.timeouts = platform.total_timeouts();
+  result.recolored = platform.load_balancer().recolored();
+  result.cold_starts = platform.total_cold_starts();
+  result.sim_events = events;
+  result.router_routes = tier.routes();
+  result.router_stale_routes = tier.stale_routes();
+  result.router_misroutes = tier.misroutes();
+  result.router_forwards = tier.forwards();
+  result.router_recolored = tier.recolored();
+  return result;
+}
+
 }  // namespace palette

@@ -10,6 +10,7 @@
 
 #include "src/core/policy_factory.h"
 #include "src/faas/platform.h"
+#include "src/router/router_tier.h"
 #include "src/workload/arrival.h"
 #include "src/workload/driver.h"
 #include "src/workload/mix.h"
@@ -65,6 +66,13 @@ struct WorkloadRunResult {
   std::uint64_t recolored = 0;           // lb.recolored
   std::uint64_t cold_starts = 0;
   std::uint64_t sim_events = 0;
+  // Routing-tier counters (all zero for RunWorkload; filled by
+  // RunRouterWorkload from the tier's router.* family).
+  std::uint64_t router_routes = 0;
+  std::uint64_t router_stale_routes = 0;
+  std::uint64_t router_misroutes = 0;
+  std::uint64_t router_forwards = 0;
+  std::uint64_t router_recolored = 0;  // per-view re-colorings, summed
 };
 
 // Runs `spec` open-loop against a fresh Simulator + FaasPlatform with
@@ -76,6 +84,19 @@ WorkloadRunResult RunWorkload(const WorkloadSpec& spec, PolicyKind policy,
                               int workers, const SloConfig& slo,
                               const PlatformConfig& platform_config,
                               const FaultSchedule* faults = nullptr);
+
+// Like RunWorkload, but traffic flows through a RouterTier of
+// `tier_config.routers` replicas (docs/ROUTING.md) instead of the
+// platform's load balancer. `tier_config.policy` and `.seed` are
+// overridden from `policy` / `spec.seed` so one (spec, policy) pair names
+// the same experiment in both harnesses. Router crash/restart entries in
+// `faults` are delivered to the tier; worker entries to the platform.
+WorkloadRunResult RunRouterWorkload(const WorkloadSpec& spec,
+                                    PolicyKind policy, int workers,
+                                    RouterTierConfig tier_config,
+                                    const SloConfig& slo,
+                                    const PlatformConfig& platform_config,
+                                    const FaultSchedule* faults = nullptr);
 
 }  // namespace palette
 

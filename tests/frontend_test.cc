@@ -2,7 +2,9 @@
 // namespaces and caches, with a shared physical network.
 #include <gtest/gtest.h>
 
+#include "src/common/table_printer.h"
 #include "src/faas/frontend.h"
+#include "src/obs/metrics.h"
 #include "src/sim/simulator.h"
 
 namespace palette {
@@ -91,6 +93,78 @@ TEST(FrontendTest, InvocationsRunEndToEnd) {
                    .has_value());
   sim.Run();
   EXPECT_EQ(completed, 4);
+}
+
+TEST(FrontendTest, PerAppBooksCloseUnderFailures) {
+  // The accounting identity holds per application, including one that
+  // loses a worker mid-run (queued attempts dropped, retries off), and a
+  // frontend Invoke for an unknown app enters nobody's books.
+  Simulator sim;
+  FaasFrontend frontend(&sim);
+  auto config = QuickConfig();
+  config.cpu_ops_per_second = 1e6;  // 1 ms of sim time per 1e3 ops
+  frontend.RegisterApp("a", PolicyKind::kLeastAssigned, 2, config);
+  frontend.RegisterApp("b", PolicyKind::kLeastAssigned, 2, config);
+
+  const int kPerApp = 40;
+  for (int i = 0; i < kPerApp; ++i) {
+    for (const char* app : {"a", "b"}) {
+      InvocationSpec spec;
+      spec.function = "f";
+      spec.color = Color(StrFormat("c%d", i % 4));
+      spec.cpu_ops = 5e4;  // 50 ms each: a backlog builds on both workers
+      ASSERT_TRUE(frontend.Invoke(app, std::move(spec), nullptr).has_value());
+    }
+  }
+  EXPECT_FALSE(frontend.Invoke("ghost", InvocationSpec{}, nullptr)
+                   .has_value());
+  EXPECT_EQ(frontend.unknown_app_rejections(), 1u);
+
+  // Remove one of app a's workers while its queue is still deep.
+  sim.At(SimTime::FromMillis(120),
+         [&frontend]() { frontend.App("a").RemoveWorker("a/w0"); });
+  sim.Run();
+
+  const FaasFrontend::AppBooks books_a = frontend.BooksOf("a");
+  const FaasFrontend::AppBooks books_b = frontend.BooksOf("b");
+  EXPECT_EQ(books_a.submitted, static_cast<std::uint64_t>(kPerApp));
+  EXPECT_EQ(books_b.submitted, static_cast<std::uint64_t>(kPerApp));
+  EXPECT_TRUE(books_a.Closed());
+  EXPECT_TRUE(books_b.Closed());
+  EXPECT_GT(books_a.dropped, 0u);  // the removal stranded queued attempts
+  EXPECT_EQ(books_b.dropped, 0u);
+  EXPECT_EQ(books_b.completed, static_cast<std::uint64_t>(kPerApp));
+  EXPECT_TRUE(frontend.AllBooksClosed());
+  EXPECT_EQ(frontend.BooksOf("ghost").submitted, 0u);
+}
+
+TEST(FrontendTest, ExportAppMetricsIsPrefixedPerApp) {
+  Simulator sim;
+  FaasFrontend frontend(&sim);
+  frontend.RegisterApp("a", PolicyKind::kLeastAssigned, 2, QuickConfig());
+  frontend.RegisterApp("b", PolicyKind::kLeastAssigned, 2, QuickConfig());
+  for (int i = 0; i < 3; ++i) {
+    InvocationSpec spec;
+    spec.function = "f";
+    spec.color = "c";
+    spec.cpu_ops = 1e6;
+    frontend.Invoke("a", std::move(spec), nullptr);
+  }
+  sim.Run();
+
+  MetricsRegistry metrics;
+  frontend.ExportMetrics(&metrics);
+  EXPECT_EQ(metrics.counter("app.a.faas.invocations.submitted").value(), 3u);
+  EXPECT_EQ(metrics.counter("app.a.faas.invocations.completed").value(), 3u);
+  EXPECT_EQ(metrics.counter("app.b.faas.invocations.submitted").value(), 0u);
+  // Per-worker families carry the prefix too.
+  EXPECT_EQ(metrics.counter("app.a.worker.a/w0.cold_starts").value() +
+                metrics.counter("app.a.worker.a/w1.cold_starts").value(),
+            frontend.App("a").total_cold_starts());
+  // The snapshots agree with the books.
+  const FaasFrontend::AppBooks books = frontend.BooksOf("a");
+  EXPECT_EQ(metrics.counter("app.a.faas.invocations.submitted").value(),
+            books.submitted);
 }
 
 TEST(FrontendTest, SharedNetworkCausesCrossAppContention) {

@@ -11,6 +11,8 @@
 //   loadgen [--arrival=poisson] [--rate=400] [--duration=20] [--seed=1]
 //           [--policy=la] [--workers=8] [--deadline_ms=100] [--warmup_s=1]
 //           [--colors=512] [--theta=0.9] [--churn_interval_s=0] ...
+//           [--routers=0]                # >0: route through a RouterTier
+//           [--dispatch=color|spray] [--sync_lag_ms=0] [--hop_us=200]
 //           [--sweep=200,400,800,1600]   # rate step-sweep for the knee
 //           [--dump_samples]             # embed per-sample records
 //           [--out=BENCH_slo.json]
@@ -83,6 +85,22 @@ int Run(int argc, char** argv) {
     return 1;
   }
   const int workers = static_cast<int>(flags.GetInt("workers", 8));
+  // Routing-tier mode (docs/ROUTING.md): --routers=N fronts the platform
+  // with N load-balancer replicas instead of routing directly.
+  const int routers = static_cast<int>(flags.GetInt("routers", 0));
+  RouterTierConfig tier_config;
+  tier_config.routers = routers;
+  const std::string dispatch_id = flags.GetString(
+      "dispatch", std::string(DispatchModeId(tier_config.dispatch)));
+  if (!ParseDispatchMode(dispatch_id, &tier_config.dispatch)) {
+    std::fprintf(stderr, "unknown dispatch mode: %s (try: color spray)\n",
+                 dispatch_id.c_str());
+    return 1;
+  }
+  tier_config.sync_lag =
+      SimTime::FromMillis(flags.GetDouble("sync_lag_ms", 0));
+  tier_config.hop_latency = SimTime::FromMicros(
+      flags.GetDouble("hop_us", tier_config.hop_latency.micros()));
   SloConfig slo;
   slo.deadline = SimTime::FromMillis(flags.GetDouble("deadline_ms", 100));
   slo.warmup = SimTime::FromSeconds(flags.GetDouble("warmup_s", 1));
@@ -120,15 +138,35 @@ int Run(int argc, char** argv) {
   json.Double(slo.warmup.seconds());
   json.Key("spec");
   AppendWorkloadSpecJson(spec, &json);
+  if (routers > 0) {
+    json.Key("routers");
+    json.Int(routers);
+    json.Key("dispatch");
+    json.String(DispatchModeId(tier_config.dispatch));
+    json.Key("sync_lag_ms");
+    json.Double(tier_config.sync_lag.millis());
+    json.Key("hop_us");
+    json.Double(tier_config.hop_latency.micros());
+  }
+
+  const auto run_spec = [&](const WorkloadSpec& at_spec) {
+    return routers > 0
+               ? RunRouterWorkload(at_spec, policy, workers, tier_config,
+                                   slo, platform_config)
+               : RunWorkload(at_spec, policy, workers, slo, platform_config);
+  };
 
   if (sweep_csv.empty()) {
     // Single run at the spec's rate.
     std::printf("== loadgen: %s arrivals at %.0f rps, %s policy, %d "
-                "workers ==\n\n",
+                "workers%s ==\n\n",
                 std::string(ArrivalKindId(spec.arrival.kind)).c_str(),
-                spec.arrival.rate_per_sec, policy_id.c_str(), workers);
-    const WorkloadRunResult run =
-        RunWorkload(spec, policy, workers, slo, platform_config);
+                spec.arrival.rate_per_sec, policy_id.c_str(), workers,
+                routers > 0
+                    ? StrFormat(", %d %s routers", routers,
+                                dispatch_id.c_str()).c_str()
+                    : "");
+    const WorkloadRunResult run = run_spec(spec);
     std::printf("%s\n", SloReportTable(run.report).c_str());
     std::printf("samples: %zu, digest: %016llx, sim events: %llu, cold "
                 "starts: %llu, platform drops: %llu\n",
@@ -149,6 +187,43 @@ int Run(int argc, char** argv) {
     json.UInt(run.cold_starts);
     json.Key("platform_dropped");
     json.UInt(run.platform_dropped);
+    json.Key("books");
+    json.BeginObject();
+    json.Key("submitted");
+    json.UInt(run.platform_submitted);
+    json.Key("completed");
+    json.UInt(run.platform_completed);
+    json.Key("dropped");
+    json.UInt(run.platform_dropped);
+    json.Key("abandoned");
+    json.UInt(run.platform_abandoned);
+    json.Key("close");
+    json.Bool(run.platform_submitted == run.platform_completed +
+                                            run.platform_dropped +
+                                            run.platform_abandoned);
+    json.EndObject();
+    if (routers > 0) {
+      std::printf("router tier: routes: %llu, stale: %llu, misroutes: %llu, "
+                  "forwards: %llu, recolored: %llu\n",
+                  static_cast<unsigned long long>(run.router_routes),
+                  static_cast<unsigned long long>(run.router_stale_routes),
+                  static_cast<unsigned long long>(run.router_misroutes),
+                  static_cast<unsigned long long>(run.router_forwards),
+                  static_cast<unsigned long long>(run.router_recolored));
+      json.Key("router");
+      json.BeginObject();
+      json.Key("routes");
+      json.UInt(run.router_routes);
+      json.Key("stale_routes");
+      json.UInt(run.router_stale_routes);
+      json.Key("misroutes");
+      json.UInt(run.router_misroutes);
+      json.Key("forwards");
+      json.UInt(run.router_forwards);
+      json.Key("recolored");
+      json.UInt(run.router_recolored);
+      json.EndObject();
+    }
     json.Key("report");
     AppendSloReportJson(run.report, &json);
     if (dump_samples) {
@@ -171,8 +246,7 @@ int Run(int argc, char** argv) {
         SweepRates(rates, [&](double rate) {
           WorkloadSpec at_rate = spec;
           at_rate.arrival.rate_per_sec = rate;
-          const WorkloadRunResult run =
-              RunWorkload(at_rate, policy, workers, slo, platform_config);
+          const WorkloadRunResult run = run_spec(at_rate);
           digests.push_back(run.samples_digest);
           return run.report;
         });

@@ -21,6 +21,13 @@
 //                                  trace-event JSON (Perfetto-loadable)
 //                                  and prints the phase breakdown and the
 //                                  platform metric snapshot
+//   trace    --routers=4 [--dispatch=color|spray --sync_lag_ms=20
+//            --rate=300 --duration=2 --crash_s=1 --out=TRACE_router.json]
+//                                  open-loop run through a RouterTier
+//                                  (docs/ROUTING.md) with a mid-run worker
+//                                  crash; spans carry the routing replica
+//                                  and hop/forward events, so misroute
+//                                  correction is visible on the timeline
 //
 // Examples:
 //   palette_cli dag --pattern=fft --policy=rr --coloring=none --workers=8
@@ -36,12 +43,14 @@
 #include "src/core/policy_factory.h"
 #include "src/dag/dag_executor.h"
 #include "src/dag/serverful_scheduler.h"
+#include "src/router/router_tier.h"
 #include "src/socialnet/content.h"
 #include "src/socialnet/social_graph.h"
 #include "src/socialnet/webapp_sim.h"
 #include "src/socialnet/workload.h"
 #include "src/taskbench/taskbench.h"
 #include "src/tpch/tpch.h"
+#include "src/workload/spec.h"
 
 namespace palette {
 namespace {
@@ -186,10 +195,101 @@ int CmdDag(const FlagParser& flags) {
   return 0;
 }
 
+// `trace --routers=N`: open-loop traffic through a RouterTier with a
+// mid-run worker crash, so the exported Chrome trace shows which replica
+// routed each invocation and where a stale view forced a hop+forward.
+int CmdTraceRouter(const FlagParser& flags, PolicyKind kind) {
+  RouterTierConfig tier_config;
+  tier_config.routers = static_cast<int>(flags.GetInt("routers", 4));
+  const std::string dispatch_id = flags.GetString(
+      "dispatch", std::string(DispatchModeId(tier_config.dispatch)));
+  if (!ParseDispatchMode(dispatch_id, &tier_config.dispatch)) {
+    std::fprintf(stderr, "unknown dispatch mode: %s (try: color spray)\n",
+                 dispatch_id.c_str());
+    return 2;
+  }
+  tier_config.sync_lag =
+      SimTime::FromMillis(flags.GetDouble("sync_lag_ms", 20));
+  tier_config.hop_latency = SimTime::FromMicros(
+      flags.GetDouble("hop_us", tier_config.hop_latency.micros()));
+  tier_config.policy = kind;
+
+  WorkloadSpec spec;
+  spec.arrival.rate_per_sec = flags.GetDouble("rate", 300);
+  spec.mix.color_count =
+      static_cast<std::uint64_t>(flags.GetInt("colors", 64));
+  spec.driver.duration =
+      SimTime::FromSeconds(flags.GetDouble("duration", 2));
+  spec.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  tier_config.seed = spec.seed;
+  const int workers = static_cast<int>(flags.GetInt("workers", 8));
+  const double crash_s = flags.GetDouble("crash_s", 1);
+
+  PlatformConfig config = DefaultWorkloadPlatformConfig();
+  config.retry.max_attempts = 3;
+  config.retry.initial_backoff = SimTime::FromMillis(5);
+
+  Simulator sim;
+  FaasPlatform platform(&sim, kind, spec.seed, config);
+  platform.AddWorkers(workers);
+  RouterTier tier(&platform, tier_config);
+
+  TraceRecorder recorder;
+  MetricsRegistry metrics;
+  platform.set_trace_recorder(&recorder);
+  tier.set_trace_recorder(&recorder);
+
+  // Crash one worker mid-run: replicas route on stale views for
+  // sync_lag, and each misrouted attempt shows as "hop+forward".
+  if (crash_s > 0) {
+    sim.At(SimTime::FromSeconds(crash_s),
+           [&platform]() { platform.CrashWorker("w0"); });
+  }
+
+  Rng seeder(spec.seed);
+  const std::uint64_t arrival_seed = seeder.Next();
+  const std::uint64_t driver_seed = seeder.Next();
+  OpenLoopDriver driver(&platform,
+                        MakeArrivalProcess(spec.arrival, arrival_seed),
+                        InvocationMix(spec.mix), spec.driver, driver_seed);
+  driver.set_invoker(
+      [&tier](InvocationSpec invocation,
+              FaasPlatform::CompletionCallback on_complete) {
+        return tier.Invoke(std::move(invocation), std::move(on_complete));
+      });
+  driver.Start();
+  sim.Run();
+
+  std::printf("%s\n", recorder.PhaseBreakdownTable().c_str());
+  platform.ExportMetrics(&metrics);
+  tier.ExportMetrics(&metrics);
+  std::printf("%s\n", metrics.ToTable().c_str());
+  std::printf("router tier: %llu routes, %llu stale, %llu misroutes, "
+              "%llu forwards\n",
+              static_cast<unsigned long long>(tier.routes()),
+              static_cast<unsigned long long>(tier.stale_routes()),
+              static_cast<unsigned long long>(tier.misroutes()),
+              static_cast<unsigned long long>(tier.forwards()));
+
+  const std::string out = flags.GetString("out", "TRACE_router.json");
+  if (!recorder.WriteChromeTrace(out)) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu invocations, %zu router hops to %s (load in "
+              "Perfetto or chrome://tracing)\n",
+              recorder.invocation_count(), recorder.router_hop_count(),
+              out.c_str());
+  return 0;
+}
+
 int CmdTrace(const FlagParser& flags) {
   PolicyKind kind;
   if (!ParsePolicyOrDie(flags, &kind)) {
     return 2;
+  }
+  if (flags.GetInt("routers", 0) > 0) {
+    return CmdTraceRouter(flags, kind);
   }
   TaskBenchConfig tb;
   tb.width = static_cast<int>(flags.GetInt("width", 16));
