@@ -3,11 +3,14 @@
 // HyperLogLog sketch. These bound the per-invocation overhead Palette adds
 // to a FaaS frontend.
 //
-// On top of the google-benchmark suite, main() times two summary figures —
-// simulator events/sec (schedule + dispatch through the pooled 4-ary heap)
-// and load-balancer routes/sec per policy — and writes them to
-// BENCH_core.json (schema "palette-bench-v1", shared with bench_sweep) so
-// the perf trajectory is machine-readable.
+// On top of the google-benchmark suite, main() times three summary
+// figures — simulator events/sec (schedule + dispatch through the pooled
+// 4-ary heap), load-balancer routes/sec per policy, and the sharded
+// engine's events/sec at shard counts {1, 2, 4, 8} on the diurnal router
+// workload — and writes them to BENCH_core.json (schema
+// "palette-bench-v1", shared with bench_sweep) so the perf trajectory is
+// machine-readable. The sharded A/B doubles as a determinism gate: the
+// binary exits non-zero if digests diverge across shard counts.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -25,6 +28,7 @@
 #include "src/hash/hash.h"
 #include "src/sim/simulator.h"
 #include "src/sketch/hyperloglog.h"
+#include "src/workload/sharded_run.h"
 
 namespace palette {
 namespace {
@@ -229,6 +233,43 @@ double MeasureEventsPerSec(std::uint64_t n) {
   return static_cast<double>(sim.executed_events()) / seconds;
 }
 
+// Sharded engine A/B (docs/PERF.md, "Parallel engine"): the diurnal router
+// workload — open-loop diurnal arrivals into 8 router-fronted worker
+// groups — run on the sharded conservative-lookahead engine at shard
+// counts {1, 2, 4, 8}. The topology (groups, hop, routers) is fixed, only
+// the thread count varies, so every run must produce bit-identical
+// digests; a mismatch fails the binary so CI catches it.
+struct ShardedPoint {
+  int shards = 1;
+  ShardedRunResult run;
+};
+
+std::vector<ShardedPoint> MeasureShardedEngine() {
+  WorkloadSpec spec;
+  spec.arrival.kind = ArrivalKind::kDiurnal;
+  spec.arrival.rate_per_sec = 20000;
+  spec.arrival.period_seconds = 1.0;
+  spec.arrival.amplitude = 0.8;
+  spec.driver.duration = SimTime::FromSeconds(2);
+  ShardedWorkloadConfig config;
+  config.groups = 8;
+  config.routers_per_group = 2;
+  SloConfig slo;
+  slo.deadline = SimTime::FromMillis(100);
+  slo.warmup = SimTime::FromMillis(250);
+  const PlatformConfig platform_config = DefaultWorkloadPlatformConfig();
+  std::vector<ShardedPoint> points;
+  for (const int shards : {1, 2, 4, 8}) {
+    config.shards = shards;
+    ShardedPoint point;
+    point.shards = shards;
+    point.run = RunShardedWorkload(spec, PolicyKind::kLeastAssigned, 64,
+                                   config, slo, platform_config);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
 double MeasureRoutesPerSec(PolicyKind kind, std::uint64_t n) {
   PaletteLoadBalancer lb(MakePolicy(kind, 1));
   for (int i = 0; i < 48; ++i) {
@@ -246,7 +287,9 @@ double MeasureRoutesPerSec(PolicyKind kind, std::uint64_t n) {
   return static_cast<double>(n) / SecondsSince(start);
 }
 
-void WriteBenchCoreJson() {
+// Returns false when the sharded engine's digests diverge across shard
+// counts (a determinism regression).
+bool WriteBenchCoreJson() {
   constexpr std::uint64_t kEvents = 2'000'000;
   constexpr std::uint64_t kRoutes = 2'000'000;
   const double events_per_sec = MeasureEventsPerSec(kEvents);
@@ -278,11 +321,54 @@ void WriteBenchCoreJson() {
     std::printf("routes_per_sec_%s: %.3e\n",
                 std::string(PolicyKindId(kind)).c_str(), routes);
   }
+  const std::vector<ShardedPoint> sharded = MeasureShardedEngine();
+  bool digests_match = true;
+  for (const ShardedPoint& point : sharded) {
+    const double sharded_eps =
+        point.run.wall_seconds > 0
+            ? static_cast<double>(point.run.sim_events) /
+                  point.run.wall_seconds
+            : 0;
+    json.BeginObject();
+    json.Key("name");
+    json.String("sharded_events_per_sec");
+    json.Key("shards");
+    json.Int(point.shards);
+    json.Key("value");
+    json.Double(sharded_eps);
+    json.Key("events_per_sec_per_core");
+    json.Double(sharded_eps / point.shards);
+    json.Key("events");
+    json.UInt(point.run.sim_events);
+    json.Key("epochs");
+    json.UInt(point.run.epochs);
+    json.Key("engine_digest");
+    json.String(StrFormat("%016llx", static_cast<unsigned long long>(
+                                         point.run.engine_digest)));
+    json.EndObject();
+    std::printf(
+        "sharded_events_per_sec (shards=%d): %.3e (%.3e/core, %llu events, "
+        "%llu epochs, digest %016llx)\n",
+        point.shards, sharded_eps, sharded_eps / point.shards,
+        static_cast<unsigned long long>(point.run.sim_events),
+        static_cast<unsigned long long>(point.run.epochs),
+        static_cast<unsigned long long>(point.run.engine_digest));
+    if (point.run.engine_digest != sharded.front().run.engine_digest ||
+        point.run.samples_digest != sharded.front().run.samples_digest) {
+      digests_match = false;
+    }
+  }
+  if (!digests_match) {
+    std::fprintf(stderr,
+                 "FAIL: sharded engine digests diverge across shard "
+                 "counts\n");
+  }
   json.EndArray();
   json.EndObject();
   if (WriteTextFile("BENCH_core.json", json.str())) {
     std::printf("wrote BENCH_core.json\n");
   }
+  return digests_match;
 }
 
 }  // namespace
@@ -295,6 +381,5 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  palette::WriteBenchCoreJson();
-  return 0;
+  return palette::WriteBenchCoreJson() ? 0 : 1;
 }

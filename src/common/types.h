@@ -43,6 +43,9 @@ class SimTime {
   static constexpr SimTime Max() {
     return SimTime(std::numeric_limits<std::int64_t>::max());
   }
+  static constexpr SimTime Min() {
+    return SimTime(std::numeric_limits<std::int64_t>::min());
+  }
 
   constexpr std::int64_t nanos() const { return ns_; }
   constexpr double micros() const { return static_cast<double>(ns_) / 1e3; }
@@ -69,6 +72,19 @@ class SimTime {
 
   std::int64_t ns_ = 0;
 };
+
+// `a + b` clamped to the representable range instead of wrapping. Callers
+// that add an unbounded duration to a clock reading — deadlines, timer
+// delays, "never" sentinels built from SimTime::Max() — must not wrap into
+// the past: a wrapped timestamp sorts *before* every pending event and the
+// callback fires immediately at a nonsense time.
+constexpr SimTime SaturatingAdd(SimTime a, SimTime b) {
+  std::int64_t sum = 0;
+  if (__builtin_add_overflow(a.nanos(), b.nanos(), &sum)) {
+    return b.nanos() > 0 ? SimTime::Max() : SimTime::Min();
+  }
+  return SimTime::FromNanos(sum);
+}
 
 // Duration of a network transfer of `size` bytes over a link with
 // `bandwidth_bytes_per_sec` sustained bandwidth, excluding propagation delay.

@@ -39,6 +39,12 @@ struct InvocationSpec {
   SimTime deadline;
   std::vector<ObjectRef> inputs;
   std::vector<ObjectRef> outputs;
+  // Sharded-engine domain the submitter lives on (src/sim/
+  // sharded_simulator.h). When >= 0 and it differs from the platform's own
+  // domain, the completion callback is shipped back to this domain through
+  // the platform's cross-domain scheduler (one return hop later) instead
+  // of running inline. -1 (the default) keeps completions local.
+  int origin_domain = -1;
 };
 
 struct InvocationResult {

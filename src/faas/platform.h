@@ -44,6 +44,7 @@
 #include "src/faas/retry_policy.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/sim/event_scheduler.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
 
@@ -75,6 +76,10 @@ struct PlatformConfig {
   RetryPolicy retry;
   FaastCacheConfig cache;
   NetworkConfig network;
+  // Event-core domain this platform lives on in a sharded run
+  // (src/sim/sharded_simulator.h); 0 for monolithic runs. Completions for
+  // specs whose origin_domain differs are shipped back cross-domain.
+  int domain = 0;
 };
 
 // Why an attempt failed (the retry trace uses the obs-layer RetryReason
@@ -168,6 +173,16 @@ class FaasPlatform {
   // listener must outlive the platform or detach before dying.
   void set_membership_listener(MembershipListener listener) {
     membership_listener_ = std::move(listener);
+  }
+
+  // Sharded-engine seam (docs/PERF.md, "Parallel engine"): when attached,
+  // completions of invocations whose spec carries an origin_domain other
+  // than config().domain are delivered through `scheduler` to that domain,
+  // `return_hop` later — the trip back across the fabric. `scheduler` must
+  // outlive the platform; null detaches (completions run inline again).
+  void set_cross_scheduler(EventScheduler* scheduler, SimTime return_hop) {
+    cross_scheduler_ = scheduler;
+    cross_return_hop_ = return_hop;
   }
 
   // §5.1 name translation: rewrites a color hash-key prefix to the instance
@@ -287,6 +302,10 @@ class FaasPlatform {
   // Pops and executes the next queued invocation on `instance`, if any.
   void StartNextOnWorker(InstanceId instance);
 
+  // Fires the attempt's completion callback — inline, or shipped to the
+  // spec's origin domain when a cross-domain scheduler is attached.
+  void DeliverCompletion(const AttemptPtr& attempt);
+
   void NotifyMembership(MembershipEvent event, const std::string& worker) {
     if (membership_listener_) {
       membership_listener_(event, worker);
@@ -318,6 +337,9 @@ class FaasPlatform {
   // stay bit-reproducible.
   Rng retry_rng_;
   MembershipListener membership_listener_;
+  // Sharded-engine seam; null = monolithic (completions run inline).
+  EventScheduler* cross_scheduler_ = nullptr;
+  SimTime cross_return_hop_;
 
   // Observability hooks; null = off. Per-invocation metrics are resolved
   // once in set_metrics so the hot path bumps plain integers.

@@ -32,6 +32,8 @@ bool ParseDispatchMode(std::string_view id, DispatchMode* out) {
 RouterTier::RouterTier(FaasPlatform* platform, RouterTierConfig config)
     : platform_(platform),
       config_(config),
+      local_scheduler_(&platform->simulator()),
+      scheduler_(&local_scheduler_),
       ring_(/*virtual_nodes=*/128, MixU64(config.seed ^ 0x52494E47ULL)) {
   assert(config_.routers >= 1);
   // Every replica runs the same policy with the same seed: a stateless
@@ -83,12 +85,13 @@ void RouterTier::OnMembershipEvent(FaasPlatform::MembershipEvent event,
     }
     return;
   }
-  // One sync tick per replica. Ticks fire in seq order (same lag), so a
-  // tick for seq s applying everything through s keeps log application
-  // in order; ticks against a crashed replica no-op (restart resyncs).
-  Simulator& sim = platform_->simulator();
+  // One sync tick per replica, scheduled through the seam so the tick
+  // lands on the tier's own event core in sharded runs. Ticks fire in seq
+  // order (same lag), so a tick for seq s applying everything through s
+  // keeps log application in order; ticks against a crashed replica no-op
+  // (restart resyncs).
   for (std::size_t i = 0; i < routers_.size(); ++i) {
-    sim.After(config_.sync_lag, [this, i, seq]() {
+    scheduler_->ScheduleAfter(config_.sync_lag, [this, i, seq]() {
       Router* router = routers_[i].get();
       if (router->up) {
         ApplyThrough(router, seq);

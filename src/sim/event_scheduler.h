@@ -1,0 +1,74 @@
+// The scheduling seam between model code and the event engine.
+//
+// Model components (FaasPlatform, RouterTier, the workload driver) were
+// written against a concrete Simulator. The sharded engine
+// (sharded_simulator.h) splits one run across several Simulators — one per
+// domain — and needs those components to (a) keep their own events on
+// their own domain and (b) hand cross-domain deliveries to the engine
+// instead of a local clock. EventScheduler is that seam: a per-domain
+// handle with local scheduling plus an explicit SendTo for crossing
+// domains. LocalScheduler degenerates everything to one plain Simulator so
+// monolithic runs pay a virtual call only on the (cold) seam paths and
+// nothing else changes.
+#ifndef PALETTE_SRC_SIM_EVENT_SCHEDULER_H_
+#define PALETTE_SRC_SIM_EVENT_SCHEDULER_H_
+
+#include <utility>
+
+#include "src/common/types.h"
+#include "src/sim/simulator.h"
+
+namespace palette {
+
+class EventScheduler {
+ public:
+  virtual ~EventScheduler() = default;
+
+  // The owning domain's clock.
+  virtual SimTime Now() const = 0;
+  // This handle's domain index and the engine's domain count.
+  virtual int domain() const = 0;
+  virtual int domain_count() const = 0;
+
+  // Schedules on this handle's own domain (Simulator::At semantics:
+  // scheduling in the past clamps to Now()).
+  virtual void ScheduleAt(SimTime when, Simulator::Callback cb) = 0;
+
+  // Delivers `cb` to `dst_domain` at absolute time `when`. Cross-domain
+  // sends must respect the engine's conservative lookahead:
+  // when >= Now() + lookahead (the minimum cross-domain network latency).
+  // Sending to the own domain is a plain local schedule.
+  virtual void SendTo(int dst_domain, SimTime when,
+                      Simulator::Callback cb) = 0;
+
+  void ScheduleAfter(SimTime delay, Simulator::Callback cb) {
+    ScheduleAt(SaturatingAdd(Now(), delay), std::move(cb));
+  }
+  void SendAfter(int dst_domain, SimTime delay, Simulator::Callback cb) {
+    SendTo(dst_domain, SaturatingAdd(Now(), delay), std::move(cb));
+  }
+};
+
+// Single-domain adapter over a plain Simulator: the monolithic engine.
+class LocalScheduler final : public EventScheduler {
+ public:
+  explicit LocalScheduler(Simulator* sim) : sim_(sim) {}
+
+  SimTime Now() const override { return sim_->Now(); }
+  int domain() const override { return 0; }
+  int domain_count() const override { return 1; }
+  void ScheduleAt(SimTime when, Simulator::Callback cb) override {
+    sim_->At(when, std::move(cb));
+  }
+  void SendTo(int /*dst_domain*/, SimTime when,
+              Simulator::Callback cb) override {
+    sim_->At(when, std::move(cb));
+  }
+
+ private:
+  Simulator* sim_;
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_SIM_EVENT_SCHEDULER_H_

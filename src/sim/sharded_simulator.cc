@@ -1,0 +1,185 @@
+#include "src/sim/sharded_simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+#include <utility>
+
+namespace palette {
+
+namespace {
+// Spin iterations before falling back to yield in the epoch barrier.
+constexpr int kSpinsBeforeYield = 4096;
+}  // namespace
+
+void ShardedSimulator::SpinBarrier::Arrive(bool* sense) {
+  const bool my_sense = !*sense;
+  *sense = my_sense;
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == participants_) {
+    // Last arriver: reset for the next epoch, then release everyone. The
+    // reset is ordered before the sense flip, and waiters cannot reach the
+    // next Arrive before observing the flip.
+    arrived_.store(0, std::memory_order_relaxed);
+    sense_.store(my_sense, std::memory_order_release);
+    return;
+  }
+  int spins = 0;
+  while (sense_.load(std::memory_order_acquire) != my_sense) {
+    if (++spins >= kSpinsBeforeYield) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+ShardedSimulator::ShardedSimulator(ShardedSimulatorConfig config)
+    : config_(config),
+      domains_(std::max(1, config.domains)),
+      shards_(std::clamp(config.shards, 1, std::max(1, config.domains))),
+      slots_(static_cast<std::size_t>(shards_)),
+      barrier_(shards_) {
+  sims_.reserve(static_cast<std::size_t>(domains_));
+  schedulers_.reserve(static_cast<std::size_t>(domains_));
+  for (int d = 0; d < domains_; ++d) {
+    sims_.push_back(std::make_unique<Simulator>());
+    schedulers_.push_back(std::make_unique<DomainScheduler>(this, d));
+  }
+  channels_.reserve(static_cast<std::size_t>(domains_) *
+                    static_cast<std::size_t>(domains_));
+  for (int i = 0; i < domains_ * domains_; ++i) {
+    channels_.push_back(
+        std::make_unique<SpscChannel>(config_.channel_capacity));
+  }
+  // Contiguous, maximally even domain partition over shards.
+  domain_begin_.resize(static_cast<std::size_t>(shards_) + 1);
+  for (int s = 0; s <= shards_; ++s) {
+    domain_begin_[static_cast<std::size_t>(s)] = s * domains_ / shards_;
+  }
+  if (shards_ > 1) {
+    // The pool must hold exactly one thread per shard: RunShard blocks on
+    // the barrier, so fewer threads than shards would deadlock.
+    pool_ = std::make_unique<ThreadPool>(static_cast<std::size_t>(shards_));
+  }
+}
+
+void ShardedSimulator::Send(int src, int dst, SimTime when,
+                            Simulator::Callback cb) {
+  assert(src >= 0 && src < domains_ && dst >= 0 && dst < domains_);
+  if (dst == src) {
+    sims_[static_cast<std::size_t>(src)]->At(when, std::move(cb));
+    return;
+  }
+  // Conservative-lookahead contract: a cross-domain event may not land
+  // inside the window its destination could already be executing.
+  assert(when >= SaturatingAdd(sims_[static_cast<std::size_t>(src)]->Now(),
+                               config_.lookahead) &&
+         "cross-domain send violates the lookahead bound");
+  channel(src, dst).Push(when, std::move(cb));
+}
+
+std::uint64_t ShardedSimulator::Run(std::uint64_t max_events) {
+  const std::uint64_t before = executed_events();
+  if (shards_ == 1) {
+    RunShard(0, before, max_events);
+  } else {
+    for (int s = 0; s < shards_; ++s) {
+      pool_->Submit(
+          [this, s, before, max_events] { RunShard(s, before, max_events); });
+    }
+    pool_->Wait();
+  }
+  return executed_events() - before;
+}
+
+void ShardedSimulator::RunShard(int shard, std::uint64_t baseline,
+                                std::uint64_t max_events) {
+  bool sense = false;
+  const int begin = domain_begin_[static_cast<std::size_t>(shard)];
+  const int end = domain_begin_[static_cast<std::size_t>(shard) + 1];
+  // A zero-lookahead window would execute nothing; one nanosecond still
+  // yields a correct (if fully serialized) schedule.
+  const SimTime window =
+      std::max(config_.lookahead, SimTime::FromNanos(1));
+  for (;;) {
+    // Drain phase: deliver inbound cross-domain messages in fixed
+    // (destination, then source) order — part of the deterministic event
+    // order — then publish the earliest pending timestamp and the running
+    // event count for this shard's domains.
+    std::int64_t min_nanos = SimTime::Max().nanos();
+    std::uint64_t executed = 0;
+    for (int dst = begin; dst < end; ++dst) {
+      Simulator& sim = *sims_[static_cast<std::size_t>(dst)];
+      for (int src = 0; src < domains_; ++src) {
+        if (src == dst) {
+          continue;
+        }
+        channel(src, dst).Drain(
+            [&sim](SimTime when, Simulator::Callback cb) {
+              sim.At(when, std::move(cb));
+            });
+      }
+      min_nanos = std::min(min_nanos, sim.next_event_time().nanos());
+      executed += sim.executed_events();
+    }
+    ShardState& slot = slots_[static_cast<std::size_t>(shard)];
+    slot.min_nanos.store(min_nanos, std::memory_order_relaxed);
+    slot.executed.store(executed, std::memory_order_relaxed);
+    barrier_.Arrive(&sense);
+
+    // Reduce phase: every shard folds the published minima identically, so
+    // all reach the same continue/stop decision with no extra round.
+    std::int64_t t_min = SimTime::Max().nanos();
+    std::uint64_t total = 0;
+    for (int s = 0; s < shards_; ++s) {
+      const ShardState& other = slots_[static_cast<std::size_t>(s)];
+      t_min = std::min(t_min, other.min_nanos.load(std::memory_order_relaxed));
+      total += other.executed.load(std::memory_order_relaxed);
+    }
+    if (t_min == SimTime::Max().nanos() || total - baseline >= max_events) {
+      // Globally drained (channels were emptied before the minima were
+      // published, so Max really means no work anywhere) — or the runaway
+      // guard tripped. Every shard exits on the same epoch.
+      return;
+    }
+    if (shard == 0) {
+      ++epochs_;
+    }
+
+    // Execute phase: run every owned domain through the conservative
+    // window. Messages emitted here land at >= horizon and are delivered
+    // by the next drain phase.
+    const SimTime horizon = SaturatingAdd(SimTime::FromNanos(t_min), window);
+    for (int d = begin; d < end; ++d) {
+      sims_[static_cast<std::size_t>(d)]->RunUntil(horizon);
+    }
+    barrier_.Arrive(&sense);
+  }
+}
+
+std::uint64_t ShardedSimulator::executed_events() const {
+  std::uint64_t total = 0;
+  for (const auto& sim : sims_) {
+    total += sim->executed_events();
+  }
+  return total;
+}
+
+std::uint64_t ShardedSimulator::overflow_drains() const {
+  std::uint64_t total = 0;
+  for (const auto& ch : channels_) {
+    total += ch->overflow_drains();
+  }
+  return total;
+}
+
+std::uint64_t ShardedSimulator::CombinedDigest() const {
+  // Folds the per-domain digests in domain order. Domains — not shards —
+  // define the event streams, so the result is invariant in the shard
+  // count by construction.
+  std::uint64_t digest = 14695981039346656037ull;
+  for (const auto& sim : sims_) {
+    digest = (digest ^ sim->event_digest()) * 1099511628211ull;
+  }
+  return digest;
+}
+
+}  // namespace palette

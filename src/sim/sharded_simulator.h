@@ -1,0 +1,171 @@
+// Sharded parallel discrete-event engine (docs/PERF.md, "Parallel engine").
+//
+// One simulation is partitioned into D *domains*, each owning a private
+// Simulator — the unchanged allocation-free InlineFunction pool + 4-ary
+// heap core — and the domains are executed by S *shards* (threads, S <= D,
+// each owning a contiguous domain range). Synchronization is conservative:
+// all cross-domain interactions carry at least `lookahead` of simulated
+// network latency (the minimum cross-domain hop, cf. src/sim/network.h),
+// so in every epoch all domains may safely execute events in
+//
+//   [T_min, T_min + lookahead)
+//
+// where T_min is the global earliest pending timestamp: any message an
+// event in that window emits arrives at its destination no earlier than
+// T_min + lookahead, i.e. beyond the window every domain is executing.
+//
+// Cross-domain events travel as timestamped messages through bounded SPSC
+// channels (one per ordered domain pair, src/sim/spsc_channel.h) and are
+// drained at the epoch barrier in fixed (destination, then source) order —
+// so delivery order, per-domain (time, seq) assignment, and therefore the
+// per-domain FNV-1a event digests depend only on the domain topology,
+// never on the shard count or thread interleaving. CombinedDigest() folds
+// the per-domain digests in domain order; tests and CI assert it equal
+// across --shards=1/2/8. With shards=1 the identical epoch protocol runs
+// inline on the caller's thread (no pool, no barrier waits), which is what
+// makes the single-shard digest bit-identical to any parallel run.
+#ifndef PALETTE_SRC_SIM_SHARDED_SIMULATOR_H_
+#define PALETTE_SRC_SIM_SHARDED_SIMULATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/common/types.h"
+#include "src/sim/event_scheduler.h"
+#include "src/sim/simulator.h"
+#include "src/sim/spsc_channel.h"
+
+namespace palette {
+
+struct ShardedSimulatorConfig {
+  // Event-core partitions. Domains fix the model topology (and the
+  // digests); shards only decide how many threads execute them.
+  int domains = 1;
+  // Worker threads; clamped to [1, domains]. 1 = sequential epochs on the
+  // caller's thread.
+  int shards = 1;
+  // Conservative lookahead: every cross-domain Send must be scheduled at
+  // least this far past the sender's clock. The minimum cross-domain
+  // network latency of the model is the natural (largest valid) choice.
+  SimTime lookahead = SimTime::FromMicros(200);
+  // Per-channel ring capacity; overflow falls back to a barrier-drained
+  // vector (correct but no longer allocation-free).
+  std::size_t channel_capacity = 256;
+};
+
+class ShardedSimulator {
+ public:
+  explicit ShardedSimulator(ShardedSimulatorConfig config);
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  int domain_count() const { return domains_; }
+  int shard_count() const { return shards_; }
+  const ShardedSimulatorConfig& config() const { return config_; }
+
+  // The domain's private event core. Model components living on the domain
+  // are constructed against this simulator; during Run it must only be
+  // touched from events executing on the same domain.
+  Simulator& domain_sim(int domain) { return *sims_[domain]; }
+
+  // The domain's scheduling seam handle (cross-domain sends go through
+  // it). Valid for the engine's lifetime.
+  EventScheduler& scheduler(int domain) { return *schedulers_[domain]; }
+
+  // Delivers `cb` on `dst` at absolute time `when`. Must be called from an
+  // event executing on `src`; cross-domain sends must honor the lookahead
+  // contract (when >= src clock + lookahead, asserted in debug builds).
+  void Send(int src, int dst, SimTime when, Simulator::Callback cb);
+
+  // Runs barrier epochs until every domain and channel drains (or until
+  // `max_events` in total, checked at epoch boundaries — a runaway guard,
+  // not an exact budget). Returns the number of events executed by this
+  // call across all domains.
+  std::uint64_t Run(std::uint64_t max_events = UINT64_MAX);
+
+  // Totals across domains.
+  std::uint64_t executed_events() const;
+  // Epochs executed (windows with at least one event) across Run calls.
+  std::uint64_t epochs() const { return epochs_; }
+  // Epochs whose channel traffic spilled past a ring (sizing diagnostic).
+  std::uint64_t overflow_drains() const;
+
+  // Per-domain event digests folded in domain order: equal across shard
+  // counts for the same model, the engine's determinism witness.
+  std::uint64_t CombinedDigest() const;
+
+ private:
+  // EventScheduler handle for one domain.
+  class DomainScheduler final : public EventScheduler {
+   public:
+    DomainScheduler(ShardedSimulator* engine, int domain)
+        : engine_(engine), domain_(domain) {}
+    SimTime Now() const override { return engine_->sims_[domain_]->Now(); }
+    int domain() const override { return domain_; }
+    int domain_count() const override { return engine_->domains_; }
+    void ScheduleAt(SimTime when, Simulator::Callback cb) override {
+      engine_->sims_[domain_]->At(when, std::move(cb));
+    }
+    void SendTo(int dst_domain, SimTime when,
+                Simulator::Callback cb) override {
+      engine_->Send(domain_, dst_domain, when, std::move(cb));
+    }
+
+   private:
+    ShardedSimulator* engine_;
+    int domain_;
+  };
+
+  // Sense-reversing spin barrier. Spins briefly then yields: with fewer
+  // free cores than shards (CI containers) pure spinning would starve the
+  // very shard being waited for.
+  class SpinBarrier {
+   public:
+    explicit SpinBarrier(int participants) : participants_(participants) {}
+    // `sense` points at the calling thread's local sense flag (init false).
+    void Arrive(bool* sense);
+
+   private:
+    const int participants_;
+    std::atomic<int> arrived_{0};
+    std::atomic<bool> sense_{false};
+  };
+
+  // Per-shard reduction slots, cache-line separated. The barrier's
+  // acquire/release chain orders the relaxed accesses.
+  struct alignas(64) ShardState {
+    std::atomic<std::int64_t> min_nanos{0};
+    std::atomic<std::uint64_t> executed{0};
+  };
+
+  SpscChannel& channel(int src, int dst) {
+    return *channels_[static_cast<std::size_t>(src) *
+                          static_cast<std::size_t>(domains_) +
+                      static_cast<std::size_t>(dst)];
+  }
+  // The epoch loop: drain -> publish min -> barrier -> reduce -> execute
+  // window -> barrier. Every shard runs the identical reduction, so all
+  // reach the same continue/stop decision with no extra coordination.
+  void RunShard(int shard, std::uint64_t baseline, std::uint64_t max_events);
+
+  ShardedSimulatorConfig config_;
+  int domains_;
+  int shards_;
+  std::vector<std::unique_ptr<Simulator>> sims_;
+  std::vector<std::unique_ptr<DomainScheduler>> schedulers_;
+  std::vector<std::unique_ptr<SpscChannel>> channels_;  // src * D + dst
+  // Shard s owns domains [domain_begin_[s], domain_begin_[s + 1]).
+  std::vector<int> domain_begin_;
+  std::vector<ShardState> slots_;
+  SpinBarrier barrier_;
+  std::unique_ptr<ThreadPool> pool_;  // created only when shards_ > 1
+  std::uint64_t epochs_ = 0;          // written by shard 0 only
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_SIM_SHARDED_SIMULATOR_H_

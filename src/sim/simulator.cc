@@ -93,6 +93,12 @@ bool Simulator::Step() {
   const std::uint32_t slot = SlotOf(top);
   now_ = TimeOf(top);
   ++executed_;
+  // (time, seq) identifies the event in the run's total order; folding the
+  // pair keeps the digest sensitive to any reordering, not just to which
+  // events ran. Slot numbers are pool-recycling artifacts and stay out.
+  digest_ = (digest_ ^ static_cast<std::uint64_t>(now_.nanos())) * kFnvPrime;
+  digest_ =
+      (digest_ ^ (static_cast<std::uint64_t>(top) >> kSlotBits)) * kFnvPrime;
   SlotRef(slot).InvokeOnce();
   free_slots_.push_back(slot);
   return true;
@@ -101,6 +107,15 @@ bool Simulator::Step() {
 std::uint64_t Simulator::Run(std::uint64_t max_events) {
   std::uint64_t n = 0;
   while (n < max_events && Step()) {
+    ++n;
+  }
+  return n;
+}
+
+std::uint64_t Simulator::RunUntil(SimTime horizon) {
+  std::uint64_t n = 0;
+  while (!heap_.empty() && TimeOf(heap_[0]) < horizon) {
+    Step();
     ++n;
   }
   return n;

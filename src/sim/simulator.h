@@ -57,10 +57,12 @@ class Simulator {
     NewSlot(t).Emplace(std::forward<F>(cb));
   }
 
-  // Schedules `cb` at Now() + delay.
+  // Schedules `cb` at Now() + delay, saturating instead of wrapping: a
+  // huge delay (a deadline built from SimTime::Max(), a "never" retry
+  // backoff) lands at the end of time, not in the past.
   template <typename F>
   void After(SimTime delay, F&& cb) {
-    At(now_ + delay, std::forward<F>(cb));
+    At(SaturatingAdd(now_, delay), std::forward<F>(cb));
   }
 
   SimTime Now() const { return now_; }
@@ -72,9 +74,29 @@ class Simulator {
   // Returns the number of events executed.
   std::uint64_t Run(std::uint64_t max_events = UINT64_MAX);
 
+  // Runs every event strictly before `horizon` (events the run schedules
+  // included, as long as they land before the horizon). Returns the number
+  // executed. This is the per-epoch primitive of the sharded engine
+  // (sharded_simulator.h): the caller guarantees no event earlier than the
+  // horizon can still arrive from outside.
+  std::uint64_t RunUntil(SimTime horizon);
+
+  // Timestamp of the earliest pending event, or SimTime::Max() when the
+  // queue is empty (the sharded engine's epoch reduction treats Max as
+  // "no work").
+  SimTime next_event_time() const {
+    return heap_.empty() ? SimTime::Max() : TimeOf(heap_[0]);
+  }
+
   std::uint64_t executed_events() const { return executed_; }
   bool empty() const { return heap_.empty(); }
   std::size_t pending_events() const { return heap_.size(); }
+
+  // Order-sensitive FNV-1a digest over the (time, seq) pair of every event
+  // executed so far. Two runs of the same model must produce equal digests
+  // — the bit-reproducibility witness the sharded engine combines across
+  // domains and CI asserts across --shards counts.
+  std::uint64_t event_digest() const { return digest_; }
 
  private:
   // The whole heap ordering key — (time, seq) plus the callback's pool
@@ -125,9 +147,13 @@ class Simulator {
     return chunks_[slot >> kChunkShift][slot & kChunkMask];
   }
 
+  static constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+  static constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
   SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t digest_ = kFnvOffset;
   std::vector<HeapKey> heap_;  // explicit 4-ary min-heap
   std::vector<std::unique_ptr<Callback[]>> chunks_;  // slot storage
   std::uint32_t pool_size_ = 0;  // slots handed out so far

@@ -1,0 +1,113 @@
+// Bounded single-producer/single-consumer channel of timestamped events —
+// the only cross-thread edge in the sharded engine (sharded_simulator.h).
+//
+// Access is phase-separated by the engine's barrier protocol: during an
+// epoch's execute phase exactly one shard (the source domain's owner)
+// pushes, and during the next drain phase exactly one shard (the
+// destination's owner) pops. The lock-free ring handles the steady state;
+// when an epoch produces more messages than the ring holds, the excess
+// spills into an unsynchronized overflow vector that only the producer
+// touches between barriers and only the consumer touches at the barrier —
+// the barrier itself provides the happens-before edge, so delivery is
+// never dropped, merely no longer allocation-free.
+//
+// FIFO holds end to end: within an epoch the ring fills before the
+// overflow does and nothing is popped mid-epoch, so draining ring-then-
+// overflow replays the exact push order. The engine relies on that for
+// deterministic same-timestamp message ordering.
+#ifndef PALETTE_SRC_SIM_SPSC_CHANNEL_H_
+#define PALETTE_SRC_SIM_SPSC_CHANNEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/simulator.h"
+
+namespace palette {
+
+class SpscChannel {
+ public:
+  // One in-flight cross-domain event: deliver `cb` on the destination
+  // domain's clock at absolute time `when`.
+  struct TimedEvent {
+    SimTime when;
+    Simulator::Callback cb;
+  };
+
+  // `capacity` is rounded up to a power of two (minimum 2) so the ring
+  // index wraps with a mask.
+  explicit SpscChannel(std::size_t capacity = 256) {
+    std::size_t size = 2;
+    while (size < capacity) {
+      size <<= 1;
+    }
+    ring_.resize(size);
+  }
+
+  SpscChannel(const SpscChannel&) = delete;
+  SpscChannel& operator=(const SpscChannel&) = delete;
+
+  // Producer side (source domain's shard, execute phase only).
+  void Push(SimTime when, Simulator::Callback cb) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head < ring_.size()) {
+      TimedEvent& slot = ring_[tail & (ring_.size() - 1)];
+      slot.when = when;
+      slot.cb = std::move(cb);
+      tail_.store(tail + 1, std::memory_order_release);
+    } else {
+      overflow_.push_back(TimedEvent{when, std::move(cb)});
+    }
+  }
+
+  // Consumer side (destination domain's shard, drain phase only). Invokes
+  // `fn(when, std::move(cb))` for every queued event in push order.
+  template <typename Fn>
+  void Drain(Fn&& fn) {
+    std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    while (head != tail) {
+      TimedEvent& slot = ring_[head & (ring_.size() - 1)];
+      fn(slot.when, std::move(slot.cb));
+      slot.cb.Reset();
+      ++head;
+    }
+    head_.store(head, std::memory_order_release);
+    if (!overflow_.empty()) {
+      for (TimedEvent& event : overflow_) {
+        fn(event.when, std::move(event.cb));
+      }
+      overflow_.clear();
+      ++overflow_drains_;
+    }
+  }
+
+  // Barrier-phase only (either side): true when nothing is queued.
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire) &&
+           overflow_.empty();
+  }
+
+  std::size_t capacity() const { return ring_.size(); }
+  // Epochs whose traffic spilled past the ring (sizing diagnostic).
+  std::uint64_t overflow_drains() const { return overflow_drains_; }
+
+ private:
+  std::vector<TimedEvent> ring_;
+  // Consumer-owned and producer-owned cursors on separate cache lines so
+  // pushes and drains do not false-share.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  // Spillover past the ring; synchronized by the engine barrier, see above.
+  std::vector<TimedEvent> overflow_;
+  std::uint64_t overflow_drains_ = 0;
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_SIM_SPSC_CHANNEL_H_

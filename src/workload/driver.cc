@@ -1,6 +1,7 @@
 #include "src/workload/driver.h"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace palette {
@@ -15,6 +16,17 @@ OpenLoopDriver::OpenLoopDriver(FaasPlatform* platform,
                          FaasPlatform::CompletionCallback on_complete) {
         return platform->Invoke(std::move(spec), std::move(on_complete));
       }),
+      arrivals_(std::move(arrivals)),
+      mix_(std::move(mix)),
+      config_(config),
+      rng_(seed) {}
+
+OpenLoopDriver::OpenLoopDriver(Simulator* sim,
+                               std::unique_ptr<ArrivalProcess> arrivals,
+                               InvocationMix mix, DriverConfig config,
+                               std::uint64_t seed)
+    : platform_(nullptr),
+      sim_(sim),
       arrivals_(std::move(arrivals)),
       mix_(std::move(mix)),
       config_(config),
@@ -45,6 +57,7 @@ void OpenLoopDriver::ScheduleNext() {
 }
 
 void OpenLoopDriver::Fire() {
+  assert(invoke_ && "platform-less driver needs set_invoker before Start");
   MixedInvocation mixed = mix_.Sample(sim_->Now(), rng_);
   const std::uint32_t index = static_cast<std::uint32_t>(samples_.size());
   InvocationSample sample;

@@ -66,6 +66,13 @@ class OpenLoopDriver {
                  std::unique_ptr<ArrivalProcess> arrivals, InvocationMix mix,
                  DriverConfig config, std::uint64_t seed);
 
+  // Platform-less variant for sharded runs (src/workload/sharded_run.h):
+  // the driver schedules arrivals on `sim` (the front-door domain) and has
+  // no default submission target — the caller MUST set_invoker before
+  // Start, pointing at whatever fabric carries invocations to a platform.
+  OpenLoopDriver(Simulator* sim, std::unique_ptr<ArrivalProcess> arrivals,
+                 InvocationMix mix, DriverConfig config, std::uint64_t seed);
+
   // Schedules the first arrival; the caller then runs the simulator
   // (sim.Run() drives arrivals and completions to drain).
   void Start();

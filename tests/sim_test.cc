@@ -1,4 +1,5 @@
-// Unit tests for the discrete-event simulator and network model.
+// Unit tests for the discrete-event simulator, the sharded parallel
+// engine, and the network model.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -6,8 +7,12 @@
 #include <utility>
 #include <vector>
 
+#include "src/sim/event_scheduler.h"
 #include "src/sim/network.h"
+#include "src/sim/sharded_simulator.h"
 #include "src/sim/simulator.h"
+#include "src/sim/spsc_channel.h"
+#include "src/workload/sharded_run.h"
 
 namespace palette {
 namespace {
@@ -274,6 +279,314 @@ TEST_F(NetworkTest, ReadyTimeDefersTransfer) {
 TEST_F(NetworkTest, HasNode) {
   EXPECT_TRUE(network_.HasNode("a"));
   EXPECT_FALSE(network_.HasNode("zz"));
+}
+
+TEST(SimulatorTest, AfterSaturatesInsteadOfWrapping) {
+  // A huge delay must land at the end of time, not wrap into the past and
+  // fire immediately.
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(SimTime::FromSeconds(5), [&] {
+    sim.After(SimTime::Max(), [&] {
+      order.push_back(2);
+      EXPECT_EQ(sim.Now(), SimTime::Max());
+    });
+    sim.After(SimTime::FromSeconds(1), [&] { order.push_back(1); });
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorTest, AfterNearTimeBoundSaturates) {
+  // Two near-bound delays whose exact sum exceeds the packed 64-bit time
+  // range: the event clamps to SimTime::Max() instead of wrapping.
+  Simulator sim;
+  const SimTime huge = SimTime::FromNanos(std::int64_t{1} << 62);
+  SimTime fired;
+  sim.At(huge, [&] {
+    sim.After(huge, [&] { fired = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, SimTime::Max());
+}
+
+TEST(SimulatorTest, AfterHugeNegativeDelayClampsToNow) {
+  Simulator sim;
+  SimTime fired;
+  sim.At(SimTime::FromSeconds(5), [&] {
+    sim.After(SimTime::Min(), [&] { fired = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, SimTime::FromSeconds(5));
+}
+
+TEST(SpscChannelTest, FifoAcrossRingAndOverflow) {
+  // Push well past the ring capacity: the excess spills to the overflow
+  // vector and a drain still replays everything in push order.
+  SpscChannel channel(4);
+  EXPECT_EQ(channel.capacity(), 4u);
+  int invoked = 0;
+  for (int i = 0; i < 10; ++i) {
+    channel.Push(SimTime::FromMillis(i), [&invoked] { ++invoked; });
+  }
+  std::vector<std::int64_t> stamps;
+  channel.Drain([&](SimTime when, Simulator::Callback cb) {
+    stamps.push_back(when.nanos());
+    cb();
+  });
+  ASSERT_EQ(stamps.size(), 10u);
+  for (std::size_t i = 1; i < stamps.size(); ++i) {
+    EXPECT_LT(stamps[i - 1], stamps[i]);
+  }
+  EXPECT_EQ(invoked, 10);
+  EXPECT_TRUE(channel.Empty());
+  EXPECT_EQ(channel.overflow_drains(), 1u);
+}
+
+TEST(EventSchedulerTest, LocalSchedulerDegeneratesToOneSimulator) {
+  Simulator sim;
+  LocalScheduler scheduler(&sim);
+  std::vector<int> order;
+  scheduler.ScheduleAt(SimTime::FromMillis(2), [&order] { order.push_back(2); });
+  // SendTo on the single-domain seam is a plain local schedule.
+  scheduler.SendTo(0, SimTime::FromMillis(1), [&order] { order.push_back(1); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(scheduler.domain(), 0);
+  EXPECT_EQ(scheduler.domain_count(), 1);
+  EXPECT_EQ(scheduler.Now(), SimTime::FromMillis(2));
+}
+
+namespace sharded {
+
+constexpr std::uint64_t Lcg(std::uint64_t state) {
+  return state * 6364136223846793005ULL + 1442695040888963407ULL;
+}
+
+// A deterministic self-rescheduling cascade (LCG-driven delays).
+void Cascade(Simulator* sim, std::uint64_t state, int remaining) {
+  if (remaining == 0) {
+    return;
+  }
+  const std::uint64_t next = Lcg(state);
+  const auto delay =
+      static_cast<std::int64_t>((next >> 40) % 10000) + 1;
+  sim->After(SimTime::FromNanos(delay), [sim, next, remaining] {
+    Cascade(sim, next, remaining - 1);
+  });
+}
+
+constexpr SimTime kStormLookahead = SimTime::FromMicros(100);
+
+// A cascade that also sprays cross-domain messages (at >= lookahead) to
+// pseudo-random destinations — the determinism stress for the engine.
+void Storm(ShardedSimulator* engine, int domain, std::uint64_t state,
+           int remaining) {
+  if (remaining == 0) {
+    return;
+  }
+  Simulator& sim = engine->domain_sim(domain);
+  const std::uint64_t next = Lcg(state);
+  const auto delay = static_cast<std::int64_t>((next >> 40) % 50000) + 1;
+  sim.After(SimTime::FromNanos(delay), [engine, domain, next, remaining] {
+    Storm(engine, domain, next, remaining - 1);
+  });
+  if (next % 3 == 0) {
+    const int dst = static_cast<int>(
+        (static_cast<std::uint64_t>(domain) + 1 + (next >> 50) % 3) %
+        static_cast<std::uint64_t>(engine->domain_count()));
+    const std::uint64_t forked = Lcg(next ^ 0x9E3779B97F4A7C15ULL);
+    const SimTime when =
+        sim.Now() + kStormLookahead +
+        SimTime::FromNanos(static_cast<std::int64_t>((next >> 45) % 1000));
+    engine->Send(domain, dst, when, [engine, dst, forked] {
+      Storm(engine, dst, forked, 2);
+    });
+  }
+}
+
+}  // namespace sharded
+
+TEST(ShardedSimulatorTest, SingleDomainMatchesPlainSimulator) {
+  // One domain on one shard is the sequential engine bit for bit: same
+  // event count, same final clock, same digest.
+  Simulator plain;
+  for (int c = 0; c < 8; ++c) {
+    sharded::Cascade(&plain, static_cast<std::uint64_t>(c) + 1, 50);
+  }
+  plain.Run();
+
+  ShardedSimulatorConfig config;
+  config.domains = 1;
+  config.shards = 1;
+  ShardedSimulator engine(config);
+  for (int c = 0; c < 8; ++c) {
+    sharded::Cascade(&engine.domain_sim(0), static_cast<std::uint64_t>(c) + 1,
+                     50);
+  }
+  const std::uint64_t ran = engine.Run();
+
+  EXPECT_EQ(ran, plain.executed_events());
+  EXPECT_EQ(engine.domain_sim(0).executed_events(), plain.executed_events());
+  EXPECT_EQ(engine.domain_sim(0).event_digest(), plain.event_digest());
+  EXPECT_EQ(engine.domain_sim(0).Now(), plain.Now());
+}
+
+namespace {
+
+struct PingPongState {
+  ShardedSimulator* engine = nullptr;
+  std::vector<std::int64_t> stamps[2];
+};
+
+void Bounce(PingPongState* state, int domain) {
+  Simulator& sim = state->engine->domain_sim(domain);
+  state->stamps[domain].push_back(sim.Now().nanos());
+  if (state->stamps[0].size() + state->stamps[1].size() >= 10) {
+    return;
+  }
+  const int other = 1 - domain;
+  state->engine->Send(domain, other, sim.Now() + SimTime::FromMillis(1),
+                      [state, other] { Bounce(state, other); });
+}
+
+}  // namespace
+
+TEST(ShardedSimulatorTest, PingPongDeliversAtTheSentTimestamp) {
+  ShardedSimulatorConfig config;
+  config.domains = 2;
+  config.shards = 2;
+  config.lookahead = SimTime::FromMillis(1);
+  ShardedSimulator engine(config);
+  PingPongState state;
+  state.engine = &engine;
+  engine.domain_sim(0).At(SimTime(), [&state] { Bounce(&state, 0); });
+  engine.Run();
+  // Strict alternation, one hop of simulated latency per bounce.
+  ASSERT_EQ(state.stamps[0].size(), 5u);
+  ASSERT_EQ(state.stamps[1].size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(state.stamps[0][i], SimTime::FromMillis(2 * i).nanos());
+    EXPECT_EQ(state.stamps[1][i], SimTime::FromMillis(2 * i + 1).nanos());
+  }
+  EXPECT_GT(engine.epochs(), 0u);
+}
+
+TEST(ShardedSimulatorTest, DigestInvariantAcrossShardCounts) {
+  // The engine's core determinism claim: domains fix the event streams, so
+  // any shard count replays the identical simulation.
+  auto run_storm = [](int shards) {
+    ShardedSimulatorConfig config;
+    config.domains = 4;
+    config.shards = shards;
+    config.lookahead = sharded::kStormLookahead;
+    config.channel_capacity = 8;  // force overflow coverage too
+    ShardedSimulator engine(config);
+    for (int d = 0; d < 4; ++d) {
+      sharded::Storm(&engine, d, static_cast<std::uint64_t>(d) * 977 + 11,
+                     40);
+    }
+    const std::uint64_t ran = engine.Run();
+    return std::pair<std::uint64_t, std::uint64_t>(engine.CombinedDigest(),
+                                                   ran);
+  };
+  const auto one = run_storm(1);
+  const auto two = run_storm(2);
+  const auto four = run_storm(4);
+  EXPECT_GT(one.second, 160u);
+  EXPECT_EQ(one.first, two.first);
+  EXPECT_EQ(one.first, four.first);
+  EXPECT_EQ(one.second, two.second);
+  EXPECT_EQ(one.second, four.second);
+}
+
+namespace {
+
+void Tick(ShardedSimulator* engine, int domain) {
+  engine->domain_sim(domain).After(SimTime::FromMillis(1), [engine, domain] {
+    Tick(engine, domain);
+  });
+}
+
+}  // namespace
+
+TEST(ShardedSimulatorTest, RunStopsAtEventBudgetAndResumes) {
+  ShardedSimulatorConfig config;
+  config.domains = 2;
+  config.shards = 1;
+  ShardedSimulator engine(config);
+  Tick(&engine, 0);  // an endless local chain
+  const std::uint64_t first = engine.Run(50);
+  EXPECT_GE(first, 50u);
+  EXPECT_LE(first, 52u);  // budget is checked at epoch boundaries
+  const std::uint64_t second = engine.Run(10);
+  EXPECT_GE(second, 10u);
+  EXPECT_LE(second, 12u);
+}
+
+namespace {
+
+ShardedRunResult RunShardedCell(int shards,
+                                const std::vector<ShardedFault>* faults) {
+  WorkloadSpec spec;
+  spec.arrival.kind = ArrivalKind::kMmpp;
+  spec.arrival.rate_per_sec = 400;
+  spec.driver.duration = SimTime::FromSeconds(3);
+  spec.mix.color_count = 64;
+  spec.mix.zipf_theta = 0.9;
+  spec.seed = 7;
+  ShardedWorkloadConfig config;
+  config.groups = 4;
+  config.shards = shards;
+  config.routers_per_group = 2;
+  config.hop = SimTime::FromMillis(2);
+  config.group_sync_lag = SimTime::FromMillis(5);
+  SloConfig slo;
+  slo.warmup = SimTime::FromMillis(500);
+  return RunShardedWorkload(spec, PolicyKind::kLeastAssigned,
+                            /*total_workers=*/16, config, slo,
+                            DefaultWorkloadPlatformConfig(), faults);
+}
+
+}  // namespace
+
+TEST(ShardedWorkloadTest, ZipfMmppDigestsInvariantAcrossShardCounts) {
+  const ShardedRunResult one = RunShardedCell(1, nullptr);
+  const ShardedRunResult four = RunShardedCell(4, nullptr);
+  EXPECT_GT(one.report.completed, 0u);
+  EXPECT_TRUE(one.books_close);
+  EXPECT_TRUE(four.books_close);
+  EXPECT_EQ(one.samples_digest, four.samples_digest);
+  EXPECT_EQ(one.engine_digest, four.engine_digest);
+  EXPECT_EQ(one.sim_events, four.sim_events);
+  EXPECT_EQ(one.epochs, four.epochs);
+  EXPECT_EQ(one.driver_completed, four.driver_completed);
+}
+
+TEST(ShardedWorkloadTest, FaultCellStaysDeterministic) {
+  // Mid-run worker crash in group 1 plus a router crash/restart cycle in
+  // group 2: the failure-handling event storm must replay identically on
+  // 1 and 4 shards.
+  std::vector<ShardedFault> faults;
+  faults.push_back(ShardedFault{
+      1, FaultEvent{SimTime::FromSeconds(1), FaultKind::kCrash, "g1w0"}});
+  faults.push_back(ShardedFault{
+      2,
+      FaultEvent{SimTime::FromMillis(1200), FaultKind::kRouterCrash, "r0"}});
+  faults.push_back(ShardedFault{
+      2, FaultEvent{SimTime::FromSeconds(2), FaultKind::kRouterRestart,
+                    "r0"}});
+  const ShardedRunResult one = RunShardedCell(1, &faults);
+  const ShardedRunResult four = RunShardedCell(4, &faults);
+  EXPECT_TRUE(one.books_close);
+  EXPECT_TRUE(four.books_close);
+  // The faults actually bit: the event stream diverges from the fault-free
+  // run (membership churn, view resync, re-coloring).
+  const ShardedRunResult clean = RunShardedCell(1, nullptr);
+  EXPECT_NE(one.engine_digest, clean.engine_digest);
+  EXPECT_EQ(one.samples_digest, four.samples_digest);
+  EXPECT_EQ(one.engine_digest, four.engine_digest);
+  EXPECT_EQ(one.sim_events, four.sim_events);
 }
 
 }  // namespace

@@ -25,6 +25,14 @@
 // p50/p99/goodput/hit ratio instead of makespan. The workload spec comes
 // from the loadgen flag set (--rate, --duration, --colors, --theta, ...;
 // see docs/WORKLOADS.md), with each cell's seed from the grid.
+//
+// `--shards=N` (workload mode only) runs every cell on the sharded
+// parallel engine (docs/PERF.md, "Parallel engine") with N event-core
+// threads and --groups/--group_routers/--shard_hop_us topology. Each such
+// cell owns an N-thread pool, so the sweep's own fan-out is capped at
+// hardware_concurrency / N — shards x cells never oversubscribes the
+// machine.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <optional>
@@ -38,6 +46,7 @@
 #include "src/core/policy_factory.h"
 #include "src/dag/dag_executor.h"
 #include "src/taskbench/taskbench.h"
+#include "src/workload/sharded_run.h"
 #include "src/workload/spec.h"
 
 namespace palette {
@@ -93,7 +102,7 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 int RunWorkloadSweep(const FlagParser& flags, ArrivalKind arrival_kind,
                      const std::vector<PolicyKind>& policies,
                      const std::vector<int>& worker_counts,
-                     std::uint64_t seeds, std::size_t threads,
+                     std::uint64_t seeds, std::size_t threads, int shards,
                      const std::string& out_path) {
   WorkloadSpec base_spec;
   if (!WorkloadSpecFromFlags(flags, &base_spec)) {
@@ -105,11 +114,33 @@ int RunWorkloadSweep(const FlagParser& flags, ArrivalKind arrival_kind,
   slo.warmup = SimTime::FromSeconds(flags.GetDouble("warmup_s", 1));
   const PlatformConfig platform_config = DefaultWorkloadPlatformConfig();
 
+  // Sharded-engine cells: each one spins a `shards`-thread event-core
+  // pool, so cap the sweep's own fan-out at hardware_concurrency / shards
+  // to keep shards x cells at or under the machine's width.
+  ShardedWorkloadConfig sharded_config;
+  if (shards >= 1) {
+    sharded_config.shards = shards;
+    sharded_config.groups = static_cast<int>(flags.GetInt("groups", 8));
+    sharded_config.routers_per_group =
+        static_cast<int>(flags.GetInt("group_routers", 2));
+    sharded_config.hop = SimTime::FromMicros(
+        flags.GetDouble("shard_hop_us", sharded_config.hop.micros()));
+    const auto hw = static_cast<std::size_t>(
+        std::max(1u, std::thread::hardware_concurrency()));
+    const std::size_t cap =
+        std::max<std::size_t>(1, hw / static_cast<std::size_t>(shards));
+    threads = std::min(threads == 0 ? hw : threads, cap);
+    std::printf("sharded cells: %d shard(s) each; sweep fan-out capped at "
+                "%zu thread(s)\n",
+                shards, threads);
+  }
+
   struct WorkloadCell {
     PolicyKind policy;
     std::uint64_t seed = 1;
     int workers = 8;
     WorkloadRunResult run;
+    ShardedRunResult sharded;
     double wall_seconds = 0;
   };
   std::vector<WorkloadCell> cells;
@@ -131,8 +162,16 @@ int RunWorkloadSweep(const FlagParser& flags, ArrivalKind arrival_kind,
     const auto cell_start = std::chrono::steady_clock::now();
     WorkloadSpec spec = base_spec;
     spec.seed = cell.seed;
-    cell.run = RunWorkload(spec, cell.policy, cell.workers, slo,
-                           platform_config);
+    if (shards >= 1) {
+      cell.sharded = RunShardedWorkload(spec, cell.policy, cell.workers,
+                                        sharded_config, slo,
+                                        platform_config);
+      cell.run.report = cell.sharded.report;
+      cell.run.samples_digest = cell.sharded.samples_digest;
+    } else {
+      cell.run = RunWorkload(spec, cell.policy, cell.workers, slo,
+                             platform_config);
+    }
     cell.wall_seconds = SecondsSince(cell_start);
   });
   const double wall_seconds = SecondsSince(sweep_start);
@@ -163,6 +202,14 @@ int RunWorkloadSweep(const FlagParser& flags, ArrivalKind arrival_kind,
   json.String("sweep-workload");
   json.Key("spec");
   AppendWorkloadSpecJson(base_spec, &json);
+  if (shards >= 1) {
+    json.Key("shards");
+    json.Int(shards);
+    json.Key("groups");
+    json.Int(sharded_config.groups);
+    json.Key("group_routers");
+    json.Int(sharded_config.routers_per_group);
+  }
   json.Key("wall_seconds");
   json.Double(wall_seconds);
   json.Key("results");
@@ -178,6 +225,13 @@ int RunWorkloadSweep(const FlagParser& flags, ArrivalKind arrival_kind,
     json.Key("samples_digest");
     json.String(StrFormat("%016llx", static_cast<unsigned long long>(
                                          cell.run.samples_digest)));
+    if (shards >= 1) {
+      json.Key("engine_digest");
+      json.String(StrFormat("%016llx", static_cast<unsigned long long>(
+                                           cell.sharded.engine_digest)));
+      json.Key("epochs");
+      json.UInt(cell.sharded.epochs);
+    }
     json.Key("cell_wall_seconds");
     json.Double(cell.wall_seconds);
     json.Key("report");
@@ -218,7 +272,9 @@ int Run(int argc, char** argv) {
   }
   const auto seeds = static_cast<std::uint64_t>(flags.GetInt("seeds", 3));
 
-  // Open-loop SLO cells instead of DAG replays.
+  // Open-loop SLO cells instead of DAG replays; --shards>=1 puts each
+  // cell on the sharded parallel engine.
+  const int shards = static_cast<int>(flags.GetInt("shards", 0));
   const std::string workload_id = flags.GetString("workload", "");
   if (!workload_id.empty()) {
     ArrivalKind arrival_kind;
@@ -231,8 +287,14 @@ int Run(int argc, char** argv) {
     }
     return RunWorkloadSweep(
         flags, arrival_kind, policies, worker_counts, seeds,
-        static_cast<std::size_t>(flags.GetInt("threads", 0)),
+        static_cast<std::size_t>(flags.GetInt("threads", 0)), shards,
         flags.GetString("out", "BENCH_sweep.json"));
+  }
+  if (shards >= 1) {
+    std::fprintf(stderr,
+                 "--shards requires --workload (DAG cells have no sharded "
+                 "mode)\n");
+    return 1;
   }
 
   const std::string pattern_name = flags.GetString("pattern", "stencil_1d");

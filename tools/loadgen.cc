@@ -13,9 +13,18 @@
 //           [--colors=512] [--theta=0.9] [--churn_interval_s=0] ...
 //           [--routers=0]                # >0: route through a RouterTier
 //           [--dispatch=color|spray] [--sync_lag_ms=0] [--hop_us=200]
+//           [--shards=0]                 # >=1: sharded parallel engine
+//           [--groups=8] [--group_routers=2] [--shard_hop_us=500]
 //           [--sweep=200,400,800,1600]   # rate step-sweep for the knee
 //           [--dump_samples]             # embed per-sample records
 //           [--out=BENCH_slo.json]
+//
+// Sharded mode (docs/PERF.md, "Parallel engine"): --shards>=1 maps the
+// workload onto --groups worker-group domains, each fronted by its own
+// --group_routers router replicas, running on that many event-core
+// threads. Digests are bit-identical for every --shards value; --shards=0
+// (the default) keeps today's monolithic single-simulator paths
+// byte-identical. --routers and --sweep apply to monolithic mode only.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -24,6 +33,7 @@
 #include "src/common/json_writer.h"
 #include "src/common/table_printer.h"
 #include "src/core/policy_factory.h"
+#include "src/workload/sharded_run.h"
 #include "src/workload/spec.h"
 
 namespace palette {
@@ -101,6 +111,18 @@ int Run(int argc, char** argv) {
       SimTime::FromMillis(flags.GetDouble("sync_lag_ms", 0));
   tier_config.hop_latency = SimTime::FromMicros(
       flags.GetDouble("hop_us", tier_config.hop_latency.micros()));
+  // Sharded-engine mode: --shards>=1 runs the workload on the parallel
+  // engine; the group tiers reuse the dispatch/sync_lag flags above.
+  const int shards = static_cast<int>(flags.GetInt("shards", 0));
+  ShardedWorkloadConfig sharded_config;
+  sharded_config.shards = shards;
+  sharded_config.groups = static_cast<int>(flags.GetInt("groups", 8));
+  sharded_config.routers_per_group =
+      static_cast<int>(flags.GetInt("group_routers", 2));
+  sharded_config.hop = SimTime::FromMicros(
+      flags.GetDouble("shard_hop_us", sharded_config.hop.micros()));
+  sharded_config.group_sync_lag = tier_config.sync_lag;
+  sharded_config.group_dispatch = tier_config.dispatch;
   SloConfig slo;
   slo.deadline = SimTime::FromMillis(flags.GetDouble("deadline_ms", 100));
   slo.warmup = SimTime::FromSeconds(flags.GetDouble("warmup_s", 1));
@@ -121,6 +143,15 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "warning: unrecognized flag --%s\n",
                  unknown.c_str());
   }
+  if (shards >= 1 && !sweep_csv.empty()) {
+    std::fprintf(stderr, "--sweep is not supported with --shards\n");
+    return 1;
+  }
+  if (shards >= 1 && routers > 0) {
+    std::fprintf(stderr,
+                 "warning: --routers is ignored with --shards (use "
+                 "--group_routers)\n");
+  }
 
   JsonWriter json;
   json.BeginObject();
@@ -138,7 +169,7 @@ int Run(int argc, char** argv) {
   json.Double(slo.warmup.seconds());
   json.Key("spec");
   AppendWorkloadSpecJson(spec, &json);
-  if (routers > 0) {
+  if (routers > 0 && shards < 1) {
     json.Key("routers");
     json.Int(routers);
     json.Key("dispatch");
@@ -147,6 +178,87 @@ int Run(int argc, char** argv) {
     json.Double(tier_config.sync_lag.millis());
     json.Key("hop_us");
     json.Double(tier_config.hop_latency.micros());
+  }
+
+  if (shards >= 1) {
+    // Sharded parallel-engine run: one topology, `shards` event cores.
+    json.Key("sharded");
+    json.BeginObject();
+    json.Key("shards");
+    json.Int(shards);
+    json.Key("groups");
+    json.Int(sharded_config.groups);
+    json.Key("group_routers");
+    json.Int(sharded_config.routers_per_group);
+    json.Key("hop_us");
+    json.Double(sharded_config.hop.micros());
+    json.Key("dispatch");
+    json.String(DispatchModeId(sharded_config.group_dispatch));
+    json.Key("sync_lag_ms");
+    json.Double(sharded_config.group_sync_lag.millis());
+    json.EndObject();
+
+    std::printf("== loadgen (sharded): %s arrivals at %.0f rps, %s policy, "
+                "%d workers across %d groups x %d routers, %d shard(s) "
+                "==\n\n",
+                std::string(ArrivalKindId(spec.arrival.kind)).c_str(),
+                spec.arrival.rate_per_sec, policy_id.c_str(), workers,
+                sharded_config.groups, sharded_config.routers_per_group,
+                shards);
+    const ShardedRunResult run = RunShardedWorkload(
+        spec, policy, workers, sharded_config, slo, platform_config);
+    std::printf("%s\n", SloReportTable(run.report).c_str());
+    std::printf("samples digest: %016llx, engine digest: %016llx, sim "
+                "events: %llu, epochs: %llu, wall: %.3f s, books %s\n",
+                static_cast<unsigned long long>(run.samples_digest),
+                static_cast<unsigned long long>(run.engine_digest),
+                static_cast<unsigned long long>(run.sim_events),
+                static_cast<unsigned long long>(run.epochs),
+                run.wall_seconds, run.books_close ? "close" : "DO NOT CLOSE");
+
+    json.Key("sample_count");
+    json.UInt(run.driver_submitted);
+    json.Key("samples_digest");
+    json.String(StrFormat("%016llx", static_cast<unsigned long long>(
+                                         run.samples_digest)));
+    json.Key("engine_digest");
+    json.String(StrFormat("%016llx", static_cast<unsigned long long>(
+                                         run.engine_digest)));
+    json.Key("sim_events");
+    json.UInt(run.sim_events);
+    json.Key("epochs");
+    json.UInt(run.epochs);
+    json.Key("wall_seconds");
+    json.Double(run.wall_seconds);
+    json.Key("cold_starts");
+    json.UInt(run.cold_starts);
+    json.Key("retries");
+    json.UInt(run.retries);
+    json.Key("books");
+    json.BeginObject();
+    json.Key("submitted");
+    json.UInt(run.driver_submitted);
+    json.Key("group_submitted");
+    json.UInt(run.group_submitted);
+    json.Key("completed");
+    json.UInt(run.group_completed);
+    json.Key("dropped");
+    json.UInt(run.group_dropped);
+    json.Key("abandoned");
+    json.UInt(run.group_abandoned);
+    json.Key("rejections");
+    json.UInt(run.group_rejections);
+    json.Key("close");
+    json.Bool(run.books_close);
+    json.EndObject();
+    json.Key("report");
+    AppendSloReportJson(run.report, &json);
+    json.EndObject();
+    if (!WriteTextFile(out_path, json.str())) {
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
   }
 
   const auto run_spec = [&](const WorkloadSpec& at_spec) {
