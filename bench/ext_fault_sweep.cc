@@ -24,12 +24,15 @@
 // abandon nothing.
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "src/common/json_writer.h"
 #include "src/common/table_printer.h"
 #include "src/core/policy_factory.h"
+#include "src/obs/alerts.h"
 #include "src/workload/fault_schedule.h"
+#include "src/workload/sharded_run.h"
 #include "src/workload/spec.h"
 
 namespace palette {
@@ -68,6 +71,143 @@ FaultSchedule SweepFaults(const WorkloadSpec& spec) {
     workers.push_back(StrFormat("w%d", i));
   }
   return FaultSchedule::FromMtbf(mtbf, workers, spec.seed ^ 0xFA117ULL);
+}
+
+// Alert cell (docs/OBSERVABILITY.md): one group-scoped crash/restart
+// replayed on the sharded engine with the telemetry sampler on, watched
+// through the alert engine. The crash must FIRE the recolor alert (the
+// dead worker's colors re-home, lb.recolored.rate goes nonzero) and the
+// accompanying p99 spike alert; the restart must let both CLEAR before
+// the run ends; and the alert log must be bit-identical across engine
+// shard counts — it is pure arithmetic over the merged series, and the
+// merged series are digest-stable. Appends an "alert_cell" object to the
+// open JSON writer; returns false (and the bench exits non-zero) if any
+// of those invariants break.
+bool RunAlertCell(JsonWriter* json) {
+  WorkloadSpec spec = SweepSpec();
+  spec.driver.duration = SimTime::FromSeconds(10);
+
+  SloConfig slo;
+  slo.deadline = SimTime::FromMillis(kDeadlineMs);
+  slo.warmup = SimTime::FromSeconds(2);
+
+  PlatformConfig config = DefaultWorkloadPlatformConfig();
+  config.cache.per_instance_capacity = 32 * kMiB;
+  config.default_deadline = SimTime::FromSeconds(1);
+  config.retry.max_attempts = 4;
+  config.retry.initial_backoff = SimTime::FromMillis(5);
+  config.retry.multiplier = 2.0;
+  config.retry.jitter = 0.2;
+
+  // Two groups of four workers: the merged cluster p99 is the count-
+  // weighted mean of the per-group quantiles, so a small group count
+  // keeps a one-group episode visible after the fold.
+  ShardedWorkloadConfig sharded;
+  sharded.groups = 2;
+  sharded.routers_per_group = 0;
+  sharded.obs.sample_every = SimTime::FromMillis(250);
+  std::vector<std::string> errors;
+  sharded.obs.alert_rules = ParseAlertRules(
+      "recolor=lb.recolored.rate>0:1:4;"
+      "p99_spike=faas.latency.end_to_end_ns.p99>25ms:2:4",
+      &errors);
+  if (!errors.empty() || sharded.obs.alert_rules.size() != 2) {
+    std::fprintf(stderr, "FAIL: alert-cell rules did not parse\n");
+    return false;
+  }
+
+  // Crash three of group 1's four workers mid-run, restart them 2 s
+  // later: the group's colors re-home onto the survivor (recolor FIRE)
+  // and the survivor saturates — half the cluster's traffic on one
+  // worker — until the restarts land and the queue drains (CLEAR).
+  std::vector<ShardedFault> faults;
+  for (int w = 0; w < 3; ++w) {
+    faults.push_back({1,
+                      {SimTime::FromSeconds(4), FaultKind::kCrash,
+                       StrFormat("g1w%d", w)}});
+    faults.push_back({1,
+                      {SimTime::FromSeconds(6), FaultKind::kRestart,
+                       StrFormat("g1w%d", w)}});
+  }
+
+  json->Key("alert_cell");
+  json->BeginObject();
+  json->Key("rules");
+  json->BeginArray();
+  for (const AlertRule& rule : sharded.obs.alert_rules) {
+    json->String(rule.name);
+  }
+  json->EndArray();
+  json->Key("runs");
+  json->BeginArray();
+
+  bool ok = true;
+  bool log_identical = true;
+  std::string first_log;
+  for (const int shards : {1, 4}) {
+    sharded.shards = shards;
+    // Bucket hashing re-colors on membership change in both directions:
+    // the crash re-homes the dead workers' colors onto the survivor, and
+    // the restart spreads them back — so the latency episode actually
+    // ends (failure-aware-only policies leave the colors piled on the
+    // survivor and the saturation never recovers).
+    const ShardedRunResult run =
+        RunShardedWorkload(spec, PolicyKind::kBucketHashing, kWorkers,
+                           sharded, slo, config, &faults);
+    if (run.telemetry.alerts == nullptr) {
+      std::fprintf(stderr, "FAIL: alert cell ran without telemetry\n");
+      return false;
+    }
+    const AlertEngine& alerts = *run.telemetry.alerts;
+    const std::string log = alerts.ToLogLines();
+    if (shards == 1) {
+      first_log = log;
+      std::printf("alert log (crash at 4s, restart at 6s):\n%s", log.c_str());
+    } else if (log != first_log) {
+      std::fprintf(stderr,
+                   "FAIL: alert log differs between --shards 1 and %d\n",
+                   shards);
+      log_identical = false;
+      ok = false;
+    }
+    // Every rule must fire on the crash and clear after the restart.
+    const std::uint64_t rules = sharded.obs.alert_rules.size();
+    if (alerts.fired_count() < rules ||
+        alerts.cleared_count() != alerts.fired_count() ||
+        !alerts.ActiveAlerts().empty()) {
+      std::fprintf(stderr,
+                   "FAIL: shards=%d: expected every alert to fire and "
+                   "clear (fired=%llu cleared=%llu active=%zu)\n",
+                   shards, (unsigned long long)alerts.fired_count(),
+                   (unsigned long long)alerts.cleared_count(),
+                   alerts.ActiveAlerts().size());
+      ok = false;
+    }
+    json->BeginObject();
+    json->Key("shards");
+    json->Int(shards);
+    json->Key("samples_digest");
+    json->UInt(run.samples_digest);
+    json->Key("engine_digest");
+    json->UInt(run.engine_digest);
+    json->Key("books_close");
+    json->Bool(run.books_close);
+    alerts.AppendJson(json);
+    json->EndObject();
+    ok = ok && run.books_close;
+  }
+  json->EndArray();
+  json->Key("log_identical_across_shards");
+  json->Bool(log_identical);
+  json->Key("ok");
+  json->Bool(ok);
+  json->EndObject();
+  if (ok) {
+    std::printf(
+        "alert cell: recolor + p99 alerts fired on the crash and cleared "
+        "after the restart;\nlog bit-identical across --shards 1 and 4\n");
+  }
+  return ok;
 }
 
 void Run() {
@@ -197,6 +337,10 @@ void Run() {
   json.EndArray();
   json.Key("books_close");
   json.Bool(books_ok);
+
+  std::printf("\n== Alert cell: crash -> FIRE, restart -> CLEAR "
+              "(sharded engine, docs/OBSERVABILITY.md) ==\n");
+  const bool alerts_ok = RunAlertCell(&json);
   json.EndObject();
 
   table.Print();
@@ -213,6 +357,10 @@ void Run() {
   }
   std::printf("books close in every cell: submitted = completed + dropped "
               "+ abandoned\n");
+  if (!alerts_ok) {
+    std::fprintf(stderr, "FAIL: alert cell invariants violated\n");
+    std::exit(1);
+  }
 
   if (!WriteTextFile("BENCH_fault.json", json.str())) {
     return;

@@ -578,7 +578,8 @@ std::uint64_t FaasPlatform::WorkerColdStarts(const std::string& name) const {
 }
 
 void FaasPlatform::ExportMetrics(MetricsRegistry* metrics,
-                                 const std::string& prefix) const {
+                                 const std::string& prefix,
+                                 bool per_worker) const {
   const auto counter = [&](const std::string& name) -> Counter& {
     return metrics->counter(prefix.empty() ? name : prefix + name);
   };
@@ -599,9 +600,9 @@ void FaasPlatform::ExportMetrics(MetricsRegistry* metrics,
   counter("lb.unhinted").Set(lb_.unhinted_routed());
   counter("lb.hint_failures").Set(lb_.hint_failures());
   counter("lb.recolored").Set(lb_.recolored());
-  gauge("lb.routing_imbalance").Set(lb_.RoutingImbalance());
+  gauge("lb.routing_imbalance").SetAt(lb_.RoutingImbalance(), sim_->Now());
   gauge("lb.color_table_bytes")
-      .Set(static_cast<double>(lb_.policy().StateBytes()));
+      .SetAt(static_cast<double>(lb_.policy().StateBytes()), sim_->Now());
 
   counter("cache.local_hits").Set(cache_.local_hits());
   counter("cache.remote_hits").Set(cache_.remote_hits());
@@ -618,18 +619,22 @@ void FaasPlatform::ExportMetrics(MetricsRegistry* metrics,
       .Set(static_cast<std::uint64_t>(
           network_ptr_->total_queue_delay().nanos()));
 
+  if (!per_worker) {
+    return;
+  }
   for (const auto& [id, worker] : workers_) {
     const std::string& name = InstanceName(id);
     gauge(StrFormat("worker.%s.queue_depth", name.c_str()))
-        .Set(static_cast<double>(worker->queue.size()));
+        .SetAt(static_cast<double>(worker->queue.size()), sim_->Now());
     gauge(StrFormat("worker.%s.busy_seconds", name.c_str()))
-        .Set(worker->cpu.busy_time().seconds());
+        .SetAt(worker->cpu.busy_time().seconds(), sim_->Now());
     counter(StrFormat("worker.%s.cold_starts", name.c_str()))
         .Set(worker->cold_starts);
     counter(StrFormat("worker.%s.routed", name.c_str()))
         .Set(lb_.RoutedToId(id));
     gauge(StrFormat("cache.shard.%s.used_bytes", name.c_str()))
-        .Set(static_cast<double>(cache_.shard_used_bytes(name)));
+        .SetAt(static_cast<double>(cache_.shard_used_bytes(name)),
+               sim_->Now());
     counter(StrFormat("cache.shard.%s.evictions", name.c_str()))
         .Set(cache_.shard_evictions(name));
     const Network::NodeStats net = network_ptr_->NodeStatsOf(name);

@@ -243,9 +243,14 @@ class FaasPlatform {
   // (counter/gauge names in docs/OBSERVABILITY.md). Call after a run; the
   // live per-invocation histograms come from set_metrics instead. `prefix`
   // is prepended to every metric name (e.g. "app.social." for per-app
-  // snapshots through FaasFrontend::ExportAppMetrics).
+  // snapshots through FaasFrontend::ExportAppMetrics). `per_worker`
+  // controls the worker.* / cache.shard.* / net.<w>.* families, whose
+  // cardinality (and string formatting) scales with the cluster: the
+  // telemetry sampler's per-mark refresh passes false — it only tracks
+  // cluster-level families — keeping the sampling hot path cheap.
   void ExportMetrics(MetricsRegistry* metrics,
-                     const std::string& prefix = std::string()) const;
+                     const std::string& prefix = std::string(),
+                     bool per_worker = true) const;
 
  private:
   // One try of an invocation. Simulator events cannot be cancelled, so a

@@ -1,0 +1,314 @@
+#include "src/obs/alerts.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "src/common/json_writer.h"
+#include "src/common/table_printer.h"
+
+namespace palette {
+
+AlertEngine::AlertEngine(std::vector<AlertRule> rules)
+    : rules_(std::move(rules)), active_(rules_.size(), false) {}
+
+namespace {
+
+bool Violates(const AlertRule& rule, double value) {
+  switch (rule.kind) {
+    case AlertKind::kThreshold:
+      return rule.cmp == AlertCmp::kGreater ? value > rule.threshold
+                                            : value < rule.threshold;
+    case AlertKind::kBurnRate:
+      return value > rule.budget * rule.threshold;
+  }
+  return false;
+}
+
+// The per-window reading a rule evaluates; false when the rule's series
+// holds no point at this mark (skipped, streaks unchanged).
+bool RuleValue(const AlertRule& rule, const TimeSeriesSampler& sampler,
+               SimTime mark, double* out) {
+  const TimeSeries* series = sampler.Find(rule.series);
+  if (series == nullptr) {
+    return false;
+  }
+  const SeriesPoint* p = series->FindMark(mark);
+  if (p == nullptr) {
+    return false;
+  }
+  if (rule.kind == AlertKind::kThreshold) {
+    *out = p->value;
+    return true;
+  }
+  const TimeSeries* total = sampler.Find(rule.total_series);
+  const SeriesPoint* tp = total != nullptr ? total->FindMark(mark) : nullptr;
+  if (tp == nullptr) {
+    return false;
+  }
+  // Windowed error fraction by event weight; an empty window burns nothing.
+  *out = tp->weight > 0 ? p->weight / tp->weight : 0.0;
+  return true;
+}
+
+}  // namespace
+
+void AlertEngine::Run(const TimeSeriesSampler& sampler) {
+  log_.clear();
+  active_.assign(rules_.size(), false);
+
+  // The evaluation grid: every mark any rule's series observed, in time
+  // order. All series share the sampler's arithmetic mark grid, so this
+  // is just the union of retained windows.
+  std::vector<SimTime> marks;
+  for (const TimeSeries* s : sampler.AllSeries()) {
+    for (std::size_t i = 0; i < s->size(); ++i) {
+      marks.push_back(s->At(i).t);
+    }
+  }
+  std::sort(marks.begin(), marks.end());
+  marks.erase(std::unique(marks.begin(), marks.end()), marks.end());
+
+  std::vector<int> bad_streak(rules_.size(), 0);
+  std::vector<int> good_streak(rules_.size(), 0);
+  for (const SimTime mark : marks) {
+    for (std::size_t r = 0; r < rules_.size(); ++r) {
+      const AlertRule& rule = rules_[r];
+      double value = 0;
+      if (!RuleValue(rule, sampler, mark, &value)) {
+        continue;
+      }
+      if (Violates(rule, value)) {
+        ++bad_streak[r];
+        good_streak[r] = 0;
+        if (!active_[r] && bad_streak[r] >= rule.for_windows) {
+          active_[r] = true;
+          log_.push_back({mark, r, rule.name, true, value});
+        }
+      } else {
+        ++good_streak[r];
+        bad_streak[r] = 0;
+        if (active_[r] && good_streak[r] >= rule.clear_windows) {
+          active_[r] = false;
+          log_.push_back({mark, r, rule.name, false, value});
+        }
+      }
+    }
+  }
+  // Marks ascend and rules are scanned in index order per mark, so the log
+  // is already ordered by (t, rule index); no re-sort that could reorder
+  // equal keys.
+}
+
+std::uint64_t AlertEngine::fired_count() const {
+  std::uint64_t n = 0;
+  for (const AlertEvent& e : log_) {
+    n += e.fired ? 1 : 0;
+  }
+  return n;
+}
+
+std::uint64_t AlertEngine::cleared_count() const {
+  std::uint64_t n = 0;
+  for (const AlertEvent& e : log_) {
+    n += e.fired ? 0 : 1;
+  }
+  return n;
+}
+
+std::vector<std::string> AlertEngine::ActiveAlerts() const {
+  std::vector<std::string> out;
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    if (active_[r]) {
+      out.push_back(rules_[r].name);
+    }
+  }
+  return out;
+}
+
+std::string AlertEngine::ToLogLines() const {
+  std::string out;
+  for (const AlertEvent& e : log_) {
+    const AlertRule& rule = rules_[e.rule_index];
+    const double threshold = rule.kind == AlertKind::kBurnRate
+                                 ? rule.budget * rule.threshold
+                                 : rule.threshold;
+    out += StrFormat("t_ns=%lld rule=%s state=%s value=%.9g threshold=%.9g\n",
+                     static_cast<long long>(e.t.nanos()), e.rule.c_str(),
+                     e.fired ? "FIRE" : "CLEAR", e.value, threshold);
+  }
+  return out;
+}
+
+void AlertEngine::AppendJson(JsonWriter* json) const {
+  json->Key("rules");
+  json->UInt(rules_.size());
+  json->Key("fired");
+  json->UInt(fired_count());
+  json->Key("cleared");
+  json->UInt(cleared_count());
+  json->Key("active");
+  json->BeginArray();
+  for (const std::string& name : ActiveAlerts()) {
+    json->String(name);
+  }
+  json->EndArray();
+  json->Key("events");
+  json->BeginArray();
+  for (const AlertEvent& e : log_) {
+    json->BeginObject();
+    json->Key("t_ns");
+    json->Int(e.t.nanos());
+    json->Key("rule");
+    json->String(e.rule);
+    json->Key("state");
+    json->String(e.fired ? "FIRE" : "CLEAR");
+    json->Key("value");
+    json->Double(e.value);
+    json->EndObject();
+  }
+  json->EndArray();
+}
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Parses "<number>[ms|us|s]" scaling unit suffixes into nanoseconds.
+bool ParseValue(std::string_view text, double* out) {
+  double scale = 1.0;
+  if (text.size() > 2 && text.substr(text.size() - 2) == "ms") {
+    scale = 1e6;
+    text.remove_suffix(2);
+  } else if (text.size() > 2 && text.substr(text.size() - 2) == "us") {
+    scale = 1e3;
+    text.remove_suffix(2);
+  } else if (text.size() > 1 && text.back() == 's') {
+    scale = 1e9;
+    text.remove_suffix(1);
+  }
+  const std::string number(text);
+  char* end = nullptr;
+  const double v = std::strtod(number.c_str(), &end);
+  if (end == number.c_str() || *end != '\0') {
+    return false;
+  }
+  *out = v * scale;
+  return true;
+}
+
+bool ParseOneRule(std::string_view item, AlertRule* rule) {
+  item = Trim(item);
+  if (item.empty()) {
+    return false;
+  }
+  rule->name = std::string(item);
+  const std::size_t name_eq = item.find('=');
+  // '=' before any comparator names the rule explicitly.
+  const std::size_t first_cmp = item.find_first_of("<>");
+  if (name_eq != std::string_view::npos &&
+      (first_cmp == std::string_view::npos || name_eq < first_cmp)) {
+    rule->name = std::string(Trim(item.substr(0, name_eq)));
+    item = Trim(item.substr(name_eq + 1));
+  }
+
+  // Burn-rate form: burn:<bad>/<total>><multiple>[:for[:clear]][@budget]
+  if (item.size() > 5 && item.substr(0, 5) == "burn:") {
+    rule->kind = AlertKind::kBurnRate;
+    item.remove_prefix(5);
+    const std::size_t at = item.rfind('@');
+    if (at != std::string_view::npos) {
+      if (!ParseValue(Trim(item.substr(at + 1)), &rule->budget) ||
+          rule->budget <= 0) {
+        return false;
+      }
+      item = Trim(item.substr(0, at));
+    }
+    const std::size_t gt = item.find('>');
+    const std::size_t slash = item.find('/');
+    if (gt == std::string_view::npos || slash == std::string_view::npos ||
+        slash > gt) {
+      return false;
+    }
+    rule->series = std::string(Trim(item.substr(0, slash)));
+    rule->total_series = std::string(Trim(item.substr(slash + 1, gt - slash - 1)));
+    rule->cmp = AlertCmp::kGreater;
+    item = Trim(item.substr(gt + 1));
+  } else {
+    rule->kind = AlertKind::kThreshold;
+    const std::size_t cmp = item.find_first_of("<>");
+    if (cmp == std::string_view::npos || cmp == 0) {
+      return false;
+    }
+    rule->cmp = item[cmp] == '>' ? AlertCmp::kGreater : AlertCmp::kLess;
+    rule->series = std::string(Trim(item.substr(0, cmp)));
+    item = Trim(item.substr(cmp + 1));
+  }
+
+  // Tail: <value>[:for[:clear]]
+  const std::size_t colon = item.find(':');
+  std::string_view value_text = colon == std::string_view::npos
+                                    ? item
+                                    : item.substr(0, colon);
+  if (!ParseValue(Trim(value_text), &rule->threshold)) {
+    return false;
+  }
+  if (colon != std::string_view::npos) {
+    std::string_view windows = Trim(item.substr(colon + 1));
+    const std::size_t colon2 = windows.find(':');
+    std::string_view for_text = colon2 == std::string_view::npos
+                                    ? windows
+                                    : windows.substr(0, colon2);
+    rule->for_windows = std::atoi(std::string(Trim(for_text)).c_str());
+    if (rule->for_windows < 1) {
+      return false;
+    }
+    if (colon2 != std::string_view::npos) {
+      rule->clear_windows =
+          std::atoi(std::string(Trim(windows.substr(colon2 + 1))).c_str());
+      if (rule->clear_windows < 1) {
+        return false;
+      }
+    } else {
+      rule->clear_windows = rule->for_windows;
+    }
+  }
+  return !rule->series.empty() &&
+         (rule->kind != AlertKind::kBurnRate || !rule->total_series.empty());
+}
+
+}  // namespace
+
+std::vector<AlertRule> ParseAlertRules(std::string_view spec,
+                                       std::vector<std::string>* errors) {
+  std::vector<AlertRule> out;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(';', start);
+    if (end == std::string_view::npos) {
+      end = spec.size();
+    }
+    const std::string_view item = Trim(spec.substr(start, end - start));
+    start = end + 1;
+    if (item.empty()) {
+      continue;
+    }
+    AlertRule rule;
+    if (ParseOneRule(item, &rule)) {
+      out.push_back(std::move(rule));
+    } else if (errors != nullptr) {
+      errors->push_back("bad alert rule: " + std::string(item));
+    }
+  }
+  return out;
+}
+
+}  // namespace palette

@@ -1,0 +1,114 @@
+// Online SLO alerting over sampled time series
+// (docs/OBSERVABILITY.md, "Alerting").
+//
+// Rules are declarative and evaluated window-by-window against the
+// (merged) series a TimeSeriesSampler produced: a threshold rule fires
+// after `for_windows` consecutive violating windows and clears after
+// `clear_windows` consecutive healthy ones; a burn-rate rule compares the
+// windowed error fraction (bad-event weight / total-event weight) against
+// an error budget and fires when the budget burns `threshold`x faster
+// than allowed. Evaluation is pure arithmetic over deterministic series,
+// so the alert log is seed-reproducible and bit-identical across
+// --shards values.
+#ifndef PALETTE_SRC_OBS_ALERTS_H_
+#define PALETTE_SRC_OBS_ALERTS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/obs/timeseries.h"
+
+namespace palette {
+
+class JsonWriter;
+
+enum class AlertKind : std::uint8_t {
+  kThreshold,  // series value vs. constant
+  kBurnRate,   // windowed error fraction vs. budget * threshold
+};
+
+enum class AlertCmp : std::uint8_t { kGreater, kLess };
+
+struct AlertRule {
+  std::string name;
+  AlertKind kind = AlertKind::kThreshold;
+  // Threshold rules: the series to watch. Burn-rate rules: the numerator
+  // (bad-event) series; the window's error fraction is its weight divided
+  // by `total_series`'s weight.
+  std::string series;
+  std::string total_series;
+  AlertCmp cmp = AlertCmp::kGreater;
+  // Threshold rules: the comparison constant (same unit as the series —
+  // nanoseconds for latency quantiles). Burn-rate rules: the burn
+  // multiple; the rule violates when error_fraction > budget * threshold.
+  double threshold = 0;
+  double budget = 0.01;  // burn-rate only: allowed error fraction
+  int for_windows = 3;
+  int clear_windows = 3;
+};
+
+// One transition in an alert's lifecycle. `value` is the window reading
+// that completed the streak.
+struct AlertEvent {
+  SimTime t;
+  std::size_t rule_index = 0;
+  std::string rule;
+  bool fired = false;  // true = FIRE, false = CLEAR
+  double value = 0;
+};
+
+// Evaluates rules against a sampler's series. Run() is idempotent: it
+// resets all streak state and replays every retained window, so calling
+// it after the run (on the merged sampler) yields the canonical log.
+class AlertEngine {
+ public:
+  explicit AlertEngine(std::vector<AlertRule> rules);
+
+  const std::vector<AlertRule>& rules() const { return rules_; }
+
+  void Run(const TimeSeriesSampler& sampler);
+
+  // FIRE/CLEAR transitions ordered by (time, rule index, CLEAR-before-FIRE).
+  const std::vector<AlertEvent>& log() const { return log_; }
+  std::uint64_t fired_count() const;
+  std::uint64_t cleared_count() const;
+  // Rules currently in the fired state after the last Run().
+  std::vector<std::string> ActiveAlerts() const;
+
+  // One line per transition:
+  //   t_ns=<ns> rule=<name> state=FIRE|CLEAR value=<%.9g> threshold=<%.9g>
+  // The determinism tests compare these strings byte-for-byte.
+  std::string ToLogLines() const;
+
+  // Appends {"rules": N, "fired": .., "cleared": .., "active": [..],
+  // "events": [...]} fields to an open JSON object.
+  void AppendJson(JsonWriter* json) const;
+
+ private:
+  std::vector<AlertRule> rules_;
+  std::vector<AlertEvent> log_;
+  std::vector<bool> active_;
+};
+
+// Parses the --alerts DSL: semicolon-separated rules.
+//
+//   [name=]<series>(>|<)<value>[ms|us|s][:for[:clear]]
+//   [name=]burn:<bad_series>/<total_series>><multiple>[:for[:clear]][@budget]
+//
+// Examples:
+//   p99_slo=faas.latency.end_to_end_ns.p99>100ms:3
+//   burn_fast=burn:faas.invocations_dropped.rate/faas.invocations.submitted.rate>14:2@0.001
+//
+// Unit suffixes scale into nanoseconds (the unit of latency series).
+// Unnamed rules use the rule text itself as the name. Malformed items are
+// skipped and reported in `errors` when non-null.
+std::vector<AlertRule> ParseAlertRules(std::string_view spec,
+                                       std::vector<std::string>* errors = nullptr);
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_OBS_ALERTS_H_

@@ -62,7 +62,12 @@ double LatencyHistogram::Quantile(double q) const {
     return 0.0;
   }
   q = std::clamp(q, 0.0, 1.0);
-  if (retain_samples_) {
+  // Exact-mode fast path — only when samples actually exist. Retention
+  // enabled after values were already recorded (or populated via
+  // MergeFrom from a bucket-only source) leaves samples_ empty; the
+  // buckets still hold the full population, so fall through to them
+  // instead of indexing an empty vector.
+  if (retain_samples_ && !samples_.empty()) {
     std::vector<std::uint64_t> sorted = samples_;
     std::sort(sorted.begin(), sorted.end());
     const double rank = q * static_cast<double>(sorted.size() - 1);
@@ -71,6 +76,14 @@ double LatencyHistogram::Quantile(double q) const {
     const double frac = rank - static_cast<double>(lo);
     return static_cast<double>(sorted[lo]) +
            frac * static_cast<double>(sorted[hi] - sorted[lo]);
+  }
+  // Endpoint pins: interpolation would otherwise answer bucket bounds, but
+  // the true extremes are known exactly.
+  if (q <= 0.0) {
+    return static_cast<double>(min());
+  }
+  if (q >= 1.0) {
+    return static_cast<double>(max_);
   }
   // Walk buckets to the one containing the target rank, then interpolate
   // linearly within its value range.
@@ -83,17 +96,76 @@ double LatencyHistogram::Quantile(double q) const {
     if (static_cast<double>(seen + buckets_[i]) >= target) {
       const double into =
           std::max(0.0, target - static_cast<double>(seen));
-      const double frac =
-          buckets_[i] > 0 ? into / static_cast<double>(buckets_[i]) : 0.0;
+      const double frac = into / static_cast<double>(buckets_[i]);
       const double lo = static_cast<double>(BucketLowerBound(i));
       const double hi = static_cast<double>(BucketUpperBound(i)) + 1.0;
       const double estimate = lo + frac * (hi - lo);
-      return std::clamp(estimate, static_cast<double>(min_),
+      return std::clamp(estimate, static_cast<double>(min()),
                         static_cast<double>(max_));
     }
     seen += buckets_[i];
   }
   return static_cast<double>(max_);
+}
+
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0 || other.min_ < min_) {
+    min_ = other.min_;
+  }
+  if (other.max_ > max_) {
+    max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (retain_samples_ && !other.samples_.empty()) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+}
+
+double LatencyHistogram::DeltaQuantile(const Snapshot& since,
+                                       double q) const {
+  // A default-constructed Snapshot (empty bucket vector) is the zero
+  // baseline: the delta is the whole population.
+  assert(since.buckets.empty() || since.buckets.size() == buckets_.size());
+  const std::uint64_t delta_count = count_ - since.count;
+  if (delta_count == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(delta_count);
+  std::uint64_t seen = 0;
+  double window_lo = 0.0;
+  bool have_lo = false;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t delta =
+        buckets_[i] - (since.buckets.empty() ? 0 : since.buckets[i]);
+    if (delta == 0) {
+      continue;
+    }
+    if (!have_lo) {
+      window_lo = static_cast<double>(BucketLowerBound(i));
+      have_lo = true;
+    }
+    if (static_cast<double>(seen + delta) >= target) {
+      const double into = std::max(0.0, target - static_cast<double>(seen));
+      const double frac = into / static_cast<double>(delta);
+      const double lo = static_cast<double>(BucketLowerBound(i));
+      const double hi = static_cast<double>(BucketUpperBound(i)) + 1.0;
+      // The window's exact min/max are unknown (only the cumulative ones
+      // are tracked), so clamp to the first delta bucket's lower bound —
+      // the tightest bound the deltas themselves provide.
+      return std::max(lo + frac * (hi - lo), window_lo);
+    }
+    seen += delta;
+  }
+  return 0.0;  // unreachable when delta_count > 0
 }
 
 template <typename T>
@@ -127,6 +199,24 @@ bool MetricsRegistry::HasMetric(std::string_view name) const {
          histograms_.count(key) > 0;
 }
 
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name).Add(c->value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    Gauge& mine = gauge(name);
+    // Last writer by sim time; ties go to `other` so a fixed merge order
+    // (front door, then groups in domain order) resolves deterministically.
+    // A freshly created gauge carries time 0 and loses every tie.
+    if (g->updated_at() >= mine.updated_at()) {
+      mine.SetAt(g->value(), g->updated_at());
+    }
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name).MergeFrom(*h);
+  }
+}
+
 namespace {
 
 template <typename Map>
@@ -140,6 +230,36 @@ std::vector<std::pair<std::string, typename Map::mapped_type>> Sorted(
 }
 
 }  // namespace
+
+std::vector<std::pair<std::string, const Counter*>>
+MetricsRegistry::SortedCounters() const {
+  std::vector<std::pair<std::string, const Counter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : Sorted(counters_)) {
+    out.emplace_back(name, c);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Gauge*>>
+MetricsRegistry::SortedGauges() const {
+  std::vector<std::pair<std::string, const Gauge*>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : Sorted(gauges_)) {
+    out.emplace_back(name, g);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const LatencyHistogram*>>
+MetricsRegistry::SortedHistograms() const {
+  std::vector<std::pair<std::string, const LatencyHistogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : Sorted(histograms_)) {
+    out.emplace_back(name, h);
+  }
+  return out;
+}
 
 std::string MetricsRegistry::ToTable() const {
   // One row per metric, sorted by name across all kinds.

@@ -22,7 +22,10 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
+
+#include "src/common/types.h"
 
 namespace palette {
 
@@ -41,14 +44,23 @@ class Counter {
 };
 
 // Last-written point-in-time value ("lb.color_table_bytes", queue depth).
+// Writers that know the sim clock stamp the write via SetAt so cross-
+// registry merges (MergeFrom) can resolve "last writer" by sim time
+// instead of merge order.
 class Gauge {
  public:
   void Set(double v) { value_ = v; }
+  void SetAt(double v, SimTime at) {
+    value_ = v;
+    updated_at_ = at;
+  }
   void Add(double v) { value_ += v; }
   double value() const { return value_; }
+  SimTime updated_at() const { return updated_at_; }
 
  private:
   double value_ = 0;
+  SimTime updated_at_;
 };
 
 // Log-bucketed latency/size histogram: p50/p95/p99 without retaining
@@ -74,11 +86,41 @@ class LatencyHistogram {
   }
 
   // Quantile estimate for q in [0, 1]: linear interpolation inside the
-  // containing bucket, clamped to the observed [min, max].
+  // containing bucket, clamped to the observed [min, max]. Edge contract:
+  // an empty histogram answers 0, q=0 answers min(), q=1 answers max(),
+  // and a single-bucket population never interpolates outside [min, max].
   double Quantile(double q) const;
+
+  // Bucket-wise accumulation of another histogram (count/sum add, min/max
+  // fold, retained samples append when this side retains). The basis of
+  // MetricsRegistry::MergeFrom: per-group latency histograms add into one
+  // cluster distribution with no quantile-of-quantile approximation.
+  void MergeFrom(const LatencyHistogram& other);
+
+  // Cumulative state capture for windowed readings: DeltaQuantile answers
+  // quantiles of only the values recorded *since* the snapshot (bucket-wise
+  // difference), which is what a periodic sampler reports per window.
+  struct Snapshot {
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+  };
+  Snapshot TakeSnapshot() const { return Snapshot{buckets_, count_, sum_}; }
+  std::uint64_t DeltaCount(const Snapshot& since) const {
+    return count_ - since.count;
+  }
+  std::uint64_t DeltaSum(const Snapshot& since) const {
+    return sum_ - since.sum;
+  }
+  // Quantile over the window delta; 0 when the window recorded nothing.
+  // Clamped to the delta's bucket bounds (the cumulative min/max may lie
+  // outside the window).
+  double DeltaQuantile(const Snapshot& since, double q) const;
 
   // Exact mode: retain raw samples so Quantile() answers from a sorted
   // copy instead of the buckets. For tests and small-N offline analysis.
+  // Enabling it mid-population leaves earlier values bucket-only, so
+  // Quantile() falls back to the buckets until samples exist.
   void set_retain_samples(bool retain) { retain_samples_ = retain; }
   bool retains_samples() const { return retain_samples_; }
   const std::vector<std::uint64_t>& samples() const { return samples_; }
@@ -115,6 +157,19 @@ class MetricsRegistry {
   std::size_t size() const {
     return counters_.size() + gauges_.size() + histograms_.size();
   }
+
+  // Folds `other` into this registry: counters add, gauges resolve last-
+  // writer by sim time (ties go to `other`, so folding per-group
+  // registries in domain order is deterministic), histograms add
+  // bucket-wise. This is how RunShardedWorkload aggregates per-group
+  // registries into one cluster registry without name prefixes.
+  void MergeFrom(const MetricsRegistry& other);
+
+  // Name-sorted read access (exporters: Prometheus text, the sampler).
+  std::vector<std::pair<std::string, const Counter*>> SortedCounters() const;
+  std::vector<std::pair<std::string, const Gauge*>> SortedGauges() const;
+  std::vector<std::pair<std::string, const LatencyHistogram*>>
+  SortedHistograms() const;
 
   // Renders every metric, name-sorted, as a two/five-column table.
   std::string ToTable() const;

@@ -1,0 +1,70 @@
+#include "src/obs/prometheus.h"
+
+#include <unordered_set>
+
+#include "src/common/table_printer.h"
+
+namespace palette {
+
+std::string PrometheusName(std::string_view name) {
+  std::string out = "palette_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsRegistry& registry) {
+  std::string out;
+  // Distinct source names can sanitize to the same exposition name
+  // ("a.b" / "a_b"); first (sorted) writer wins, later ones are skipped so
+  // the exposition never repeats a family.
+  std::unordered_set<std::string> emitted;
+
+  for (const auto& [name, c] : registry.SortedCounters()) {
+    const std::string prom = PrometheusName(name) + "_total";
+    if (!emitted.insert(prom).second) {
+      continue;
+    }
+    out += "# HELP " + prom + " Counter " + name + "\n";
+    out += "# TYPE " + prom + " counter\n";
+    out += StrFormat("%s %llu\n", prom.c_str(),
+                     static_cast<unsigned long long>(c->value()));
+  }
+
+  for (const auto& [name, g] : registry.SortedGauges()) {
+    const std::string prom = PrometheusName(name);
+    if (!emitted.insert(prom).second) {
+      continue;
+    }
+    out += "# HELP " + prom + " Gauge " + name + "\n";
+    out += "# TYPE " + prom + " gauge\n";
+    out += StrFormat("%s %.9g\n", prom.c_str(), g->value());
+  }
+
+  for (const auto& [name, h] : registry.SortedHistograms()) {
+    const std::string prom = PrometheusName(name);
+    if (!emitted.insert(prom).second) {
+      continue;
+    }
+    out += "# HELP " + prom + " Summary " + name + "\n";
+    out += "# TYPE " + prom + " summary\n";
+    out += StrFormat("%s{quantile=\"0.5\"} %.9g\n", prom.c_str(),
+                     h->Quantile(0.50));
+    out += StrFormat("%s{quantile=\"0.95\"} %.9g\n", prom.c_str(),
+                     h->Quantile(0.95));
+    out += StrFormat("%s{quantile=\"0.99\"} %.9g\n", prom.c_str(),
+                     h->Quantile(0.99));
+    out += StrFormat("%s_sum %llu\n", prom.c_str(),
+                     static_cast<unsigned long long>(h->sum()));
+    out += StrFormat("%s_count %llu\n", prom.c_str(),
+                     static_cast<unsigned long long>(h->count()));
+  }
+
+  return out;
+}
+
+}  // namespace palette

@@ -1,0 +1,29 @@
+// Prometheus text exposition (format 0.0.4) for a MetricsRegistry
+// (docs/OBSERVABILITY.md, "Prometheus").
+//
+// Metric names are sanitized ('.' and '-' become '_') and prefixed with
+// "palette_"; counters gain the conventional "_total" suffix and
+// histograms render as summaries (quantile-labeled samples plus _sum and
+// _count). Emission walks the registry name-sorted and skips sanitized
+// collisions, so the exposition never contains duplicate series and is
+// byte-stable for a given registry state.
+#ifndef PALETTE_SRC_OBS_PROMETHEUS_H_
+#define PALETTE_SRC_OBS_PROMETHEUS_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/obs/metrics.h"
+
+namespace palette {
+
+// "faas.latency.route_ns" -> "palette_faas_latency_route_ns".
+std::string PrometheusName(std::string_view name);
+
+// Full exposition: # HELP and # TYPE lines per metric family, then the
+// samples. Ends with a trailing newline as the format requires.
+std::string ToPrometheusText(const MetricsRegistry& registry);
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_OBS_PROMETHEUS_H_

@@ -237,7 +237,8 @@ void RouterTier::ExportMetrics(MetricsRegistry* metrics,
   counter("router.forwards").Set(forwards_);
   counter("router.membership_updates").Set(latest_seq_);
   counter("router.recolored").Set(recolored());
-  gauge("router.live").Set(static_cast<double>(live_.size()));
+  gauge("router.live")
+      .SetAt(static_cast<double>(live_.size()), scheduler_->Now());
   for (const auto& router : routers_) {
     const char* name = router->name.c_str();
     counter(StrFormat("router.%s.routed", name)).Set(router->routed);
@@ -247,8 +248,10 @@ void RouterTier::ExportMetrics(MetricsRegistry* metrics,
     counter(StrFormat("router.%s.recolored", name))
         .Set(router->lb.recolored());
     gauge(StrFormat("router.%s.view_lag", name))
-        .Set(static_cast<double>(latest_seq_ - router->applied_seq));
-    gauge(StrFormat("router.%s.up", name)).Set(router->up ? 1.0 : 0.0);
+        .SetAt(static_cast<double>(latest_seq_ - router->applied_seq),
+               scheduler_->Now());
+    gauge(StrFormat("router.%s.up", name))
+        .SetAt(router->up ? 1.0 : 0.0, scheduler_->Now());
   }
 }
 

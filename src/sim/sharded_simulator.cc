@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <thread>
 #include <utility>
 
@@ -10,6 +11,13 @@ namespace palette {
 namespace {
 // Spin iterations before falling back to yield in the epoch barrier.
 constexpr int kSpinsBeforeYield = 4096;
+
+std::uint64_t WallNow() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 }  // namespace
 
 void ShardedSimulator::SpinBarrier::Arrive(bool* sense) {
@@ -36,6 +44,7 @@ ShardedSimulator::ShardedSimulator(ShardedSimulatorConfig config)
       domains_(std::max(1, config.domains)),
       shards_(std::clamp(config.shards, 1, std::max(1, config.domains))),
       slots_(static_cast<std::size_t>(shards_)),
+      profiles_(static_cast<std::size_t>(shards_)),
       barrier_(shards_) {
   sims_.reserve(static_cast<std::size_t>(domains_));
   schedulers_.reserve(static_cast<std::size_t>(domains_));
@@ -95,6 +104,8 @@ void ShardedSimulator::RunShard(int shard, std::uint64_t baseline,
   bool sense = false;
   const int begin = domain_begin_[static_cast<std::size_t>(shard)];
   const int end = domain_begin_[static_cast<std::size_t>(shard) + 1];
+  const bool profiling = config_.profile;
+  ShardProfile& prof = profiles_[static_cast<std::size_t>(shard)].data;
   // A zero-lookahead window would execute nothing; one nanosecond still
   // yields a correct (if fully serialized) schedule.
   const SimTime window =
@@ -104,6 +115,7 @@ void ShardedSimulator::RunShard(int shard, std::uint64_t baseline,
     // (destination, then source) order — part of the deterministic event
     // order — then publish the earliest pending timestamp and the running
     // event count for this shard's domains.
+    const std::uint64_t t_drain = profiling ? WallNow() : 0;
     std::int64_t min_nanos = SimTime::Max().nanos();
     std::uint64_t executed = 0;
     for (int dst = begin; dst < end; ++dst) {
@@ -123,7 +135,14 @@ void ShardedSimulator::RunShard(int shard, std::uint64_t baseline,
     ShardState& slot = slots_[static_cast<std::size_t>(shard)];
     slot.min_nanos.store(min_nanos, std::memory_order_relaxed);
     slot.executed.store(executed, std::memory_order_relaxed);
+    const std::uint64_t t_barrier1 = profiling ? WallNow() : 0;
+    if (profiling) {
+      prof.drain_ns += t_barrier1 - t_drain;
+    }
     barrier_.Arrive(&sense);
+    if (profiling) {
+      prof.barrier_wait_ns += WallNow() - t_barrier1;
+    }
 
     // Reduce phase: every shard folds the published minima identically, so
     // all reach the same continue/stop decision with no extra round.
@@ -148,10 +167,29 @@ void ShardedSimulator::RunShard(int shard, std::uint64_t baseline,
     // window. Messages emitted here land at >= horizon and are delivered
     // by the next drain phase.
     const SimTime horizon = SaturatingAdd(SimTime::FromNanos(t_min), window);
+    const std::uint64_t t_execute = profiling ? WallNow() : 0;
+    std::uint64_t epoch_events = 0;
     for (int d = begin; d < end; ++d) {
-      sims_[static_cast<std::size_t>(d)]->RunUntil(horizon);
+      epoch_events += sims_[static_cast<std::size_t>(d)]->RunUntil(horizon);
+    }
+    const std::uint64_t t_barrier2 = profiling ? WallNow() : 0;
+    if (profiling) {
+      prof.execute_ns += t_barrier2 - t_execute;
+      ++prof.epochs;
+      prof.events += epoch_events;
+      if (epoch_events > 0) {
+        ++prof.busy_epochs;
+      }
+      if (prof.epoch_log.size() < kEpochLogCapacity) {
+        prof.epoch_log.emplace_back(t_min, epoch_events);
+      } else {
+        ++prof.epoch_log_dropped;
+      }
     }
     barrier_.Arrive(&sense);
+    if (profiling) {
+      prof.barrier_wait_ns += WallNow() - t_barrier2;
+    }
   }
 }
 
@@ -169,6 +207,26 @@ std::uint64_t ShardedSimulator::overflow_drains() const {
     total += ch->overflow_drains();
   }
   return total;
+}
+
+EngineProfile ShardedSimulator::profile() const {
+  EngineProfile out;
+  out.enabled = config_.profile;
+  out.domains = domains_;
+  out.shards = shards_;
+  out.epochs = epochs_;
+  out.events = executed_events();
+  out.per_shard.reserve(static_cast<std::size_t>(shards_));
+  for (const ShardProfileState& state : profiles_) {
+    out.per_shard.push_back(state.data);
+  }
+  for (const auto& ch : channels_) {
+    out.channel_high_water = std::max(
+        out.channel_high_water, static_cast<std::uint64_t>(ch->high_water()));
+    out.overflow_spills += ch->overflow_events();
+    out.overflow_drains += ch->overflow_drains();
+  }
+  return out;
 }
 
 std::uint64_t ShardedSimulator::CombinedDigest() const {

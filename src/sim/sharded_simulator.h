@@ -54,6 +54,50 @@ struct ShardedSimulatorConfig {
   // Per-channel ring capacity; overflow falls back to a barrier-drained
   // vector (correct but no longer allocation-free).
   std::size_t channel_capacity = 256;
+  // Engine profiling: per-shard epoch/event counts, barrier-wait and
+  // drain/execute wall time, and a bounded per-epoch log for imbalance
+  // counter tracks. Wall-clock readings are nondeterministic by nature,
+  // so they are surfaced only through profile() — never folded into
+  // digests or other deterministic outputs. Off = zero instrumentation
+  // cost beyond one predictable branch per epoch phase.
+  bool profile = false;
+};
+
+// One shard's profile (ShardedSimulator::profile()). Wall times come from
+// steady_clock and vary run to run; the counts are deterministic.
+struct ShardProfile {
+  std::uint64_t epochs = 0;       // execute windows this shard entered
+  std::uint64_t events = 0;       // events executed in those windows
+  std::uint64_t busy_epochs = 0;  // windows where this shard executed > 0
+  std::uint64_t barrier_wait_ns = 0;
+  std::uint64_t drain_ns = 0;
+  std::uint64_t execute_ns = 0;
+  // (epoch T_min nanos, events this shard executed that epoch), oldest
+  // first, capped at kEpochLogCapacity entries; epoch_log_dropped counts
+  // the tail that no longer fit.
+  std::vector<std::pair<std::int64_t, std::uint64_t>> epoch_log;
+  std::uint64_t epoch_log_dropped = 0;
+
+  // Fraction of entered windows that executed work — how much of the
+  // conservative lookahead schedule this shard actually used.
+  double lookahead_utilization() const {
+    return epochs > 0
+               ? static_cast<double>(busy_epochs) / static_cast<double>(epochs)
+               : 0.0;
+  }
+};
+
+struct EngineProfile {
+  bool enabled = false;
+  int domains = 0;
+  int shards = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t events = 0;
+  std::vector<ShardProfile> per_shard;
+  // Channel diagnostics (aggregated over all src/dst pairs).
+  std::uint64_t channel_high_water = 0;  // peak single-channel occupancy
+  std::uint64_t overflow_spills = 0;     // events that spilled past a ring
+  std::uint64_t overflow_drains = 0;     // epochs with at least one spill
 };
 
 class ShardedSimulator {
@@ -97,6 +141,11 @@ class ShardedSimulator {
   // Per-domain event digests folded in domain order: equal across shard
   // counts for the same model, the engine's determinism witness.
   std::uint64_t CombinedDigest() const;
+
+  // Profiler snapshot (config.profile must have been set for the wall
+  // times and epoch logs to be populated; counts and channel diagnostics
+  // are always valid). Call only between Run calls.
+  EngineProfile profile() const;
 
  private:
   // EventScheduler handle for one domain.
@@ -142,6 +191,13 @@ class ShardedSimulator {
     std::atomic<std::uint64_t> executed{0};
   };
 
+  // Profiler accumulator, owner-shard-written only (cache-line separated
+  // like the reduction slots); profile() reads after the pool quiesces.
+  struct alignas(64) ShardProfileState {
+    ShardProfile data;
+  };
+  static constexpr std::size_t kEpochLogCapacity = 8192;
+
   SpscChannel& channel(int src, int dst) {
     return *channels_[static_cast<std::size_t>(src) *
                           static_cast<std::size_t>(domains_) +
@@ -161,6 +217,7 @@ class ShardedSimulator {
   // Shard s owns domains [domain_begin_[s], domain_begin_[s + 1]).
   std::vector<int> domain_begin_;
   std::vector<ShardState> slots_;
+  std::vector<ShardProfileState> profiles_;
   SpinBarrier barrier_;
   std::unique_ptr<ThreadPool> pool_;  // created only when shards_ > 1
   std::uint64_t epochs_ = 0;          // written by shard 0 only

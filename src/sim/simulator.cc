@@ -81,9 +81,49 @@ Simulator::Callback& Simulator::NewSlot(SimTime t) {
   return SlotRef(slot);
 }
 
+void Simulator::SetClockObserver(SimTime interval, ClockObserver observer) {
+  clock_observer_ = std::move(observer);
+  if (!clock_observer_) {
+    next_observer_mark_ = SimTime::Max();
+    observer_interval_ = SimTime();
+    return;
+  }
+  if (interval < SimTime::FromNanos(1)) {
+    interval = SimTime::FromNanos(1);
+  }
+  observer_interval_ = interval;
+  // First mark: the smallest grid multiple strictly after Now(), so a
+  // mid-run install never replays marks that already passed.
+  const std::int64_t periods = now_.nanos() / interval.nanos();
+  next_observer_mark_ = SaturatingAdd(
+      SimTime(), SimTime::FromNanos((periods + 1) * interval.nanos()));
+}
+
+void Simulator::FireObserverMarksUpTo(SimTime t) {
+  while (clock_observer_ && next_observer_mark_ <= t) {
+    const SimTime mark = next_observer_mark_;
+    const SimTime next = SaturatingAdd(mark, observer_interval_);
+    next_observer_mark_ = next;
+    clock_observer_(mark);
+    if (next == mark) {
+      // Saturated advance: `mark` was the final representable mark. Retire
+      // the hook so an event at SimTime::Max() cannot re-fire it.
+      clock_observer_ = nullptr;
+      break;
+    }
+  }
+}
+
+void Simulator::FlushObserverUpTo(SimTime horizon) {
+  FireObserverMarksUpTo(horizon);
+}
+
 bool Simulator::Step() {
   if (heap_.empty()) {
     return false;
+  }
+  if (TimeOf(heap_[0]) >= next_observer_mark_) {
+    FireObserverMarksUpTo(TimeOf(heap_[0]));
   }
   const HeapKey top = heap_[0];
   PopRoot();

@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -92,6 +93,26 @@ class Simulator {
   bool empty() const { return heap_.empty(); }
   std::size_t pending_events() const { return heap_.size(); }
 
+  // Periodic *event-free* clock hook, the telemetry sampler's driver
+  // (src/obs/timeseries.h). The observer fires at every mark on the
+  // arithmetic grid (interval, 2*interval, ...): Step() invokes it for all
+  // marks <= t immediately before executing the next event at time t, so
+  // at the moment it fires every event strictly before the mark has
+  // executed and none at-or-after it has. Because the hook schedules no
+  // events and never touches the heap, executed_events() and
+  // event_digest() are bit-identical with an observer installed or not —
+  // telemetry cannot perturb a run by construction. The observer MUST NOT
+  // schedule events or otherwise mutate the simulator. Marks in an idle
+  // tail (after the last event) never fire from Step(); the run harness
+  // calls FlushObserverUpTo() to emit them. `interval` is clamped to
+  // >= 1ns; the first mark is the first grid multiple strictly after
+  // Now(). Passing a null observer uninstalls the hook.
+  using ClockObserver = std::function<void(SimTime mark)>;
+  void SetClockObserver(SimTime interval, ClockObserver observer);
+  // Fires every remaining mark <= horizon. Idempotent past the horizon.
+  void FlushObserverUpTo(SimTime horizon);
+  SimTime next_observer_mark() const { return next_observer_mark_; }
+
   // Order-sensitive FNV-1a digest over the (time, seq) pair of every event
   // executed so far. Two runs of the same model must produce equal digests
   // — the bit-reproducibility witness the sharded engine combines across
@@ -134,6 +155,10 @@ class Simulator {
   static constexpr std::size_t kChunkShift = 10;  // 1024 slots per chunk
   static constexpr std::size_t kChunkMask = (std::size_t{1} << kChunkShift) - 1;
 
+  // Catch-up loop for the clock observer (out of line: Step()'s hot path
+  // only pays the one next_observer_mark_ compare when no mark is due).
+  void FireObserverMarksUpTo(SimTime t);
+
   void SiftUp(std::size_t index);
   // Removes heap_[0] and restores the heap property (Floyd's
   // sift-to-leaf-then-up, which skips per-level compares against the
@@ -151,6 +176,11 @@ class Simulator {
   static constexpr std::uint64_t kFnvPrime = 1099511628211ull;
 
   SimTime now_;
+  // Max() doubles as "no observer installed": the Step() fast path is a
+  // single always-false integer compare in that case.
+  SimTime next_observer_mark_ = SimTime::Max();
+  SimTime observer_interval_;
+  ClockObserver clock_observer_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t digest_ = kFnvOffset;

@@ -54,6 +54,10 @@ class SpscChannel {
   void Push(SimTime when, Simulator::Callback cb) {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t occupancy = tail - head + overflow_.size() + 1;
+    if (occupancy > high_water_) {
+      high_water_ = occupancy;
+    }
     if (tail - head < ring_.size()) {
       TimedEvent& slot = ring_[tail & (ring_.size() - 1)];
       slot.when = when;
@@ -61,6 +65,7 @@ class SpscChannel {
       tail_.store(tail + 1, std::memory_order_release);
     } else {
       overflow_.push_back(TimedEvent{when, std::move(cb)});
+      ++overflow_events_;
     }
   }
 
@@ -96,6 +101,12 @@ class SpscChannel {
   std::size_t capacity() const { return ring_.size(); }
   // Epochs whose traffic spilled past the ring (sizing diagnostic).
   std::uint64_t overflow_drains() const { return overflow_drains_; }
+  // Peak queued events observed at any single Push (ring + overflow) and
+  // total events that spilled past the ring. Producer-written; read them
+  // only after the run (the engine profiler does) — they are plain fields
+  // ordered by the same barrier as the overflow vector.
+  std::size_t high_water() const { return high_water_; }
+  std::uint64_t overflow_events() const { return overflow_events_; }
 
  private:
   std::vector<TimedEvent> ring_;
@@ -106,6 +117,8 @@ class SpscChannel {
   // Spillover past the ring; synchronized by the engine barrier, see above.
   std::vector<TimedEvent> overflow_;
   std::uint64_t overflow_drains_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t overflow_events_ = 0;
 };
 
 }  // namespace palette

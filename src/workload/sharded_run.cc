@@ -1,5 +1,6 @@
 #include "src/workload/sharded_run.h"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <utility>
@@ -48,6 +49,7 @@ ShardedRunResult RunShardedWorkload(
   engine_config.shards = config.shards;
   engine_config.lookahead = hop;
   engine_config.channel_capacity = config.channel_capacity;
+  engine_config.profile = config.profile;
   ShardedSimulator engine(engine_config);
 
   // Independent sub-streams per component, all derived from the one
@@ -143,6 +145,46 @@ ShardedRunResult RunShardedWorkload(
         // booked above. Ids are front-door-synthetic.
         return ++next_dispatch_id;
       });
+  // Telemetry: one registry + sampler per domain, each driven by its own
+  // event core's clock observer. Domain 0 samples the front-door driver
+  // books; each group domain samples its platform + tier. Refreshes run on
+  // whatever shard owns the domain, touching only domain-local state.
+  const int domains = groups + 1;
+  std::vector<std::shared_ptr<MetricsRegistry>> domain_metrics;
+  std::vector<std::shared_ptr<TimeSeriesSampler>> domain_series;
+  if (config.obs.enabled()) {
+    TimeSeriesConfig ts_config;
+    ts_config.interval = config.obs.sample_every;
+    ts_config.ring_capacity = config.obs.ring_capacity;
+    for (int d = 0; d < domains; ++d) {
+      domain_metrics.push_back(std::make_shared<MetricsRegistry>());
+      domain_series.push_back(std::make_shared<TimeSeriesSampler>(ts_config));
+      domain_series.back()->set_source(domain_metrics.back().get());
+      engine.domain_sim(d).SetClockObserver(
+          config.obs.sample_every,
+          [sampler = domain_series.back().get()](SimTime mark) {
+            sampler->Sample(mark);
+          });
+    }
+    domain_series[0]->set_refresh([&driver, m = domain_metrics[0].get()] {
+      m->counter("driver.submitted").Set(driver.submitted());
+      m->counter("driver.completed").Set(driver.completed());
+      m->counter("driver.rejected").Set(driver.rejected());
+    });
+    for (int g = 0; g < groups; ++g) {
+      GroupState* group = &group_states[static_cast<std::size_t>(g)];
+      group->platform->set_metrics(domain_metrics[1 + g].get());
+      domain_series[1 + g]->set_refresh(
+          [group, m = domain_metrics[1 + g].get()] {
+            group->platform->ExportMetrics(m, std::string(),
+                                           /*per_worker=*/false);
+            if (group->tier != nullptr) {
+              group->tier->ExportMetrics(m);
+            }
+          });
+    }
+  }
+
   driver.Start();
 
   const auto wall_start = std::chrono::steady_clock::now();
@@ -150,6 +192,49 @@ ShardedRunResult RunShardedWorkload(
   const auto wall_end = std::chrono::steady_clock::now();
 
   ShardedRunResult result;
+  if (config.obs.enabled()) {
+    // Close the books on the run's own (shard-count-invariant) clocks: the
+    // common horizon is the latest domain clock or the nominal duration,
+    // so every domain's mark set is aligned before the window-by-window
+    // fold. Merge in fixed domain order — the one order every --shards
+    // value shares — making the cluster CSV/alert log bit-identical.
+    SimTime horizon = spec.driver.duration;
+    for (int d = 0; d < domains; ++d) {
+      horizon = std::max(horizon, engine.domain_sim(d).Now());
+    }
+    for (int d = 0; d < domains; ++d) {
+      engine.domain_sim(d).FlushObserverUpTo(horizon);
+      engine.domain_sim(d).SetClockObserver(SimTime(), nullptr);
+      domain_series[static_cast<std::size_t>(d)]->set_refresh(nullptr);
+    }
+    for (int g = 0; g < groups; ++g) {
+      const GroupState& group = group_states[static_cast<std::size_t>(g)];
+      group.platform->ExportMetrics(domain_metrics[1 + g].get());
+      if (group.tier != nullptr) {
+        group.tier->ExportMetrics(domain_metrics[1 + g].get());
+      }
+    }
+    domain_metrics[0]->counter("driver.submitted").Set(driver.submitted());
+    domain_metrics[0]->counter("driver.completed").Set(driver.completed());
+    domain_metrics[0]->counter("driver.rejected").Set(driver.rejected());
+
+    result.telemetry.metrics = std::make_shared<MetricsRegistry>();
+    result.telemetry.series = domain_series[0];
+    for (int d = 0; d < domains; ++d) {
+      result.telemetry.metrics->MergeFrom(
+          *domain_metrics[static_cast<std::size_t>(d)]);
+      if (d > 0) {
+        domain_series[0]->MergeFrom(
+            *domain_series[static_cast<std::size_t>(d)]);
+      }
+    }
+    if (!config.obs.alert_rules.empty()) {
+      result.telemetry.alerts =
+          std::make_shared<AlertEngine>(config.obs.alert_rules);
+      result.telemetry.alerts->Run(*result.telemetry.series);
+    }
+  }
+  result.profile = engine.profile();
   result.report = ScoreSlo(driver.samples(), slo, spec.driver.duration,
                            spec.arrival.rate_per_sec);
   result.samples_digest = SamplesDigest(driver.samples());

@@ -27,6 +27,7 @@
 #include "src/core/policy_factory.h"
 #include "src/faas/platform.h"
 #include "src/router/router_tier.h"
+#include "src/sim/sharded_simulator.h"
 #include "src/workload/fault_schedule.h"
 #include "src/workload/slo.h"
 #include "src/workload/spec.h"
@@ -50,6 +51,15 @@ struct ShardedWorkloadConfig {
   SimTime group_sync_lag;
   DispatchMode group_dispatch = DispatchMode::kColorPartition;
   std::size_t channel_capacity = 256;
+  // Telemetry: when obs.enabled(), every domain gets its own registry +
+  // sampler on its event core's clock observer (share-nothing, like the
+  // domains themselves), and after the run the per-domain series and
+  // registries fold into cluster telemetry in fixed domain order — so the
+  // merged CSV and alert log are bit-identical across `shards` values.
+  WorkloadObsConfig obs;
+  // Engine profiler (ShardedSimulatorConfig::profile): wall-clock phase
+  // timings and per-epoch logs, reported via ShardedRunResult::profile.
+  bool profile = false;
 };
 
 // A fault aimed at one group's platform/tier. Worker names follow the
@@ -84,6 +94,14 @@ struct ShardedRunResult {
   std::uint64_t cold_starts = 0;
   std::uint64_t retries = 0;
   bool books_close = false;
+
+  // Cluster telemetry (null members unless config.obs enabled): registry
+  // merged via MetricsRegistry::MergeFrom and series merged window-by-
+  // window, both folded in domain order.
+  WorkloadTelemetry telemetry;
+  // Engine profiler snapshot (counts always valid; wall times and epoch
+  // logs populated when config.profile was set).
+  EngineProfile profile;
 };
 
 // Runs `spec` against `config.groups` worker groups on the sharded engine,

@@ -1,5 +1,6 @@
 #include "src/workload/spec.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 
@@ -104,6 +105,63 @@ void AppendWorkloadSpecJson(const WorkloadSpec& spec, JsonWriter* json) {
   json->EndObject();
 }
 
+namespace {
+
+// Attaches telemetry to a monolithic run: a live registry on the platform,
+// a per-window snapshot refresh, and the sampler driven by the simulator's
+// event-free clock observer — so the digests and samples are bit-identical
+// with obs on or off. Call after the driver exists, before Start().
+WorkloadTelemetry BeginTelemetry(const WorkloadObsConfig& obs, Simulator* sim,
+                                 FaasPlatform* platform, RouterTier* tier,
+                                 const OpenLoopDriver* driver) {
+  WorkloadTelemetry t;
+  t.metrics = std::make_shared<MetricsRegistry>();
+  platform->set_metrics(t.metrics.get());
+  TimeSeriesConfig ts_config;
+  ts_config.interval = obs.sample_every;
+  ts_config.ring_capacity = obs.ring_capacity;
+  t.series = std::make_shared<TimeSeriesSampler>(ts_config);
+  t.series->set_source(t.metrics.get());
+  // Per-mark refresh: skip the per-worker families — the sampler does not
+  // track them and their export cost scales with the cluster.
+  t.series->set_refresh([platform, tier, driver, m = t.metrics.get()] {
+    platform->ExportMetrics(m, std::string(), /*per_worker=*/false);
+    if (tier != nullptr) {
+      tier->ExportMetrics(m);
+    }
+    m->counter("driver.submitted").Set(driver->submitted());
+    m->counter("driver.completed").Set(driver->completed());
+    m->counter("driver.rejected").Set(driver->rejected());
+  });
+  sim->SetClockObserver(obs.sample_every, [sampler = t.series.get()](
+                                              SimTime mark) {
+    sampler->Sample(mark);
+  });
+  return t;
+}
+
+// Closes the telemetry session after the simulator drained: emits the idle
+// tail's windows up to the nominal horizon, detaches the refresh hook
+// (whose captures die with this stack frame), snapshots the final registry
+// state, and evaluates the alert rules over the completed series.
+void FinishTelemetry(const WorkloadObsConfig& obs, Simulator* sim,
+                     FaasPlatform* platform, RouterTier* tier,
+                     SimTime horizon, WorkloadTelemetry* t) {
+  sim->FlushObserverUpTo(std::max(sim->Now(), horizon));
+  sim->SetClockObserver(SimTime(), nullptr);
+  t->series->set_refresh(nullptr);
+  platform->ExportMetrics(t->metrics.get());
+  if (tier != nullptr) {
+    tier->ExportMetrics(t->metrics.get());
+  }
+  if (!obs.alert_rules.empty()) {
+    t->alerts = std::make_shared<AlertEngine>(obs.alert_rules);
+    t->alerts->Run(*t->series);
+  }
+}
+
+}  // namespace
+
 PlatformConfig DefaultWorkloadPlatformConfig() {
   PlatformConfig config;
   config.cpu_ops_per_second = 1e9;
@@ -122,7 +180,8 @@ PlatformConfig DefaultWorkloadPlatformConfig() {
 WorkloadRunResult RunWorkload(const WorkloadSpec& spec, PolicyKind policy,
                               int workers, const SloConfig& slo,
                               const PlatformConfig& platform_config,
-                              const FaultSchedule* faults) {
+                              const FaultSchedule* faults,
+                              const WorkloadObsConfig* obs) {
   Simulator sim;
   FaasPlatform platform(&sim, policy, spec.seed, platform_config);
   platform.AddWorkers(workers);
@@ -139,10 +198,19 @@ WorkloadRunResult RunWorkload(const WorkloadSpec& spec, PolicyKind policy,
   OpenLoopDriver driver(&platform,
                         MakeArrivalProcess(spec.arrival, arrival_seed),
                         InvocationMix(spec.mix), spec.driver, driver_seed);
+  WorkloadTelemetry telemetry;
+  if (obs != nullptr && obs->enabled()) {
+    telemetry = BeginTelemetry(*obs, &sim, &platform, nullptr, &driver);
+  }
   driver.Start();
   const std::uint64_t events = sim.Run();
+  if (telemetry.enabled()) {
+    FinishTelemetry(*obs, &sim, &platform, nullptr, spec.driver.duration,
+                    &telemetry);
+  }
 
   WorkloadRunResult result;
+  result.telemetry = std::move(telemetry);
   result.report = ScoreSlo(driver.samples(), slo, spec.driver.duration,
                            spec.arrival.rate_per_sec);
   result.samples = driver.samples();
@@ -164,7 +232,8 @@ WorkloadRunResult RunRouterWorkload(const WorkloadSpec& spec,
                                     RouterTierConfig tier_config,
                                     const SloConfig& slo,
                                     const PlatformConfig& platform_config,
-                                    const FaultSchedule* faults) {
+                                    const FaultSchedule* faults,
+                                    const WorkloadObsConfig* obs) {
   Simulator sim;
   FaasPlatform platform(&sim, policy, spec.seed, platform_config);
   platform.AddWorkers(workers);
@@ -187,10 +256,19 @@ WorkloadRunResult RunRouterWorkload(const WorkloadSpec& spec,
               FaasPlatform::CompletionCallback on_complete) {
         return tier.Invoke(std::move(invocation), std::move(on_complete));
       });
+  WorkloadTelemetry telemetry;
+  if (obs != nullptr && obs->enabled()) {
+    telemetry = BeginTelemetry(*obs, &sim, &platform, &tier, &driver);
+  }
   driver.Start();
   const std::uint64_t events = sim.Run();
+  if (telemetry.enabled()) {
+    FinishTelemetry(*obs, &sim, &platform, &tier, spec.driver.duration,
+                    &telemetry);
+  }
 
   WorkloadRunResult result;
+  result.telemetry = std::move(telemetry);
   result.report = ScoreSlo(driver.samples(), slo, spec.driver.duration,
                            spec.arrival.rate_per_sec);
   result.samples = driver.samples();

@@ -6,10 +6,13 @@
 #define PALETTE_SRC_WORKLOAD_SPEC_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/core/policy_factory.h"
 #include "src/faas/platform.h"
+#include "src/obs/alerts.h"
+#include "src/obs/timeseries.h"
 #include "src/router/router_tier.h"
 #include "src/workload/arrival.h"
 #include "src/workload/driver.h"
@@ -50,6 +53,28 @@ void AppendWorkloadSpecJson(const WorkloadSpec& spec, JsonWriter* json);
 // color-sticky routing keeps each instance's 1/N share warm.
 PlatformConfig DefaultWorkloadPlatformConfig();
 
+// Telemetry for one run (docs/OBSERVABILITY.md). Off by default: with
+// sample_every == 0 no registry or sampler is attached at all, so the
+// run's outputs are byte-identical to an obs-free build of the harness.
+struct WorkloadObsConfig {
+  SimTime sample_every;  // sampling window; zero = telemetry off
+  std::size_t ring_capacity = 4096;
+  std::vector<AlertRule> alert_rules;
+
+  bool enabled() const { return sample_every > SimTime(); }
+};
+
+// What an obs-enabled run hands back: the end-of-run registry (Prometheus
+// exposition), the windowed series (CSV / counter tracks / dashboards),
+// and the evaluated alert engine. All null when telemetry was off.
+struct WorkloadTelemetry {
+  std::shared_ptr<MetricsRegistry> metrics;
+  std::shared_ptr<TimeSeriesSampler> series;
+  std::shared_ptr<AlertEngine> alerts;
+
+  bool enabled() const { return series != nullptr; }
+};
+
 struct WorkloadRunResult {
   std::vector<InvocationSample> samples;
   SloReport report;
@@ -73,6 +98,8 @@ struct WorkloadRunResult {
   std::uint64_t router_misroutes = 0;
   std::uint64_t router_forwards = 0;
   std::uint64_t router_recolored = 0;  // per-view re-colorings, summed
+  // Populated only when the run's WorkloadObsConfig enabled telemetry.
+  WorkloadTelemetry telemetry;
 };
 
 // Runs `spec` open-loop against a fresh Simulator + FaasPlatform with
@@ -83,7 +110,8 @@ struct WorkloadRunResult {
 WorkloadRunResult RunWorkload(const WorkloadSpec& spec, PolicyKind policy,
                               int workers, const SloConfig& slo,
                               const PlatformConfig& platform_config,
-                              const FaultSchedule* faults = nullptr);
+                              const FaultSchedule* faults = nullptr,
+                              const WorkloadObsConfig* obs = nullptr);
 
 // Like RunWorkload, but traffic flows through a RouterTier of
 // `tier_config.routers` replicas (docs/ROUTING.md) instead of the
@@ -96,7 +124,8 @@ WorkloadRunResult RunRouterWorkload(const WorkloadSpec& spec,
                                     RouterTierConfig tier_config,
                                     const SloConfig& slo,
                                     const PlatformConfig& platform_config,
-                                    const FaultSchedule* faults = nullptr);
+                                    const FaultSchedule* faults = nullptr,
+                                    const WorkloadObsConfig* obs = nullptr);
 
 }  // namespace palette
 

@@ -9,6 +9,7 @@
 
 #include "src/common/table_printer.h"
 #include "src/faas/platform.h"
+#include "src/obs/trace.h"
 #include "src/router/router_tier.h"
 #include "src/sim/simulator.h"
 #include "src/workload/fault_schedule.h"
@@ -378,6 +379,91 @@ TEST(RouterWorkloadTest, SprayRunsAndKeepsBooksClosed) {
             r.platform_completed + r.platform_dropped + r.platform_abandoned);
   EXPECT_GT(r.platform_completed, 0u);
   EXPECT_EQ(r.router_misroutes, 0u);  // no churn, views never stale
+}
+
+TEST(RouterTierTest, TraceSpansPartitionUnderRetryAndMisrouteForward) {
+  // The hardest path for the trace invariant: an invocation can be
+  // misrouted on a stale view (forwarded, not retried), crash mid-compute
+  // (a real platform retry with backoff), and still every recorded trace
+  // must partition [submitted, completed] exactly into the five phase
+  // spans — no gap for the forward hop, the backoff, or the re-dispatch.
+  Simulator sim;
+  PlatformConfig config = QuickConfig();
+  config.retry.max_attempts = 4;
+  config.retry.initial_backoff = SimTime::FromMillis(5);
+  FaasPlatform platform(&sim, PolicyKind::kLeastAssigned, /*seed=*/3,
+                        config);
+  platform.AddWorkers(4);
+  TraceRecorder recorder;
+  platform.set_trace_recorder(&recorder);
+
+  RouterTierConfig tier_config;
+  tier_config.routers = 2;
+  tier_config.sync_lag = SimTime::FromSeconds(3600);  // views go stale
+  tier_config.hop_latency = SimTime::FromMicros(50);
+  RouterTier tier(&platform, tier_config);
+
+  int completed = 0;
+  auto done = [&](const InvocationResult&) { ++completed; };
+  // Pin color views into both replicas, then crash a routed-to worker so
+  // later routes misroute-forward AND in-flight attempts retry.
+  std::string crashed;
+  for (int i = 0; i < 8; ++i) {
+    InvocationSpec spec = Spec(StrFormat("c%d", i % 4));
+    spec.cpu_ops = 5e6;
+    ASSERT_TRUE(tier.Invoke(std::move(spec), [&](const InvocationResult& r) {
+                      done(r);
+                      if (crashed.empty()) {
+                        crashed = r.instance;
+                      }
+                    }).has_value());
+  }
+  sim.Run();
+  ASSERT_FALSE(crashed.empty());
+
+  // In-flight work on the crashed worker at crash time gets retried; the
+  // stale replicas keep routing its colors there and forward on arrival.
+  for (int i = 0; i < 12; ++i) {
+    InvocationSpec spec = Spec(StrFormat("c%d", i % 4));
+    spec.cpu_ops = 5e6;
+    ASSERT_TRUE(tier.Invoke(std::move(spec), done).has_value());
+    if (i == 2) {
+      platform.CrashWorker(crashed);
+    }
+  }
+  sim.Run();
+
+  // Completion callbacks fire only for successes; crash casualties that
+  // exhausted their retry budget are booked as abandoned/dropped.
+  const std::uint64_t finished =
+      platform.completed_invocations() + platform.dropped_invocations() +
+      platform.abandoned_invocations();
+  EXPECT_EQ(finished, 20u);
+  EXPECT_EQ(static_cast<std::uint64_t>(completed),
+            platform.completed_invocations());
+  EXPECT_GT(tier.forwards(), 0u);           // misroute-forward happened
+  EXPECT_GT(platform.total_retries(), 0u);  // and a real retry happened
+  EXPECT_EQ(recorder.invocation_count(),
+            static_cast<std::size_t>(completed));  // completions only
+
+  for (const InvocationTrace& t : recorder.invocations()) {
+    // Timestamps are monotone through the pipeline...
+    EXPECT_LE(t.submitted.nanos(), t.dispatched.nanos()) << "id " << t.id;
+    EXPECT_LE(t.dispatched.nanos(), t.fetch_start.nanos()) << "id " << t.id;
+    EXPECT_LE(t.fetch_start.nanos(), t.inputs_ready.nanos()) << "id " << t.id;
+    EXPECT_LE(t.inputs_ready.nanos(), t.compute_done.nanos()) << "id " << t.id;
+    EXPECT_LE(t.compute_done.nanos(), t.completed.nanos()) << "id " << t.id;
+    // ...and the five spans sum to end-to-end exactly, per invocation.
+    const std::int64_t sum = (t.dispatched - t.submitted).nanos() +
+                             (t.fetch_start - t.dispatched).nanos() +
+                             (t.inputs_ready - t.fetch_start).nanos() +
+                             (t.compute_done - t.inputs_ready).nanos() +
+                             (t.completed - t.compute_done).nanos();
+    EXPECT_EQ(sum, (t.completed - t.submitted).nanos()) << "id " << t.id;
+    EXPECT_GE(t.router, 0) << "id " << t.id;  // all traffic used the tier
+  }
+  const auto totals = recorder.Totals();
+  EXPECT_EQ(totals.PhaseSum().nanos(), totals.end_to_end.nanos());
 }
 
 }  // namespace

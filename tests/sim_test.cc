@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -587,6 +588,189 @@ TEST(ShardedWorkloadTest, FaultCellStaysDeterministic) {
   EXPECT_EQ(one.samples_digest, four.samples_digest);
   EXPECT_EQ(one.engine_digest, four.engine_digest);
   EXPECT_EQ(one.sim_events, four.sim_events);
+}
+
+// ---------------------------------------------------------------------------
+// Clock observer: the event-free hook driving the telemetry sampler.
+
+TEST(ClockObserverTest, FiresAtMarksBeforeTheNextEvent) {
+  Simulator sim;
+  std::vector<std::int64_t> marks;
+  std::vector<std::int64_t> events;
+  sim.SetClockObserver(SimTime::FromMillis(10), [&marks](SimTime mark) {
+    marks.push_back(mark.nanos());
+  });
+  sim.At(SimTime::FromMillis(5),
+         [&] { events.push_back(sim.Now().nanos()); });
+  sim.At(SimTime::FromMillis(25),
+         [&] { events.push_back(sim.Now().nanos()); });
+  sim.Run();
+  // The 5 ms event precedes the first mark; before the 25 ms event the
+  // observer catches up through the 10 ms and 20 ms marks.
+  ASSERT_EQ(marks.size(), 2u);
+  EXPECT_EQ(marks[0], SimTime::FromMillis(10).nanos());
+  EXPECT_EQ(marks[1], SimTime::FromMillis(20).nanos());
+  EXPECT_EQ(sim.next_observer_mark(), SimTime::FromMillis(30));
+}
+
+TEST(ClockObserverTest, MarkAtEventTimestampFiresFirst) {
+  Simulator sim;
+  std::vector<std::string> order;
+  sim.SetClockObserver(SimTime::FromMillis(10), [&order](SimTime) {
+    order.push_back("mark");
+  });
+  sim.At(SimTime::FromMillis(10), [&order] { order.push_back("event"); });
+  sim.Run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "mark");  // window closes before its boundary event
+  EXPECT_EQ(order[1], "event");
+}
+
+TEST(ClockObserverTest, AddsNoEventsAndKeepsDigest) {
+  auto run = [](bool observe) {
+    Simulator sim;
+    std::uint64_t marks = 0;
+    if (observe) {
+      sim.SetClockObserver(SimTime::FromMillis(1),
+                           [&marks](SimTime) { ++marks; });
+    }
+    for (int i = 0; i < 50; ++i) {
+      sim.At(SimTime::FromMicros(700 * i), [] {});
+    }
+    sim.Run();
+    return std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>(
+        sim.executed_events(), sim.event_digest(), marks);
+  };
+  const auto off = run(false);
+  const auto on = run(true);
+  // Marks fired but the executed stream is bit-identical: sampling is
+  // invisible to the event digests by construction.
+  EXPECT_GT(std::get<2>(on), 0u);
+  EXPECT_EQ(std::get<2>(off), 0u);
+  EXPECT_EQ(std::get<0>(on), std::get<0>(off));
+  EXPECT_EQ(std::get<1>(on), std::get<1>(off));
+}
+
+TEST(ClockObserverTest, FlushEmitsIdleTailAndUninstallStops) {
+  Simulator sim;
+  std::vector<std::int64_t> marks;
+  sim.SetClockObserver(SimTime::FromMillis(10), [&marks](SimTime mark) {
+    marks.push_back(mark.nanos());
+  });
+  sim.At(SimTime::FromMillis(12), [] {});
+  sim.Run();  // fires the 10 ms mark only; the clock stops at 12 ms
+  ASSERT_EQ(marks.size(), 1u);
+  sim.FlushObserverUpTo(SimTime::FromMillis(45));
+  // 20, 30, 40 — the idle tail up to the horizon, aligned to the grid.
+  ASSERT_EQ(marks.size(), 4u);
+  EXPECT_EQ(marks.back(), SimTime::FromMillis(40).nanos());
+  sim.SetClockObserver(SimTime(), nullptr);
+  EXPECT_EQ(sim.next_observer_mark(), SimTime::Max());
+  sim.FlushObserverUpTo(SimTime::FromMillis(100));
+  sim.At(SimTime::FromMillis(90), [] {});
+  sim.Run();
+  EXPECT_EQ(marks.size(), 4u);  // uninstalled: nothing more fires
+}
+
+TEST(ClockObserverTest, MidRunInstallSkipsPassedMarks) {
+  Simulator sim;
+  std::vector<std::int64_t> marks;
+  sim.At(SimTime::FromMillis(35), [&] {
+    sim.SetClockObserver(SimTime::FromMillis(10), [&marks](SimTime mark) {
+      marks.push_back(mark.nanos());
+    });
+  });
+  sim.At(SimTime::FromMillis(52), [] {});
+  sim.Run();
+  // Installed at 35 ms: the first mark is the next grid multiple (40 ms),
+  // never a replay of 10/20/30.
+  ASSERT_EQ(marks.size(), 2u);
+  EXPECT_EQ(marks[0], SimTime::FromMillis(40).nanos());
+  EXPECT_EQ(marks[1], SimTime::FromMillis(50).nanos());
+}
+
+// ---------------------------------------------------------------------------
+// Engine profiler and channel diagnostics.
+
+TEST(SpscChannelTest, HighWaterAndOverflowCounters) {
+  SpscChannel channel(4);
+  for (int i = 0; i < 6; ++i) {
+    channel.Push(SimTime::FromMillis(i), [] {});
+  }
+  // Ring holds 4; two spilled. High water saw all six queued at once.
+  EXPECT_EQ(channel.high_water(), 6u);
+  EXPECT_EQ(channel.overflow_events(), 2u);
+  channel.Drain([](SimTime, Simulator::Callback) {});
+  EXPECT_TRUE(channel.Empty());
+  EXPECT_EQ(channel.overflow_drains(), 1u);
+  // Counters are cumulative, not reset by the drain.
+  EXPECT_EQ(channel.high_water(), 6u);
+  EXPECT_EQ(channel.overflow_events(), 2u);
+}
+
+TEST(ShardedSimulatorTest, ProfilerAccountsEveryEvent) {
+  auto run_profiled = [](int shards) {
+    ShardedSimulatorConfig config;
+    config.domains = 4;
+    config.shards = shards;
+    config.lookahead = sharded::kStormLookahead;
+    config.channel_capacity = 8;
+    config.profile = true;
+    ShardedSimulator engine(config);
+    for (int d = 0; d < 4; ++d) {
+      sharded::Storm(&engine, d, static_cast<std::uint64_t>(d) * 977 + 11,
+                     40);
+    }
+    const std::uint64_t ran = engine.Run();
+    const EngineProfile profile = engine.profile();
+    EXPECT_TRUE(profile.enabled);
+    EXPECT_EQ(profile.domains, 4);
+    EXPECT_EQ(profile.shards, shards);
+    EXPECT_EQ(static_cast<int>(profile.per_shard.size()), shards);
+    EXPECT_EQ(profile.events, ran);  // no event escapes the books
+    EXPECT_GT(profile.epochs, 0u);
+    std::uint64_t shard_events = 0;
+    for (const ShardProfile& shard : profile.per_shard) {
+      shard_events += shard.events;
+      EXPECT_LE(shard.busy_epochs, shard.epochs);
+      const double util = shard.lookahead_utilization();
+      EXPECT_GE(util, 0.0);
+      EXPECT_LE(util, 1.0);
+      std::uint64_t logged = 0;
+      for (const auto& [t_min, n] : shard.epoch_log) {
+        logged += n;
+      }
+      if (shard.epoch_log_dropped == 0) {
+        // An untruncated epoch log re-adds to the shard's event total.
+        EXPECT_EQ(logged, shard.events);
+      }
+    }
+    EXPECT_EQ(shard_events, ran);
+    EXPECT_GT(profile.channel_high_water, 0u);  // storms cross domains
+    return profile;
+  };
+  const EngineProfile seq = run_profiled(1);
+  const EngineProfile par = run_profiled(4);
+  // Epoch protocol is shard-invariant: same windows, same events.
+  EXPECT_EQ(seq.epochs, par.epochs);
+  EXPECT_EQ(seq.events, par.events);
+}
+
+TEST(ShardedSimulatorTest, ProfilerOffCostsNothingAndReportsDisabled) {
+  ShardedSimulatorConfig config;
+  config.domains = 2;
+  config.shards = 1;
+  ShardedSimulator engine(config);
+  engine.domain_sim(0).At(SimTime(), [] {});
+  engine.Run();
+  const EngineProfile profile = engine.profile();
+  EXPECT_FALSE(profile.enabled);
+  // Event/epoch counts are maintained regardless; wall-clock fields stay
+  // zero (no steady_clock reads on the hot path).
+  for (const ShardProfile& shard : profile.per_shard) {
+    EXPECT_EQ(shard.barrier_wait_ns, 0u);
+    EXPECT_EQ(shard.drain_ns, 0u);
+  }
 }
 
 }  // namespace

@@ -15,6 +15,9 @@
 #include "src/workload/driver.h"
 #include "src/workload/fault_schedule.h"
 #include "src/workload/mix.h"
+#include "src/obs/alerts.h"
+#include "src/obs/timeseries.h"
+#include "src/workload/sharded_run.h"
 #include "src/workload/slo.h"
 #include "src/workload/spec.h"
 
@@ -505,6 +508,149 @@ TEST(WorkloadRunTest, StickyPoliciesBeatObliviousOnHitRatio) {
       RunWorkload(spec, PolicyKind::kObliviousRandom, 4, slo, config);
   EXPECT_GT(sticky.report.local_hit_ratio,
             oblivious.report.local_hit_ratio + 0.2);
+}
+
+// ---------------------------------------------------------------------------
+// Live telemetry determinism (docs/OBSERVABILITY.md): sampling must be
+// invisible to the simulation, and the sampled artifacts themselves must
+// be seed-reproducible and shard-count-invariant.
+
+namespace {
+
+WorkloadSpec TelemetrySpec() {
+  WorkloadSpec spec;
+  spec.arrival.kind = ArrivalKind::kMmpp;
+  spec.arrival.rate_per_sec = 300;
+  spec.mix.color_count = 64;
+  spec.mix.zipf_theta = 0.9;
+  spec.driver.duration = SimTime::FromSeconds(3);
+  spec.seed = 19;
+  return spec;
+}
+
+}  // namespace
+
+TEST(TelemetryTest, SamplingOnDoesNotChangeTheRun) {
+  const WorkloadSpec spec = TelemetrySpec();
+  const SloConfig slo;
+  const PlatformConfig config = DefaultWorkloadPlatformConfig();
+  const WorkloadRunResult off =
+      RunWorkload(spec, PolicyKind::kLeastAssigned, 8, slo, config);
+
+  WorkloadObsConfig obs;
+  obs.sample_every = SimTime::FromMillis(100);
+  const WorkloadRunResult on = RunWorkload(
+      spec, PolicyKind::kLeastAssigned, 8, slo, config, nullptr, &obs);
+
+  // The clock observer adds zero events: digests and event counts are
+  // bit-identical with the sampler on or off.
+  EXPECT_EQ(on.samples_digest, off.samples_digest);
+  EXPECT_EQ(on.sim_events, off.sim_events);
+  EXPECT_FALSE(off.telemetry.enabled());
+  ASSERT_TRUE(on.telemetry.enabled());
+  EXPECT_GT(on.telemetry.series->series_count(), 0u);
+  EXPECT_GE(on.telemetry.series->samples_taken(), 30u);
+  // The run closed its books on the mark grid: the last window reaches
+  // the nominal duration.
+  EXPECT_GE(on.telemetry.series->last_mark(), spec.driver.duration);
+}
+
+TEST(TelemetryTest, TimeSeriesCsvIsSeedReproducible) {
+  const WorkloadSpec spec = TelemetrySpec();
+  const SloConfig slo;
+  const PlatformConfig config = DefaultWorkloadPlatformConfig();
+  WorkloadObsConfig obs;
+  obs.sample_every = SimTime::FromMillis(100);
+  std::vector<std::string> errors;
+  obs.alert_rules =
+      ParseAlertRules("submit=driver.submitted.rate>0:1:1", &errors);
+  ASSERT_TRUE(errors.empty());
+
+  const WorkloadRunResult a = RunWorkload(
+      spec, PolicyKind::kLeastAssigned, 8, slo, config, nullptr, &obs);
+  const WorkloadRunResult b = RunWorkload(
+      spec, PolicyKind::kLeastAssigned, 8, slo, config, nullptr, &obs);
+  ASSERT_TRUE(a.telemetry.enabled());
+  ASSERT_TRUE(b.telemetry.enabled());
+  EXPECT_EQ(a.telemetry.series->ToCsv(), b.telemetry.series->ToCsv());
+  ASSERT_NE(a.telemetry.alerts, nullptr);
+  // Traffic flows, so the submit-rate rule fires; both logs match byte
+  // for byte.
+  EXPECT_GE(a.telemetry.alerts->fired_count(), 1u);
+  EXPECT_EQ(a.telemetry.alerts->ToLogLines(),
+            b.telemetry.alerts->ToLogLines());
+}
+
+TEST(TelemetryTest, ShardedTelemetryBitIdenticalAcrossShardCounts) {
+  const WorkloadSpec spec = TelemetrySpec();
+  SloConfig slo;
+  slo.warmup = SimTime::FromMillis(500);
+  auto run = [&](int shards) {
+    ShardedWorkloadConfig config;
+    config.groups = 4;
+    config.shards = shards;
+    config.routers_per_group = 2;
+    config.hop = SimTime::FromMillis(2);
+    config.obs.sample_every = SimTime::FromMillis(250);
+    std::vector<std::string> errors;
+    config.obs.alert_rules =
+        ParseAlertRules("submit=driver.submitted.rate>0:1:1", &errors);
+    EXPECT_TRUE(errors.empty());
+    return RunShardedWorkload(spec, PolicyKind::kLeastAssigned,
+                              /*total_workers=*/16, config, slo,
+                              DefaultWorkloadPlatformConfig());
+  };
+  const ShardedRunResult one = run(1);
+  const ShardedRunResult four = run(4);
+  ASSERT_TRUE(one.telemetry.enabled());
+  ASSERT_TRUE(four.telemetry.enabled());
+  // Same simulation (digest invariance) and the same telemetry artifacts:
+  // the per-domain series merge in fixed domain order on a shared mark
+  // grid, so CSV and alert log match byte for byte.
+  EXPECT_EQ(one.samples_digest, four.samples_digest);
+  EXPECT_EQ(one.engine_digest, four.engine_digest);
+  EXPECT_EQ(one.telemetry.series->ToCsv(), four.telemetry.series->ToCsv());
+  ASSERT_NE(one.telemetry.alerts, nullptr);
+  EXPECT_GE(one.telemetry.alerts->fired_count(), 1u);
+  EXPECT_EQ(one.telemetry.alerts->ToLogLines(),
+            four.telemetry.alerts->ToLogLines());
+  // And sampling stays invisible in the sharded engine too.
+  ShardedWorkloadConfig plain;
+  plain.groups = 4;
+  plain.shards = 2;
+  plain.routers_per_group = 2;
+  plain.hop = SimTime::FromMillis(2);
+  const ShardedRunResult off = RunShardedWorkload(
+      spec, PolicyKind::kLeastAssigned, 16, plain, slo,
+      DefaultWorkloadPlatformConfig());
+  EXPECT_EQ(off.samples_digest, one.samples_digest);
+  EXPECT_EQ(off.engine_digest, one.engine_digest);
+  EXPECT_EQ(off.sim_events, one.sim_events);
+}
+
+TEST(TelemetryTest, MergedClusterRegistryMatchesDriverBooks) {
+  const WorkloadSpec spec = TelemetrySpec();
+  SloConfig slo;
+  ShardedWorkloadConfig config;
+  config.groups = 2;
+  config.shards = 2;
+  config.routers_per_group = 0;
+  config.obs.sample_every = SimTime::FromMillis(500);
+  const ShardedRunResult run = RunShardedWorkload(
+      spec, PolicyKind::kLeastAssigned, 8, config, slo,
+      DefaultWorkloadPlatformConfig());
+  ASSERT_TRUE(run.telemetry.enabled());
+  ASSERT_NE(run.telemetry.metrics, nullptr);
+  // The merged registry's cluster totals agree with the run's books.
+  EXPECT_EQ(run.telemetry.metrics->counter("driver.submitted").value(),
+            run.driver_submitted);
+  EXPECT_EQ(run.telemetry.metrics->counter("faas.invocations.submitted")
+                .value(),
+            run.group_submitted);
+  EXPECT_EQ(run.telemetry.metrics->counter("faas.invocations.completed")
+                .value(),
+            run.group_completed);
+  EXPECT_TRUE(run.books_close);
 }
 
 }  // namespace

@@ -18,6 +18,21 @@
 //           [--sweep=200,400,800,1600]   # rate step-sweep for the knee
 //           [--dump_samples]             # embed per-sample records
 //           [--out=BENCH_slo.json]
+//           [--sample_every_ms=0]        # >0: sim-clock telemetry sampling
+//           [--prom_out=<path|->]        # Prometheus text exposition
+//           [--ts_out=<path|->]          # time-series CSV
+//           [--alerts=<rules>] [--alert_log=<path|->]   # SLO alert engine
+//           [--trace_counters=<path>]    # Chrome-trace counter tracks
+//           [--profile]                  # sharded-engine profiler (JSON)
+//
+// Telemetry (docs/OBSERVABILITY.md): --sample_every_ms>0 attaches a
+// TimeSeriesSampler on the simulator's event-free clock observer — rates,
+// gauge levels, and per-window p50/p99 for the faas/lb/cache/net/router
+// families — and the --alerts rules (see ParseAlertRules in
+// src/obs/alerts.h) evaluate over those windows. Sampling adds zero
+// events: digests and samples are bit-identical with it on or off, and
+// with it off the BENCH_slo.json output is byte-identical to a build
+// without telemetry.
 //
 // Sharded mode (docs/PERF.md, "Parallel engine"): --shards>=1 maps the
 // workload onto --groups worker-group domains, each fronted by its own
@@ -33,6 +48,7 @@
 #include "src/common/json_writer.h"
 #include "src/common/table_printer.h"
 #include "src/core/policy_factory.h"
+#include "src/obs/prometheus.h"
 #include "src/workload/sharded_run.h"
 #include "src/workload/spec.h"
 
@@ -79,6 +95,143 @@ void AppendSamplesJson(const std::vector<InvocationSample>& samples,
     json->EndObject();
   }
   json->EndArray();
+}
+
+// "-" routes to stdout; anything else is a file path.
+bool WriteTextOutput(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return true;
+  }
+  return WriteTextFile(path, content);
+}
+
+// One Chrome trace file of counter tracks: the telemetry series, plus (when
+// profiling) per-shard events-per-epoch imbalance tracks on pid 2.
+std::string TraceCountersJson(const TimeSeriesSampler& series,
+                              const EngineProfile* profile) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("traceEvents");
+  json.BeginArray();
+  series.AppendChromeCounterTracks(&json, /*pid=*/1);
+  if (profile != nullptr && profile->enabled) {
+    for (std::size_t s = 0; s < profile->per_shard.size(); ++s) {
+      for (const auto& [t_min_ns, events] : profile->per_shard[s].epoch_log) {
+        json.BeginObject();
+        json.Key("ph");
+        json.String("C");
+        json.Key("cat");
+        json.String("engine");
+        json.Key("name");
+        json.String(StrFormat("engine.shard%zu.events_per_epoch", s));
+        json.Key("pid");
+        json.Int(2);
+        json.Key("tid");
+        json.Int(0);
+        json.Key("ts");
+        json.Double(static_cast<double>(t_min_ns) / 1e3);
+        json.Key("args");
+        json.BeginObject();
+        json.Key("value");
+        json.UInt(events);
+        json.EndObject();
+        json.EndObject();
+      }
+    }
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+void AppendEngineProfileJson(const EngineProfile& profile, JsonWriter* json) {
+  json->BeginObject();
+  json->Key("domains");
+  json->Int(profile.domains);
+  json->Key("shards");
+  json->Int(profile.shards);
+  json->Key("epochs");
+  json->UInt(profile.epochs);
+  json->Key("events");
+  json->UInt(profile.events);
+  json->Key("channel_high_water");
+  json->UInt(profile.channel_high_water);
+  json->Key("overflow_spills");
+  json->UInt(profile.overflow_spills);
+  json->Key("overflow_drains");
+  json->UInt(profile.overflow_drains);
+  json->Key("per_shard");
+  json->BeginArray();
+  for (const ShardProfile& shard : profile.per_shard) {
+    json->BeginObject();
+    json->Key("epochs");
+    json->UInt(shard.epochs);
+    json->Key("events");
+    json->UInt(shard.events);
+    json->Key("busy_epochs");
+    json->UInt(shard.busy_epochs);
+    json->Key("lookahead_utilization");
+    json->Double(shard.lookahead_utilization());
+    json->Key("barrier_wait_ms");
+    json->Double(static_cast<double>(shard.barrier_wait_ns) / 1e6);
+    json->Key("drain_ms");
+    json->Double(static_cast<double>(shard.drain_ns) / 1e6);
+    json->Key("execute_ms");
+    json->Double(static_cast<double>(shard.execute_ns) / 1e6);
+    json->EndObject();
+  }
+  json->EndArray();
+  json->EndObject();
+}
+
+// The gated telemetry outputs shared by the monolithic and sharded paths.
+// Returns false on a write failure. Appends nothing and writes nothing
+// when telemetry is off, keeping obs-free output byte-identical.
+bool EmitTelemetry(const WorkloadTelemetry& telemetry,
+                   const EngineProfile* profile, const std::string& prom_out,
+                   const std::string& ts_out, const std::string& alert_log,
+                   const std::string& trace_counters, JsonWriter* json) {
+  if (!telemetry.enabled()) {
+    return true;
+  }
+  json->Key("telemetry");
+  json->BeginObject();
+  json->Key("samples_taken");
+  json->UInt(telemetry.series->samples_taken());
+  json->Key("series_count");
+  json->UInt(telemetry.series->series_count());
+  json->Key("last_mark_ns");
+  json->Int(telemetry.series->last_mark().nanos());
+  if (telemetry.alerts != nullptr) {
+    json->Key("alerts");
+    json->BeginObject();
+    telemetry.alerts->AppendJson(json);
+    json->EndObject();
+  }
+  json->EndObject();
+
+  if (telemetry.alerts != nullptr && !telemetry.alerts->log().empty()) {
+    std::printf("alerts:\n%s", telemetry.alerts->ToLogLines().c_str());
+  }
+  if (!prom_out.empty() &&
+      !WriteTextOutput(prom_out, ToPrometheusText(*telemetry.metrics))) {
+    return false;
+  }
+  if (!ts_out.empty() &&
+      !WriteTextOutput(ts_out, telemetry.series->ToCsv())) {
+    return false;
+  }
+  if (!alert_log.empty() && telemetry.alerts != nullptr &&
+      !WriteTextOutput(alert_log, telemetry.alerts->ToLogLines())) {
+    return false;
+  }
+  if (!trace_counters.empty() &&
+      !WriteTextOutput(trace_counters,
+                       TraceCountersJson(*telemetry.series, profile))) {
+    return false;
+  }
+  return true;
 }
 
 int Run(int argc, char** argv) {
@@ -139,6 +292,32 @@ int Run(int argc, char** argv) {
                           static_cast<double>(kMiB)) *
       static_cast<double>(kMiB));
 
+  // Telemetry flags (docs/OBSERVABILITY.md).
+  WorkloadObsConfig obs;
+  obs.sample_every =
+      SimTime::FromMillis(flags.GetDouble("sample_every_ms", 0));
+  const std::string alerts_spec = flags.GetString("alerts", "");
+  const std::string prom_out = flags.GetString("prom_out", "");
+  const std::string ts_out = flags.GetString("ts_out", "");
+  const std::string alert_log = flags.GetString("alert_log", "");
+  const std::string trace_counters = flags.GetString("trace_counters", "");
+  const bool profile = flags.GetBool("profile", false);
+  if (!alerts_spec.empty()) {
+    std::vector<std::string> rule_errors;
+    obs.alert_rules = ParseAlertRules(alerts_spec, &rule_errors);
+    for (const std::string& error : rule_errors) {
+      std::fprintf(stderr, "warning: %s\n", error.c_str());
+    }
+    if (obs.alert_rules.empty()) {
+      std::fprintf(stderr, "no valid --alerts rules\n");
+      return 1;
+    }
+    if (!obs.enabled()) {
+      // Alerts need windows to evaluate; default to 100ms sampling.
+      obs.sample_every = SimTime::FromMillis(100);
+    }
+  }
+
   for (const std::string& unknown : flags.UnqueriedFlags()) {
     std::fprintf(stderr, "warning: unrecognized flag --%s\n",
                  unknown.c_str());
@@ -146,6 +325,11 @@ int Run(int argc, char** argv) {
   if (shards >= 1 && !sweep_csv.empty()) {
     std::fprintf(stderr, "--sweep is not supported with --shards\n");
     return 1;
+  }
+  if (obs.enabled() && !sweep_csv.empty()) {
+    std::fprintf(stderr,
+                 "warning: telemetry flags are ignored with --sweep\n");
+    obs = WorkloadObsConfig();
   }
   if (shards >= 1 && routers > 0) {
     std::fprintf(stderr,
@@ -205,6 +389,8 @@ int Run(int argc, char** argv) {
                 spec.arrival.rate_per_sec, policy_id.c_str(), workers,
                 sharded_config.groups, sharded_config.routers_per_group,
                 shards);
+    sharded_config.obs = obs;
+    sharded_config.profile = profile;
     const ShardedRunResult run = RunShardedWorkload(
         spec, policy, workers, sharded_config, slo, platform_config);
     std::printf("%s\n", SloReportTable(run.report).c_str());
@@ -253,6 +439,14 @@ int Run(int argc, char** argv) {
     json.EndObject();
     json.Key("report");
     AppendSloReportJson(run.report, &json);
+    if (profile) {
+      json.Key("engine_profile");
+      AppendEngineProfileJson(run.profile, &json);
+    }
+    if (!EmitTelemetry(run.telemetry, &run.profile, prom_out, ts_out,
+                       alert_log, trace_counters, &json)) {
+      return 1;
+    }
     json.EndObject();
     if (!WriteTextFile(out_path, json.str())) {
       return 1;
@@ -262,10 +456,12 @@ int Run(int argc, char** argv) {
   }
 
   const auto run_spec = [&](const WorkloadSpec& at_spec) {
+    const WorkloadObsConfig* obs_ptr = obs.enabled() ? &obs : nullptr;
     return routers > 0
                ? RunRouterWorkload(at_spec, policy, workers, tier_config,
-                                   slo, platform_config)
-               : RunWorkload(at_spec, policy, workers, slo, platform_config);
+                                   slo, platform_config, nullptr, obs_ptr)
+               : RunWorkload(at_spec, policy, workers, slo, platform_config,
+                             nullptr, obs_ptr);
   };
 
   if (sweep_csv.empty()) {
@@ -341,6 +537,10 @@ int Run(int argc, char** argv) {
     if (dump_samples) {
       json.Key("samples");
       AppendSamplesJson(run.samples, &json);
+    }
+    if (!EmitTelemetry(run.telemetry, nullptr, prom_out, ts_out, alert_log,
+                       trace_counters, &json)) {
+      return 1;
     }
   } else {
     // Rate step-sweep: fresh platform per rate, max sustainable = highest

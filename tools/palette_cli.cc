@@ -28,13 +28,24 @@
 //                                  crash; spans carry the routing replica
 //                                  and hop/forward events, so misroute
 //                                  correction is visible on the timeline
+//   monitor  --policy=la --workers=8 [--rate=200 --duration=3
+//            --routers=N --sample_every_ms=100 --alerts=<rules>
+//            --deadline_ms=100 --spark_width=48]
+//                                  run an open-loop workload with the
+//                                  telemetry sampler on and render a
+//                                  terminal dashboard: one sparkline row
+//                                  per series (last/min/max/mean) plus the
+//                                  alert log. Default alert: end-to-end
+//                                  p99 > deadline for 3 windows.
 //
 // Examples:
 //   palette_cli dag --pattern=fft --policy=rr --coloring=none --workers=8
 //   palette_cli webapp --policy=la --workers=12 --export=social.csv
 //   palette_cli trace --pattern=fft --policy=la --workers=8 --out=fft.json
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "src/cache/trace_io.h"
 #include "src/common/flags.h"
@@ -57,7 +68,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: palette_cli <policies|route|dag|tpch|webapp|trace> "
+               "usage: palette_cli "
+               "<policies|route|dag|tpch|webapp|trace|monitor> "
                "[--flag=value ...]\n"
                "see the header of tools/palette_cli.cc for full flag "
                "documentation\n");
@@ -410,6 +422,121 @@ int CmdWebapp(const FlagParser& flags) {
   return 0;
 }
 
+// `monitor`: run one telemetry-enabled open-loop workload and render the
+// sampled series as a terminal sparkline dashboard — the interactive face
+// of the pipeline loadgen exports as CSV/Prometheus/trace counters
+// (docs/OBSERVABILITY.md). Series that never move are hidden unless
+// --all is given.
+int CmdMonitor(const FlagParser& flags) {
+  PolicyKind kind;
+  if (!ParsePolicyOrDie(flags, &kind)) {
+    return 2;
+  }
+  WorkloadSpec spec;
+  if (!WorkloadSpecFromFlags(flags, &spec)) {
+    return 2;
+  }
+  SloConfig slo;
+  slo.deadline = SimTime::FromMillis(flags.GetDouble("deadline_ms", 100));
+  const int workers = static_cast<int>(flags.GetInt("workers", 8));
+
+  WorkloadObsConfig obs;
+  const double every_ms = flags.GetDouble("sample_every_ms", 100);
+  obs.sample_every = SimTime::FromMillis(every_ms > 0 ? every_ms : 100);
+  const std::string alert_spec = flags.GetString("alerts", "");
+  if (alert_spec.empty()) {
+    // Default SLO watch: end-to-end p99 above the scoring deadline for
+    // three consecutive windows.
+    AlertRule rule;
+    rule.name = "p99_deadline";
+    rule.series = "faas.latency.end_to_end_ns.p99";
+    rule.threshold = static_cast<double>(slo.deadline.nanos());
+    obs.alert_rules.push_back(rule);
+  } else {
+    std::vector<std::string> errors;
+    obs.alert_rules = ParseAlertRules(alert_spec, &errors);
+    for (const std::string& error : errors) {
+      std::fprintf(stderr, "warning: bad alert rule: %s\n", error.c_str());
+    }
+    if (obs.alert_rules.empty()) {
+      std::fprintf(stderr, "--alerts contained no valid rules\n");
+      return 2;
+    }
+  }
+
+  const PlatformConfig platform_config = DefaultWorkloadPlatformConfig();
+  WorkloadRunResult result;
+  const int routers = static_cast<int>(flags.GetInt("routers", 0));
+  if (routers > 0) {
+    RouterTierConfig tier_config;
+    tier_config.routers = routers;
+    result = RunRouterWorkload(spec, kind, workers, tier_config, slo,
+                               platform_config, nullptr, &obs);
+  } else {
+    result = RunWorkload(spec, kind, workers, slo, platform_config, nullptr,
+                         &obs);
+  }
+  if (!result.telemetry.enabled()) {
+    std::fprintf(stderr, "telemetry did not come up\n");
+    return 1;
+  }
+
+  const TimeSeriesSampler& sampler = *result.telemetry.series;
+  const std::size_t width =
+      static_cast<std::size_t>(flags.GetInt("spark_width", 48));
+  std::printf("%s under %s: %llu windows of %.0f ms, %zu series\n\n",
+              routers > 0 ? "router workload" : "workload",
+              std::string(PolicyKindId(kind)).c_str(),
+              static_cast<unsigned long long>(sampler.samples_taken()),
+              sampler.config().interval.millis(), sampler.series_count());
+
+  // Manual layout (not TablePrinter): the sparkline cells are multi-byte
+  // UTF-8, which byte-counting column padding would misalign.
+  for (const TimeSeries* series : sampler.AllSeries()) {
+    const std::vector<SeriesPoint> points = series->Points();
+    std::vector<double> values;
+    values.reserve(points.size());
+    bool all_zero = true;
+    for (const SeriesPoint& point : points) {
+      values.push_back(point.value);
+      all_zero = all_zero && point.value == 0;
+    }
+    if (all_zero && !flags.Has("all")) {
+      continue;
+    }
+    // Latency quantiles carry nanoseconds; render them as milliseconds.
+    const bool is_ns = series->name().find("_ns.p") != std::string::npos;
+    const auto fmt = [is_ns](double v) {
+      return is_ns ? StrFormat("%.2fms", v / 1e6) : StrFormat("%.4g", v);
+    };
+    std::string spark = Sparkline(values, width);
+    const std::size_t cells = std::min(values.size(), width);
+    spark.append(width > cells ? width - cells : 0, ' ');
+    std::printf("  %-36s %s last=%-10s min=%-10s max=%-10s mean=%s\n",
+                series->name().c_str(), spark.c_str(),
+                fmt(series->last()).c_str(), fmt(series->MinValue()).c_str(),
+                fmt(series->MaxValue()).c_str(),
+                fmt(series->MeanValue()).c_str());
+  }
+
+  if (result.telemetry.alerts != nullptr) {
+    const AlertEngine& alerts = *result.telemetry.alerts;
+    std::printf("\nalerts: %llu fired, %llu cleared\n",
+                static_cast<unsigned long long>(alerts.fired_count()),
+                static_cast<unsigned long long>(alerts.cleared_count()));
+    if (!alerts.log().empty()) {
+      std::printf("%s", alerts.ToLogLines().c_str());
+    }
+    for (const std::string& name : alerts.ActiveAlerts()) {
+      std::printf("still active at end of run: %s\n", name.c_str());
+    }
+  }
+  std::printf("\np99 %.2f ms, goodput %.1f rps, samples digest %016llx\n",
+              result.report.p99_ms, result.report.goodput_rps,
+              static_cast<unsigned long long>(result.samples_digest));
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
@@ -430,6 +557,8 @@ int Main(int argc, char** argv) {
     rc = CmdWebapp(flags);
   } else if (command == "trace") {
     rc = CmdTrace(flags);
+  } else if (command == "monitor") {
+    rc = CmdMonitor(flags);
   } else {
     return Usage();
   }
