@@ -210,6 +210,86 @@ bool RunAlertCell(JsonWriter* json) {
   return ok;
 }
 
+// Planner-under-churn cell (docs/PLANNER.md): Least Assigned with the
+// global re-balancer ticking every 500 ms while the same MTBF schedule
+// crashes and restarts workers. Two movement mechanisms now coexist —
+// reactive failure re-coloring (lb.recolored) and proactive planner moves
+// (lb.planner_moves) — and the split metrics must show both at work
+// without double counting, with the books still closing across
+// plan-applied migrations that race crashes.
+bool RunPlannerChurnCell(const WorkloadSpec& spec, const FaultSchedule& faults,
+                         const SloConfig& slo, const PlatformConfig& config,
+                         JsonWriter* json) {
+  PlannerConfig planner;
+  planner.plan_every = SimTime::FromMillis(500);
+  planner.seed = spec.seed;
+  const WorkloadRunResult run = RunWorkload(
+      spec, PolicyKind::kLeastAssigned, kWorkers, slo, config, &faults,
+      nullptr, &planner);
+  const bool closes =
+      run.platform_submitted == run.platform_completed +
+                                    run.platform_dropped +
+                                    run.platform_abandoned;
+  bool ok = closes;
+  if (!closes) {
+    std::fprintf(stderr, "FAIL: planner churn cell books do not close\n");
+  }
+  if (run.planner_rounds == 0 || run.planner_moves == 0) {
+    std::fprintf(stderr,
+                 "FAIL: planner churn cell: planner idle (rounds=%llu "
+                 "moves=%llu)\n",
+                 (unsigned long long)run.planner_rounds,
+                 (unsigned long long)run.planner_moves);
+    ok = false;
+  }
+  if (run.recolored == 0) {
+    std::fprintf(stderr,
+                 "FAIL: planner churn cell: crashes caused no failure "
+                 "re-coloring\n");
+    ok = false;
+  }
+  std::printf(
+      "planner churn cell: goodput %.1f rps, p99 %.3f ms; failure "
+      "recolored %llu vs\nplanner moves %llu + splits %llu over %llu "
+      "rounds — both mechanisms active,\ncounted separately, books %s\n",
+      run.report.goodput_rps, run.report.p99_ms,
+      (unsigned long long)run.recolored,
+      (unsigned long long)run.planner_moves,
+      (unsigned long long)run.planner_splits,
+      (unsigned long long)run.planner_rounds,
+      closes ? "close" : "VIOLATED");
+  json->Key("planner_churn_cell");
+  json->BeginObject();
+  json->Key("policy");
+  json->String(PolicyKindId(PolicyKind::kLeastAssigned));
+  json->Key("plan_every_ms");
+  json->Double(planner.plan_every.millis());
+  json->Key("goodput_rps");
+  json->Double(run.report.goodput_rps);
+  json->Key("p99_ms");
+  json->Double(run.report.p99_ms);
+  json->Key("recolored");
+  json->UInt(run.recolored);
+  json->Key("planner_rounds");
+  json->UInt(run.planner_rounds);
+  json->Key("planner_moves");
+  json->UInt(run.planner_moves);
+  json->Key("planner_splits");
+  json->UInt(run.planner_splits);
+  json->Key("planner_merges");
+  json->UInt(run.planner_merges);
+  json->Key("planner_moved_bytes");
+  json->UInt(run.planner_moved_bytes);
+  json->Key("books_close");
+  json->Bool(closes);
+  json->Key("samples_digest");
+  json->UInt(run.samples_digest);
+  json->Key("ok");
+  json->Bool(ok);
+  json->EndObject();
+  return ok;
+}
+
 void Run() {
   std::printf("== Extension: goodput + p99 under instance churn ==\n");
   std::printf(
@@ -323,6 +403,21 @@ void Run() {
       json.UInt(run.timeouts);
       json.Key("recolored");
       json.UInt(run.recolored);
+      // No PlannerConfig in these cells, so every re-homing here is
+      // failure re-coloring — the planner counters must stay zero or the
+      // two mechanisms have bled into each other (docs/PLANNER.md).
+      json.Key("planner_moves");
+      json.UInt(run.planner_moves);
+      json.Key("planner_splits");
+      json.UInt(run.planner_splits);
+      if (run.planner_moves != 0 || run.planner_splits != 0 ||
+          run.planner_rounds != 0) {
+        std::fprintf(stderr,
+                     "FAIL: planner counters nonzero without a planner "
+                     "(policy=%s)\n",
+                     std::string(PolicyKindId(policy)).c_str());
+        books_ok = false;
+      }
       json.Key("cold_starts");
       json.UInt(run.cold_starts);
       json.Key("books_close");
@@ -337,6 +432,11 @@ void Run() {
   json.EndArray();
   json.Key("books_close");
   json.Bool(books_ok);
+
+  std::printf("\n== Planner cell: proactive re-balancing under the same "
+              "churn (docs/PLANNER.md) ==\n");
+  const bool planner_ok =
+      RunPlannerChurnCell(spec, faults, slo, retry_config, &json);
 
   std::printf("\n== Alert cell: crash -> FIRE, restart -> CLEAR "
               "(sharded engine, docs/OBSERVABILITY.md) ==\n");
@@ -357,6 +457,10 @@ void Run() {
   }
   std::printf("books close in every cell: submitted = completed + dropped "
               "+ abandoned\n");
+  if (!planner_ok) {
+    std::fprintf(stderr, "FAIL: planner churn cell invariants violated\n");
+    std::exit(1);
+  }
   if (!alerts_ok) {
     std::fprintf(stderr, "FAIL: alert cell invariants violated\n");
     std::exit(1);

@@ -101,6 +101,33 @@ void FaastCache::Invalidate(const std::string& object_name) {
   }
 }
 
+void FaastCache::ForEachObject(
+    const std::string& instance,
+    const std::function<void(const std::string&, Bytes)>& fn) const {
+  const auto it = shards_.find(instance);
+  if (it == shards_.end()) {
+    return;
+  }
+  it->second->ForEach(fn);
+}
+
+std::vector<FaastCache::ResidentObject> FaastCache::PeekKeyObjects(
+    const std::string& instance, std::string_view key) const {
+  std::vector<ResidentObject> objects;
+  ForEachObject(instance, [&](const std::string& name, Bytes size) {
+    if (HashKeyOf(name) == key) {
+      objects.push_back(ResidentObject{name, size});
+    }
+  });
+  return objects;
+}
+
+bool FaastCache::EraseLocal(const std::string& instance,
+                            const std::string& object_name) {
+  const auto it = shards_.find(instance);
+  return it != shards_.end() && it->second->Erase(object_name);
+}
+
 Bytes FaastCache::shard_used_bytes(const std::string& instance) const {
   auto it = shards_.find(instance);
   return it == shards_.end() ? 0 : it->second->used_bytes();

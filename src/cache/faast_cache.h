@@ -15,6 +15,7 @@
 #define PALETTE_SRC_CACHE_FAAST_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -91,6 +92,27 @@ class FaastCache {
 
   // Drops an object everywhere (used by tests and churn experiments).
   void Invalidate(const std::string& object_name);
+
+  // Planner-migration support (docs/PLANNER.md).
+  //
+  // A named object resident in one shard. Objects are reported in the
+  // shard's most- to least-recently-used order.
+  struct ResidentObject {
+    std::string name;
+    Bytes size = 0;
+  };
+  // Visits every object in `instance`'s shard without touching recency or
+  // stats. No-op for unknown instances.
+  void ForEachObject(
+      const std::string& instance,
+      const std::function<void(const std::string&, Bytes)>& fn) const;
+  // Objects in `instance`'s shard whose hashing key equals `key` — i.e. a
+  // color's migratable cache footprint on that instance.
+  std::vector<ResidentObject> PeekKeyObjects(const std::string& instance,
+                                             std::string_view key) const;
+  // Removes one object from `instance`'s shard only (migration source-side
+  // erase; Invalidate drops from every shard). Returns true if present.
+  bool EraseLocal(const std::string& instance, const std::string& object_name);
 
   // Aggregate statistics.
   std::uint64_t local_hits() const { return local_hits_; }

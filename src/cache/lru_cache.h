@@ -57,6 +57,15 @@ class LruCache {
     eviction_hook_ = std::move(hook);
   }
 
+  // Visits every resident (key, size) from most- to least-recently used
+  // without touching recency or stats. Used by the planner's snapshot
+  // collector to size per-color cache footprints.
+  void ForEach(const std::function<void(const std::string&, Bytes)>& fn) const {
+    for (const Entry& entry : lru_) {
+      fn(entry.key, entry.size);
+    }
+  }
+
  private:
   struct Entry {
     std::string key;

@@ -52,6 +52,13 @@ class BoundedLoadPolicy : public PolicyBase {
     return "Palette: CH Bounded Loads";
   }
 
+  // Plan+apply: the sticky table makes CH-BL plannable; planned remaps may
+  // exceed the walk's capacity bound until organic churn restores it.
+  bool supports_planning() const override { return true; }
+  void ApplyPlan(const Plan& plan) override;
+  std::optional<InstanceId> PeekColorId(std::string_view color) const override;
+  void ObserveRoute(std::string_view color, InstanceId instance) override;
+
   std::size_t table_size() const { return table_.size(); }
   std::size_t AssignedCount(const std::string& instance) const;
   // Relative maximum assigned-color load (max/avg); bounded by c_factor
@@ -72,6 +79,7 @@ class BoundedLoadPolicy : public PolicyBase {
   std::size_t CountOf(InstanceId id) const;
   void EvictLru();
   std::size_t CapacityPerInstance() const;
+  void RemapColor(std::string_view color, InstanceId to, bool count_move);
 
   BoundedLoadConfig config_;
   ConsistentHashRing ring_;

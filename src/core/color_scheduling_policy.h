@@ -25,6 +25,7 @@
 #include "src/common/instance_id.h"
 #include "src/common/rng.h"
 #include "src/core/color.h"
+#include "src/core/plan.h"
 
 namespace palette {
 
@@ -54,14 +55,45 @@ class ColorSchedulingPolicy {
   // Human-readable policy name for reports ("Oblivious: Random", ...).
   virtual std::string_view name() const = 0;
 
+  // Plan+apply seam (docs/PLANNER.md). Policies with an explicit color →
+  // instance table accept bulk remaps from the global re-balancer:
+  // ApplyPlan() atomically rewrites the table entries named by the plan's
+  // moves and merges (splits are routed above the policy, by the load
+  // balancer's split table). Ring-derived policies have no table to remap
+  // and ignore plans; supports_planning() tells the planner runtime
+  // whether scheduling rounds against this policy is worthwhile.
+  virtual bool supports_planning() const { return false; }
+  virtual void ApplyPlan(const Plan& plan) { (void)plan; }
+  // Non-mutating view of a color's current mapping, if the policy keeps
+  // one. Unlike RouteColoredId this never creates or refreshes an entry,
+  // so snapshot collection does not disturb the table it observes.
+  virtual std::optional<InstanceId> PeekColorId(std::string_view color) const {
+    (void)color;
+    return std::nullopt;
+  }
+  // Passive learning: a route decided *outside* this policy (by a router
+  // replica's view) landed `color` on `instance`. Table-keeping policies
+  // record the mapping (without counting it as a move) so a platform-side
+  // planner can snapshot real placements even when the platform's own LB
+  // never routes. Default: ignore.
+  virtual void ObserveRoute(std::string_view color, InstanceId instance) {
+    (void)color;
+    (void)instance;
+  }
+
   // Color-to-instance mappings explicitly remapped because their instance
   // left (failure-aware re-coloring; exported as "lb.recolored"). Stateful
   // policies count table entries or bucket moves; stateless ring policies
   // remap implicitly and report 0.
   std::uint64_t recolored() const { return recolored_; }
+  // Table entries remapped by ApplyPlan (planned migration; exported as
+  // "lb.planner_moves"). Kept separate from recolored_ so failure-driven
+  // re-coloring and planner-driven movement stay distinguishable.
+  std::uint64_t planner_moves() const { return planner_moves_; }
 
  protected:
   std::uint64_t recolored_ = 0;
+  std::uint64_t planner_moves_ = 0;
 };
 
 // Shared instance bookkeeping for concrete policies: a name-sorted instance

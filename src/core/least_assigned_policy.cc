@@ -71,6 +71,69 @@ void LeastAssignedPolicy::OnInstanceRemoved(const std::string& instance) {
   }
 }
 
+void LeastAssignedPolicy::RemapColor(std::string_view color, InstanceId to,
+                                     bool count_move) {
+  // Only remap onto live members — a plan computed against a snapshot may
+  // race a crash; the stale entry is then left for failure re-coloring.
+  if (assigned_counts_.find(to) == assigned_counts_.end()) {
+    return;
+  }
+  const std::string_view key = color.substr(0, config_.max_color_bytes);
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    if (it->second->instance == to) {
+      return;
+    }
+    auto old_it = assigned_counts_.find(it->second->instance);
+    if (old_it != assigned_counts_.end() && old_it->second > 0) {
+      --old_it->second;
+    }
+    it->second->instance = to;
+  } else {
+    if (table_.size() >= config_.table_capacity) {
+      EvictLru();
+    }
+    lru_.push_front(Entry{std::string(key), to});
+    table_.emplace(lru_.front().color, lru_.begin());
+  }
+  ++assigned_counts_[to];
+  if (count_move) {
+    ++planner_moves_;
+  }
+}
+
+void LeastAssignedPolicy::ApplyPlan(const Plan& plan) {
+  // Fixed order (plan.h): merges, then moves, then split primaries. The
+  // policy keeps the single-instance view; the load balancer's split table
+  // fans the split colors out above us.
+  for (const PlanMerge& merge : plan.merges) {
+    RemapColor(merge.color, merge.to, /*count_move=*/true);
+  }
+  for (const PlanMove& move : plan.moves) {
+    RemapColor(move.color, move.to, /*count_move=*/true);
+  }
+  for (const PlanSplit& split : plan.splits) {
+    if (!split.instances.empty()) {
+      RemapColor(split.color, split.instances.front(), /*count_move=*/false);
+    }
+  }
+}
+
+void LeastAssignedPolicy::ObserveRoute(std::string_view color,
+                                       InstanceId instance) {
+  RemapColor(color, instance, /*count_move=*/false);
+}
+
+std::optional<InstanceId> LeastAssignedPolicy::PeekColorId(
+    std::string_view color) const {
+  const std::string_view key = color.substr(0, config_.max_color_bytes);
+  const auto it = table_.find(key);
+  if (it == table_.end() || it->second->instance == kInvalidInstanceId) {
+    return std::nullopt;
+  }
+  return it->second->instance;
+}
+
 std::size_t LeastAssignedPolicy::CountOf(InstanceId id) const {
   const auto it = assigned_counts_.find(id);
   return it == assigned_counts_.end() ? 0 : it->second;

@@ -44,6 +44,12 @@ class LeastAssignedPolicy : public PolicyBase {
   std::size_t StateBytes() const override;
   std::string_view name() const override { return "Palette: Least Assigned"; }
 
+  // Plan+apply: the explicit color table makes LA fully plannable.
+  bool supports_planning() const override { return true; }
+  void ApplyPlan(const Plan& plan) override;
+  std::optional<InstanceId> PeekColorId(std::string_view color) const override;
+  void ObserveRoute(std::string_view color, InstanceId instance) override;
+
   std::size_t table_size() const { return table_.size(); }
   std::uint64_t evictions() const { return evictions_; }
   // Number of colors currently assigned to `instance`.
@@ -63,6 +69,9 @@ class LeastAssignedPolicy : public PolicyBase {
   std::optional<InstanceId> LeastLoadedInstance() const;
   std::size_t CountOf(InstanceId id) const;
   void EvictLru();
+  // Rewrites (or inserts) `color`'s table entry to point at `to`; counts
+  // toward planner_moves_ only when `count_move` (split primaries do not).
+  void RemapColor(std::string_view color, InstanceId to, bool count_move);
 
   LeastAssignedConfig config_;
   List lru_;  // front = most recently used

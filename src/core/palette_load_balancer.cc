@@ -15,9 +15,17 @@ PaletteLoadBalancer::PaletteLoadBalancer(
 
 std::optional<InstanceId> PaletteLoadBalancer::RouteId(
     const std::optional<Color>& color) {
-  std::optional<InstanceId> instance =
-      color.has_value() ? policy_->RouteColoredId(*color)
-                        : policy_->RouteUncoloredId();
+  std::optional<InstanceId> instance;
+  if (color.has_value() && !splits_.empty()) {
+    const auto split_it = splits_.find(TruncateColor(*color));
+    if (split_it != splits_.end()) {
+      instance = PickSplitMember(split_it->second);
+    }
+  }
+  if (!instance.has_value()) {
+    instance = color.has_value() ? policy_->RouteColoredId(*color)
+                                 : policy_->RouteUncoloredId();
+  }
   if (instance.has_value()) {
     ++total_routed_;
     if (color.has_value()) {
@@ -77,11 +85,39 @@ void PaletteLoadBalancer::RemoveInstance(const std::string& instance) {
   }
   instance_ids_.erase(instance_ids_.begin() + index);
   instances_.erase(it);
+  // Prune the departed instance from split replica sets; a split that
+  // loses all members collapses back to plain policy routing.
+  for (auto split_it = splits_.begin(); split_it != splits_.end();) {
+    SplitEntry& entry = split_it->second;
+    for (std::size_t i = 0; i < entry.instances.size();) {
+      if (entry.instances[i] == id) {
+        entry.total_weight -= entry.weights[i];
+        entry.instances.erase(entry.instances.begin() + i);
+        entry.weights.erase(entry.weights.begin() + i);
+      } else {
+        ++i;
+      }
+    }
+    if (entry.instances.empty()) {
+      split_it = splits_.erase(split_it);
+    } else {
+      ++split_it;
+    }
+  }
   policy_->OnInstanceRemoved(instance);
 }
 
 std::optional<InstanceId> PaletteLoadBalancer::ResolveColorId(
     const Color& color) {
+  if (!splits_.empty()) {
+    // Object names of a split color translate to the primary (first,
+    // heaviest-weighted) member, so the color's cached objects stay
+    // findable at one home while routes fan out.
+    const auto split_it = splits_.find(TruncateColor(color));
+    if (split_it != splits_.end()) {
+      return split_it->second.instances.front();
+    }
+  }
   return policy_->RouteColoredId(color);
 }
 
@@ -122,6 +158,95 @@ std::uint64_t PaletteLoadBalancer::RoutedToId(InstanceId id) const {
 std::uint64_t PaletteLoadBalancer::RoutedTo(const std::string& instance) const {
   const auto id = InstanceRegistry::Global().Find(instance);
   return id.has_value() ? RoutedToId(*id) : 0;
+}
+
+InstanceId PaletteLoadBalancer::PickSplitMember(SplitEntry& entry) {
+  assert(!entry.instances.empty());
+  assert(entry.total_weight > 0);
+  std::uint64_t slot = entry.cursor++ % entry.total_weight;
+  for (std::size_t i = 0; i < entry.weights.size(); ++i) {
+    if (slot < entry.weights[i]) {
+      return entry.instances[i];
+    }
+    slot -= entry.weights[i];
+  }
+  return entry.instances.back();  // Unreachable with consistent weights.
+}
+
+void PaletteLoadBalancer::ApplyPlan(const Plan& plan) {
+  // The policy sees the whole plan first: it re-homes moved and merged
+  // colors and points split colors at their primary, so its table stays a
+  // valid single-instance view underneath the split fan-out.
+  policy_->ApplyPlan(plan);
+  for (const PlanMerge& merge : plan.merges) {
+    const auto split_it = splits_.find(TruncateColor(merge.color));
+    if (split_it != splits_.end()) {
+      splits_.erase(split_it);
+      ++planner_merges_;
+    }
+  }
+  for (const PlanSplit& split : plan.splits) {
+    if (split.instances.empty() ||
+        split.instances.size() != split.weights.size()) {
+      continue;
+    }
+    // Keep only members that are still registered — a plan may race a
+    // crash between snapshot and apply.
+    SplitEntry entry;
+    for (std::size_t i = 0; i < split.instances.size(); ++i) {
+      if (std::find(instance_ids_.begin(), instance_ids_.end(),
+                    split.instances[i]) == instance_ids_.end()) {
+        continue;
+      }
+      entry.instances.push_back(split.instances[i]);
+      const std::uint32_t weight = split.weights[i] > 0 ? split.weights[i] : 1;
+      entry.weights.push_back(weight);
+      entry.total_weight += weight;
+    }
+    if (entry.instances.size() < 2) {
+      // Nothing left to fan out across; drop any stale split instead.
+      const auto stale_it = splits_.find(TruncateColor(split.color));
+      if (stale_it != splits_.end()) {
+        splits_.erase(stale_it);
+      }
+      continue;
+    }
+    splits_[std::string(TruncateColor(split.color))] = std::move(entry);
+    ++planner_splits_;
+  }
+}
+
+void PaletteLoadBalancer::NoteExternalRoute(const Color& color,
+                                            InstanceId instance) {
+  if (!color_stats_enabled_) {
+    return;
+  }
+  ++color_counts_[color];
+  policy_->ObserveRoute(color, instance);
+}
+
+std::optional<InstanceId> PaletteLoadBalancer::PeekColorId(
+    std::string_view color) const {
+  if (!splits_.empty()) {
+    const auto split_it = splits_.find(TruncateColor(color));
+    if (split_it != splits_.end()) {
+      return split_it->second.instances.front();
+    }
+  }
+  return policy_->PeekColorId(color);
+}
+
+bool PaletteLoadBalancer::IsSplit(std::string_view color) const {
+  return splits_.find(TruncateColor(color)) != splits_.end();
+}
+
+std::vector<InstanceId> PaletteLoadBalancer::SplitMembers(
+    std::string_view color) const {
+  const auto split_it = splits_.find(TruncateColor(color));
+  if (split_it == splits_.end()) {
+    return {};
+  }
+  return split_it->second.instances;
 }
 
 double PaletteLoadBalancer::RoutingImbalance() const {

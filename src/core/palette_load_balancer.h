@@ -16,12 +16,15 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/instance_id.h"
+#include "src/common/string_hash.h"
 #include "src/core/color.h"
 #include "src/core/color_scheduling_policy.h"
+#include "src/core/plan.h"
 
 namespace palette {
 
@@ -75,6 +78,35 @@ class PaletteLoadBalancer {
   // routing into a dead one.
   std::uint64_t recolored() const { return policy_->recolored(); }
 
+  // Plan+apply (docs/PLANNER.md). Moves and merges rewrite the policy's
+  // color table; splits are intercepted here: a split color's routes fan
+  // out across a weighted replica set before the policy is consulted, so
+  // splitting works for any planning-capable policy. Entries are applied
+  // in the plan's fixed (color-sorted) order: merges, moves, splits.
+  void ApplyPlan(const Plan& plan);
+  bool supports_planning() const { return policy_->supports_planning(); }
+
+  // Planned-migration counters, kept separate from recolored() so
+  // failure-driven and planner-driven movement stay distinguishable
+  // ("lb.planner_moves" / "lb.planner_splits" in metrics).
+  std::uint64_t planner_moves() const { return policy_->planner_moves(); }
+  std::uint64_t planner_splits() const { return planner_splits_; }
+  std::uint64_t planner_merges() const { return planner_merges_; }
+
+  // Passive learning for externally routed traffic (docs/PLANNER.md): a
+  // route decided by a router replica's view landed `color` on `instance`.
+  // Records the per-color count and teaches the policy's table the real
+  // placement so a platform-side planner can snapshot it. No-op unless
+  // color stats are enabled (the planner runtime enables them).
+  void NoteExternalRoute(const Color& color, InstanceId instance);
+
+  // Snapshot-side views (non-mutating; planner collector).
+  std::optional<InstanceId> PeekColorId(std::string_view color) const;
+  std::size_t split_count() const { return splits_.size(); }
+  bool IsSplit(std::string_view color) const;
+  // Current replica set of a split color (empty when not split).
+  std::vector<InstanceId> SplitMembers(std::string_view color) const;
+
   // Opt-in per-color invocation counts. Off by default: the per-route
   // string map insert is exactly the cost the interned hot path removed,
   // so only tracing/debugging sessions should turn it on.
@@ -87,6 +119,18 @@ class PaletteLoadBalancer {
   }
 
  private:
+  // A hot color sharded across a weighted replica set. Routing walks the
+  // weights with a deterministic cursor: over any total_weight consecutive
+  // routes each member receives exactly its weight's share.
+  struct SplitEntry {
+    std::vector<InstanceId> instances;
+    std::vector<std::uint32_t> weights;  // parallel; each >= 1
+    std::uint64_t cursor = 0;
+    std::uint64_t total_weight = 0;
+  };
+
+  InstanceId PickSplitMember(SplitEntry& entry);
+
   std::unique_ptr<ColorSchedulingPolicy> policy_;
   std::vector<std::string> instances_;       // name-sorted
   std::vector<InstanceId> instance_ids_;     // parallel to instances_
@@ -99,6 +143,13 @@ class PaletteLoadBalancer {
   std::uint64_t hint_failures_ = 0;
   bool color_stats_enabled_ = false;
   std::unordered_map<std::string, std::uint64_t> color_counts_;
+  // Split table, keyed by truncated color. Checked before the policy on
+  // every colored route; empty unless a planner installed splits.
+  std::unordered_map<std::string, SplitEntry, TransparentStringHash,
+                     std::equal_to<>>
+      splits_;
+  std::uint64_t planner_splits_ = 0;
+  std::uint64_t planner_merges_ = 0;
 };
 
 }  // namespace palette

@@ -1,0 +1,78 @@
+// Rebalance plan: the unit of the plan+apply policy API (docs/PLANNER.md).
+//
+// The paper's policies place a color once, at first sight, and only remap it
+// when its instance fails. A Plan is the proactive counterpart: a batch of
+// placement changes computed by the global re-balancer (src/planner) from a
+// cluster snapshot and applied atomically — the policy remaps its color
+// table in one step instead of drifting one route at a time.
+//
+// Three change kinds:
+//   * move  — re-home a (single-instance) color to another instance;
+//   * split — shard a hot color across a weighted replica set, so no one
+//     instance absorbs more than its weight's share of the color's traffic;
+//   * merge — collapse a previously split color back to one instance once
+//     it has cooled (locality is restored at the cost of one migration).
+//
+// The type lives in src/core because applying a plan is part of the policy
+// API (ColorSchedulingPolicy::ApplyPlan); the snapshot collector and solver
+// that *produce* plans live above the platform in src/planner.
+#ifndef PALETTE_SRC_CORE_PLAN_H_
+#define PALETTE_SRC_CORE_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/instance_id.h"
+#include "src/common/types.h"
+#include "src/core/color.h"
+
+namespace palette {
+
+// Re-home `color` from `from` to `to`. `from` is informational (the
+// placement the solver saw); appliers treat the live table as authoritative
+// and only use `from` to locate migratable cached bytes.
+struct PlanMove {
+  Color color;
+  InstanceId from = kInvalidInstanceId;
+  InstanceId to = kInvalidInstanceId;
+};
+
+// Shard `color` across `instances` with per-member `weights` (parallel
+// vectors; each weight >= 1). Routing interleaves members proportionally to
+// weight with a deterministic cursor, so a weight-2 member receives twice a
+// weight-1 member's share of the color's invocations.
+struct PlanSplit {
+  Color color;
+  std::vector<InstanceId> instances;
+  std::vector<std::uint32_t> weights;
+};
+
+// Collapse a previously split `color` back to the single instance `to`.
+struct PlanMerge {
+  Color color;
+  InstanceId to = kInvalidInstanceId;
+};
+
+// One planning round's output. Entries are sorted by color within each
+// kind, and appliers process merges, then moves, then splits — a fixed
+// order on both counts, so every replica of the load-balancer state that
+// replays the same plan converges to the same tables.
+struct Plan {
+  std::uint64_t round = 0;
+  SimTime computed_at;
+  // Solver objective (load imbalance + movement cost; docs/PLANNER.md)
+  // evaluated on the snapshot before and after the plan's changes. The
+  // solver only emits plans with objective_after <= objective_before.
+  double objective_before = 0;
+  double objective_after = 0;
+  std::vector<PlanMove> moves;
+  std::vector<PlanSplit> splits;
+  std::vector<PlanMerge> merges;
+
+  bool empty() const { return moves.empty() && splits.empty() && merges.empty(); }
+  std::size_t size() const { return moves.size() + splits.size() + merges.size(); }
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_CORE_PLAN_H_

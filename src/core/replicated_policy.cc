@@ -24,17 +24,9 @@ bool ReplicatedColorPolicy::IsHot(std::string_view color) const {
   if (!config_.adaptive) {
     return true;
   }
-  if (window_total_ == 0) {
-    return false;
-  }
   const std::string_view key = color.substr(0, config_.max_color_bytes);
   const auto it = table_.find(key);
-  if (it == table_.end()) {
-    return false;
-  }
-  const double share = static_cast<double>(it->second->count) /
-                       static_cast<double>(window_total_);
-  return share > config_.hot_share_threshold;
+  return it != table_.end() && it->second->hot;
 }
 
 void ReplicatedColorPolicy::MaybeDecay() {
@@ -73,6 +65,20 @@ std::optional<InstanceId> ReplicatedColorPolicy::RouteColoredId(
   ++it->second->count;
   ++window_total_;
   MaybeDecay();
+
+  if (config_.adaptive && window_total_ > 0) {
+    // Hysteresis: enter hot at share > θ, exit only below θ/2. Decay
+    // halves every count and the window total together, so decay alone
+    // never flips the state — only a real share change does.
+    const double share = static_cast<double>(it->second->count) /
+                         static_cast<double>(window_total_);
+    if (!it->second->hot && share > config_.hot_share_threshold) {
+      it->second->hot = true;
+    } else if (it->second->hot &&
+               share < config_.hot_share_threshold / 2) {
+      it->second->hot = false;
+    }
+  }
 
   // Hot colors spread over the full replica set; cold ones keep one
   // instance (full locality). Non-adaptive mode treats everything as hot.

@@ -36,11 +36,13 @@ struct ReplicatedColorConfig {
   // Per-color round-robin cursors live in an LRU-capped table.
   std::size_t table_capacity = kDefaultColorTableCapacity;
   std::size_t max_color_bytes = kMaxColorBytes;
-  // Adaptive mode: replicate only *hot* colors. A color uses the full
-  // replica set only while its share of recent requests exceeds
-  // hot_share_threshold; everything else keeps one instance (full
-  // locality). Counts decay by halving every decay_interval routes, so a
-  // cooled-off color collapses back to one instance.
+  // Adaptive mode: replicate only *hot* colors. A color enters the hot
+  // state when its share of recent requests exceeds hot_share_threshold
+  // and leaves it only once the share drops below half the threshold
+  // (hysteresis: a color oscillating around θ would otherwise flap its
+  // replica set — and its cached state — every window). Counts decay by
+  // halving every decay_interval routes, so a cooled-off color collapses
+  // back to one instance.
   bool adaptive = false;
   double hot_share_threshold = 0.05;
   std::uint64_t decay_interval = 16384;
@@ -71,6 +73,7 @@ class ReplicatedColorPolicy : public PolicyBase {
     std::string color;
     std::uint32_t cursor = 0;
     std::uint64_t count = 0;  // decayed request count (adaptive mode)
+    bool hot = false;         // hysteresis state: enter at θ, exit at θ/2
   };
   using List = std::list<Entry>;
 

@@ -186,6 +186,12 @@ void FaasPlatform::DispatchTo(const AttemptPtr& attempt, InstanceId target) {
     HandleFailure(attempt, FailureReason::kWorkerLost);
     return;
   }
+  if (attempt->route != nullptr && attempt->spec->color.has_value()) {
+    // Externally routed (tier) traffic never touches lb_.RouteId, so the
+    // platform-side planner's snapshots would see nothing. Teach the LB the
+    // placement passively (no-op unless color stats are on).
+    lb_.NoteExternalRoute(*attempt->spec->color, target);
+  }
   Worker& worker = *worker_it->second;
   SimTime dispatch_done =
       sim_->Now() + config_.dispatch_latency + attempt->route_hop;
@@ -577,6 +583,71 @@ std::uint64_t FaasPlatform::WorkerColdStarts(const std::string& name) const {
   return it != workers_.end() ? it->second->cold_starts : 0;
 }
 
+void FaasPlatform::ApplyPlan(const Plan& plan) {
+  ++planner_rounds_;
+  last_plan_objective_ = plan.objective_after;
+
+  // Charge migration costs against the PRE-apply placement (that is where
+  // the moved colors' cached bytes actually sit), then remap the tables.
+  // Merges migrate like moves: the color's footprint follows it back to
+  // its single home.
+  struct Migration {
+    const Color* color;
+    InstanceId to;
+  };
+  std::vector<Migration> migrations;
+  migrations.reserve(plan.merges.size() + plan.moves.size());
+  for (const PlanMerge& merge : plan.merges) {
+    migrations.push_back(Migration{&merge.color, merge.to});
+  }
+  for (const PlanMove& move : plan.moves) {
+    migrations.push_back(Migration{&move.color, move.to});
+  }
+  for (const Migration& migration : migrations) {
+    if (!HasWorkerId(migration.to)) {
+      continue;  // Plan raced a crash; the LB skips the remap too.
+    }
+    const auto src = lb_.PeekColorId(*migration.color);
+    if (!src.has_value() || *src == migration.to) {
+      continue;  // Nothing placed yet, or a no-op move: no bytes to haul.
+    }
+    const std::string& src_name = InstanceName(*src);
+    const std::string& dst_name = InstanceName(migration.to);
+    auto batch = std::make_shared<std::vector<FaastCache::ResidentObject>>(
+        cache_.PeekKeyObjects(src_name, *migration.color));
+    if (batch->empty()) {
+      continue;
+    }
+    SimTime landed = sim_->Now();
+    for (const FaastCache::ResidentObject& object : *batch) {
+      cache_.EraseLocal(src_name, object.name);
+      const SimTime done =
+          network_ptr_->Transfer(src_name, dst_name, object.size);
+      planner_moved_bytes_ += object.size;
+      if (done > landed) {
+        landed = done;
+      }
+    }
+    // The batch lands at the destination when its slowest transfer
+    // completes; until then routed traffic misses there (cold-ish hits).
+    const InstanceId dst_id = migration.to;
+    sim_->At(landed, [this, dst_id, batch]() {
+      if (!HasWorkerId(dst_id)) {
+        return;  // Destination died mid-flight; the bytes are lost.
+      }
+      const std::string& name = InstanceName(dst_id);
+      for (const FaastCache::ResidentObject& object : *batch) {
+        cache_.PutLocal(name, object.name, object.size);
+      }
+    });
+  }
+
+  lb_.ApplyPlan(plan);
+  if (plan_listener_) {
+    plan_listener_(plan);
+  }
+}
+
 void FaasPlatform::ExportMetrics(MetricsRegistry* metrics,
                                  const std::string& prefix,
                                  bool per_worker) const {
@@ -600,6 +671,14 @@ void FaasPlatform::ExportMetrics(MetricsRegistry* metrics,
   counter("lb.unhinted").Set(lb_.unhinted_routed());
   counter("lb.hint_failures").Set(lb_.hint_failures());
   counter("lb.recolored").Set(lb_.recolored());
+  // Planned migration, kept separate from failure-driven re-coloring
+  // (lb.recolored) so alert rules can tell them apart.
+  counter("lb.planner_moves").Set(lb_.planner_moves());
+  counter("lb.planner_splits").Set(lb_.planner_splits());
+  counter("planner.rounds").Set(planner_rounds_);
+  counter("planner.merges").Set(lb_.planner_merges());
+  counter("planner.moved_bytes").Set(planner_moved_bytes_);
+  gauge("planner.objective").SetAt(last_plan_objective_, sim_->Now());
   gauge("lb.routing_imbalance").SetAt(lb_.RoutingImbalance(), sim_->Now());
   gauge("lb.color_table_bytes")
       .SetAt(static_cast<double>(lb_.policy().StateBytes()), sim_->Now());

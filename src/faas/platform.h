@@ -175,6 +175,28 @@ class FaasPlatform {
     membership_listener_ = std::move(listener);
   }
 
+  // Plan+apply (docs/PLANNER.md): applies a re-balancer plan to the load
+  // balancer AND charges each move's migration cost — the moved color's
+  // cached objects leave the source shard immediately, their bytes cross
+  // the network, and they land in the destination shard only when the
+  // transfer completes (routed traffic arriving before then takes cold-ish
+  // misses on the new instance). Split colors migrate nothing: non-primary
+  // members warm organically, which is the locality-diffusion cost.
+  void ApplyPlan(const Plan& plan);
+
+  // Fired after a plan has been applied locally (the router tier replays
+  // plans to its replica LB views through this). Same lifetime contract as
+  // the membership listener.
+  using PlanListener = std::function<void(const Plan&)>;
+  void set_plan_listener(PlanListener listener) {
+    plan_listener_ = std::move(listener);
+  }
+
+  // Planner bookkeeping ("planner.*" metrics).
+  std::uint64_t planner_rounds() const { return planner_rounds_; }
+  Bytes planner_moved_bytes() const { return planner_moved_bytes_; }
+  double last_plan_objective() const { return last_plan_objective_; }
+
   // Sharded-engine seam (docs/PERF.md, "Parallel engine"): when attached,
   // completions of invocations whose spec carries an origin_domain other
   // than config().domain are delivered through `scheduler` to that domain,
@@ -197,6 +219,7 @@ class FaasPlatform {
   void SeedStorageObject(const std::string& name, Bytes size);
 
   PaletteLoadBalancer& load_balancer() { return lb_; }
+  const PaletteLoadBalancer& load_balancer() const { return lb_; }
   FaastCache& cache() { return cache_; }
   Network& network() { return *network_ptr_; }
   Simulator& simulator() { return *sim_; }
@@ -342,6 +365,10 @@ class FaasPlatform {
   // stay bit-reproducible.
   Rng retry_rng_;
   MembershipListener membership_listener_;
+  PlanListener plan_listener_;
+  std::uint64_t planner_rounds_ = 0;
+  Bytes planner_moved_bytes_ = 0;
+  double last_plan_objective_ = 0;
   // Sharded-engine seam; null = monolithic (completions run inline).
   EventScheduler* cross_scheduler_ = nullptr;
   SimTime cross_return_hop_;

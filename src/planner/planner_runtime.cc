@@ -1,0 +1,37 @@
+#include "src/planner/planner_runtime.h"
+
+#include "src/faas/platform.h"
+
+namespace palette {
+
+void PlannerRuntime::Start(SimTime horizon) {
+  if (started_ || !config_.enabled()) {
+    return;
+  }
+  if (!platform_->load_balancer().supports_planning()) {
+    return;  // Ring-derived policies have no table to remap.
+  }
+  started_ = true;
+  // Per-color counters feed the snapshot's load EWMAs; the planner is the
+  // one consumer that justifies their per-route cost.
+  platform_->load_balancer().set_color_stats_enabled(true);
+  for (SimTime t = config_.plan_every; t < horizon; t += config_.plan_every) {
+    platform_->simulator().At(t, [this]() { Tick(); });
+  }
+}
+
+void PlannerRuntime::Tick() {
+  const PlacementSnapshot snapshot = collector_.Collect(*platform_);
+  Plan plan = planner_.Solve(snapshot);
+  plan.round = ++round_;
+  rounds_.push_back(PlanRound{plan.round, snapshot.taken,
+                              plan.objective_before, plan.objective_after,
+                              plan.moves.size(), plan.splits.size(),
+                              plan.merges.size()});
+  // Empty plans are applied too: the platform's round counter and
+  // objective gauge advance every round, so "planner.objective" tracks the
+  // cluster even when nothing needs to change.
+  platform_->ApplyPlan(plan);
+}
+
+}  // namespace palette

@@ -1,0 +1,67 @@
+// Planner runtime: drives snapshot -> solve -> apply on the sim clock.
+//
+// Ticks fire every PlannerConfig::plan_every, scheduled up front for every
+// mark strictly below the workload horizon — bounded, so the simulator
+// still drains (an unbounded re-arming timer would keep the event queue
+// non-empty forever). In sharded runs each event-core group owns one
+// runtime on its domain simulator; tick times depend only on the config,
+// never on shard count, which keeps digests bit-identical across --shards.
+#ifndef PALETTE_SRC_PLANNER_PLANNER_RUNTIME_H_
+#define PALETTE_SRC_PLANNER_PLANNER_RUNTIME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/planner/rebalance_planner.h"
+#include "src/planner/snapshot.h"
+
+namespace palette {
+
+class FaasPlatform;
+
+// One planning round's bookkeeping (exported through WorkloadRunResult and
+// the loadgen JSON "planner" section).
+struct PlanRound {
+  std::uint64_t round = 0;
+  SimTime at;
+  double objective_before = 0;
+  double objective_after = 0;
+  std::size_t moves = 0;
+  std::size_t splits = 0;
+  std::size_t merges = 0;
+};
+
+class PlannerRuntime {
+ public:
+  // `platform` must outlive the runtime.
+  PlannerRuntime(FaasPlatform* platform, PlannerConfig config)
+      : platform_(platform),
+        config_(config),
+        collector_(config.ewma_beta),
+        planner_(config) {}
+
+  // Enables the LB's per-color counters and schedules ticks at
+  // plan_every, 2*plan_every, ... < horizon. No-op when the config is
+  // disabled or the policy cannot apply plans (supports_planning false).
+  void Start(SimTime horizon);
+
+  const std::vector<PlanRound>& rounds() const { return rounds_; }
+  std::uint64_t rounds_completed() const { return rounds_.size(); }
+  const PlannerConfig& config() const { return config_; }
+
+ private:
+  void Tick();
+
+  FaasPlatform* platform_;
+  PlannerConfig config_;
+  SnapshotCollector collector_;
+  RebalancePlanner planner_;
+  std::vector<PlanRound> rounds_;
+  std::uint64_t round_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_PLANNER_PLANNER_RUNTIME_H_

@@ -1,0 +1,74 @@
+// Global re-balancer: deterministic optimization-based placement
+// (docs/PLANNER.md; ROADMAP "periodic optimization-based re-balancer").
+//
+// The solver minimizes an ILP-shaped objective over color placements
+//
+//     f(assignment) = max_load / mean_load  +  alpha * moved_bytes / total_bytes
+//
+// where loads are per-instance sums of color load EWMAs and moved_bytes is
+// the cache footprint of every color whose primary home changes. It uses no
+// external solver: a greedy slot construction seeds a steepest-descent
+// reassignment pass, followed by a seeded random swap phase to escape local
+// minima. All iteration orders are canonical (snapshot order) and the only
+// randomness comes from the configured seed, so the same snapshot and seed
+// always yield the same plan — the property the sharded engine's digest
+// equality rests on.
+//
+// Hot-color splitting: a color whose load share exceeds split_threshold is
+// sharded across k = ceil(share / split_threshold) instances (capped at
+// max_split and the member count), so no instance absorbs more than about
+// one threshold's worth of a viral color. Splits persist while the share
+// stays above split_threshold / 2 (hysteresis) and merge back afterwards.
+#ifndef PALETTE_SRC_PLANNER_REBALANCE_PLANNER_H_
+#define PALETTE_SRC_PLANNER_REBALANCE_PLANNER_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/core/plan.h"
+#include "src/planner/snapshot.h"
+
+namespace palette {
+
+struct PlannerConfig {
+  // Planning cadence on the sim clock; zero disables the planner.
+  SimTime plan_every = SimTime::FromMillis(500);
+  // Movement-cost weight alpha. 0 re-balances regardless of how many bytes
+  // must move; large values effectively freeze placement.
+  double move_alpha = 0.5;
+  // Load share above which a color is split (enter threshold; splits exit
+  // below half of it).
+  double split_threshold = 0.2;
+  // Maximum replica-set width for a split color.
+  int max_split = 4;
+  // Cap on moves emitted per plan; the highest-load movable colors win.
+  std::size_t max_moves = 64;
+  // Snapshot EWMA smoothing (weight of the newest window).
+  double ewma_beta = 0.5;
+  // Seed for the swap phase's perturbation stream.
+  std::uint64_t seed = 1;
+  // Steepest-descent sweeps and random swap attempts per Solve.
+  int swap_rounds = 64;
+
+  bool enabled() const { return plan_every.nanos() > 0; }
+};
+
+class RebalancePlanner {
+ public:
+  explicit RebalancePlanner(PlannerConfig config) : config_(config) {}
+
+  // Computes a plan for `snapshot`. Pure function of (snapshot, config):
+  // repeated calls with equal inputs return identical plans. The returned
+  // plan is empty (objectives still filled in) whenever no change improves
+  // the objective.
+  Plan Solve(const PlacementSnapshot& snapshot) const;
+
+  const PlannerConfig& config() const { return config_; }
+
+ private:
+  PlannerConfig config_;
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_PLANNER_REBALANCE_PLANNER_H_

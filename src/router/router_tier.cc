@@ -60,9 +60,14 @@ RouterTier::RouterTier(FaasPlatform* platform, RouterTierConfig config)
       [this](FaasPlatform::MembershipEvent event, const std::string& worker) {
         OnMembershipEvent(event, worker);
       });
+  platform_->set_plan_listener(
+      [this](const Plan& plan) { OnPlanApplied(plan); });
 }
 
-RouterTier::~RouterTier() { platform_->set_membership_listener({}); }
+RouterTier::~RouterTier() {
+  platform_->set_membership_listener({});
+  platform_->set_plan_listener({});
+}
 
 std::optional<std::uint64_t> RouterTier::Invoke(
     InvocationSpec spec, FaasPlatform::CompletionCallback cb) {
@@ -75,8 +80,18 @@ std::optional<std::uint64_t> RouterTier::Invoke(
 
 void RouterTier::OnMembershipEvent(FaasPlatform::MembershipEvent event,
                                    const std::string& worker) {
-  log_.push_back(MembershipUpdate{event, worker});
-  const std::uint64_t seq = ++latest_seq_;
+  log_.push_back(MembershipUpdate{event, worker, nullptr});
+  BroadcastThrough(++latest_seq_);
+}
+
+void RouterTier::OnPlanApplied(const Plan& plan) {
+  log_.push_back(MembershipUpdate{FaasPlatform::MembershipEvent::kAdded,
+                                  std::string(),
+                                  std::make_shared<const Plan>(plan)});
+  BroadcastThrough(++latest_seq_);
+}
+
+void RouterTier::BroadcastThrough(std::uint64_t seq) {
   if (config_.sync_lag <= SimTime()) {
     for (const auto& router : routers_) {
       if (router->up) {
@@ -103,7 +118,11 @@ void RouterTier::OnMembershipEvent(FaasPlatform::MembershipEvent event,
 void RouterTier::ApplyThrough(Router* router, std::uint64_t seq) {
   while (router->applied_seq < seq) {
     const MembershipUpdate& update = log_[router->applied_seq++];
-    if (update.event == FaasPlatform::MembershipEvent::kAdded) {
+    if (update.plan != nullptr) {
+      // Planner replay: the replica's view applies the same plan the
+      // platform's LB did, converging its color table (and split table).
+      router->lb.ApplyPlan(*update.plan);
+    } else if (update.event == FaasPlatform::MembershipEvent::kAdded) {
       router->lb.AddInstance(update.worker);
     } else {
       // Per-view failure-aware re-coloring: the replica's own policy
@@ -223,6 +242,14 @@ std::uint64_t RouterTier::recolored() const {
   return total;
 }
 
+std::uint64_t RouterTier::planner_moves() const {
+  std::uint64_t total = 0;
+  for (const auto& router : routers_) {
+    total += router->lb.planner_moves();
+  }
+  return total;
+}
+
 void RouterTier::ExportMetrics(MetricsRegistry* metrics,
                                const std::string& prefix) const {
   const auto counter = [&](const std::string& name) -> Counter& {
@@ -237,6 +264,7 @@ void RouterTier::ExportMetrics(MetricsRegistry* metrics,
   counter("router.forwards").Set(forwards_);
   counter("router.membership_updates").Set(latest_seq_);
   counter("router.recolored").Set(recolored());
+  counter("router.planner_moves").Set(planner_moves());
   gauge("router.live")
       .SetAt(static_cast<double>(live_.size()), scheduler_->Now());
   for (const auto& router : routers_) {

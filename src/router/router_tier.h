@@ -127,6 +127,8 @@ class RouterTier {
   std::uint64_t membership_updates() const { return latest_seq_; }
   // Sum of per-replica failure-aware re-colorings.
   std::uint64_t recolored() const;
+  // Sum of per-replica planner-driven remaps (replayed plans).
+  std::uint64_t planner_moves() const;
   std::uint64_t RoutedByRouter(int router) const {
     return routers_[router]->routed;
   }
@@ -167,15 +169,26 @@ class RouterTier {
     std::uint64_t stale_routes = 0;
   };
 
+  // One update-log entry: a membership change, or (when `plan` is set) a
+  // re-balancer plan the platform applied. Replicas replay both kinds in
+  // sequence order, so every view converges to the same color tables the
+  // platform's own LB holds — plans reach replicas through the exact same
+  // eventually-consistent channel as membership (docs/PLANNER.md).
   struct MembershipUpdate {
     FaasPlatform::MembershipEvent event;
     std::string worker;
+    std::shared_ptr<const Plan> plan;
   };
 
   // The platform membership listener: appends to the log and schedules
   // (or, at zero lag, immediately performs) per-replica application.
   void OnMembershipEvent(FaasPlatform::MembershipEvent event,
                          const std::string& worker);
+  // The platform plan listener: same log, same lag, plan payload.
+  void OnPlanApplied(const Plan& plan);
+  // Schedules (or performs, at zero lag) application of the log through
+  // `seq` on every live replica.
+  void BroadcastThrough(std::uint64_t seq);
   // Replays log entries (applied_seq, seq] into the replica's view.
   void ApplyThrough(Router* router, std::uint64_t seq);
   // Dispatch-mode replica selection over live replicas only.

@@ -22,6 +22,7 @@ namespace {
 struct GroupState {
   std::unique_ptr<FaasPlatform> platform;
   std::unique_ptr<RouterTier> tier;
+  std::unique_ptr<PlannerRuntime> planner;
   std::uint64_t rejections = 0;
 };
 
@@ -82,6 +83,14 @@ ShardedRunResult RunShardedWorkload(
       group.tier =
           std::make_unique<RouterTier>(group.platform.get(), tier_config);
       group.tier->set_scheduler(&engine.scheduler(1 + g));
+    }
+    if (config.planner.enabled()) {
+      // One runtime per group, ticking on the group's own event core: the
+      // group set is model topology (never thread count), so planner
+      // rounds — and digests — are identical across `shards` values.
+      group.planner = std::make_unique<PlannerRuntime>(group.platform.get(),
+                                                       config.planner);
+      group.planner->Start(spec.driver.duration);
     }
   }
 
@@ -253,6 +262,11 @@ ShardedRunResult RunShardedWorkload(
     result.group_rejections += group.rejections;
     result.cold_starts += group.platform->total_cold_starts();
     result.retries += group.platform->total_retries();
+    result.planner_rounds += group.platform->planner_rounds();
+    result.planner_moves += group.platform->load_balancer().planner_moves();
+    result.planner_splits += group.platform->load_balancer().planner_splits();
+    result.planner_merges += group.platform->load_balancer().planner_merges();
+    result.planner_moved_bytes += group.platform->planner_moved_bytes();
   }
   result.books_close =
       result.driver_submitted ==

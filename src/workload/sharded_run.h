@@ -60,6 +60,11 @@ struct ShardedWorkloadConfig {
   // Engine profiler (ShardedSimulatorConfig::profile): wall-clock phase
   // timings and per-epoch logs, reported via ShardedRunResult::profile.
   bool profile = false;
+  // Global re-balancer (docs/PLANNER.md). When enabled, each group domain
+  // runs its own PlannerRuntime against its platform on the group's event
+  // core. Groups are fixed by the model topology, so planner rounds — and
+  // therefore digests — are bit-identical across `shards` values.
+  PlannerConfig planner{.plan_every = SimTime()};
 };
 
 // A fault aimed at one group's platform/tier. Worker names follow the
@@ -94,6 +99,14 @@ struct ShardedRunResult {
   std::uint64_t cold_starts = 0;
   std::uint64_t retries = 0;
   bool books_close = false;
+
+  // Planner counters summed across groups (zero when config.planner was
+  // disabled; docs/PLANNER.md).
+  std::uint64_t planner_rounds = 0;
+  std::uint64_t planner_moves = 0;
+  std::uint64_t planner_splits = 0;
+  std::uint64_t planner_merges = 0;
+  Bytes planner_moved_bytes = 0;
 
   // Cluster telemetry (null members unless config.obs enabled): registry
   // merged via MetricsRegistry::MergeFrom and series merged window-by-

@@ -160,6 +160,21 @@ void FinishTelemetry(const WorkloadObsConfig& obs, Simulator* sim,
   }
 }
 
+// Copies planner bookkeeping out of the platform + runtime once the
+// simulator drained.
+void FillPlannerResult(const FaasPlatform& platform,
+                       const PlannerRuntime* runtime,
+                       WorkloadRunResult* result) {
+  result->planner_rounds = platform.planner_rounds();
+  result->planner_moves = platform.load_balancer().planner_moves();
+  result->planner_splits = platform.load_balancer().planner_splits();
+  result->planner_merges = platform.load_balancer().planner_merges();
+  result->planner_moved_bytes = platform.planner_moved_bytes();
+  if (runtime != nullptr) {
+    result->plan_rounds = runtime->rounds();
+  }
+}
+
 }  // namespace
 
 PlatformConfig DefaultWorkloadPlatformConfig() {
@@ -181,7 +196,8 @@ WorkloadRunResult RunWorkload(const WorkloadSpec& spec, PolicyKind policy,
                               int workers, const SloConfig& slo,
                               const PlatformConfig& platform_config,
                               const FaultSchedule* faults,
-                              const WorkloadObsConfig* obs) {
+                              const WorkloadObsConfig* obs,
+                              const PlannerConfig* planner) {
   Simulator sim;
   FaasPlatform platform(&sim, policy, spec.seed, platform_config);
   platform.AddWorkers(workers);
@@ -198,6 +214,11 @@ WorkloadRunResult RunWorkload(const WorkloadSpec& spec, PolicyKind policy,
   OpenLoopDriver driver(&platform,
                         MakeArrivalProcess(spec.arrival, arrival_seed),
                         InvocationMix(spec.mix), spec.driver, driver_seed);
+  std::unique_ptr<PlannerRuntime> planner_runtime;
+  if (planner != nullptr && planner->enabled()) {
+    planner_runtime = std::make_unique<PlannerRuntime>(&platform, *planner);
+    planner_runtime->Start(spec.driver.duration);
+  }
   WorkloadTelemetry telemetry;
   if (obs != nullptr && obs->enabled()) {
     telemetry = BeginTelemetry(*obs, &sim, &platform, nullptr, &driver);
@@ -224,6 +245,8 @@ WorkloadRunResult RunWorkload(const WorkloadSpec& spec, PolicyKind policy,
   result.recolored = platform.load_balancer().recolored();
   result.cold_starts = platform.total_cold_starts();
   result.sim_events = events;
+  result.routing_imbalance = platform.load_balancer().RoutingImbalance();
+  FillPlannerResult(platform, planner_runtime.get(), &result);
   return result;
 }
 
@@ -233,7 +256,8 @@ WorkloadRunResult RunRouterWorkload(const WorkloadSpec& spec,
                                     const SloConfig& slo,
                                     const PlatformConfig& platform_config,
                                     const FaultSchedule* faults,
-                                    const WorkloadObsConfig* obs) {
+                                    const WorkloadObsConfig* obs,
+                                    const PlannerConfig* planner) {
   Simulator sim;
   FaasPlatform platform(&sim, policy, spec.seed, platform_config);
   platform.AddWorkers(workers);
@@ -256,6 +280,13 @@ WorkloadRunResult RunRouterWorkload(const WorkloadSpec& spec,
               FaasPlatform::CompletionCallback on_complete) {
         return tier.Invoke(std::move(invocation), std::move(on_complete));
       });
+  std::unique_ptr<PlannerRuntime> planner_runtime;
+  if (planner != nullptr && planner->enabled()) {
+    // The platform's LB stays authoritative; replicas learn each applied
+    // plan through the tier's update log (RouterTier::OnPlanApplied).
+    planner_runtime = std::make_unique<PlannerRuntime>(&platform, *planner);
+    planner_runtime->Start(spec.driver.duration);
+  }
   WorkloadTelemetry telemetry;
   if (obs != nullptr && obs->enabled()) {
     telemetry = BeginTelemetry(*obs, &sim, &platform, &tier, &driver);
@@ -287,6 +318,8 @@ WorkloadRunResult RunRouterWorkload(const WorkloadSpec& spec,
   result.router_misroutes = tier.misroutes();
   result.router_forwards = tier.forwards();
   result.router_recolored = tier.recolored();
+  result.routing_imbalance = platform.load_balancer().RoutingImbalance();
+  FillPlannerResult(platform, planner_runtime.get(), &result);
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include "src/faas/platform.h"
 #include "src/obs/alerts.h"
 #include "src/obs/timeseries.h"
+#include "src/planner/planner_runtime.h"
 #include "src/router/router_tier.h"
 #include "src/workload/arrival.h"
 #include "src/workload/driver.h"
@@ -98,6 +99,16 @@ struct WorkloadRunResult {
   std::uint64_t router_misroutes = 0;
   std::uint64_t router_forwards = 0;
   std::uint64_t router_recolored = 0;  // per-view re-colorings, summed
+  // Planner counters (all zero unless a PlannerConfig was passed and the
+  // policy supports planning; docs/PLANNER.md).
+  std::uint64_t planner_rounds = 0;
+  std::uint64_t planner_moves = 0;   // lb.planner_moves
+  std::uint64_t planner_splits = 0;  // lb.planner_splits
+  std::uint64_t planner_merges = 0;
+  Bytes planner_moved_bytes = 0;
+  std::vector<PlanRound> plan_rounds;  // per-round objectives
+  // max/avg invocations routed per instance at end of run.
+  double routing_imbalance = 0;
   // Populated only when the run's WorkloadObsConfig enabled telemetry.
   WorkloadTelemetry telemetry;
 };
@@ -111,7 +122,8 @@ WorkloadRunResult RunWorkload(const WorkloadSpec& spec, PolicyKind policy,
                               int workers, const SloConfig& slo,
                               const PlatformConfig& platform_config,
                               const FaultSchedule* faults = nullptr,
-                              const WorkloadObsConfig* obs = nullptr);
+                              const WorkloadObsConfig* obs = nullptr,
+                              const PlannerConfig* planner = nullptr);
 
 // Like RunWorkload, but traffic flows through a RouterTier of
 // `tier_config.routers` replicas (docs/ROUTING.md) instead of the
@@ -125,7 +137,8 @@ WorkloadRunResult RunRouterWorkload(const WorkloadSpec& spec,
                                     const SloConfig& slo,
                                     const PlatformConfig& platform_config,
                                     const FaultSchedule* faults = nullptr,
-                                    const WorkloadObsConfig* obs = nullptr);
+                                    const WorkloadObsConfig* obs = nullptr,
+                                    const PlannerConfig* planner = nullptr);
 
 }  // namespace palette
 

@@ -151,6 +151,66 @@ TEST(ReplicatedColorPolicyTest, FewerInstancesThanReplicas) {
   EXPECT_EQ(seen.size(), 2u);  // clamped to membership
 }
 
+TEST(ReplicatedColorPolicyTest, AdaptiveHysteresisEntersAtThetaExitsAtHalf) {
+  ReplicatedColorConfig config;
+  config.replicas = 3;
+  config.adaptive = true;
+  config.hot_share_threshold = 0.2;
+  config.decay_interval = 1 << 20;  // no decay during the test
+  ReplicatedColorPolicy policy(7, config);
+  AddInstances(policy, 10);
+
+  // Undiluted traffic: share = 1.0 > theta, the color enters hot state and
+  // its routes fan out across the replica set.
+  std::set<std::string> hot_targets;
+  for (int i = 0; i < 30; ++i) {
+    hot_targets.insert(*policy.RouteColored("viral"));
+  }
+  EXPECT_TRUE(policy.IsHot("viral"));
+  EXPECT_EQ(hot_targets.size(), 3u);
+
+  // Dilute to theta/2 < share < theta: 30 + 1 of ~201 ≈ 0.154. Entering
+  // needed > 0.2, exiting needs < 0.1 — in between the state must hold.
+  for (int i = 0; i < 170; ++i) {
+    policy.RouteColored(StrFormat("bg%d", i));
+  }
+  policy.RouteColored("viral");
+  EXPECT_TRUE(policy.IsHot("viral"));
+
+  // Dilute below theta/2: 32 of ~402 ≈ 0.08 < 0.1 — now it cools off and
+  // collapses back to a single instance (full locality again).
+  for (int i = 0; i < 200; ++i) {
+    policy.RouteColored(StrFormat("bg2_%d", i));
+  }
+  policy.RouteColored("viral");
+  EXPECT_FALSE(policy.IsHot("viral"));
+  std::set<std::string> cold_targets;
+  for (int i = 0; i < 6; ++i) {
+    cold_targets.insert(*policy.RouteColored("viral"));
+  }
+  EXPECT_EQ(cold_targets.size(), 1u);
+}
+
+TEST(ReplicatedColorPolicyTest, AdaptiveColdColorNeverReplicates) {
+  ReplicatedColorConfig config;
+  config.replicas = 4;
+  config.adaptive = true;
+  config.hot_share_threshold = 0.2;
+  ReplicatedColorPolicy policy(7, config);
+  AddInstances(policy, 10);
+  // Interleave so "steady" never exceeds a ~10% share: it must keep one
+  // sticky instance throughout.
+  std::set<std::string> targets;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 9; ++i) {
+      policy.RouteColored(StrFormat("bg%d_%d", round, i));
+    }
+    targets.insert(*policy.RouteColored("steady"));
+  }
+  EXPECT_FALSE(policy.IsHot("steady"));
+  EXPECT_EQ(targets.size(), 1u);
+}
+
 TEST(ReplicatedColorPolicyTest, MembershipChangeShiftsReplicaSetMinimally) {
   ReplicatedColorConfig config;
   config.replicas = 2;

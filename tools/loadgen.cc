@@ -24,6 +24,14 @@
 //           [--alerts=<rules>] [--alert_log=<path|->]   # SLO alert engine
 //           [--trace_counters=<path>]    # Chrome-trace counter tracks
 //           [--profile]                  # sharded-engine profiler (JSON)
+//           [--plan_every_ms=0]          # >0: global re-balancer cadence
+//           [--move_alpha=0.5] [--split_threshold=0.2] [--max_split=4]
+//
+// Planner (docs/PLANNER.md): --plan_every_ms>0 runs the optimization-based
+// re-balancer on the sim clock — periodic snapshot -> solve -> apply with
+// hot-color splitting. Works in all three modes (monolithic, --routers,
+// --shards); the JSON grows "planner" (config) and "planner_result"
+// (rounds, moves/splits/merges, per-round objectives in monolithic mode).
 //
 // Telemetry (docs/OBSERVABILITY.md): --sample_every_ms>0 attaches a
 // TimeSeriesSampler on the simulator's event-free clock observer — rates,
@@ -302,6 +310,20 @@ int Run(int argc, char** argv) {
   const std::string alert_log = flags.GetString("alert_log", "");
   const std::string trace_counters = flags.GetString("trace_counters", "");
   const bool profile = flags.GetBool("profile", false);
+
+  // Global re-balancer flags (docs/PLANNER.md). --plan_every_ms=0 (the
+  // default) leaves the planner off and the run byte-identical to a
+  // planner-free build.
+  PlannerConfig planner_config;
+  planner_config.plan_every =
+      SimTime::FromMillis(flags.GetDouble("plan_every_ms", 0));
+  planner_config.split_threshold = flags.GetDouble(
+      "split_threshold", planner_config.split_threshold);
+  planner_config.move_alpha =
+      flags.GetDouble("move_alpha", planner_config.move_alpha);
+  planner_config.max_split = static_cast<int>(
+      flags.GetInt("max_split", planner_config.max_split));
+  planner_config.seed = spec.seed;
   if (!alerts_spec.empty()) {
     std::vector<std::string> rule_errors;
     obs.alert_rules = ParseAlertRules(alerts_spec, &rule_errors);
@@ -363,6 +385,19 @@ int Run(int argc, char** argv) {
     json.Key("hop_us");
     json.Double(tier_config.hop_latency.micros());
   }
+  if (planner_config.enabled()) {
+    json.Key("planner");
+    json.BeginObject();
+    json.Key("plan_every_ms");
+    json.Double(planner_config.plan_every.millis());
+    json.Key("move_alpha");
+    json.Double(planner_config.move_alpha);
+    json.Key("split_threshold");
+    json.Double(planner_config.split_threshold);
+    json.Key("max_split");
+    json.Int(planner_config.max_split);
+    json.EndObject();
+  }
 
   if (shards >= 1) {
     // Sharded parallel-engine run: one topology, `shards` event cores.
@@ -391,6 +426,7 @@ int Run(int argc, char** argv) {
                 shards);
     sharded_config.obs = obs;
     sharded_config.profile = profile;
+    sharded_config.planner = planner_config;
     const ShardedRunResult run = RunShardedWorkload(
         spec, policy, workers, sharded_config, slo, platform_config);
     std::printf("%s\n", SloReportTable(run.report).c_str());
@@ -420,6 +456,28 @@ int Run(int argc, char** argv) {
     json.UInt(run.cold_starts);
     json.Key("retries");
     json.UInt(run.retries);
+    if (planner_config.enabled()) {
+      std::printf("planner: rounds: %llu, moves: %llu, splits: %llu, "
+                  "merges: %llu, moved: %llu bytes\n",
+                  static_cast<unsigned long long>(run.planner_rounds),
+                  static_cast<unsigned long long>(run.planner_moves),
+                  static_cast<unsigned long long>(run.planner_splits),
+                  static_cast<unsigned long long>(run.planner_merges),
+                  static_cast<unsigned long long>(run.planner_moved_bytes));
+      json.Key("planner_result");
+      json.BeginObject();
+      json.Key("rounds");
+      json.UInt(run.planner_rounds);
+      json.Key("moves");
+      json.UInt(run.planner_moves);
+      json.Key("splits");
+      json.UInt(run.planner_splits);
+      json.Key("merges");
+      json.UInt(run.planner_merges);
+      json.Key("moved_bytes");
+      json.UInt(run.planner_moved_bytes);
+      json.EndObject();
+    }
     json.Key("books");
     json.BeginObject();
     json.Key("submitted");
@@ -457,11 +515,14 @@ int Run(int argc, char** argv) {
 
   const auto run_spec = [&](const WorkloadSpec& at_spec) {
     const WorkloadObsConfig* obs_ptr = obs.enabled() ? &obs : nullptr;
+    const PlannerConfig* planner_ptr =
+        planner_config.enabled() ? &planner_config : nullptr;
     return routers > 0
                ? RunRouterWorkload(at_spec, policy, workers, tier_config,
-                                   slo, platform_config, nullptr, obs_ptr)
+                                   slo, platform_config, nullptr, obs_ptr,
+                                   planner_ptr)
                : RunWorkload(at_spec, policy, workers, slo, platform_config,
-                             nullptr, obs_ptr);
+                             nullptr, obs_ptr, planner_ptr);
   };
 
   if (sweep_csv.empty()) {
@@ -510,6 +571,52 @@ int Run(int argc, char** argv) {
                                             run.platform_dropped +
                                             run.platform_abandoned);
     json.EndObject();
+    if (planner_config.enabled()) {
+      std::printf("planner: rounds: %llu, moves: %llu, splits: %llu, "
+                  "merges: %llu, moved: %llu bytes, imbalance: %.3f\n",
+                  static_cast<unsigned long long>(run.planner_rounds),
+                  static_cast<unsigned long long>(run.planner_moves),
+                  static_cast<unsigned long long>(run.planner_splits),
+                  static_cast<unsigned long long>(run.planner_merges),
+                  static_cast<unsigned long long>(run.planner_moved_bytes),
+                  run.routing_imbalance);
+      json.Key("planner_result");
+      json.BeginObject();
+      json.Key("rounds");
+      json.UInt(run.planner_rounds);
+      json.Key("moves");
+      json.UInt(run.planner_moves);
+      json.Key("splits");
+      json.UInt(run.planner_splits);
+      json.Key("merges");
+      json.UInt(run.planner_merges);
+      json.Key("moved_bytes");
+      json.UInt(run.planner_moved_bytes);
+      json.Key("routing_imbalance");
+      json.Double(run.routing_imbalance);
+      json.Key("round_objectives");
+      json.BeginArray();
+      for (const PlanRound& round : run.plan_rounds) {
+        json.BeginObject();
+        json.Key("round");
+        json.UInt(round.round);
+        json.Key("t_ms");
+        json.Double(round.at.millis());
+        json.Key("objective_before");
+        json.Double(round.objective_before);
+        json.Key("objective_after");
+        json.Double(round.objective_after);
+        json.Key("moves");
+        json.UInt(round.moves);
+        json.Key("splits");
+        json.UInt(round.splits);
+        json.Key("merges");
+        json.UInt(round.merges);
+        json.EndObject();
+      }
+      json.EndArray();
+      json.EndObject();
+    }
     if (routers > 0) {
       std::printf("router tier: routes: %llu, stale: %llu, misroutes: %llu, "
                   "forwards: %llu, recolored: %llu\n",
