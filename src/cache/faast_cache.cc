@@ -122,6 +122,17 @@ std::vector<FaastCache::ResidentObject> FaastCache::PeekKeyObjects(
   return objects;
 }
 
+bool FaastCache::HasKeyObject(const std::string& instance,
+                              std::string_view key) const {
+  const auto it = shards_.find(instance);
+  if (it == shards_.end()) {
+    return false;
+  }
+  return it->second->AnyOf([key](const std::string& name, Bytes) {
+    return HashKeyOf(name) == key;
+  });
+}
+
 bool FaastCache::EraseLocal(const std::string& instance,
                             const std::string& object_name) {
   const auto it = shards_.find(instance);

@@ -110,6 +110,10 @@ class FaastCache {
   // color's migratable cache footprint on that instance.
   std::vector<ResidentObject> PeekKeyObjects(const std::string& instance,
                                              std::string_view key) const;
+  // True iff at least one object with hashing key `key` is resident in
+  // `instance`'s shard. Early-out scan; never touches recency or stats
+  // (the pull-dispatch claim path probes residency per idle worker).
+  bool HasKeyObject(const std::string& instance, std::string_view key) const;
   // Removes one object from `instance`'s shard only (migration source-side
   // erase; Invalidate drops from every shard). Returns true if present.
   bool EraseLocal(const std::string& instance, const std::string& object_name);

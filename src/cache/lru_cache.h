@@ -66,6 +66,18 @@ class LruCache {
     }
   }
 
+  // Early-out scan: true iff any entry satisfies `pred`. Touches neither
+  // recency nor stats (pull-dispatch residency probes run on the claim
+  // path, which must not perturb eviction order).
+  bool AnyOf(const std::function<bool(const std::string&, Bytes)>& pred) const {
+    for (const Entry& entry : lru_) {
+      if (pred(entry.key, entry.size)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
  private:
   struct Entry {
     std::string key;

@@ -7,6 +7,34 @@
 
 namespace palette {
 
+std::string_view FaasDispatchModeId(FaasDispatchMode mode) {
+  switch (mode) {
+    case FaasDispatchMode::kPush:
+      return "push";
+    case FaasDispatchMode::kPull:
+      return "pull";
+    case FaasDispatchMode::kHybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
+bool ParseFaasDispatchMode(std::string_view id, FaasDispatchMode* out) {
+  if (id == "push") {
+    *out = FaasDispatchMode::kPush;
+    return true;
+  }
+  if (id == "pull") {
+    *out = FaasDispatchMode::kPull;
+    return true;
+  }
+  if (id == "hybrid") {
+    *out = FaasDispatchMode::kHybrid;
+    return true;
+  }
+  return false;
+}
+
 FaasPlatform::FaasPlatform(Simulator* sim, PolicyKind policy,
                            std::uint64_t seed, PlatformConfig config,
                            Network* shared_network)
@@ -36,6 +64,8 @@ void FaasPlatform::AddWorker(const std::string& name, double speed) {
   cache_.AddInstance(name);
   lb_.AddInstance(name);
   NotifyMembership(MembershipEvent::kAdded, name);
+  // A fresh worker is idle; in pull mode it can drain a backlog at once.
+  MaybeIdle(id);
 }
 
 void FaasPlatform::AddWorkers(int count) {
@@ -54,15 +84,33 @@ void FaasPlatform::RemoveWorker(const std::string& name) {
     return;
   }
   // Graceful drain: the running attempt (if any) already left the queue
-  // and still completes; attempts waiting in the FIFO fail. Membership is
-  // updated first so the policy re-colors before any retry re-routes.
+  // and still completes; attempts waiting in the FIFO fail — except under
+  // pull/hybrid dispatch, where claimed-but-unstarted work was never bound
+  // for good and returns to the head of its color queue instead (no retry
+  // budget burned). Membership is updated first so the policy re-colors
+  // before any retry re-routes.
   std::deque<AttemptPtr> orphans = std::move(it->second->queue);
   workers_.erase(it);
+  idle_workers_.erase(*id);
   cache_.RemoveInstance(name);
   lb_.RemoveInstance(name);
   NotifyMembership(MembershipEvent::kRemoved, name);
-  for (const AttemptPtr& attempt : orphans) {
-    HandleFailure(attempt, FailureReason::kWorkerLost);
+  if (pull_enabled() && !workers_.empty()) {
+    for (auto rit = orphans.rbegin(); rit != orphans.rend(); ++rit) {
+      ReleaseStealSlot(*rit);
+      if (!(*rit)->cancelled) {
+        EnqueuePending(*rit, /*front=*/true);
+      }
+    }
+    MatchPending();
+  } else {
+    for (const AttemptPtr& attempt : orphans) {
+      ReleaseStealSlot(attempt);
+      HandleFailure(attempt, FailureReason::kWorkerLost);
+    }
+  }
+  if (workers_.empty()) {
+    FailAllPending();
   }
 }
 
@@ -77,18 +125,37 @@ void FaasPlatform::CrashWorker(const std::string& name) {
   }
   // Hard failure: the running attempt dies too — its partial work is lost
   // and a retry re-executes from scratch (at-least-once). The instance's
-  // cached objects vanish with its shard.
+  // cached objects vanish with its shard. Under pull/hybrid dispatch the
+  // crashed worker's claimed-but-unstarted FIFO entries were never started,
+  // so they return to the head of their color queues (books still close;
+  // no retry budget burned), while the running attempt fails as usual.
   std::deque<AttemptPtr> orphans = std::move(it->second->queue);
   AttemptPtr running = std::move(it->second->running);
   workers_.erase(it);
+  idle_workers_.erase(*id);
   cache_.RemoveInstance(name);
   lb_.RemoveInstance(name);
   NotifyMembership(MembershipEvent::kRemoved, name);
   if (running != nullptr) {
+    ReleaseStealSlot(running);
     HandleFailure(running, FailureReason::kWorkerLost);
   }
-  for (const AttemptPtr& attempt : orphans) {
-    HandleFailure(attempt, FailureReason::kWorkerLost);
+  if (pull_enabled() && !workers_.empty()) {
+    for (auto rit = orphans.rbegin(); rit != orphans.rend(); ++rit) {
+      ReleaseStealSlot(*rit);
+      if (!(*rit)->cancelled) {
+        EnqueuePending(*rit, /*front=*/true);
+      }
+    }
+    MatchPending();
+  } else {
+    for (const AttemptPtr& attempt : orphans) {
+      ReleaseStealSlot(attempt);
+      HandleFailure(attempt, FailureReason::kWorkerLost);
+    }
+  }
+  if (workers_.empty()) {
+    FailAllPending();
   }
 }
 
@@ -108,16 +175,21 @@ std::vector<std::string> FaasPlatform::WorkerNames() const {
 }
 
 std::string FaasPlatform::DrainCandidateWorker() const {
-  std::string best;
+  // Minimum over (depth, InstanceId): order-independent, so the victim is
+  // stable no matter how workers_ happens to iterate. Ids intern in join
+  // order, which is identical across rebuilds and shard counts — name
+  // order is not ("w10" sorts before "w2").
+  InstanceId best = kInvalidInstanceId;
   std::size_t best_depth = 0;
-  for (const std::string& name : WorkerNames()) {  // sorted: ties -> smallest
-    const std::size_t depth = WorkerQueueDepth(name);
-    if (best.empty() || depth < best_depth) {
-      best = name;
+  for (const auto& [id, worker] : workers_) {
+    const std::size_t depth = worker->queue.size();
+    if (best == kInvalidInstanceId || depth < best_depth ||
+        (depth == best_depth && id < best)) {
+      best = id;
       best_depth = depth;
     }
   }
-  return best;
+  return best == kInvalidInstanceId ? std::string() : InstanceName(best);
 }
 
 void FaasPlatform::SeedStorageObject(const std::string& name, Bytes size) {
@@ -193,6 +265,70 @@ void FaasPlatform::DispatchTo(const AttemptPtr& attempt, InstanceId target) {
     lb_.NoteExternalRoute(*attempt->spec->color, target);
   }
   Worker& worker = *worker_it->second;
+
+  const SimTime budget = attempt->spec->deadline > SimTime()
+                             ? attempt->spec->deadline
+                             : config_.default_deadline;
+  if (budget > SimTime()) {
+    attempt->deadline = SaturatingAdd(sim_->Now(), budget);
+    ArmDeadline(attempt);
+  }
+
+  // Late binding (docs/DISPATCH.md): under pull — or under hybrid when the
+  // routed binding is not a free win — the route is only a hint. The
+  // attempt travels the dispatch path and joins its color's pending queue;
+  // whichever worker claims it becomes the placement, and the cold start
+  // (final worker unknown here) is charged at claim time instead.
+  //
+  // Hybrid honors the push binding only when it costs nothing: the routed
+  // worker is idle right now AND the bind does not sacrifice locality —
+  // the work is uncolored, or the routed worker is the color's home
+  // (cache-ring shard or LB placement). A locality-blind "push when idle"
+  // would let a spraying router tier bind cold workers to foreign colors
+  // at every load dip, spreading replicas fleet-wide.
+  const bool hybrid_push_ok = [&]() {
+    if (config_.dispatch_mode != FaasDispatchMode::kHybrid) {
+      return false;
+    }
+    if (worker.busy || worker.claiming || !worker.queue.empty()) {
+      return false;
+    }
+    const std::string& key = PendingKeyOf(*attempt->spec);
+    if (key.empty()) {
+      return true;  // uncolored: any idle worker is as good as any other
+    }
+    // Same home precedence as TryPullFor: the placed instance when a
+    // placement exists, the cache ring home otherwise.
+    const auto placed = lb_.PeekColorId(key);
+    if (placed.has_value()) {
+      return *placed == target;
+    }
+    const auto ring_home = cache_.HomeInstance(key);
+    return ring_home.has_value() && *ring_home == InstanceName(target);
+  }();
+  const bool bind_now =
+      config_.dispatch_mode == FaasDispatchMode::kPush || hybrid_push_ok;
+  if (!bind_now) {
+    const SimTime enqueue_at =
+        sim_->Now() + config_.dispatch_latency + attempt->route_hop;
+    // `dispatched` marks arrival at the pending queue, so time spent
+    // waiting for a claim lands in the queue span and the five trace spans
+    // still partition [submitted, completed] exactly.
+    result.dispatched = enqueue_at;
+    sim_->At(enqueue_at, [this, attempt]() {
+      if (attempt->cancelled) {
+        return;  // deadline expired while in dispatch flight
+      }
+      if (workers_.empty()) {
+        HandleFailure(attempt, FailureReason::kWorkerLost);
+        return;
+      }
+      EnqueuePending(attempt, /*front=*/false);
+      MatchPending();
+    });
+    return;
+  }
+
   SimTime dispatch_done =
       sim_->Now() + config_.dispatch_latency + attempt->route_hop;
   if (!worker.warm) {
@@ -206,23 +342,35 @@ void FaasPlatform::DispatchTo(const AttemptPtr& attempt, InstanceId target) {
     result.cold_start = config_.cold_start;
   }
   result.dispatched = dispatch_done;
-
-  const SimTime budget = attempt->spec->deadline > SimTime()
-                             ? attempt->spec->deadline
-                             : config_.default_deadline;
-  if (budget > SimTime()) {
-    attempt->deadline = sim_->Now() + budget;
-    ArmDeadline(attempt);
+  if (pull_enabled()) {
+    // Hybrid push to an idle worker: keep it out of the idle set while the
+    // request is in flight toward its FIFO, so the matcher cannot claim it
+    // for other work in the window.
+    idle_workers_.erase(target);
+    worker.claiming = true;
   }
 
   sim_->At(dispatch_done, [this, attempt, target]() {
     // The request arrives at the instance and joins its FIFO run queue.
-    if (attempt->cancelled) {
-      return;  // deadline expired while in dispatch flight
-    }
     auto it = workers_.find(target);
+    if (it != workers_.end()) {
+      it->second->claiming = false;
+    }
+    if (attempt->cancelled) {
+      // Deadline expired while in dispatch flight; in hybrid mode the
+      // worker reserved for it goes back to the idle pool.
+      MaybeIdle(target);
+      return;
+    }
     if (it == workers_.end()) {
-      // Worker removed while the request was in flight.
+      // Worker removed while the request was in flight. Under pull/hybrid
+      // the request was never hard-bound: re-enter the pending queues if
+      // the cluster still has workers.
+      if (pull_enabled() && !workers_.empty()) {
+        EnqueuePending(attempt, /*front=*/false);
+        MatchPending();
+        return;
+      }
       HandleFailure(attempt, FailureReason::kWorkerLost);
       return;
     }
@@ -248,6 +396,13 @@ void FaasPlatform::OnDeadline(const AttemptPtr& attempt) {
   const InstanceId target = attempt->worker;
   const bool was_running = attempt->running;
   HandleFailure(attempt, FailureReason::kTimeout);
+  ReleaseStealSlot(attempt);
+  if (attempt->in_pending) {
+    // Expired while waiting in a pending color queue: drop it there so the
+    // per-color depth gauges don't count a dead entry.
+    RemoveFromPending(attempt);
+    return;
+  }
   const auto it = workers_.find(target);
   if (it == workers_.end()) {
     return;
@@ -285,7 +440,9 @@ void FaasPlatform::HandleFailure(const AttemptPtr& attempt,
       m_retries_->Increment();
     }
     const SimTime backoff = retry.BackoffFor(attempt->number, retry_rng_);
-    const SimTime resubmit_at = sim_->Now() + backoff;
+    // Saturate like Simulator::After: extreme multiplier/max_backoff
+    // configs must clamp to the far future, not wrap negative.
+    const SimTime resubmit_at = SaturatingAdd(sim_->Now(), backoff);
     if (trace_ != nullptr) {
       trace_->RecordRetry(RetryTrace{
           attempt->result->id, attempt->number,
@@ -363,6 +520,8 @@ void FaasPlatform::StartNextOnWorker(InstanceId instance) {
   if (worker.queue.empty()) {
     worker.busy = false;
     worker.running.reset();
+    // Pull/hybrid: the worker just went idle — claim pending work, if any.
+    MaybeIdle(instance);
     return;
   }
   worker.busy = true;
@@ -497,6 +656,11 @@ void FaasPlatform::StartNextOnWorker(InstanceId instance) {
       }
       ++completed_;
       attempt->running = false;
+      // A stolen run holds its steal-budget slot through completion, so
+      // the budget caps concurrently *executing* stolen work, not just
+      // claims in flight. Releasing it may unblock another idle worker.
+      const bool was_stolen = attempt->stolen;
+      ReleaseStealSlot(attempt);
       auto it = workers_.find(instance);
       if (it != workers_.end() && it->second->running == attempt) {
         it->second->running.reset();
@@ -505,8 +669,309 @@ void FaasPlatform::StartNextOnWorker(InstanceId instance) {
         DeliverCompletion(attempt);
       }
       StartNextOnWorker(instance);
+      if (was_stolen) {
+        MatchPending();
+      }
     });
   });
+}
+
+const std::string& FaasPlatform::PendingKeyOf(const InvocationSpec& spec) {
+  static const std::string kUncolored;
+  return spec.color.has_value() ? *spec.color : kUncolored;
+}
+
+void FaasPlatform::EnqueuePending(const AttemptPtr& attempt, bool front) {
+  std::deque<AttemptPtr>& queue = pending_[PendingKeyOf(*attempt->spec)];
+  if (attempt->pending_seq == 0) {
+    attempt->pending_seq = next_pending_seq_++;
+  }
+  if (front) {
+    queue.push_front(attempt);
+  } else {
+    queue.push_back(attempt);
+  }
+  attempt->in_pending = true;
+  ++pending_total_;
+}
+
+void FaasPlatform::RemoveFromPending(const AttemptPtr& attempt) {
+  const auto it = pending_.find(PendingKeyOf(*attempt->spec));
+  if (it == pending_.end()) {
+    return;
+  }
+  std::deque<AttemptPtr>& queue = it->second;
+  const auto pos = std::find(queue.begin(), queue.end(), attempt);
+  if (pos == queue.end()) {
+    return;
+  }
+  queue.erase(pos);
+  --pending_total_;
+  attempt->in_pending = false;
+  if (queue.empty()) {
+    pending_.erase(it);
+  }
+}
+
+void FaasPlatform::MatchPending() {
+  while (pending_total_ > 0 && !idle_workers_.empty()) {
+    bool progress = false;
+    // Snapshot: a claim removes the claimer from the idle set mid-loop.
+    // Ascending id order is the fixed claim order per matching epoch.
+    const std::vector<InstanceId> idle(idle_workers_.begin(),
+                                       idle_workers_.end());
+    for (const InstanceId id : idle) {
+      if (pending_total_ == 0) {
+        break;
+      }
+      if (idle_workers_.count(id) == 0) {
+        continue;
+      }
+      progress = TryPullFor(id) || progress;
+    }
+    if (!progress) {
+      return;  // only steal-gated or no matchable work left
+    }
+  }
+}
+
+bool FaasPlatform::TryPullFor(InstanceId instance) {
+  const auto worker_it = workers_.find(instance);
+  if (worker_it == workers_.end()) {
+    idle_workers_.erase(instance);
+    return false;
+  }
+  const std::string& name = InstanceName(instance);
+  // One deterministic scan over the color queues, classifying each by
+  // affinity to this worker:
+  //   0 — this worker hosts the color. The load balancer's placed
+  //       instance wins when a placement exists (that is where the
+  //       color's runs — and cached bytes — have been landing); the
+  //       cache ring's home shard is the fallback, always defined while
+  //       workers exist, for when routing runs in a fronting tier and
+  //       the platform LB never placed the color itself. The two must
+  //       not be OR'd: treating both as home splits a placed color's
+  //       working set across two caches and halves its hit ratio;
+  //   1 — unowned: uncolored work, or a color with no home anywhere to
+  //       prefer (claiming it robs nobody);
+  //   2 — foreign: the color's home is another live worker — claiming is
+  //       a steal, gated by the budget and priced by the remote fetches
+  //       the claimer will pay.
+  // Within the home and unowned classes the *oldest* waiting head wins
+  // (pending_seq), i.e. FIFO across this worker's colors — depth-based
+  // selection here would let a quiet color's lone invocation starve
+  // behind burstier siblings for hundreds of ms of tail. Within the
+  // foreign class, colors with objects already cache-resident on this
+  // worker are preferred (the steal is partly pre-paid); then the
+  // deepest queue wins (steal the hottest color); remaining ties keep
+  // the lexicographically smallest key (map order). Residency
+  // deliberately does NOT bypass the steal budget: replicate-on-remote-
+  // hit makes a single past steal leave residue, and letting that
+  // residue grant free claims compounds into a locality death spiral.
+  int best_class = 3;
+  bool best_resident = false;
+  std::size_t best_depth = 0;
+  std::uint64_t best_seq = 0;
+  const std::string* best_key = nullptr;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    std::deque<AttemptPtr>& queue = it->second;
+    while (!queue.empty() && queue.front()->cancelled) {
+      queue.front()->in_pending = false;
+      queue.pop_front();
+      --pending_total_;
+    }
+    if (queue.empty()) {
+      it = pending_.erase(it);
+      continue;
+    }
+    const std::string& key = it->first;
+    int affinity;
+    bool resident = false;
+    if (key.empty()) {
+      affinity = 1;
+    } else {
+      const auto placed = lb_.PeekColorId(key);
+      std::optional<std::string> ring_home;
+      if (!placed.has_value()) {
+        ring_home = cache_.HomeInstance(key);
+      }
+      if (placed.has_value() ? *placed == instance
+                             : ring_home.has_value() && *ring_home == name) {
+        affinity = 0;
+      } else if (!ring_home.has_value() && !placed.has_value()) {
+        affinity = 1;
+      } else {
+        // Foreign: only a hot queue qualifies — shallow foreign queues
+        // wait for their home worker (see steal_min_depth).
+        if (queue.size() < config_.steal_min_depth) {
+          ++it;
+          continue;
+        }
+        affinity = 2;
+        resident = cache_.HasKeyObject(name, key);
+      }
+    }
+    bool better;
+    if (affinity != best_class) {
+      better = affinity < best_class;
+    } else if (affinity == 2) {
+      better = resident > best_resident ||
+               (resident == best_resident && queue.size() > best_depth);
+    } else {
+      better = queue.front()->pending_seq < best_seq;
+    }
+    if (better) {
+      best_class = affinity;
+      best_resident = resident;
+      best_depth = queue.size();
+      best_seq = queue.front()->pending_seq;
+      best_key = &key;
+    }
+    ++it;
+  }
+  if (best_key == nullptr) {
+    return false;
+  }
+  const bool steal = best_class == 2;
+  if (steal &&
+      (config_.steal_budget <= 0 || steals_in_flight_ >= config_.steal_budget)) {
+    return false;
+  }
+  ClaimFrom(*best_key, instance, steal);
+  return true;
+}
+
+void FaasPlatform::ClaimFrom(const std::string& key, InstanceId instance,
+                             bool steal) {
+  const auto queue_it = pending_.find(key);
+  AttemptPtr attempt = std::move(queue_it->second.front());
+  queue_it->second.pop_front();
+  --pending_total_;
+  if (queue_it->second.empty()) {
+    pending_.erase(queue_it);
+  }
+  attempt->in_pending = false;
+
+  ++pulls_;
+  if (metrics_ != nullptr) {
+    m_pulls_->Increment();
+  }
+  if (steal) {
+    ++steals_;
+    ++steals_in_flight_;
+    attempt->stolen = true;
+    Bytes bytes = 0;
+    for (const ObjectRef& input : attempt->spec->inputs) {
+      bytes += input.size;
+    }
+    steal_bytes_ += bytes;
+    if (metrics_ != nullptr) {
+      m_steals_->Increment();
+      m_steal_bytes_->Add(bytes);
+    }
+  }
+
+  // Late binding resolves here: the claimer becomes the placement.
+  attempt->worker = instance;
+  attempt->result->instance = InstanceName(instance);
+  Worker& worker = *workers_.at(instance);
+  idle_workers_.erase(instance);
+  worker.claiming = true;
+  SimTime start_at = SaturatingAdd(sim_->Now(), config_.pull_claim_latency);
+  if (!worker.warm) {
+    // Cold start charged at claim time — in pull mode the final worker is
+    // unknown until a claim binds it.
+    worker.warm = true;
+    ++worker.cold_starts;
+    ++cold_starts_;
+    if (metrics_ != nullptr) {
+      m_cold_starts_->Increment();
+    }
+    start_at = SaturatingAdd(start_at, config_.cold_start);
+    attempt->result->cold_start = config_.cold_start;
+  }
+  sim_->At(start_at, [this, attempt, instance]() {
+    OnClaimArrive(attempt, instance);
+  });
+}
+
+void FaasPlatform::OnClaimArrive(const AttemptPtr& attempt,
+                                 InstanceId instance) {
+  const auto it = workers_.find(instance);
+  if (it == workers_.end()) {
+    // The claimer died mid-handoff. The claim never started, so the work
+    // returns to the head of its color queue (no retry budget burned) —
+    // unless the cluster is empty, in which case it fails over.
+    ReleaseStealSlot(attempt);
+    if (attempt->cancelled) {
+      return;
+    }
+    if (workers_.empty()) {
+      HandleFailure(attempt, FailureReason::kWorkerLost);
+      return;
+    }
+    EnqueuePending(attempt, /*front=*/true);
+    MatchPending();
+    return;
+  }
+  it->second->claiming = false;
+  if (attempt->cancelled) {
+    // Deadline fired during the handoff; the claimer goes back to the
+    // idle pool and the freed steal slot may unblock the matcher.
+    ReleaseStealSlot(attempt);
+    MaybeIdle(instance);
+    return;
+  }
+  it->second->queue.push_back(attempt);
+  if (!it->second->busy) {
+    StartNextOnWorker(instance);
+  }
+}
+
+void FaasPlatform::MaybeIdle(InstanceId instance) {
+  if (!pull_enabled()) {
+    return;
+  }
+  const auto it = workers_.find(instance);
+  if (it == workers_.end()) {
+    return;
+  }
+  const Worker& worker = *it->second;
+  if (worker.busy || worker.claiming || !worker.queue.empty()) {
+    return;
+  }
+  idle_workers_.insert(instance);
+  MatchPending();
+}
+
+void FaasPlatform::ReleaseStealSlot(const AttemptPtr& attempt) {
+  if (attempt->stolen) {
+    attempt->stolen = false;
+    --steals_in_flight_;
+  }
+}
+
+void FaasPlatform::FailAllPending() {
+  if (pending_total_ == 0) {
+    return;
+  }
+  std::map<std::string, std::deque<AttemptPtr>> pending =
+      std::move(pending_);
+  pending_.clear();
+  pending_total_ = 0;
+  for (auto& [key, queue] : pending) {
+    for (const AttemptPtr& attempt : queue) {
+      attempt->in_pending = false;
+      if (!attempt->cancelled) {
+        HandleFailure(attempt, FailureReason::kWorkerLost);
+      }
+    }
+  }
+}
+
+std::size_t FaasPlatform::PendingQueueDepth(const std::string& color) const {
+  const auto it = pending_.find(color);
+  return it != pending_.end() ? it->second.size() : 0;
 }
 
 void FaasPlatform::DeliverCompletion(const AttemptPtr& attempt) {
@@ -543,6 +1008,9 @@ void FaasPlatform::set_metrics(MetricsRegistry* metrics) {
     m_abandoned_ = nullptr;
     m_retries_ = nullptr;
     m_timeouts_ = nullptr;
+    m_pulls_ = nullptr;
+    m_steals_ = nullptr;
+    m_steal_bytes_ = nullptr;
     m_e2e_ns_ = nullptr;
     m_route_ns_ = nullptr;
     m_queue_ns_ = nullptr;
@@ -557,6 +1025,9 @@ void FaasPlatform::set_metrics(MetricsRegistry* metrics) {
   m_abandoned_ = &metrics->counter("faas.invocations_abandoned");
   m_retries_ = &metrics->counter("faas.retries");
   m_timeouts_ = &metrics->counter("faas.timeouts");
+  m_pulls_ = &metrics->counter("faas.pulls");
+  m_steals_ = &metrics->counter("faas.steals");
+  m_steal_bytes_ = &metrics->counter("faas.steal_bytes");
   m_e2e_ns_ = &metrics->histogram("faas.latency.end_to_end_ns");
   m_route_ns_ = &metrics->histogram("faas.latency.route_ns");
   m_queue_ns_ = &metrics->histogram("faas.latency.queue_ns");
@@ -665,6 +1136,11 @@ void FaasPlatform::ExportMetrics(MetricsRegistry* metrics,
   counter("faas.invocations_abandoned").Set(abandoned_);
   counter("faas.retries").Set(retries_);
   counter("faas.timeouts").Set(timeouts_);
+  counter("faas.pulls").Set(pulls_);
+  counter("faas.steals").Set(steals_);
+  counter("faas.steal_bytes").Set(steal_bytes_);
+  gauge("faas.pending_depth")
+      .SetAt(static_cast<double>(pending_total_), sim_->Now());
 
   counter("lb.routed.total").Set(lb_.total_routed());
   counter("lb.hints_honored").Set(lb_.hints_honored());
@@ -700,6 +1176,14 @@ void FaasPlatform::ExportMetrics(MetricsRegistry* metrics,
 
   if (!per_worker) {
     return;
+  }
+  // Per-color pending-queue depth gauges (pull/hybrid). Cardinality scales
+  // with distinct pending colors, so they ride the per_worker switch with
+  // the other per-entity families.
+  for (const auto& [key, queue] : pending_) {
+    gauge(StrFormat("faas.pending.%s.depth",
+                    key.empty() ? "_uncolored" : key.c_str()))
+        .SetAt(static_cast<double>(queue.size()), sim_->Now());
   }
   for (const auto& [id, worker] : workers_) {
     const std::string& name = InstanceName(id);

@@ -28,9 +28,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -52,6 +55,22 @@ namespace palette {
 
 // Pseudo-node representing remote backing storage (blob store / MongoDB).
 inline constexpr const char* kStorageNode = "__storage";
+
+// How invocations reach a worker's private FIFO (docs/DISPATCH.md).
+//   push   — route-time binding: the routed worker's FIFO, immediately.
+//   pull   — late binding: the route is only a hint; attempts join a
+//            per-color pending queue and idle workers claim them, colors
+//            they host first, then (budget permitting) foreign colors.
+//   hybrid — push when the routed worker is idle right now, pull otherwise.
+enum class FaasDispatchMode {
+  kPush,
+  kPull,
+  kHybrid,
+};
+
+// Short identifier for CLI flags and reports ("push", "pull", "hybrid").
+std::string_view FaasDispatchModeId(FaasDispatchMode mode);
+bool ParseFaasDispatchMode(std::string_view id, FaasDispatchMode* out);
 
 struct PlatformConfig {
   // Worker compute rating. 1e9 abstract ops/s roughly matches the paper's
@@ -80,6 +99,29 @@ struct PlatformConfig {
   // (src/sim/sharded_simulator.h); 0 for monolithic runs. Completions for
   // specs whose origin_domain differs are shipped back cross-domain.
   int domain = 0;
+  // Dispatch binding (docs/DISPATCH.md). Push (the default) keeps the
+  // pre-pull behavior bit-for-bit; pull/hybrid turn routing into a hint
+  // and let idle workers late-bind work from per-color pending queues.
+  FaasDispatchMode dispatch_mode = FaasDispatchMode::kPush;
+  // Pull/hybrid: cap on concurrently outstanding *stolen* claims —
+  // claims of a color whose home (cache-ring shard or LB placement) is
+  // another live worker, which pay the modeled remote-fetch penalty when
+  // they run. A slot is held from the claim until the stolen attempt
+  // completes (or fails back to the queue), so the budget bounds how much
+  // of the fleet can be busy on foreign work at once. 0 disables
+  // stealing: idle workers only claim home/unowned colors.
+  int steal_budget = 4;
+  // Pull/hybrid: a foreign color only qualifies for stealing once its
+  // pending queue is at least this deep ("steal the hottest color").
+  // Below the threshold the work waits for its home worker — stealing
+  // shallow queues trades away locality for nothing: the home would have
+  // drained them anyway, and the thief pays remote fetches that
+  // replicate-on-remote-hit then spreads around the fleet.
+  std::size_t steal_min_depth = 2;
+  // Pull/hybrid: queue -> worker claim handoff latency (the control-plane
+  // round trip late binding costs). This window is where
+  // claimed-but-unstarted work lives when a worker dies mid-claim.
+  SimTime pull_claim_latency = SimTime::FromMicros(50);
 };
 
 // Why an attempt failed (the retry trace uses the obs-layer RetryReason
@@ -142,10 +184,12 @@ class FaasPlatform {
   void CrashWorker(const std::string& name);
   std::size_t worker_count() const { return workers_.size(); }
   std::vector<std::string> WorkerNames() const;
-  // Scale-in victim selection: the worker with the fewest queued requests
-  // (ties break on the lexicographically smallest name). Removing the
-  // shallowest queue strands the fewest in-flight attempts. Empty string
-  // when there are no workers.
+  // Scale-in victim selection: the worker with the fewest queued requests.
+  // Ties resolve by smallest interned InstanceId — the interning order is
+  // the order workers joined the cluster, which is identical across
+  // rebuilds and shard counts, unlike name order or container iteration
+  // order. Removing the shallowest queue strands the fewest in-flight
+  // attempts. Empty string when there are no workers.
   std::string DrainCandidateWorker() const;
 
   // Submits an invocation; `on_complete` fires (via the simulator) when its
@@ -262,6 +306,19 @@ class FaasPlatform {
   std::uint64_t WorkerColdStarts(const std::string& name) const;
   std::uint64_t total_cold_starts() const { return cold_starts_; }
 
+  // Pull-dispatch bookkeeping (docs/DISPATCH.md). A *pull* is any claim an
+  // idle worker makes from a pending color queue ("faas.pulls"); a *steal*
+  // is the budget-gated subset claimed from a foreign color
+  // ("faas.steals"), with the stolen attempts' input bytes — the remote
+  // traffic the steal is priced at — in "faas.steal_bytes".
+  std::uint64_t total_pulls() const { return pulls_; }
+  std::uint64_t total_steals() const { return steals_; }
+  Bytes total_steal_bytes() const { return steal_bytes_; }
+  // Attempts currently waiting in pending color queues (all colors), and
+  // per color. Both return to zero once the platform drains.
+  std::size_t PendingTotal() const { return pending_total_; }
+  std::size_t PendingQueueDepth(const std::string& color) const;
+
   // Snapshots platform + LB + cache + network counters into `metrics`
   // (counter/gauge names in docs/OBSERVABILITY.md). Call after a run; the
   // live per-invocation histograms come from set_metrics instead. `prefix`
@@ -292,6 +349,12 @@ class FaasPlatform {
     bool cancelled = false;  // failed; pending events must no-op
     bool running = false;    // popped from the FIFO, occupying the CPU
     bool committed = false;  // compute finished; deadline no longer applies
+    bool in_pending = false;  // waiting in a pending color queue (pull)
+    bool stolen = false;      // current claim holds a steal-budget slot
+    // Age stamp for pull claims: assigned on first pending enqueue and
+    // kept across claim-bounce requeues, so home-class claims can serve
+    // oldest-first across a worker's colors (no per-color starvation).
+    std::uint64_t pending_seq = 0;
   };
   using AttemptPtr = std::shared_ptr<Attempt>;
 
@@ -308,6 +371,10 @@ class FaasPlatform {
     AttemptPtr running;  // attempt occupying the CPU (null when idle)
     bool busy = false;
     bool warm = false;
+    // Pull/hybrid: an attempt bound while this worker was idle (a claim
+    // handoff or a hybrid push) is in flight toward its FIFO, so the
+    // worker must not re-enter the idle set yet.
+    bool claiming = false;
     std::uint64_t cold_starts = 0;
   };
 
@@ -330,6 +397,38 @@ class FaasPlatform {
   // Pops and executes the next queued invocation on `instance`, if any.
   void StartNextOnWorker(InstanceId instance);
 
+  // Pull-dispatch machinery (docs/DISPATCH.md). All of it iterates ordered
+  // containers only, so claim order per epoch is fixed and runs stay
+  // bit-deterministic at every shard count.
+  bool pull_enabled() const {
+    return config_.dispatch_mode != FaasDispatchMode::kPush;
+  }
+  // The pending-queue key for a spec: its color, or "" when uncolored.
+  static const std::string& PendingKeyOf(const InvocationSpec& spec);
+  void EnqueuePending(const AttemptPtr& attempt, bool front);
+  void RemoveFromPending(const AttemptPtr& attempt);
+  // Matches idle workers against pending queues until neither side can
+  // make progress (fixed point; claim order is deterministic).
+  void MatchPending();
+  // One claim decision for one idle worker: scans the pending queues,
+  // prefers its own colors (placed home, then cache-resident), then
+  // unowned work, then — budget permitting — steals the deepest foreign
+  // queue. True if a claim was made.
+  bool TryPullFor(InstanceId instance);
+  // Pops the head of `key`'s queue and hands it to `instance`; the claim
+  // handoff (and any cold start) lands pull_claim_latency later.
+  void ClaimFrom(const std::string& key, InstanceId instance, bool steal);
+  // Claim-handoff arrival: the attempt joins the claimer's FIFO — or, if
+  // the worker died mid-handoff, returns to the head of its color queue.
+  void OnClaimArrive(const AttemptPtr& attempt, InstanceId instance);
+  // Re-inserts `instance` into the idle set iff it is genuinely idle, then
+  // matches. No-op in push mode.
+  void MaybeIdle(InstanceId instance);
+  void ReleaseStealSlot(const AttemptPtr& attempt);
+  // The last worker left: everything pending fails over to the retry
+  // layer (books must still close when membership hits zero).
+  void FailAllPending();
+
   // Fires the attempt's completion callback — inline, or shipped to the
   // spec's origin domain when a cross-domain scheduler is attached.
   void DeliverCompletion(const AttemptPtr& attempt);
@@ -350,6 +449,17 @@ class FaasPlatform {
   // a worker-name string), keeping them inside the simulator's inline
   // event-callback buffer.
   std::unordered_map<InstanceId, std::unique_ptr<Worker>> workers_;
+  // Pull/hybrid state. Ordered containers: the claim scan iterates
+  // pending_ and the matcher iterates idle_workers_, and both orders are
+  // part of the deterministic claim schedule.
+  std::map<std::string, std::deque<AttemptPtr>> pending_;
+  std::size_t pending_total_ = 0;
+  std::uint64_t next_pending_seq_ = 1;  // age stamps for oldest-first claims
+  std::set<InstanceId> idle_workers_;
+  int steals_in_flight_ = 0;
+  std::uint64_t pulls_ = 0;
+  std::uint64_t steals_ = 0;
+  Bytes steal_bytes_ = 0;
   std::unordered_map<std::string, Bytes> storage_objects_;
   std::string worker_prefix_ = "w";
   std::uint64_t next_id_ = 1;
@@ -383,6 +493,9 @@ class FaasPlatform {
   Counter* m_abandoned_ = nullptr;
   Counter* m_retries_ = nullptr;
   Counter* m_timeouts_ = nullptr;
+  Counter* m_pulls_ = nullptr;
+  Counter* m_steals_ = nullptr;
+  Counter* m_steal_bytes_ = nullptr;
   LatencyHistogram* m_e2e_ns_ = nullptr;
   LatencyHistogram* m_route_ns_ = nullptr;
   LatencyHistogram* m_queue_ns_ = nullptr;

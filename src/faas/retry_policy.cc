@@ -5,19 +5,30 @@
 namespace palette {
 
 SimTime RetryPolicy::BackoffFor(int failed_attempt, Rng& rng) const {
+  const double cap = static_cast<double>(max_backoff.nanos());
   double nanos = static_cast<double>(initial_backoff.nanos());
   for (int i = 1; i < failed_attempt; ++i) {
     nanos *= multiplier;
-    if (nanos >= static_cast<double>(max_backoff.nanos())) {
+    if (nanos >= cap) {
       break;
     }
   }
-  nanos = std::min(nanos, static_cast<double>(max_backoff.nanos()));
+  nanos = std::min(nanos, cap);
   const double j = std::clamp(jitter, 0.0, 1.0);
   if (j > 0) {
     nanos *= (1.0 - j) + 2.0 * j * rng.NextDouble();
   }
-  return SimTime::FromNanos(static_cast<std::int64_t>(std::max(nanos, 0.0)));
+  nanos = std::max(nanos, 0.0);
+  // Saturate before the cast: converting a double at or above 2^63 to
+  // int64 is undefined behavior, and extreme multiplier / max_backoff
+  // configs (or jitter on a near-Max cap) can push `nanos` there. The
+  // caller saturates again when adding to Now(), mirroring
+  // Simulator::After.
+  const double max_nanos = static_cast<double>(SimTime::Max().nanos());
+  if (nanos >= max_nanos) {
+    return SimTime::Max();
+  }
+  return SimTime::FromNanos(static_cast<std::int64_t>(nanos));
 }
 
 }  // namespace palette

@@ -262,6 +262,9 @@ ShardedRunResult RunShardedWorkload(
     result.group_rejections += group.rejections;
     result.cold_starts += group.platform->total_cold_starts();
     result.retries += group.platform->total_retries();
+    result.pulls += group.platform->total_pulls();
+    result.steals += group.platform->total_steals();
+    result.steal_bytes += group.platform->total_steal_bytes();
     result.planner_rounds += group.platform->planner_rounds();
     result.planner_moves += group.platform->load_balancer().planner_moves();
     result.planner_splits += group.platform->load_balancer().planner_splits();

@@ -98,6 +98,11 @@ struct ShardedRunResult {
   std::uint64_t group_rejections = 0;
   std::uint64_t cold_starts = 0;
   std::uint64_t retries = 0;
+  // Pull-dispatch counters summed across groups (zero under push;
+  // docs/DISPATCH.md).
+  std::uint64_t pulls = 0;
+  std::uint64_t steals = 0;
+  Bytes steal_bytes = 0;
   bool books_close = false;
 
   // Planner counters summed across groups (zero when config.planner was

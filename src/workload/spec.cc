@@ -244,6 +244,9 @@ WorkloadRunResult RunWorkload(const WorkloadSpec& spec, PolicyKind policy,
   result.timeouts = platform.total_timeouts();
   result.recolored = platform.load_balancer().recolored();
   result.cold_starts = platform.total_cold_starts();
+  result.pulls = platform.total_pulls();
+  result.steals = platform.total_steals();
+  result.steal_bytes = platform.total_steal_bytes();
   result.sim_events = events;
   result.routing_imbalance = platform.load_balancer().RoutingImbalance();
   FillPlannerResult(platform, planner_runtime.get(), &result);
@@ -312,6 +315,9 @@ WorkloadRunResult RunRouterWorkload(const WorkloadSpec& spec,
   result.timeouts = platform.total_timeouts();
   result.recolored = platform.load_balancer().recolored();
   result.cold_starts = platform.total_cold_starts();
+  result.pulls = platform.total_pulls();
+  result.steals = platform.total_steals();
+  result.steal_bytes = platform.total_steal_bytes();
   result.sim_events = events;
   result.router_routes = tier.routes();
   result.router_stale_routes = tier.stale_routes();

@@ -91,6 +91,10 @@ struct WorkloadRunResult {
   std::uint64_t timeouts = 0;            // faas.timeouts
   std::uint64_t recolored = 0;           // lb.recolored
   std::uint64_t cold_starts = 0;
+  // Pull-dispatch counters (all zero under push; docs/DISPATCH.md).
+  std::uint64_t pulls = 0;        // faas.pulls
+  std::uint64_t steals = 0;       // faas.steals
+  Bytes steal_bytes = 0;          // faas.steal_bytes
   std::uint64_t sim_events = 0;
   // Routing-tier counters (all zero for RunWorkload; filled by
   // RunRouterWorkload from the tier's router.* family).

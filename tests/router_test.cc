@@ -466,5 +466,95 @@ TEST(RouterTierTest, TraceSpansPartitionUnderRetryAndMisrouteForward) {
   EXPECT_EQ(totals.PhaseSum().nanos(), totals.end_to_end.nanos());
 }
 
+TEST(RouterTierTest, HopChargedOncePerAttemptUnderRetryForwardAndPullClaim) {
+  // Double-charge audit for the dispatch path: every attempt must cross
+  // the tier exactly once — one routes_ bump, one RouterHopTrace, one
+  // route_hop charge — even when the attempt is misroute-forwarded on a
+  // stale view, retried after a crash, and late-bound by a pull claim
+  // (the claim re-binds the worker but must NOT re-route or record a
+  // second hop). And the five trace spans must still partition
+  // [submitted, completed] exactly: the claim wait lands in the queue
+  // span, not in a gap.
+  Simulator sim;
+  PlatformConfig config = QuickConfig();
+  config.retry.max_attempts = 4;
+  config.retry.initial_backoff = SimTime::FromMillis(5);
+  config.dispatch_mode = FaasDispatchMode::kPull;
+  FaasPlatform platform(&sim, PolicyKind::kLeastAssigned, /*seed=*/3,
+                        config);
+  platform.AddWorkers(4);
+  TraceRecorder recorder;
+  platform.set_trace_recorder(&recorder);
+
+  RouterTierConfig tier_config;
+  tier_config.routers = 2;
+  tier_config.sync_lag = SimTime::FromSeconds(3600);  // views go stale
+  tier_config.hop_latency = SimTime::FromMicros(50);
+  RouterTier tier(&platform, tier_config);
+  tier.set_trace_recorder(&recorder);
+
+  int completed = 0;
+  auto done = [&](const InvocationResult&) { ++completed; };
+  std::string crashed;
+  for (int i = 0; i < 8; ++i) {
+    InvocationSpec spec = Spec(StrFormat("c%d", i % 4));
+    spec.cpu_ops = 5e6;
+    ASSERT_TRUE(tier.Invoke(std::move(spec), [&](const InvocationResult& r) {
+                      done(r);
+                      if (crashed.empty()) {
+                        crashed = r.instance;
+                      }
+                    }).has_value());
+  }
+  sim.Run();
+  ASSERT_FALSE(crashed.empty());
+
+  // Crash mid-run: under pull's late binding nothing is bound at submit
+  // time, so the crash has to land while the claimed work is actually
+  // executing on the doomed worker to force a real retry.
+  for (int i = 0; i < 12; ++i) {
+    InvocationSpec spec = Spec(StrFormat("c%d", i % 4));
+    spec.cpu_ops = 5e6;
+    ASSERT_TRUE(tier.Invoke(std::move(spec), done).has_value());
+  }
+  sim.After(SimTime::FromMillis(7),
+            [&]() { platform.CrashWorker(crashed); });
+  sim.Run();
+
+  EXPECT_GT(platform.total_pulls(), 0u);     // late binding actually ran
+  EXPECT_GT(platform.total_retries(), 0u);   // and a real retry happened
+
+  // Strict hop accounting. Every attempt is one tier route: total routes
+  // equals first attempts (= submissions) plus retry attempts. Forwards
+  // stay inside their attempt — they must not mint a second route or a
+  // second hop trace.
+  EXPECT_EQ(tier.routes(),
+            platform.submitted_invocations() + platform.total_retries());
+  EXPECT_EQ(recorder.router_hop_count(), tier.routes());
+  std::set<std::pair<std::uint64_t, int>> hop_keys;
+  for (const RouterHopTrace& hop : recorder.router_hops()) {
+    EXPECT_TRUE(hop_keys.emplace(hop.invocation_id, hop.attempt).second)
+        << "duplicate hop for invocation " << hop.invocation_id
+        << " attempt " << hop.attempt;
+  }
+
+  for (const InvocationTrace& t : recorder.invocations()) {
+    EXPECT_LE(t.submitted.nanos(), t.dispatched.nanos()) << "id " << t.id;
+    EXPECT_LE(t.dispatched.nanos(), t.fetch_start.nanos()) << "id " << t.id;
+    EXPECT_LE(t.fetch_start.nanos(), t.inputs_ready.nanos()) << "id " << t.id;
+    EXPECT_LE(t.inputs_ready.nanos(), t.compute_done.nanos()) << "id " << t.id;
+    EXPECT_LE(t.compute_done.nanos(), t.completed.nanos()) << "id " << t.id;
+    const std::int64_t sum = (t.dispatched - t.submitted).nanos() +
+                             (t.fetch_start - t.dispatched).nanos() +
+                             (t.inputs_ready - t.fetch_start).nanos() +
+                             (t.compute_done - t.inputs_ready).nanos() +
+                             (t.completed - t.compute_done).nanos();
+    EXPECT_EQ(sum, (t.completed - t.submitted).nanos()) << "id " << t.id;
+    EXPECT_GE(t.router, 0) << "id " << t.id;
+  }
+  const auto totals = recorder.Totals();
+  EXPECT_EQ(totals.PhaseSum().nanos(), totals.end_to_end.nanos());
+}
+
 }  // namespace
 }  // namespace palette

@@ -13,6 +13,8 @@
 //           [--colors=512] [--theta=0.9] [--churn_interval_s=0] ...
 //           [--routers=0]                # >0: route through a RouterTier
 //           [--dispatch=color|spray] [--sync_lag_ms=0] [--hop_us=200]
+//           [--dispatch_mode=push|pull|hybrid]  # worker binding (DISPATCH.md)
+//           [--steal_budget=4]           # pull/hybrid: max in-flight steals
 //           [--shards=0]                 # >=1: sharded parallel engine
 //           [--groups=8] [--group_routers=2] [--shard_hop_us=500]
 //           [--sweep=200,400,800,1600]   # rate step-sweep for the knee
@@ -299,6 +301,21 @@ int Run(int argc, char** argv) {
                           platform_config.cache.per_instance_capacity) /
                           static_cast<double>(kMiB)) *
       static_cast<double>(kMiB));
+  // Dispatch binding (docs/DISPATCH.md): --dispatch_mode=push keeps
+  // route-time binding; pull/hybrid late-bind via per-color pending queues
+  // with budget-gated locality-aware stealing.
+  const std::string dispatch_mode_id = flags.GetString(
+      "dispatch_mode",
+      std::string(FaasDispatchModeId(platform_config.dispatch_mode)));
+  if (!ParseFaasDispatchMode(dispatch_mode_id,
+                             &platform_config.dispatch_mode)) {
+    std::fprintf(stderr,
+                 "unknown dispatch_mode: %s (try: push pull hybrid)\n",
+                 dispatch_mode_id.c_str());
+    return 1;
+  }
+  platform_config.steal_budget = static_cast<int>(
+      flags.GetInt("steal_budget", platform_config.steal_budget));
 
   // Telemetry flags (docs/OBSERVABILITY.md).
   WorkloadObsConfig obs;
@@ -375,6 +392,12 @@ int Run(int argc, char** argv) {
   json.Double(slo.warmup.seconds());
   json.Key("spec");
   AppendWorkloadSpecJson(spec, &json);
+  json.Key("dispatch_mode");
+  json.String(FaasDispatchModeId(platform_config.dispatch_mode));
+  if (platform_config.dispatch_mode != FaasDispatchMode::kPush) {
+    json.Key("steal_budget");
+    json.Int(platform_config.steal_budget);
+  }
   if (routers > 0 && shards < 1) {
     json.Key("routers");
     json.Int(routers);
@@ -456,6 +479,18 @@ int Run(int argc, char** argv) {
     json.UInt(run.cold_starts);
     json.Key("retries");
     json.UInt(run.retries);
+    if (platform_config.dispatch_mode != FaasDispatchMode::kPush) {
+      std::printf("pulls: %llu, steals: %llu, steal bytes: %llu\n",
+                  static_cast<unsigned long long>(run.pulls),
+                  static_cast<unsigned long long>(run.steals),
+                  static_cast<unsigned long long>(run.steal_bytes));
+      json.Key("pulls");
+      json.UInt(run.pulls);
+      json.Key("steals");
+      json.UInt(run.steals);
+      json.Key("steal_bytes");
+      json.UInt(run.steal_bytes);
+    }
     if (planner_config.enabled()) {
       std::printf("planner: rounds: %llu, moves: %llu, splits: %llu, "
                   "merges: %llu, moved: %llu bytes\n",
@@ -544,6 +579,12 @@ int Run(int argc, char** argv) {
                 static_cast<unsigned long long>(run.sim_events),
                 static_cast<unsigned long long>(run.cold_starts),
                 static_cast<unsigned long long>(run.platform_dropped));
+    if (platform_config.dispatch_mode != FaasDispatchMode::kPush) {
+      std::printf("pulls: %llu, steals: %llu, steal bytes: %llu\n",
+                  static_cast<unsigned long long>(run.pulls),
+                  static_cast<unsigned long long>(run.steals),
+                  static_cast<unsigned long long>(run.steal_bytes));
+    }
 
     json.Key("sample_count");
     json.UInt(run.samples.size());
@@ -554,6 +595,14 @@ int Run(int argc, char** argv) {
     json.UInt(run.sim_events);
     json.Key("cold_starts");
     json.UInt(run.cold_starts);
+    if (platform_config.dispatch_mode != FaasDispatchMode::kPush) {
+      json.Key("pulls");
+      json.UInt(run.pulls);
+      json.Key("steals");
+      json.UInt(run.steals);
+      json.Key("steal_bytes");
+      json.UInt(run.steal_bytes);
+    }
     json.Key("platform_dropped");
     json.UInt(run.platform_dropped);
     json.Key("books");
