@@ -55,12 +55,38 @@ std::string FaastCache::Put(const std::string& producer,
   return *home;
 }
 
+std::string FaastCache::PutReplicated(const std::string& producer,
+                                      const std::string& object_name,
+                                      Bytes size,
+                                      const std::vector<std::string>& replicas) {
+  const std::string home = Put(producer, object_name, size);
+  for (const std::string& replica : replicas) {
+    if (replica == home) {
+      continue;  // the home store above already covers it
+    }
+    const auto it = shards_.find(replica);
+    if (it == shards_.end()) {
+      continue;  // replica died; nothing lands, nothing is counted
+    }
+    it->second->Put(object_name, size);
+    put_bytes_ += size;
+    replicated_bytes_ += size;
+  }
+  return home;
+}
+
 void FaastCache::PutLocal(const std::string& instance,
                           const std::string& object_name, Bytes size) {
   auto it = shards_.find(instance);
   assert(it != shards_.end() && "unknown instance");
   it->second->Put(object_name, size);
   put_bytes_ += size;
+}
+
+bool FaastCache::ContainsLocal(const std::string& instance,
+                               const std::string& object_name) const {
+  const auto it = shards_.find(instance);
+  return it != shards_.end() && it->second->Contains(object_name);
 }
 
 CacheLookup FaastCache::Get(const std::string& reader,

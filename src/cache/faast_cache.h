@@ -81,10 +81,26 @@ class FaastCache {
   std::string Put(const std::string& producer, const std::string& object_name,
                   Bytes size);
 
+  // Writes an object produced at `producer` to its home shard AND to every
+  // live instance in `replicas` (a replicated/split color's replica set).
+  // Accounting counts bytes once per *landed* copy: put_bytes grows by one
+  // size per store and replicated_bytes by one size per extra copy beyond
+  // the home — the paper's locality-diffusion cost measured honestly. (A
+  // plain Put used to count one size no matter how many replicas a policy
+  // fanned the color across.) Returns the home instance, as Put does.
+  std::string PutReplicated(const std::string& producer,
+                            const std::string& object_name, Bytes size,
+                            const std::vector<std::string>& replicas);
+
   // Stores an object directly in `instance`'s shard regardless of its home
   // (miss fills and app-managed local caching).
   void PutLocal(const std::string& instance, const std::string& object_name,
                 Bytes size);
+
+  // True iff `object_name` is resident in `instance`'s shard. Never touches
+  // recency or stats (coherence probes must not perturb LRU order).
+  bool ContainsLocal(const std::string& instance,
+                     const std::string& object_name) const;
 
   // Reads an object from `reader`. Checks the reader's shard, then the home
   // shard. Never mutates peer LRU order.

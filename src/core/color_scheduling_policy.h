@@ -71,6 +71,17 @@ class ColorSchedulingPolicy {
     (void)color;
     return std::nullopt;
   }
+  // The set of instances a color's writes should synchronously land on,
+  // when the policy fans a color across more than one instance (Replicated
+  // Colors). Single-instance policies — the paper's assumption — return
+  // empty, and the write path stores at the home shard only. The storage
+  // tier uses this to keep a replicated hot color's copies coherent at
+  // write time instead of paying anti-entropy for every replica.
+  virtual std::vector<std::string> WriteReplicaSetOf(
+      std::string_view color) const {
+    (void)color;
+    return {};
+  }
   // Passive learning: a route decided *outside* this policy (by a router
   // replica's view) landed `color` on `instance`. Table-keeping policies
   // record the mapping (without counting it as a move) so a platform-side

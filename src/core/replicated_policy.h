@@ -64,6 +64,14 @@ class ReplicatedColorPolicy : public PolicyBase {
   // The replica set a color currently maps to (<= `replicas` instances).
   std::vector<std::string> ReplicaSetOf(std::string_view color) const;
 
+  // Writes to a replicated color land on the whole replica set (the
+  // storage tier keeps the copies coherent synchronously; see
+  // ColorSchedulingPolicy::WriteReplicaSetOf).
+  std::vector<std::string> WriteReplicaSetOf(
+      std::string_view color) const override {
+    return ReplicaSetOf(color);
+  }
+
   // Whether `color` currently counts as hot (always true when the policy
   // is non-adaptive). Exposed for tests.
   bool IsHot(std::string_view color) const;

@@ -15,6 +15,7 @@
 
 #include "src/common/types.h"
 #include "src/core/color.h"
+#include "src/storage/storage_types.h"
 
 namespace palette {
 
@@ -39,6 +40,11 @@ struct InvocationSpec {
   SimTime deadline;
   std::vector<ObjectRef> inputs;
   std::vector<ObjectRef> outputs;
+  // Per-invocation coherence override for this invocation's output writes
+  // (docs/STORAGE.md): the objects it produces take this mode instead of
+  // the platform's run-wide StorageConfig::mode. Nullopt (the default)
+  // uses the run mode. Ignored when the storage layer is disabled.
+  std::optional<CoherenceMode> coherence;
   // Sharded-engine domain the submitter lives on (src/sim/
   // sharded_simulator.h). When >= 0 and it differs from the platform's own
   // domain, the completion callback is shipped back to this domain through

@@ -51,6 +51,10 @@ FaasPlatform::FaasPlatform(Simulator* sim, PolicyKind policy,
   if (!network_ptr_->HasNode(kStorageNode)) {
     network_ptr_->AddNode(kStorageNode);
   }
+  if (config_.storage.enabled()) {
+    storage_ = std::make_unique<StorageLayer>(sim_, network_ptr_, &cache_,
+                                              config_.storage, kStorageNode);
+  }
 }
 
 void FaasPlatform::AddWorker(const std::string& name, double speed) {
@@ -62,6 +66,9 @@ void FaasPlatform::AddWorker(const std::string& name, double speed) {
   workers_.emplace(id, std::make_unique<Worker>(sim_, speed));
   network_ptr_->AddNode(name);
   cache_.AddInstance(name);
+  if (storage_ != nullptr) {
+    storage_->OnInstanceJoin(name);
+  }
   lb_.AddInstance(name);
   NotifyMembership(MembershipEvent::kAdded, name);
   // A fresh worker is idle; in pull mode it can drain a backlog at once.
@@ -92,6 +99,11 @@ void FaasPlatform::RemoveWorker(const std::string& name) {
   std::deque<AttemptPtr> orphans = std::move(it->second->queue);
   workers_.erase(it);
   idle_workers_.erase(*id);
+  if (storage_ != nullptr) {
+    // Graceful leave: dirty write-back data flushes before the shard is
+    // reclaimed (must run while the cache shard still exists).
+    storage_->OnInstanceLeave(name, /*crashed=*/false);
+  }
   cache_.RemoveInstance(name);
   lb_.RemoveInstance(name);
   NotifyMembership(MembershipEvent::kRemoved, name);
@@ -133,6 +145,11 @@ void FaasPlatform::CrashWorker(const std::string& name) {
   AttemptPtr running = std::move(it->second->running);
   workers_.erase(it);
   idle_workers_.erase(*id);
+  if (storage_ != nullptr) {
+    // Hard failure: dirty write-back data dies with the shard — bounded
+    // loss, surfaced in the storage books.
+    storage_->OnInstanceLeave(name, /*crashed=*/true);
+  }
   cache_.RemoveInstance(name);
   lb_.RemoveInstance(name);
   NotifyMembership(MembershipEvent::kRemoved, name);
@@ -194,6 +211,9 @@ std::string FaasPlatform::DrainCandidateWorker() const {
 
 void FaasPlatform::SeedStorageObject(const std::string& name, Bytes size) {
   storage_objects_[name] = size;
+  if (storage_ != nullptr) {
+    storage_->Seed(name, size);
+  }
 }
 
 std::optional<std::uint64_t> FaasPlatform::Invoke(
@@ -263,6 +283,16 @@ void FaasPlatform::DispatchTo(const AttemptPtr& attempt, InstanceId target) {
     // platform-side planner's snapshots would see nothing. Teach the LB the
     // placement passively (no-op unless color stats are on).
     lb_.NoteExternalRoute(*attempt->spec->color, target);
+  }
+  if (config_.translate_object_names && attempt->number == 1) {
+    // §5.1 name translation (see PlatformConfig): first attempt only, so
+    // retries keep the names their caches already warmed under.
+    for (ObjectRef& input : attempt->spec->inputs) {
+      input.name = lb_.TranslateObjectName(input.name);
+    }
+    for (ObjectRef& output : attempt->spec->outputs) {
+      output.name = lb_.TranslateObjectName(output.name);
+    }
   }
   Worker& worker = *worker_it->second;
 
@@ -549,6 +579,13 @@ void FaasPlatform::StartNextOnWorker(InstanceId instance) {
         ++result->local_hits;
         done = network_ptr_->Transfer(instance_name, instance_name,
                                       lookup.size);
+        if (storage_ != nullptr) {
+          // Coherence check: a known-stale local copy is never served
+          // silently — write-through/write-back re-fetch synchronously,
+          // causal serves within the staleness bound only. Any forced
+          // sync's bytes are the coherence traffic the bench measures.
+          done = storage_->OnLocalRead(instance_name, input.name, done);
+        }
         break;
       case CacheOutcome::kRemoteHit:
         ++result->remote_hits;
@@ -556,18 +593,31 @@ void FaasPlatform::StartNextOnWorker(InstanceId instance) {
         source = FetchSource::kRemote;
         done = network_ptr_->Transfer(lookup.owner, instance_name,
                                       lookup.size);
+        if (storage_ != nullptr && config_.cache.replicate_on_remote_hit) {
+          // The cache just copied the object into the reader's shard; the
+          // home serves the authoritative copy, so the new copy is fresh.
+          storage_->NoteCopy(instance_name, input.name);
+        }
         break;
       case CacheOutcome::kMiss: {
         ++result->misses;
         const auto it = storage_objects_.find(input.name);
-        const Bytes size = it != storage_objects_.end() ? it->second
-                                                        : input.size;
+        Bytes size = it != storage_objects_.end() ? it->second : input.size;
+        if (storage_ != nullptr) {
+          size = storage_->StoredSizeOf(input.name, size);
+        }
         result->network_bytes += size;
         source = FetchSource::kStorage;
         fetched_bytes = size;
-        done = network_ptr_->Transfer(kStorageNode, instance_name, size);
+        done = storage_ != nullptr
+                   ? storage_->ReadFromStore(instance_name, input.name, size)
+                   : network_ptr_->Transfer(kStorageNode, instance_name,
+                                            size);
         if (config_.cache_miss_fills) {
           cache_.PutLocal(instance_name, input.name, size);
+          if (storage_ != nullptr) {
+            storage_->NoteCopy(instance_name, input.name);
+          }
         }
         break;
       }
@@ -615,10 +665,34 @@ void FaasPlatform::StartNextOnWorker(InstanceId instance) {
     // naming the put crosses the network — the write-side cost oblivious
     // routing pays.
     for (const ObjectRef& output : spec2->outputs) {
+      std::vector<std::string> replicas;
+      if (storage_ != nullptr) {
+        replicas = WriteReplicasFor(FaastCache::HashKeyOf(output.name));
+      }
       const std::string home =
-          cache_.Put(result2->instance, output.name, output.size);
-      const SimTime done =
+          replicas.empty()
+              ? cache_.Put(result2->instance, output.name, output.size)
+              : cache_.PutReplicated(result2->instance, output.name,
+                                     output.size, replicas);
+      SimTime done =
           network_ptr_->Transfer(result2->instance, home, output.size);
+      if (storage_ != nullptr) {
+        // Replicas beyond the home receive their synchronous copy from
+        // the producer too; the slowest transfer gates the write.
+        for (const std::string& replica : replicas) {
+          if (replica == home || !cache_.HasInstance(replica)) {
+            continue;
+          }
+          const SimTime copy_done = network_ptr_->Transfer(
+              result2->instance, replica, output.size);
+          if (copy_done > done) {
+            done = copy_done;
+          }
+        }
+        done = storage_->OnWrite(result2->instance, home, output.name,
+                                 output.size, spec2->coherence, replicas,
+                                 done);
+      }
       if (done > completed) {
         completed = done;
       }
@@ -974,6 +1048,28 @@ std::size_t FaasPlatform::PendingQueueDepth(const std::string& color) const {
   return it != pending_.end() ? it->second.size() : 0;
 }
 
+std::vector<std::string> FaasPlatform::WriteReplicasFor(
+    std::string_view key) const {
+  std::vector<std::string> replicas;
+  if (key.empty()) {
+    return replicas;
+  }
+  // Planner splits first (the LB fans the color's routes across these), then
+  // the policy's own replica set (Replicated Colors). Both are usually
+  // empty — the paper's single-instance-per-color case.
+  if (lb_.IsSplit(key)) {
+    for (const InstanceId id : lb_.SplitMembers(key)) {
+      replicas.push_back(InstanceName(id));
+    }
+  }
+  for (std::string& name : lb_.policy().WriteReplicaSetOf(key)) {
+    if (std::find(replicas.begin(), replicas.end(), name) == replicas.end()) {
+      replicas.push_back(std::move(name));
+    }
+  }
+  return replicas;
+}
+
 void FaasPlatform::DeliverCompletion(const AttemptPtr& attempt) {
   const int origin = attempt->spec->origin_domain;
   if (cross_scheduler_ != nullptr && origin >= 0 &&
@@ -1089,9 +1185,18 @@ void FaasPlatform::ApplyPlan(const Plan& plan) {
     if (batch->empty()) {
       continue;
     }
+    if (storage_ != nullptr) {
+      // Dirty write-back data becomes durable before its cached copy
+      // migrates — moving a dirty color prices in a flush, which is why
+      // the planner weights dirty bytes in its move cost.
+      storage_->FlushKeyOwned(src_name, *migration.color);
+    }
     SimTime landed = sim_->Now();
     for (const FaastCache::ResidentObject& object : *batch) {
       cache_.EraseLocal(src_name, object.name);
+      if (storage_ != nullptr) {
+        storage_->NoteErase(src_name, object.name);
+      }
       const SimTime done =
           network_ptr_->Transfer(src_name, dst_name, object.size);
       planner_moved_bytes_ += object.size;
@@ -1109,6 +1214,9 @@ void FaasPlatform::ApplyPlan(const Plan& plan) {
       const std::string& name = InstanceName(dst_id);
       for (const FaastCache::ResidentObject& object : *batch) {
         cache_.PutLocal(name, object.name, object.size);
+        if (storage_ != nullptr) {
+          storage_->NoteLanded(name, object.name);
+        }
       }
     });
   }
@@ -1166,6 +1274,11 @@ void FaasPlatform::ExportMetrics(MetricsRegistry* metrics,
   counter("cache.local_hit_bytes").Set(cache_.local_hit_bytes());
   counter("cache.remote_hit_bytes").Set(cache_.remote_hit_bytes());
   counter("cache.put_bytes").Set(cache_.put_bytes());
+  counter("cache.replicated_bytes").Set(cache_.replicated_bytes());
+
+  if (storage_ != nullptr) {
+    storage_->ExportMetrics(metrics, prefix);
+  }
 
   counter("net.remote_bytes").Set(network_ptr_->remote_bytes());
   counter("net.local_bytes").Set(network_ptr_->local_bytes());

@@ -50,6 +50,8 @@
 #include "src/sim/event_scheduler.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
+#include "src/storage/storage_layer.h"
+#include "src/storage/storage_types.h"
 
 namespace palette {
 
@@ -122,6 +124,21 @@ struct PlatformConfig {
   // round trip late binding costs). This window is where
   // claimed-but-unstarted work lives when a worker dies mid-claim.
   SimTime pull_claim_latency = SimTime::FromMicros(50);
+  // Stateful storage tier (docs/STORAGE.md): write coherence modes,
+  // anti-entropy between instance caches, two-tier backing store. The
+  // default (mode = kNone) disables the layer entirely — the platform
+  // behaves bit-for-bit as before it existed.
+  StorageConfig storage;
+  // §5.1 name translation at dispatch: rewrite each input/output color
+  // prefix ("c4___x") to the color's routed instance ("w2___x") on an
+  // invocation's first attempt, so the object's cache-ring home (the ring
+  // maps member names to themselves) coincides with where colored routing
+  // sends its readers and writers. Oblivious routing (spray) churns the
+  // color's recorded placement, so its aliases scatter instead — which is
+  // exactly the locality the hint was carrying. Off by default: the DAG
+  // executors already translate at graph-build time, and raw names keep
+  // every pre-existing digest bit-identical.
+  bool translate_object_names = false;
 };
 
 // Why an attempt failed (the retry trace uses the obs-layer RetryReason
@@ -265,6 +282,9 @@ class FaasPlatform {
   PaletteLoadBalancer& load_balancer() { return lb_; }
   const PaletteLoadBalancer& load_balancer() const { return lb_; }
   FaastCache& cache() { return cache_; }
+  // The stateful storage tier, or null when config().storage is disabled.
+  StorageLayer* storage_layer() { return storage_.get(); }
+  const StorageLayer* storage_layer() const { return storage_.get(); }
   Network& network() { return *network_ptr_; }
   Simulator& simulator() { return *sim_; }
   const PlatformConfig& config() const { return config_; }
@@ -294,7 +314,12 @@ class FaasPlatform {
   // the attached object must outlive the platform; when off, every
   // instrumentation point is a single pointer test (no allocation, no
   // formatting) so production/bench hot paths are unaffected.
-  void set_trace_recorder(TraceRecorder* recorder) { trace_ = recorder; }
+  void set_trace_recorder(TraceRecorder* recorder) {
+    trace_ = recorder;
+    if (storage_ != nullptr) {
+      storage_->set_trace_recorder(recorder);
+    }
+  }
   void set_metrics(MetricsRegistry* metrics);
   TraceRecorder* trace_recorder() const { return trace_; }
 
@@ -433,6 +458,12 @@ class FaasPlatform {
   // spec's origin domain when a cross-domain scheduler is attached.
   void DeliverCompletion(const AttemptPtr& attempt);
 
+  // The live instances a write to `key`'s color must synchronously land on
+  // beyond its home: the LB's split-table members plus the policy's write
+  // replica set (Replicated Colors). Empty for single-instance colors —
+  // the paper's coherence-free case. Only consulted when storage_ is on.
+  std::vector<std::string> WriteReplicasFor(std::string_view key) const;
+
   void NotifyMembership(MembershipEvent event, const std::string& worker) {
     if (membership_listener_) {
       membership_listener_(event, worker);
@@ -444,6 +475,9 @@ class FaasPlatform {
   std::unique_ptr<Network> owned_network_;  // null when sharing
   Network* network_ptr_;
   FaastCache cache_;
+  // Stateful storage tier; null when config_.storage is disabled, and
+  // every hook below is a single pointer test in that case.
+  std::unique_ptr<StorageLayer> storage_;
   PaletteLoadBalancer lb_;
   // Keyed by interned id: platform continuations capture the 4-byte id (not
   // a worker-name string), keeping them inside the simulator's inline

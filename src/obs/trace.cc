@@ -46,11 +46,36 @@ void TraceRecorder::RecordRouterHop(RouterHopTrace hop) {
   router_hops_.push_back(std::move(hop));
 }
 
+void TraceRecorder::RecordStorage(StorageTrace storage) {
+  storage_ops_.push_back(std::move(storage));
+}
+
+std::string_view StorageOpName(StorageOp op) {
+  switch (op) {
+    case StorageOp::kFlush:
+      return "flush";
+    case StorageOp::kWriteThrough:
+      return "write_through";
+    case StorageOp::kSync:
+      return "sync";
+    case StorageOp::kInvalidate:
+      return "invalidate";
+    case StorageOp::kRefresh:
+      return "refresh";
+    case StorageOp::kPromote:
+      return "promote";
+    case StorageOp::kDemote:
+      return "demote";
+  }
+  return "unknown";
+}
+
 void TraceRecorder::Clear() {
   invocations_.clear();
   fetches_.clear();
   retries_.clear();
   router_hops_.clear();
+  storage_ops_.clear();
 }
 
 TraceRecorder::PhaseTotals TraceRecorder::Totals() const {
@@ -289,6 +314,36 @@ std::string TraceRecorder::ToChromeTraceJson() const {
         json.String(h.stale_instance);
       }
     }
+    json.EndObject();
+    json.EndObject();
+  }
+  // Storage-tier spans: coherence operations (flushes, invalidations,
+  // refreshes, forced syncs) on the track of the instance they touched,
+  // and tier promotions/demotions on a dedicated "__storage" track.
+  for (const StorageTrace& s : storage_ops_) {
+    const int tid =
+        tid_of(s.instance.empty() ? std::string("__storage") : s.instance);
+    json.BeginObject();
+    json.Key("name");
+    json.String(StorageOpName(s.op));
+    json.Key("cat");
+    json.String("storage");
+    json.Key("ph");
+    json.String("X");
+    json.Key("ts");
+    json.Double(s.start.micros());
+    json.Key("dur");
+    json.Double((s.end - s.start).micros());
+    json.Key("pid");
+    json.Int(1);
+    json.Key("tid");
+    json.Int(tid);
+    json.Key("args");
+    json.BeginObject();
+    json.Key("object");
+    json.String(s.object);
+    json.Key("bytes");
+    json.UInt(s.bytes);
     json.EndObject();
     json.EndObject();
   }

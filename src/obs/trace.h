@@ -75,6 +75,33 @@ struct FetchTrace {
   SimTime end;
 };
 
+// Storage-tier coherence and placement operations (docs/STORAGE.md;
+// mirrors the storage layer's vocabulary without making obs depend on it).
+enum class StorageOp {
+  kFlush,         // write-back dirty data flushed to the backing store
+  kWriteThrough,  // synchronous durable write (write-through / causal)
+  kSync,          // forced re-fetch of a stale copy before a read
+  kInvalidate,    // anti-entropy dropped a stale peer copy
+  kRefresh,       // anti-entropy shipped fresh bytes to a peer copy
+  kPromote,       // object moved slow -> fast backing tier
+  kDemote,        // object moved fast -> slow backing tier
+};
+
+std::string_view StorageOpName(StorageOp op);
+
+// One storage-tier operation: a flush/invalidate/refresh/sync against
+// `object` observed at `instance` (the owner for flushes and durable
+// writes, the peer for anti-entropy, the reader for syncs; empty for
+// tier promotions/demotions, which happen inside the backing store).
+struct StorageTrace {
+  std::string object;
+  std::string instance;
+  StorageOp op = StorageOp::kFlush;
+  Bytes bytes = 0;
+  SimTime start;
+  SimTime end;
+};
+
 // Why an attempt failed and was re-submitted (mirrors the platform's
 // FailureReason without making obs depend on faas).
 enum class RetryReason { kWorkerLost, kTimeout };
@@ -120,11 +147,13 @@ class TraceRecorder {
   void RecordFetch(FetchTrace fetch);
   void RecordRetry(RetryTrace retry);
   void RecordRouterHop(RouterHopTrace hop);
+  void RecordStorage(StorageTrace storage);
 
   std::size_t invocation_count() const { return invocations_.size(); }
   std::size_t fetch_count() const { return fetches_.size(); }
   std::size_t retry_count() const { return retries_.size(); }
   std::size_t router_hop_count() const { return router_hops_.size(); }
+  std::size_t storage_count() const { return storage_ops_.size(); }
   const std::vector<InvocationTrace>& invocations() const {
     return invocations_;
   }
@@ -132,6 +161,9 @@ class TraceRecorder {
   const std::vector<RetryTrace>& retries() const { return retries_; }
   const std::vector<RouterHopTrace>& router_hops() const {
     return router_hops_;
+  }
+  const std::vector<StorageTrace>& storage_ops() const {
+    return storage_ops_;
   }
 
   void Clear();
@@ -168,6 +200,7 @@ class TraceRecorder {
   std::vector<FetchTrace> fetches_;
   std::vector<RetryTrace> retries_;
   std::vector<RouterHopTrace> router_hops_;
+  std::vector<StorageTrace> storage_ops_;
 };
 
 }  // namespace palette

@@ -70,6 +70,18 @@ Plan RebalancePlanner::Solve(const PlacementSnapshot& snapshot) const {
     std::vector<std::size_t> members;   // current split members (mapped)
     int width = 1;                      // target replica width
   };
+  // Movement price per color: clean cached bytes haul at cost 1, dirty
+  // write-back bytes add dirty_move_weight on top (re-homing flushes them
+  // through the backing store first).
+  std::vector<Bytes> move_cost(snapshot.colors.size(), 0);
+  for (std::size_t c = 0; c < snapshot.colors.size(); ++c) {
+    const ColorObservation& obs = snapshot.colors[c];
+    move_cost[c] =
+        obs.cache_bytes +
+        static_cast<Bytes>(std::max(0.0, config_.dirty_move_weight) *
+                           static_cast<double>(obs.dirty_bytes));
+  }
+
   std::vector<Participant> participants;
   double total_load = 0;
   Bytes total_bytes = 0;
@@ -94,7 +106,7 @@ Plan RebalancePlanner::Solve(const PlacementSnapshot& snapshot) const {
       }
     }
     total_load += obs.load_ewma;
-    total_bytes += obs.cache_bytes;
+    total_bytes += move_cost[c];
     participants.push_back(std::move(p));
   }
   if (participants.empty() || total_load <= 0) {
@@ -217,7 +229,7 @@ Plan RebalancePlanner::Solve(const PlacementSnapshot& snapshot) const {
   };
   for (std::size_t pi = 0; pi < participants.size(); ++pi) {
     if (primary_moved(pi)) {
-      state.moved_bytes += snapshot.colors[participants[pi].color].cache_bytes;
+      state.moved_bytes += move_cost[participants[pi].color];
     }
   }
 
@@ -261,7 +273,7 @@ Plan RebalancePlanner::Solve(const PlacementSnapshot& snapshot) const {
     for (std::size_t s = 0; s < slots.size(); ++s) {
       const std::size_t pi = participant_of[s];
       const bool is_primary = s == first_slot[pi];
-      const Bytes bytes = snapshot.colors[slots[s].color].cache_bytes;
+      const Bytes bytes = move_cost[slots[s].color];
       std::size_t best_to = slots[s].instance;
       double best_objective = objective;
       for (std::size_t to = 0; to < n; ++to) {
@@ -340,7 +352,7 @@ Plan RebalancePlanner::Solve(const PlacementSnapshot& snapshot) const {
         if (s != first_slot[pi]) {
           return;
         }
-        const Bytes bytes = snapshot.colors[slots[s].color].cache_bytes;
+        const Bytes bytes = move_cost[slots[s].color];
         const bool was_moved = from != participants[pi].home;
         const bool now_moved = to != participants[pi].home;
         if (!was_moved && now_moved) {
@@ -388,7 +400,7 @@ Plan RebalancePlanner::Solve(const PlacementSnapshot& snapshot) const {
       Slot& slot = slots[first_slot[pi]];
       state.loads[slot.instance] -= slot.load;
       state.loads[participants[pi].home] += slot.load;
-      state.moved_bytes -= snapshot.colors[participants[pi].color].cache_bytes;
+      state.moved_bytes -= move_cost[participants[pi].color];
       slot.instance = participants[pi].home;
     }
     movers.resize(config_.max_moves);

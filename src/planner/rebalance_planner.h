@@ -36,6 +36,12 @@ struct PlannerConfig {
   // Movement-cost weight alpha. 0 re-balances regardless of how many bytes
   // must move; large values effectively freeze placement.
   double move_alpha = 0.5;
+  // Extra price per dirty write-back byte in the movement account: moving
+  // a color with buffered dirty state forces a synchronous flush before
+  // the haul (docs/STORAGE.md), so a dirty byte costs
+  // (1 + dirty_move_weight) bytes in the objective. 0 prices dirty bytes
+  // like clean ones.
+  double dirty_move_weight = 2.0;
   // Load share above which a color is split (enter threshold; splits exit
   // below half of it).
   double split_threshold = 0.2;

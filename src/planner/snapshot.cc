@@ -52,6 +52,10 @@ PlacementSnapshot SnapshotCollector::Collect(FaasPlatform& platform) {
         footprint += object.size;
       }
       obs.cache_bytes = footprint;
+      if (platform.storage_layer() != nullptr) {
+        obs.dirty_bytes = platform.storage_layer()->DirtyBytesOwnedBy(
+            InstanceName(*placement), *name);
+      }
     }
     obs.split = lb.IsSplit(*name);
     if (obs.split) {

@@ -32,6 +32,12 @@ struct ColorObservation {
   // Migratable cache footprint at the current placement (bytes of objects
   // whose hash key is this color, resident in the placement's shard).
   Bytes cache_bytes = 0;
+  // Dirty write-back bytes owned by the current placement under this color
+  // (zero when the storage layer is disabled or the mode has no write
+  // buffering). Re-homing such a color forces a flush before the haul, so
+  // the planner prices these bytes above clean ones
+  // (PlannerConfig::dirty_move_weight).
+  Bytes dirty_bytes = 0;
   // Current primary placement (split colors report their primary);
   // kInvalidInstanceId when the policy has no mapping yet.
   InstanceId placement = kInvalidInstanceId;

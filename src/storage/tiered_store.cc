@@ -1,0 +1,137 @@
+#include "src/storage/tiered_store.h"
+
+namespace palette {
+
+TieredStore::TieredStore(Simulator* sim, Network* network,
+                         StorageTierConfig config, std::string slow_node,
+                         StorageStats* stats)
+    : sim_(sim),
+      network_(network),
+      config_(config),
+      slow_node_(std::move(slow_node)),
+      fast_node_(kFastStorageNode),
+      stats_(stats) {
+  if (config_.two_tier && !network_->HasNode(fast_node_)) {
+    network_->AddNode(fast_node_);
+  }
+}
+
+void TieredStore::Seed(const std::string& name, Bytes size) {
+  Placement& placement = Touch(name, size);
+  placement.size = size;
+}
+
+const std::string& TieredStore::NodeOf(const Placement& placement) const {
+  return config_.two_tier && placement.fast ? fast_node_ : slow_node_;
+}
+
+SimTime TieredStore::LatencyOf(const Placement& placement) const {
+  if (!config_.two_tier) {
+    return SimTime();  // legacy single-tier path: network cost only
+  }
+  return placement.fast ? config_.fast_latency : config_.slow_latency;
+}
+
+TieredStore::Placement& TieredStore::Touch(const std::string& name,
+                                           Bytes size) {
+  Placement& placement = objects_[name];
+  if (placement.size == 0) {
+    placement.size = size;
+  }
+  placement.last_use = ++use_seq_;
+  return placement;
+}
+
+SimTime TieredStore::Read(const std::string& reader, const std::string& name,
+                          Bytes size) {
+  Placement& placement = Touch(name, size);
+  const SimTime ready = SaturatingAdd(sim_->Now(), LatencyOf(placement));
+  const SimTime done =
+      network_->Transfer(NodeOf(placement), reader, placement.size, ready);
+  if (config_.two_tier) {
+    if (placement.fast) {
+      ++stats_->tier_fast_reads;
+    } else {
+      ++stats_->tier_slow_reads;
+      ++placement.slow_reads;
+      MaybePromote(name, placement);
+    }
+  }
+  return done;
+}
+
+SimTime TieredStore::Write(const std::string& writer, const std::string& name,
+                           Bytes size) {
+  Placement& placement = Touch(name, size);
+  if (config_.two_tier && placement.fast) {
+    // The object grows or shrinks in place in the fast tier.
+    fast_used_ = fast_used_ - placement.size + size;
+  }
+  placement.size = size;
+  const SimTime ready = SaturatingAdd(sim_->Now(), LatencyOf(placement));
+  const SimTime done = network_->Transfer(writer, NodeOf(placement), size,
+                                          ready);
+  if (config_.two_tier && placement.fast) {
+    DemoteUntilFits();
+  }
+  return done;
+}
+
+bool TieredStore::InFastTier(const std::string& name) const {
+  const auto it = objects_.find(name);
+  return it != objects_.end() && it->second.fast;
+}
+
+void TieredStore::MaybePromote(const std::string& name, Placement& placement) {
+  if (placement.fast || placement.slow_reads < config_.promote_after ||
+      placement.size > config_.fast_capacity) {
+    return;
+  }
+  const SimTime done =
+      network_->Transfer(slow_node_, fast_node_, placement.size);
+  placement.fast = true;
+  placement.slow_reads = 0;
+  fast_used_ += placement.size;
+  ++stats_->tier_promotions;
+  stats_->tier_promoted_bytes += placement.size;
+  if (trace_ != nullptr) {
+    trace_->RecordStorage(StorageTrace{name, std::string(), StorageOp::kPromote,
+                                       placement.size, sim_->Now(), done});
+  }
+  DemoteUntilFits();
+}
+
+void TieredStore::DemoteUntilFits() {
+  while (fast_used_ > config_.fast_capacity) {
+    // LRU victim among fast residents; name order breaks recency ties so
+    // the scan is deterministic regardless of container internals.
+    std::map<std::string, Placement>::iterator victim = objects_.end();
+    for (auto it = objects_.begin(); it != objects_.end(); ++it) {
+      if (!it->second.fast) {
+        continue;
+      }
+      if (victim == objects_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == objects_.end()) {
+      return;
+    }
+    Placement& placement = victim->second;
+    const SimTime done =
+        network_->Transfer(fast_node_, slow_node_, placement.size);
+    placement.fast = false;
+    placement.slow_reads = 0;
+    fast_used_ -= placement.size;
+    ++stats_->tier_demotions;
+    stats_->tier_demoted_bytes += placement.size;
+    if (trace_ != nullptr) {
+      trace_->RecordStorage(StorageTrace{victim->first, std::string(),
+                                         StorageOp::kDemote, placement.size,
+                                         sim_->Now(), done});
+    }
+  }
+}
+
+}  // namespace palette

@@ -1,0 +1,88 @@
+// Two-tier backing store with per-object placement (docs/STORAGE.md).
+//
+// The platform's backing store used to be a single network pseudo-node.
+// TieredStore keeps that behavior bit-for-bit when two_tier is off, and
+// otherwise models a fast-but-small tier (NVMe-class) in front of the
+// slow-but-big one (blob-store-class): every object has a placement, reads
+// pay the placed tier's device latency ahead of the network transfer, an
+// object promotes to the fast tier after `promote_after` slow reads, and
+// fast-capacity pressure demotes the least-recently-used fast object.
+// Promotion and demotion copies are charged through the network model like
+// any other transfer.
+#ifndef PALETTE_SRC_STORAGE_TIERED_STORE_H_
+#define PALETTE_SRC_STORAGE_TIERED_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/types.h"
+#include "src/obs/trace.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+#include "src/storage/storage_types.h"
+
+namespace palette {
+
+// Network pseudo-node for the fast tier (the slow tier reuses the
+// platform's legacy storage node, passed to the constructor).
+inline constexpr const char* kFastStorageNode = "__storage_fast";
+
+class TieredStore {
+ public:
+  // `stats` receives the tier_* counters; it must outlive the store.
+  TieredStore(Simulator* sim, Network* network, StorageTierConfig config,
+              std::string slow_node, StorageStats* stats);
+
+  // Registers an object without charging any transfer (pre-seeded data
+  // starts in the slow tier; fast-tier residents keep their placement on
+  // overwrite).
+  void Seed(const std::string& name, Bytes size);
+
+  // Charges a read of `name` delivered to `reader`; returns the completion
+  // time. Counts toward promotion when the object is slow-placed.
+  SimTime Read(const std::string& reader, const std::string& name, Bytes size);
+
+  // Charges a durable write of `name` from `writer` into the object's
+  // placed tier; returns the completion time.
+  SimTime Write(const std::string& writer, const std::string& name,
+                Bytes size);
+
+  bool InFastTier(const std::string& name) const;
+  Bytes fast_used_bytes() const { return fast_used_; }
+
+  void set_trace_recorder(TraceRecorder* recorder) { trace_ = recorder; }
+
+ private:
+  struct Placement {
+    Bytes size = 0;
+    bool fast = false;
+    int slow_reads = 0;          // reads since last placement change
+    std::uint64_t last_use = 0;  // recency stamp for LRU demotion
+  };
+
+  // The pseudo-node a placement reads/writes against, plus its device
+  // latency (zero in single-tier mode — the legacy path had none).
+  const std::string& NodeOf(const Placement& placement) const;
+  SimTime LatencyOf(const Placement& placement) const;
+  Placement& Touch(const std::string& name, Bytes size);
+  void MaybePromote(const std::string& name, Placement& placement);
+  void DemoteUntilFits();
+
+  Simulator* sim_;
+  Network* network_;
+  StorageTierConfig config_;
+  std::string slow_node_;
+  std::string fast_node_;
+  StorageStats* stats_;
+  TraceRecorder* trace_ = nullptr;
+  // Ordered by name: demotion scans must visit candidates in a
+  // container-independent order for bit-deterministic sharded runs.
+  std::map<std::string, Placement> objects_;
+  Bytes fast_used_ = 0;
+  std::uint64_t use_seq_ = 0;
+};
+
+}  // namespace palette
+
+#endif  // PALETTE_SRC_STORAGE_TIERED_STORE_H_

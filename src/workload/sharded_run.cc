@@ -270,6 +270,9 @@ ShardedRunResult RunShardedWorkload(
     result.planner_splits += group.platform->load_balancer().planner_splits();
     result.planner_merges += group.platform->load_balancer().planner_merges();
     result.planner_moved_bytes += group.platform->planner_moved_bytes();
+    if (group.platform->storage_layer() != nullptr) {
+      result.storage.Accumulate(group.platform->storage_layer()->stats());
+    }
   }
   result.books_close =
       result.driver_submitted ==

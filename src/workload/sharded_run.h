@@ -113,6 +113,12 @@ struct ShardedRunResult {
   std::uint64_t planner_merges = 0;
   Bytes planner_moved_bytes = 0;
 
+  // Storage-tier books summed across groups (all zero when the platform
+  // config left the coherence mode off; docs/STORAGE.md). The per-group
+  // write-books identity survives the summation:
+  //   storage.writes_total == storage.writes_durable + storage.writes_lost.
+  StorageStats storage;
+
   // Cluster telemetry (null members unless config.obs enabled): registry
   // merged via MetricsRegistry::MergeFrom and series merged window-by-
   // window, both folded in domain order.

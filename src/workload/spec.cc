@@ -249,6 +249,9 @@ WorkloadRunResult RunWorkload(const WorkloadSpec& spec, PolicyKind policy,
   result.steal_bytes = platform.total_steal_bytes();
   result.sim_events = events;
   result.routing_imbalance = platform.load_balancer().RoutingImbalance();
+  if (platform.storage_layer() != nullptr) {
+    result.storage = platform.storage_layer()->stats();
+  }
   FillPlannerResult(platform, planner_runtime.get(), &result);
   return result;
 }
@@ -325,6 +328,9 @@ WorkloadRunResult RunRouterWorkload(const WorkloadSpec& spec,
   result.router_forwards = tier.forwards();
   result.router_recolored = tier.recolored();
   result.routing_imbalance = platform.load_balancer().RoutingImbalance();
+  if (platform.storage_layer() != nullptr) {
+    result.storage = platform.storage_layer()->stats();
+  }
   FillPlannerResult(platform, planner_runtime.get(), &result);
   return result;
 }

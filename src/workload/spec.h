@@ -111,6 +111,10 @@ struct WorkloadRunResult {
   std::uint64_t planner_merges = 0;
   Bytes planner_moved_bytes = 0;
   std::vector<PlanRound> plan_rounds;  // per-round objectives
+  // Storage-tier books (docs/STORAGE.md): all zero unless the platform
+  // config enabled a coherence mode. After the drain,
+  //   storage.writes_total = storage.writes_durable + storage.writes_lost.
+  StorageStats storage;
   // max/avg invocations routed per instance at end of run.
   double routing_imbalance = 0;
   // Populated only when the run's WorkloadObsConfig enabled telemetry.

@@ -422,6 +422,31 @@ TEST(FaastCacheTest, ReplicationCountsPutAndReplicatedBytes) {
   EXPECT_EQ(cache.replicated_bytes(), 100u);
 }
 
+TEST(FaastCacheTest, PutReplicatedCountsBytesPerLandedReplica) {
+  FaastCache cache;
+  for (const char* w : {"w0", "w1", "w2", "w3"}) {
+    cache.AddInstance(w);
+  }
+
+  // Home store + two replica copies: three stores, three counted.
+  EXPECT_EQ(cache.PutReplicated("w0", "w0___obj", 100, {"w1", "w2"}), "w0");
+  EXPECT_EQ(cache.put_bytes(), 300u);
+  EXPECT_EQ(cache.replicated_bytes(), 200u);
+  EXPECT_TRUE(cache.ContainsLocal("w1", "w0___obj"));
+  EXPECT_TRUE(cache.ContainsLocal("w2", "w0___obj"));
+  EXPECT_FALSE(cache.ContainsLocal("w3", "w0___obj"));
+
+  // A replica naming the home is already covered by the home store: no
+  // double count. A dead replica lands nothing and counts nothing.
+  cache.PutReplicated("w0", "w0___dup", 50, {"w0", "w3"});
+  EXPECT_EQ(cache.put_bytes(), 300u + 50u + 50u);
+  EXPECT_EQ(cache.replicated_bytes(), 200u + 50u);
+  cache.RemoveInstance("w3");
+  cache.PutReplicated("w0", "w0___late", 70, {"w3"});
+  EXPECT_EQ(cache.put_bytes(), 400u + 70u);
+  EXPECT_EQ(cache.replicated_bytes(), 250u);
+}
+
 TEST(FaastCacheTest, EvictionCountersPerShardAndTotal) {
   FaastCacheConfig config;
   config.per_instance_capacity = 100;

@@ -11,10 +11,15 @@
 //   loadgen [--arrival=poisson] [--rate=400] [--duration=20] [--seed=1]
 //           [--policy=la] [--workers=8] [--deadline_ms=100] [--warmup_s=1]
 //           [--colors=512] [--theta=0.9] [--churn_interval_s=0] ...
+//           [--write_fraction=0]         # outputs per invocation knob
 //           [--routers=0]                # >0: route through a RouterTier
 //           [--dispatch=color|spray] [--sync_lag_ms=0] [--hop_us=200]
 //           [--dispatch_mode=push|pull|hybrid]  # worker binding (DISPATCH.md)
 //           [--steal_budget=4]           # pull/hybrid: max in-flight steals
+//           [--coherence=off|write-through|write-back|causal]  # STORAGE.md
+//           [--dirty_age_ms=50] [--staleness_ms=100] [--ae_lag_ms=10]
+//           [--storage_tiers=1]          # 2: fast/slow backing store
+//           [--fast_mb=256]              # fast-tier capacity
 //           [--shards=0]                 # >=1: sharded parallel engine
 //           [--groups=8] [--group_routers=2] [--shard_hop_us=500]
 //           [--sweep=200,400,800,1600]   # rate step-sweep for the knee
@@ -43,6 +48,13 @@
 // events: digests and samples are bit-identical with it on or off, and
 // with it off the BENCH_slo.json output is byte-identical to a build
 // without telemetry.
+//
+// Storage tier (docs/STORAGE.md): --coherence!=off turns on the stateful
+// write path — write-through, write-back (bounded dirty age, crash loss in
+// the books), or causal (bounded-staleness reads) — plus anti-entropy
+// between instance caches; --storage_tiers=2 adds the fast/slow two-tier
+// backing store. The JSON grows a "storage" section with the write books,
+// coherence traffic, staleness, and tier counters.
 //
 // Sharded mode (docs/PERF.md, "Parallel engine"): --shards>=1 maps the
 // workload onto --groups worker-group domains, each fronted by its own
@@ -195,6 +207,71 @@ void AppendEngineProfileJson(const EngineProfile& profile, JsonWriter* json) {
   json->EndObject();
 }
 
+// The "storage" result section shared by the monolithic and sharded paths
+// (docs/STORAGE.md). Callers gate on StorageConfig::enabled() so runs with
+// the tier off stay byte-identical to pre-storage output.
+void AppendStorageStatsJson(const StorageStats& s, JsonWriter* json) {
+  json->BeginObject();
+  json->Key("writes_total");
+  json->UInt(s.writes_total);
+  json->Key("writes_durable");
+  json->UInt(s.writes_durable);
+  json->Key("writes_lost");
+  json->UInt(s.writes_lost);
+  json->Key("write_bytes");
+  json->UInt(s.write_bytes);
+  json->Key("flushes");
+  json->UInt(s.flushes);
+  json->Key("dirty_bytes_flushed");
+  json->UInt(s.dirty_bytes_flushed);
+  json->Key("dirty_bytes_lost");
+  json->UInt(s.dirty_bytes_lost);
+  json->Key("coherence_syncs");
+  json->UInt(s.coherence_syncs);
+  json->Key("coherence_bytes");
+  json->UInt(s.coherence_bytes);
+  json->Key("stale_reads");
+  json->UInt(s.stale_reads);
+  json->Key("max_served_staleness_ns");
+  json->Int(s.max_served_staleness_ns);
+  json->Key("ae_records");
+  json->UInt(s.ae_records);
+  json->Key("ae_applied");
+  json->UInt(s.ae_applied);
+  json->Key("ae_invalidations");
+  json->UInt(s.ae_invalidations);
+  json->Key("ae_refreshes");
+  json->UInt(s.ae_refreshes);
+  json->Key("ae_refresh_bytes");
+  json->UInt(s.ae_refresh_bytes);
+  json->Key("tier_fast_reads");
+  json->UInt(s.tier_fast_reads);
+  json->Key("tier_slow_reads");
+  json->UInt(s.tier_slow_reads);
+  json->Key("tier_promotions");
+  json->UInt(s.tier_promotions);
+  json->Key("tier_demotions");
+  json->UInt(s.tier_demotions);
+  json->Key("tier_promoted_bytes");
+  json->UInt(s.tier_promoted_bytes);
+  json->Key("tier_demoted_bytes");
+  json->UInt(s.tier_demoted_bytes);
+  json->Key("write_books_close");
+  json->Bool(s.WriteBooksClose());
+  json->EndObject();
+}
+
+void PrintStorageSummary(const StorageStats& s) {
+  std::printf("storage: writes: %llu (%llu durable, %llu lost), coherence "
+              "bytes: %llu, stale reads: %llu, books %s\n",
+              static_cast<unsigned long long>(s.writes_total),
+              static_cast<unsigned long long>(s.writes_durable),
+              static_cast<unsigned long long>(s.writes_lost),
+              static_cast<unsigned long long>(s.coherence_bytes),
+              static_cast<unsigned long long>(s.stale_reads),
+              s.WriteBooksClose() ? "close" : "DO NOT CLOSE");
+}
+
 // The gated telemetry outputs shared by the monolithic and sharded paths.
 // Returns false on a write failure. Appends nothing and writes nothing
 // when telemetry is off, keeping obs-free output byte-identical.
@@ -317,6 +394,34 @@ int Run(int argc, char** argv) {
   platform_config.steal_budget = static_cast<int>(
       flags.GetInt("steal_budget", platform_config.steal_budget));
 
+  // Stateful storage tier (docs/STORAGE.md). --coherence=off (the default)
+  // leaves the layer out of the platform entirely.
+  const std::string coherence_id = flags.GetString(
+      "coherence", std::string(CoherenceModeId(platform_config.storage.mode)));
+  if (!ParseCoherenceMode(coherence_id, &platform_config.storage.mode)) {
+    std::fprintf(stderr,
+                 "unknown coherence mode: %s (try: off write-through "
+                 "write-back causal)\n",
+                 coherence_id.c_str());
+    return 1;
+  }
+  platform_config.storage.max_dirty_age = SimTime::FromMillis(flags.GetDouble(
+      "dirty_age_ms", platform_config.storage.max_dirty_age.millis()));
+  platform_config.storage.staleness_bound =
+      SimTime::FromMillis(flags.GetDouble(
+          "staleness_ms", platform_config.storage.staleness_bound.millis()));
+  platform_config.storage.ae_lag = SimTime::FromMillis(
+      flags.GetDouble("ae_lag_ms", platform_config.storage.ae_lag.millis()));
+  const int storage_tiers =
+      static_cast<int>(flags.GetInt("storage_tiers", 1));
+  platform_config.storage.tiers.two_tier = storage_tiers >= 2;
+  platform_config.storage.tiers.fast_capacity = static_cast<Bytes>(
+      flags.GetDouble("fast_mb",
+                      static_cast<double>(
+                          platform_config.storage.tiers.fast_capacity) /
+                          static_cast<double>(kMiB)) *
+      static_cast<double>(kMiB));
+
   // Telemetry flags (docs/OBSERVABILITY.md).
   WorkloadObsConfig obs;
   obs.sample_every =
@@ -397,6 +502,27 @@ int Run(int argc, char** argv) {
   if (platform_config.dispatch_mode != FaasDispatchMode::kPush) {
     json.Key("steal_budget");
     json.Int(platform_config.steal_budget);
+  }
+  if (platform_config.storage.enabled()) {
+    json.Key("storage_config");
+    json.BeginObject();
+    json.Key("coherence");
+    json.String(CoherenceModeId(platform_config.storage.mode));
+    json.Key("dirty_age_ms");
+    json.Double(platform_config.storage.max_dirty_age.millis());
+    json.Key("staleness_ms");
+    json.Double(platform_config.storage.staleness_bound.millis());
+    json.Key("ae_lag_ms");
+    json.Double(platform_config.storage.ae_lag.millis());
+    json.Key("two_tier");
+    json.Bool(platform_config.storage.tiers.two_tier);
+    if (platform_config.storage.tiers.two_tier) {
+      json.Key("fast_mb");
+      json.Double(
+          static_cast<double>(platform_config.storage.tiers.fast_capacity) /
+          static_cast<double>(kMiB));
+    }
+    json.EndObject();
   }
   if (routers > 0 && shards < 1) {
     json.Key("routers");
@@ -490,6 +616,11 @@ int Run(int argc, char** argv) {
       json.UInt(run.steals);
       json.Key("steal_bytes");
       json.UInt(run.steal_bytes);
+    }
+    if (platform_config.storage.enabled()) {
+      PrintStorageSummary(run.storage);
+      json.Key("storage");
+      AppendStorageStatsJson(run.storage, &json);
     }
     if (planner_config.enabled()) {
       std::printf("planner: rounds: %llu, moves: %llu, splits: %llu, "
@@ -605,6 +736,11 @@ int Run(int argc, char** argv) {
     }
     json.Key("platform_dropped");
     json.UInt(run.platform_dropped);
+    if (platform_config.storage.enabled()) {
+      PrintStorageSummary(run.storage);
+      json.Key("storage");
+      AppendStorageStatsJson(run.storage, &json);
+    }
     json.Key("books");
     json.BeginObject();
     json.Key("submitted");
